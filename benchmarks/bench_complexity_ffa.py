@@ -1,0 +1,24 @@
+"""§V complexity claim — O(n²) basic vs O(n log n) sorted firefly loops.
+
+Measures the comparison counters of both optimizer variants across a
+population-size sweep and fits the growth exponents; the basic loop must
+fit ~n², the sorted loop clearly sub-quadratic.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_print
+from repro.experiments.complexity import run_complexity
+
+
+def test_complexity_firefly_loops(benchmark, results_dir):
+    result = benchmark.pedantic(run_complexity, rounds=1, iterations=1)
+    save_and_print(results_dir, "complexity_ffa", result.render())
+
+    assert 1.8 < result.basic_exponent < 2.2
+    assert result.sorted_exponent < 1.5
+    # the sorted variant must be cheaper at every size
+    assert all(
+        s < b
+        for s, b in zip(result.sorted_comparisons, result.basic_comparisons)
+    )

@@ -1,0 +1,61 @@
+"""Energy extension — per-device energy of ST vs FST across scales.
+
+Converts the Fig. 3/Fig. 4 quantities (duration, messages) into the
+discovery literature's headline metric: millijoules per device.  Because
+idle listening dominates at these traffic levels, the energy curves
+track convergence *time* more than message count — which is exactly why
+the paper's faster-converging ST wins on energy at every scale.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_print
+from repro.analysis.tables import format_table
+from repro.core.config import PaperConfig
+from repro.core.fst import FSTSimulation
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation
+from repro.radio.energy import EnergyModel
+
+SIZES = (50, 200, 600)
+
+
+def test_energy_per_device(benchmark, results_dir):
+    model = EnergyModel()  # Table I's 23 dBm, LTE UE receive chain
+
+    def run_all():
+        rows = []
+        for n in SIZES:
+            config = PaperConfig(seed=71).with_devices(n, keep_density=False)
+            network = D2DNetwork(config)
+            st = model.report(STSimulation(network).run())
+            fst = model.report(FSTSimulation(network).run())
+            rows.append((n, st, fst))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = []
+    for n, st, fst in rows:
+        table.append(
+            [
+                n,
+                f"{st.per_device_mj:.1f}",
+                f"{fst.per_device_mj:.1f}",
+                f"{st.tx_fraction * 100:.1f}%",
+                f"{fst.tx_fraction * 100:.1f}%",
+            ]
+        )
+    save_and_print(
+        results_dir,
+        "extension_energy",
+        "Extension — energy per device (mJ), ST vs FST\n"
+        + format_table(
+            ["devices", "ST mJ/dev", "FST mJ/dev", "ST tx%", "FST tx%"],
+            table,
+        ),
+    )
+    # ST's faster convergence must make it cheaper per device at scale
+    n, st, fst = rows[-1]
+    assert st.per_device_mj < fst.per_device_mj
+    # idle listening dominates for both (the known discovery-energy insight)
+    assert st.tx_fraction < 0.5 and fst.tx_fraction < 0.5

@@ -1,0 +1,20 @@
+"""Fig. 2 — the basic firefly spanning-tree instance.
+
+Rebuilds the figure's heavy-edge tree on a small deployment and checks
+the §V optimality claim: the distributed tree equals the centralized
+maximum spanning tree and outweighs random spanning trees.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_print
+from repro.experiments.fig2_spanning_tree import run_fig2
+
+
+def test_fig2_spanning_tree_instance(benchmark, results_dir):
+    result = benchmark(run_fig2)
+    save_and_print(results_dir, "fig2_spanning_tree", result.render())
+
+    assert result.matches_oracle
+    assert result.beats_all_random
+    assert len(result.tree_edges) == result.n_devices - 1

@@ -1,0 +1,32 @@
+"""Fig. 3 — convergence time vs scale, ST vs FST.
+
+Regenerates the paper's Fig. 3 series: mean convergence time of the
+proposed ST method against the FST baseline over the device-count sweep.
+Expected shape: comparable at small scale, ST increasingly faster as the
+network grows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SCALING_SEEDS, SCALING_SIZES, save_and_print
+from repro.experiments.scaling import run_scaling
+
+
+def test_fig3_convergence_time(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_scaling(SCALING_SIZES, SCALING_SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(results_dir, "fig3_convergence", result.render_fig3())
+
+    st = dict(result.sweep.series("st", "time_ms"))
+    fst = dict(result.sweep.series("fst", "time_ms"))
+    largest = max(SCALING_SIZES)
+    smallest = min(SCALING_SIZES)
+    # paper shape: roughly comparable at small n ...
+    assert fst[smallest] < 4.0 * st[smallest]
+    # ... and ST clearly better at the largest scale
+    assert st[largest] < fst[largest]
+    # every configured run must actually converge
+    assert all(p.all_converged for p in result.sweep.points)

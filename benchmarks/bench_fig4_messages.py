@@ -1,0 +1,33 @@
+"""Fig. 4 — control messages until convergence vs scale, ST vs FST.
+
+Regenerates the paper's Fig. 4 series.  Expected shape: FST is cheaper
+(or comparable) below the crossover region and ST wins beyond it — the
+paper reads the crossover at roughly 600 devices.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SCALING_SEEDS, SCALING_SIZES, save_and_print
+from repro.experiments.scaling import run_scaling
+
+
+def test_fig4_message_exchanges(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_scaling(SCALING_SIZES, SCALING_SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(results_dir, "fig4_messages", result.render_fig4())
+
+    st = dict(result.sweep.series("st", "messages"))
+    fst = dict(result.sweep.series("fst", "messages"))
+    smallest = min(SCALING_SIZES)
+    largest = max(SCALING_SIZES)
+    # paper shape: ST spends MORE messages at small scale ...
+    assert st[smallest] > fst[smallest]
+    # ... and both totals grow monotonically with scale
+    sizes = sorted(st)
+    assert all(st[a] < st[b] for a, b in zip(sizes, sizes[1:]))
+    assert all(fst[a] < fst[b] for a, b in zip(sizes, sizes[1:]))
+    # the FST/ST ratio must improve toward (or past) the crossover with n
+    assert fst[largest] / st[largest] > fst[smallest] / st[smallest]

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the hot kernels (real repeated timing).
+
+Unlike the figure benches (single-shot ``pedantic`` regenerations), these
+use pytest-benchmark's statistical timing to track the performance of the
+two inner loops everything else stands on: the pulse-sync kernel and the
+beacon-discovery cohort loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.beacon import BeaconDiscovery, top_k_required
+from repro.core.config import PaperConfig
+from repro.core.network import D2DNetwork
+from repro.core.pulsesync import PulseSyncKernel
+from repro.oscillator.prc import LinearPRC
+
+
+@pytest.fixture(scope="module")
+def network() -> D2DNetwork:
+    return D2DNetwork(PaperConfig(seed=2).with_devices(150, keep_density=False))
+
+
+def test_bench_pulse_sync_kernel(benchmark, network):
+    cfg = network.config
+    kernel = PulseSyncKernel(
+        network.link_budget.mean_rx_dbm,
+        network.adjacency,
+        LinearPRC.from_dissipation(cfg.dissipation, cfg.epsilon),
+        period_ms=cfg.period_ms,
+        threshold_dbm=cfg.threshold_dbm,
+        refractory_ms=cfg.refractory_ms,
+        sync_window_ms=cfg.sync_window_ms,
+        fading=network.link_budget.fading,
+    )
+
+    def run():
+        return kernel.run(np.random.default_rng(4), max_time_ms=60_000.0)
+
+    result = benchmark(run)
+    assert result.converged
+
+
+def test_bench_beacon_discovery(benchmark, network):
+    cfg = network.config
+    disc = BeaconDiscovery(
+        network.link_budget.mean_rx_dbm,
+        threshold_dbm=cfg.threshold_dbm,
+        period_slots=cfg.period_slots,
+        slot_ms=cfg.slot_ms,
+        preambles=cfg.beacon_preambles,
+        fading=network.link_budget.fading,
+    )
+    required = top_k_required(network.weights, network.adjacency, k=1)
+
+    def run():
+        return disc.run(np.random.default_rng(4), required, max_periods=500)
+
+    result = benchmark(run)
+    assert result.complete
+
+
+def test_bench_network_build(benchmark):
+    def build():
+        return D2DNetwork(PaperConfig(seed=3).with_devices(200, keep_density=False))
+
+    net = benchmark(build)
+    assert net.n == 200

@@ -1,0 +1,65 @@
+"""Cross-validation bench — node-level protocol vs aggregate model.
+
+Runs the literal message-passing execution of Algorithms 1–2 next to the
+aggregate accounting the figure benches use, on the same topologies, and
+reports tree equality plus the message/round ratios.  This is the check
+that the fast model regenerating Figs. 3–4 is faithful to the protocol.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_print
+from repro.analysis.tables import format_table
+from repro.core.config import PaperConfig
+from repro.core.network import D2DNetwork
+from repro.protocol.rounds import MessagePassingST
+from repro.spanningtree.boruvka import distributed_boruvka
+
+SIZES = (50, 100, 200)
+
+
+def test_protocol_cross_validation(benchmark, results_dir):
+    def run_all():
+        rows = []
+        for n in SIZES:
+            net = D2DNetwork(
+                PaperConfig(seed=91).with_devices(n, keep_density=False)
+            )
+            node_level = MessagePassingST(net.weights, net.adjacency).run()
+            aggregate = distributed_boruvka(net.weights, net.adjacency)
+            rows.append((n, net, node_level, aggregate))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = []
+    for n, _net, node_level, aggregate in rows:
+        same_tree = node_level.tree_edges == aggregate.edges
+        ratio = node_level.messages / aggregate.counter.total
+        table.append(
+            [
+                n,
+                same_tree,
+                node_level.messages,
+                aggregate.counter.total,
+                f"{ratio:.2f}",
+                node_level.rounds,
+            ]
+        )
+        assert same_tree
+        assert 0.3 < ratio < 3.0
+    save_and_print(
+        results_dir,
+        "protocol_validation",
+        "Cross-validation — node-level protocol vs aggregate accounting\n"
+        + format_table(
+            [
+                "devices",
+                "same tree",
+                "node-level msgs",
+                "aggregate msgs",
+                "ratio",
+                "rounds",
+            ],
+            table,
+        ),
+    )

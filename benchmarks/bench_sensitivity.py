@@ -1,0 +1,45 @@
+"""Sensitivity benches — how the headline numbers respond to the knobs
+EXPERIMENTS.md documents (the constants the paper never published)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_and_print
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_sensitivity_epsilon(benchmark, results_dir):
+    """Coupling strength ε: stronger pulses synchronize in fewer cycles."""
+    result = benchmark.pedantic(
+        lambda: run_sensitivity(
+            "epsilon", (0.02, 0.08, 0.2), n_devices=100, seeds=(1, 2)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(results_dir, "sensitivity_epsilon", result.render())
+    st = {p.value: p for p in result.for_algorithm("st")}
+    assert all(p.converged_runs == p.total_runs for p in result.points)
+    # stronger coupling never slows the ST trim down materially
+    assert st[0.2].time_ms.mean <= st[0.02].time_ms.mean * 1.5
+
+
+def test_sensitivity_beacon_preambles(benchmark, results_dir):
+    """Preamble pool: the knob that slides the Fig. 4 crossover."""
+    result = benchmark.pedantic(
+        lambda: run_sensitivity(
+            "beacon_preambles", (2, 8, 32), n_devices=200, seeds=(1, 2)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(results_dir, "sensitivity_preambles", result.render())
+    fst = {p.value: p for p in result.for_algorithm("fst")}
+    # a larger orthogonal pool strictly helps FST's mesh discovery
+    assert fst[32].messages.mean < fst[2].messages.mean
+    # ...while ST (heavy links only) barely notices
+    st = {p.value: p for p in result.for_algorithm("st")}
+    assert st[32].messages.mean == st[2].messages.mean or (
+        abs(st[32].messages.mean - st[2].messages.mean)
+        / st[2].messages.mean
+        < 0.25
+    )

@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's evaluation artifacts and
+writes the rendered rows/series to ``results/<id>.txt`` next to printing
+them.  Set ``REPRO_BENCH_FULL=1`` to run the paper's full 50–1000-device
+grid; the default grid is a faster subset with the same shape.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Full paper grid vs. CI-friendly subset (same span, fewer points/seeds).
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+SCALING_SIZES = (50, 100, 200, 400, 600, 800, 1000) if FULL else (50, 100, 200, 400, 600)
+SCALING_SEEDS = (1, 2, 3) if FULL else (1, 2)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendered artifact and echo it to stdout."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to results/{name}.txt]")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Churn recovery — joins, failures and the repair-vs-rebuild trade-off.
+
+Starts from a synchronized, tree-organized 50-device network, then runs a
+churn script: devices join (greedy heaviest-link attach, O(1) messages),
+devices fail (fragment-preserving repair), and finally a full rebuild
+restores tree optimality.  The printout shows the message bill and the
+optimality drift at every step — the operational story behind the
+paper's §VI "more realistic scenarios".
+
+Run:  python examples/churn_recovery.py
+"""
+
+from repro import ChurnSession, D2DNetwork, PaperConfig
+
+
+def main() -> None:
+    network = D2DNetwork(PaperConfig(seed=55))
+    session = ChurnSession(network, initially_active=set(range(35)))
+    print(
+        f"initial: {len(session.active)} active devices, spanning tree of "
+        f"{len(session.tree_edges)} edges (optimality 1.00)"
+    )
+
+    script = [
+        ("join", 35), ("join", 36), ("join", 37), ("join", 38),
+        ("fail", 7), ("join", 39), ("fail", 21), ("join", 40),
+        ("join", 41), ("fail", 3), ("rebuild", -1),
+    ]
+    print("\nevent        device  messages  spanning  optimality")
+    for kind, device in script:
+        if kind == "join":
+            event = session.join(device)
+        elif kind == "fail":
+            event = session.fail(device)
+        else:
+            event = session.rebuild()
+        print(
+            f"{event.kind:<11}  {event.device if event.device >= 0 else '-':>6}"
+            f"  {event.messages:>8}  {str(session.is_spanning):>8}"
+            f"  {event.optimality_ratio:>10.4f}"
+        )
+
+    joins = [e for e in session.events if e.kind == "join"]
+    fails = [e for e in session.events if e.kind == "fail"]
+    rebuilds = [e for e in session.events if e.kind == "rebuild"]
+    print(
+        f"\ntotals: {sum(e.messages for e in joins)} msgs for "
+        f"{len(joins)} joins, {sum(e.messages for e in fails)} msgs for "
+        f"{len(fails)} repairs, {sum(e.messages for e in rebuilds)} msgs for "
+        f"the final rebuild"
+    )
+    print(
+        "greedy joins drift the tree slightly off optimal; repairs keep it "
+        "spanning for a\nfraction of a rebuild's cost; one rebuild resets "
+        "optimality to 1.0."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Mall ProSe — joint physical + application discovery (§I, §III).
+
+Shoppers advertise different service interests (coupon exchange, file
+share, gaming).  Each device's PS rides the RACH codec pair assigned to
+its service, so receivers learn *interest* from the preamble and *range*
+from RSSI — the combined discovery the paper argues for.  The example
+fills neighbour tables from simulated beacon receptions, applies the
+ProSe proximity criterion on the *estimated* distances, and lists the
+mutual same-interest pairs that could start a D2D session.
+
+Run:  python examples/mall_service_discovery.py
+"""
+
+import numpy as np
+
+from repro import D2DNetwork, PaperConfig
+from repro.discovery.neighbor import NeighborTable
+from repro.discovery.proximity import ProximityCriterion, ProximityEvaluator
+from repro.discovery.service import ServiceDirectory
+
+SERVICES = {0: "coupon-exchange", 1: "file-share", 2: "arcade-gaming"}
+
+
+def main() -> None:
+    config = PaperConfig(n_devices=40, area_side_m=80.0, seed=17)
+    network = D2DNetwork(config)
+    rng = np.random.default_rng(17)
+    interests = rng.integers(0, len(SERVICES), size=network.n)
+
+    directory = ServiceDirectory()
+    for sid, name in SERVICES.items():
+        svc = directory.register(sid, name)
+        print(
+            f"service {sid} ({name}): keep-alive preamble "
+            f"{svc.keep_alive_codec.index}, event preamble {svc.event_codec.index}"
+        )
+
+    # each device listens to 5 beacon rounds and fills its neighbour table
+    tables: dict[int, NeighborTable] = {
+        i: NeighborTable(i, stale_after_ms=2_000.0) for i in range(network.n)
+    }
+    fade_rng = np.random.default_rng(99)
+    for round_idx in range(5):
+        now = 100.0 * (round_idx + 1)
+        for tx in range(network.n):
+            for rx_signal in network.link_budget.broadcast(tx, fade_rng):
+                rx = rx_signal.receiver
+                est = network.ranging.estimate(rx_signal.power_dbm)
+                tables[rx].observe(
+                    tx,
+                    rx_signal.power_dbm,
+                    now,
+                    service=int(interests[tx]),
+                    estimated_distance_m=float(est),
+                )
+
+    print(f"\nafter 5 beacon rounds: mean neighbours known = "
+          f"{np.mean([len(t) for t in tables.values()]):.1f}")
+
+    for sid, name in SERVICES.items():
+        evaluator = ProximityEvaluator(
+            ProximityCriterion(max_distance_m=30.0, require_service=sid)
+        )
+        pairs = evaluator.proximity_pairs(tables)
+        true_d = network.true_distances()
+        shown = ", ".join(
+            f"{a}<->{b} (est ok, true {true_d[a, b]:.0f} m)" for a, b in pairs[:4]
+        )
+        print(f"\n{name}: {len(pairs)} mutual ProSe pairs within ~30 m")
+        if pairs:
+            print(f"  e.g. {shown}")
+
+    # ranging honesty check: estimated vs true distance over known links
+    errors = []
+    for rx, table in tables.items():
+        for nid in table.known_ids():
+            entry = table.get(nid)
+            if entry.estimated_distance_m is not None:
+                true = network.true_distances()[rx, nid]
+                if true > 1.0:
+                    errors.append(entry.estimated_distance_m / true)
+    errors = np.asarray(errors)
+    print(
+        f"\nRSSI ranging (eqs 6-12): median estimate/true ratio "
+        f"{np.median(errors):.2f}, 90th percentile {np.percentile(errors, 90):.2f} "
+        "(log-normal error, median-unbiased as derived in §III)"
+    )
+
+
+if __name__ == "__main__":
+    main()

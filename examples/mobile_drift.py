@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Mobile D2D — eq. (13) as motion, and surviving it (§VI future work).
+
+Two demonstrations in one scenario:
+
+1. **Interest-driven drift.**  Devices advertising the same service treat
+   each other as bright fireflies: the eq. (13) location update pulls
+   them together, shortening prospective D2D links (watch the mean
+   same-service pairwise distance fall).
+2. **Re-synchronization under motion.**  A `MobilitySession` rebuilds the
+   channel, re-grows the heavy-edge tree and re-synchronizes after each
+   movement epoch; because devices keep their oscillator clocks, re-sync
+   costs roughly one pulse per device, while tree stability degrades
+   gracefully with distance travelled.
+
+Run:  python examples/mobile_drift.py
+"""
+
+import numpy as np
+
+from repro.core.config import PaperConfig
+from repro.mobility import (
+    FireflyAttractionMobility,
+    MobilitySession,
+    RandomWaypoint,
+)
+
+
+def interest_drift() -> None:
+    print("— interest-driven drift (eq. 13) —")
+    rng = np.random.default_rng(5)
+    n, side = 60, 120.0
+    positions = rng.uniform(0, side, size=(n, 2))
+    services = rng.integers(0, 2, size=n)
+    # brightness: devices of service 1 are the attractors
+    brightness = services.astype(float) + 0.01 * rng.random(n)
+
+    mob = FireflyAttractionMobility(
+        positions, side, step=0.35, gamma=5e-5, eta_m=0.3,
+        rng=np.random.default_rng(6),
+    )
+    peers = np.nonzero(services == 1)[0]
+    print(f"{n} devices, {peers.size} advertise the shared service")
+    for step in range(0, 61, 15):
+        if step:
+            for _ in range(15):
+                mob.move(brightness)
+        print(
+            f"  step {step:>2}: mean same-service distance "
+            f"{mob.mean_pairwise_distance(peers):6.1f} m"
+        )
+
+
+def motion_resync() -> None:
+    print("\n— re-synchronization under random-waypoint motion —")
+    n, side = 40, 90.0
+    config = PaperConfig(n_devices=n, area_side_m=side, seed=11)
+    mover = RandomWaypoint(
+        np.random.default_rng(12).uniform(0, side, size=(n, 2)),
+        side,
+        speed_range_mps=(1.0, 3.0),
+        pause_range_s=(0.0, 0.0),
+        rng=np.random.default_rng(13),
+    )
+    session = MobilitySession(config, mover, seed=14)
+    print("epoch  moved(s)  resync_ms  messages  tree-stability")
+    for epoch in range(5):
+        if epoch:
+            for _ in range(10):
+                mover.step(1.0)
+        record = session.run_epoch()
+        print(
+            f"{record.epoch:>5}  {10 if epoch else 0:>8}  "
+            f"{record.resync_time_ms:>9.0f}  {record.resync_messages:>8}  "
+            f"{record.tree_stability:>14.2f}"
+        )
+    print(
+        "devices keep their clocks across epochs, so re-sync costs ~1 pulse "
+        "per device\nwhile the heavy-edge tree adapts to the new geometry."
+    )
+
+
+if __name__ == "__main__":
+    interest_drift()
+    motion_resync()

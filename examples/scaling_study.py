@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Scaling study — a fast, laptop-sized cut of Figs. 3 and 4.
+
+Runs the paired ST/FST sweep over a reduced grid and prints the two
+figure tables plus the observed crossover points.  For the paper's full
+grid use ``REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only``.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.experiments.scaling import run_scaling
+
+
+def main() -> None:
+    result = run_scaling(sizes=(50, 150, 400, 700), seeds=(1, 2))
+    print(result.render_fig3())
+    print()
+    print(result.render_fig4())
+
+    time_x = result.sweep.crossover("time_ms")
+    msg_x = result.sweep.crossover("messages")
+    print(
+        "\nObserved crossovers: time "
+        + (f"n={time_x}" if time_x else "none")
+        + ", messages "
+        + (f"n={msg_x}" if msg_x else "none")
+        + "  (paper: time similar below ~200, messages cross near ~600)"
+    )
+
+
+if __name__ == "__main__":
+    main()

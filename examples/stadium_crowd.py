@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Stadium crowd — dense D2D offload scenario (the paper's §I motivation).
+
+A stand section packs 300 devices into 60 m × 60 m; the operator wants
+them synchronized and organized into a spanning tree so replay-clip
+traffic can be offloaded from the base station onto D2D links.  Density
+is ~6× the Table I default, which is exactly the regime where the mesh
+baseline's discovery traffic explodes and the proposed ST method earns
+its keep.
+
+Run:  python examples/stadium_crowd.py
+"""
+
+import numpy as np
+
+from repro import D2DNetwork, FSTSimulation, PaperConfig, STSimulation
+
+
+def main() -> None:
+    config = PaperConfig(
+        n_devices=300,
+        area_side_m=60.0,
+        seed=42,
+        # crowded stands: bodies soak RF — heavier shadowing than Table I
+        shadowing_sigma_db=12.0,
+    )
+    network = D2DNetwork(config)
+    stats = network.degree_stats()
+    print(
+        f"Stand section: {network.n} devices / "
+        f"{config.area_side_m:.0f} m x {config.area_side_m:.0f} m "
+        f"(~{config.density_per_m2 * 1e4:.0f} per 100 m²), "
+        f"mean degree {stats['mean']:.0f}"
+    )
+
+    st = STSimulation(network).run()
+    fst = FSTSimulation(network).run()
+    print("\n" + st.summary())
+    print(fst.summary())
+    msg_note = (
+        f"{fst.messages / st.messages:.1f}x fewer messages"
+        if st.messages < fst.messages
+        else f"{st.messages / fst.messages:.1f}x more messages (tree overhead "
+        "amortizes past the ~600-device crossover)"
+    )
+    print(
+        f"\nST organizes the section {fst.time_ms / st.time_ms:.1f}x faster, "
+        f"using {msg_note}."
+    )
+
+    # D2D relay depth: how many hops does a clip travel on the tree?
+    import networkx as nx
+
+    tree = nx.Graph(st.tree_edges)
+    ecc = nx.eccentricity(tree)
+    center = min(ecc, key=ecc.get)
+    depths = nx.single_source_shortest_path_length(tree, center)
+    print(
+        f"tree rooted at device {center}: max relay depth "
+        f"{max(depths.values())} hops, mean {np.mean(list(depths.values())):.1f}"
+    )
+    edge_m = [network.true_distances()[u, v] for u, v in st.tree_edges]
+    print(
+        f"tree links: mean {np.mean(edge_m):.1f} m, max {np.max(edge_m):.1f} m "
+        "(heavy-edge selection keeps D2D hops short)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Experiment analysis: sweeps, statistics, table formatting, export."""
+
+from repro.analysis.export import runs_to_csv, sweep_to_csv, sweep_to_json
+from repro.analysis.stats import SeriesStats, summarize
+from repro.analysis.sweep import SweepPoint, SweepResult, run_sweep
+from repro.analysis.tables import format_series_table, format_table
+
+__all__ = [
+    "SeriesStats",
+    "SweepPoint",
+    "SweepResult",
+    "format_series_table",
+    "format_table",
+    "run_sweep",
+    "runs_to_csv",
+    "summarize",
+    "sweep_to_csv",
+    "sweep_to_json",
+]

@@ -1,0 +1,75 @@
+"""Dependency-free ASCII line charts for bench/CLI output.
+
+The benches print the paper's series as tables; an ASCII chart makes the
+crossovers visible at a glance in a terminal or CI log without requiring
+matplotlib (which this environment intentionally does not ship).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Glyphs assigned to series in order.
+MARKERS = "ox+*#@"
+
+
+def ascii_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Render (x, y) series onto a character grid.
+
+    Points map to the nearest cell; later series overwrite earlier ones on
+    collision (collisions are marked ``%``).  Axis labels show the data
+    ranges; an optional log-scale y-axis suits message-count curves.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4")
+    pts_all = [(x, y) for pts in series.values() for x, y in pts]
+    if not pts_all:
+        raise ValueError("series contain no points")
+    if logy and any(y <= 0 for _, y in pts_all):
+        raise ValueError("logy requires strictly positive y values")
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    xs = [x for x, _ in pts_all]
+    ys = [ty(y) for _, y in pts_all]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), MARKERS):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((ty(y) - y_lo) / y_span * (height - 1))
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "%"
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_bot = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    label_w = max(len(y_top), len(y_bot))
+    for i, row in enumerate(grid):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{label:>{label_w}} |{''.join(row)}")
+    lines.append(f"{'':>{label_w}} +{'-' * width}")
+    x_axis = f"{x_lo:.3g}".ljust(width - 6) + f"{x_hi:.3g}"
+    lines.append(f"{'':>{label_w}}  {x_axis}")
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), MARKERS)
+    )
+    lines.append(f"{'':>{label_w}}  {legend}" + ("   (log y)" if logy else ""))
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Sweep-result export: CSV and JSON.
+
+Benches and the CLI persist rendered text; these helpers persist the raw
+numbers so downstream plotting (matplotlib, gnuplot, spreadsheets) can
+regenerate the figures without re-running simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable
+
+from repro.analysis.sweep import SweepResult
+from repro.core.results import RunResult
+
+RUN_FIELDS = (
+    "algorithm",
+    "n_devices",
+    "seed",
+    "converged",
+    "time_ms",
+    "messages",
+)
+
+
+def runs_to_csv(runs: Iterable[RunResult], path: str | pathlib.Path) -> int:
+    """Write one row per run; returns the row count."""
+    path = pathlib.Path(path)
+    rows = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(RUN_FIELDS)
+        for run in runs:
+            writer.writerow([getattr(run, f) for f in RUN_FIELDS])
+            rows += 1
+    return rows
+
+
+def sweep_to_csv(sweep: SweepResult, path: str | pathlib.Path) -> int:
+    """Write the aggregated grid points; returns the row count."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "algorithm",
+                "n_devices",
+                "time_ms_mean",
+                "time_ms_ci95",
+                "messages_mean",
+                "messages_ci95",
+                "converged_runs",
+                "total_runs",
+            ]
+        )
+        for p in sweep.points:
+            writer.writerow(
+                [
+                    p.algorithm,
+                    p.n_devices,
+                    f"{p.time_ms.mean:.3f}",
+                    f"{p.time_ms.ci95:.3f}",
+                    f"{p.messages.mean:.3f}",
+                    f"{p.messages.ci95:.3f}",
+                    p.converged_runs,
+                    p.total_runs,
+                ]
+            )
+    return len(sweep.points)
+
+
+def sweep_to_json(sweep: SweepResult, path: str | pathlib.Path) -> None:
+    """Write the full sweep (points + per-run detail) as JSON."""
+    path = pathlib.Path(path)
+    payload = {
+        "points": [
+            {
+                "algorithm": p.algorithm,
+                "n_devices": p.n_devices,
+                "time_ms": {
+                    "mean": p.time_ms.mean,
+                    "std": p.time_ms.std,
+                    "ci95": p.time_ms.ci95,
+                    "min": p.time_ms.minimum,
+                    "max": p.time_ms.maximum,
+                },
+                "messages": {
+                    "mean": p.messages.mean,
+                    "std": p.messages.std,
+                    "ci95": p.messages.ci95,
+                    "min": p.messages.minimum,
+                    "max": p.messages.maximum,
+                },
+                "converged_runs": p.converged_runs,
+                "total_runs": p.total_runs,
+            }
+            for p in sweep.points
+        ],
+        "runs": [
+            {f: getattr(run, f) for f in RUN_FIELDS} for run in sweep.runs
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,72 @@
+"""Graph export: DOT and GraphML for external visualization.
+
+The repo deliberately ships no plotting dependency; these writers hand
+the proximity graph and spanning trees to Graphviz / Gephi / yEd, which
+is how the Fig. 1 / Fig. 2 style pictures are actually drawn.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+import networkx as nx
+
+from repro.core.network import D2DNetwork
+
+
+def tree_to_dot(
+    tree_edges: Iterable[tuple[int, int]],
+    *,
+    positions=None,
+    head: int | None = None,
+) -> str:
+    """Render a tree as Graphviz DOT (neato-friendly when positions given).
+
+    Parameters
+    ----------
+    tree_edges:
+        The spanning tree.
+    positions:
+        Optional ``(n, 2)`` coordinates — written as ``pos`` pins.
+    head:
+        Optional head/root node, drawn doubled.
+    """
+    lines = ["graph spanning_tree {", "  node [shape=circle fontsize=10];"]
+    nodes = sorted({u for e in tree_edges for u in e})
+    for node in nodes:
+        attrs = []
+        if positions is not None:
+            x, y = positions[node]
+            attrs.append(f'pos="{float(x):.2f},{float(y):.2f}!"')
+        if head is not None and node == head:
+            attrs.append("shape=doublecircle")
+        attr_str = f" [{' '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {node}{attr_str};")
+    for u, v in sorted(tree_edges):
+        lines.append(f"  {u} -- {v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_graphml(
+    network: D2DNetwork,
+    path: str | pathlib.Path,
+    *,
+    tree_edges: Iterable[tuple[int, int]] | None = None,
+) -> pathlib.Path:
+    """Write the proximity graph as GraphML with positions and weights.
+
+    Tree membership (when given) is stored as a boolean edge attribute
+    ``in_tree`` so the visualizer can highlight the spanning tree.
+    """
+    path = pathlib.Path(path)
+    g = network.graph()
+    for node in g.nodes():
+        g.nodes[node]["x"] = float(network.positions[node, 0])
+        g.nodes[node]["y"] = float(network.positions[node, 1])
+    tree = {tuple(sorted(e)) for e in (tree_edges or [])}
+    for u, v in g.edges():
+        g[u][v]["in_tree"] = tuple(sorted((u, v))) in tree
+    nx.write_graphml(g, path)
+    return path

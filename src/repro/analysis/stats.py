@@ -1,0 +1,49 @@
+"""Summary statistics across repetition seeds."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Mean, spread and a normal-approximation 95 % confidence interval."""
+
+    mean: float
+    std: float
+    ci95: float
+    count: int
+    minimum: float
+    maximum: float
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.ci95
+
+
+def summarize(values) -> SeriesStats:
+    """Summarize a sequence of repetition measurements.
+
+    The CI uses the normal approximation (1.96·s/√n); with the typical
+    3–10 seeds this understates slightly vs. Student-t, which is fine for
+    shape comparisons (we report the spread, not significance tests).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return SeriesStats(
+        mean=float(arr.mean()),
+        std=std,
+        ci95=1.96 * std / math.sqrt(arr.size) if arr.size > 1 else 0.0,
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,136 @@
+"""Multi-seed, multi-scale sweep harness for the ST/FST comparison.
+
+``run_sweep`` executes both algorithms over a grid of network sizes and
+repetition seeds — the exact workload behind Figs. 3 and 4 — and returns
+per-point summary statistics.  Runs are **paired**: for a given
+(size, seed) both algorithms see the identical topology and channel, so
+the comparison is variance-reduced the way the paper's single-simulator
+setup implies.
+
+Repetitions can optionally fan out over processes (``workers > 1``) via
+``multiprocessing``; each worker re-derives its RNG universe from the
+(seed, size) pair so results are identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+from repro.analysis.stats import SeriesStats, summarize
+from repro.core.config import PaperConfig
+from repro.core.fst import FSTSimulation
+from repro.core.network import D2DNetwork
+from repro.core.results import RunResult
+from repro.core.st import STSimulation
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated results for one (algorithm, n) grid point."""
+
+    algorithm: str
+    n_devices: int
+    time_ms: SeriesStats
+    messages: SeriesStats
+    converged_runs: int
+    total_runs: int
+
+    @property
+    def all_converged(self) -> bool:
+        return self.converged_runs == self.total_runs
+
+
+@dataclass
+class SweepResult:
+    """Full sweep output with per-run detail retained."""
+
+    points: list[SweepPoint]
+    runs: list[RunResult] = field(repr=False, default_factory=list)
+
+    def series(
+        self, algorithm: str, metric: Literal["time_ms", "messages"]
+    ) -> list[tuple[int, float]]:
+        """(n, mean metric) pairs for one algorithm, sorted by n."""
+        out = [
+            (p.n_devices, getattr(p, metric).mean)
+            for p in self.points
+            if p.algorithm == algorithm
+        ]
+        return sorted(out)
+
+    def crossover(self, metric: Literal["time_ms", "messages"]) -> int | None:
+        """Smallest n where ST's mean metric drops below FST's.
+
+        Returns ``None`` if ST never wins within the sweep range.
+        """
+        st = dict(self.series("st", metric))
+        fst = dict(self.series("fst", metric))
+        for n in sorted(st):
+            if n in fst and st[n] < fst[n]:
+                return n
+        return None
+
+
+def _run_pair(args: tuple[PaperConfig, int, int, bool]) -> list[RunResult]:
+    base, n, seed, keep_density = args
+    config = base.with_devices(n, keep_density=keep_density).with_seed(seed)
+    network = D2DNetwork(config)
+    return [STSimulation(network).run(), FSTSimulation(network).run()]
+
+
+def run_sweep(
+    sizes: Iterable[int],
+    seeds: Iterable[int],
+    *,
+    base_config: PaperConfig | None = None,
+    keep_density: bool = False,
+    workers: int = 1,
+) -> SweepResult:
+    """Run ST and FST over ``sizes`` × ``seeds``.
+
+    Parameters
+    ----------
+    sizes:
+        Network sizes (number of devices).
+    seeds:
+        Repetition seeds; each (size, seed) builds one shared topology.
+    keep_density:
+        ``False`` (default) keeps the Table I cell fixed at 100 m × 100 m
+        as the node count grows (the paper's "different scales" reading);
+        ``True`` grows the area to hold density constant instead.
+    workers:
+        Process count for parallel repetitions (1 = serial).
+    """
+    base = base_config if base_config is not None else PaperConfig()
+    sizes = sorted(set(int(s) for s in sizes))
+    seeds = sorted(set(int(s) for s in seeds))
+    if not sizes or not seeds:
+        raise ValueError("sizes and seeds must be non-empty")
+
+    jobs = [(base, n, seed, keep_density) for n in sizes for seed in seeds]
+    if workers > 1:
+        with multiprocessing.Pool(workers) as pool:
+            nested = pool.map(_run_pair, jobs)
+    else:
+        nested = [_run_pair(job) for job in jobs]
+    runs = [r for pair in nested for r in pair]
+
+    points: list[SweepPoint] = []
+    for algorithm in ("st", "fst"):
+        for n in sizes:
+            selected = [
+                r for r in runs if r.algorithm == algorithm and r.n_devices == n
+            ]
+            points.append(
+                SweepPoint(
+                    algorithm=algorithm,
+                    n_devices=n,
+                    time_ms=summarize([r.time_ms for r in selected]),
+                    messages=summarize([r.messages for r in selected]),
+                    converged_runs=sum(r.converged for r in selected),
+                    total_runs=len(selected),
+                )
+            )
+    return SweepResult(points=points, runs=runs)

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for bench output.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule.
+
+    Cells are stringified; columns are right-aligned except the first.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows), 1)
+        if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def render(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = [render([str(h) for h in headers])]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    series: dict[str, list[tuple[int, float]]],
+    *,
+    value_format: str = "{:.1f}",
+) -> str:
+    """Tabulate multiple (x, y) series against a shared x column.
+
+    ``series`` maps column name → list of (x, y); missing x values render
+    as ``-``.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    maps = {name: dict(pts) for name, pts in series.items()}
+    headers = [x_label, *series.keys()]
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for name in series:
+            y = maps[name].get(x)
+            row.append("-" if y is None else value_format.format(y))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,87 @@
+"""Timeline reconstruction from trace records.
+
+When a kernel run is given a :class:`~repro.sim.trace.TraceRecorder`,
+every PS transmission is recorded (``ps_tx`` with its node and time).
+These helpers turn that stream into the views protocol debugging needs:
+activity per slot bucket, per-node fire counts, and inter-fire interval
+statistics (which reveal the oscillator period locking as sync tightens).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.sim.trace import TraceRecorder
+
+
+def fire_timeline(
+    trace: TraceRecorder, bucket_ms: float = 1.0, category: str = "ps_tx"
+) -> list[tuple[float, int]]:
+    """Transmissions per time bucket, sorted; empty buckets omitted."""
+    if bucket_ms <= 0:
+        raise ValueError("bucket_ms must be positive")
+    counts: Counter[int] = Counter()
+    for record in trace.records(category):
+        counts[int(record.time // bucket_ms)] += 1
+    return [(bucket * bucket_ms, counts[bucket]) for bucket in sorted(counts)]
+
+
+def fires_per_node(
+    trace: TraceRecorder, category: str = "ps_tx"
+) -> dict[int, int]:
+    """How many times each node transmitted."""
+    counts: Counter[int] = Counter()
+    for record in trace.records(category):
+        counts[int(record["node"])] += 1
+    return dict(counts)
+
+
+def inter_fire_intervals(
+    trace: TraceRecorder, category: str = "ps_tx"
+) -> dict[int, list[float]]:
+    """Per-node gaps between consecutive transmissions (ms)."""
+    times: dict[int, list[float]] = defaultdict(list)
+    for record in trace.records(category):
+        times[int(record["node"])].append(record.time)
+    out: dict[int, list[float]] = {}
+    for node, series in times.items():
+        series.sort()
+        out[node] = [b - a for a, b in zip(series, series[1:])]
+    return out
+
+
+def peak_concurrency(
+    trace: TraceRecorder, bucket_ms: float = 1.0, category: str = "ps_tx"
+) -> tuple[float, int]:
+    """(bucket start, count) of the busiest bucket — the collision hotspot."""
+    timeline = fire_timeline(trace, bucket_ms, category)
+    if not timeline:
+        raise ValueError(f"trace holds no {category!r} records")
+    return max(timeline, key=lambda item: item[1])
+
+
+def locking_summary(trace: TraceRecorder, period_ms: float) -> dict[str, float]:
+    """How tightly the population locked to the nominal period.
+
+    Returns the median and coefficient of variation of all inter-fire
+    intervals within ±50 % of the period (excludes the PRC-compressed
+    transients at the start of a run).
+    """
+    if period_ms <= 0:
+        raise ValueError("period_ms must be positive")
+    intervals = [
+        gap
+        for gaps in inter_fire_intervals(trace).values()
+        for gap in gaps
+        if 0.5 * period_ms <= gap <= 1.5 * period_ms
+    ]
+    if not intervals:
+        return {"median_ms": float("nan"), "cv": float("nan"), "count": 0.0}
+    arr = np.asarray(intervals)
+    return {
+        "median_ms": float(np.median(arr)),
+        "cv": float(arr.std() / arr.mean()) if arr.mean() else float("nan"),
+        "count": float(arr.size),
+    }

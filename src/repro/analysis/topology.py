@@ -1,0 +1,95 @@
+"""Topology analytics for the proximity graph.
+
+Utilities the scenario-design sections of DESIGN.md/EXPERIMENTS.md rely
+on: degree statistics, link-length percentiles, hop structure, and the
+connectivity probability of a (config) scenario across placement seeds —
+the quantity that decides whether ``D2DNetwork``'s connected-redraw loop
+is cheap or a sign the scenario is under-dense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.core.config import PaperConfig
+from repro.core.network import D2DNetwork
+from repro.radio.link import LinkBudget
+from repro.radio.pathloss import PaperPathLoss
+from repro.radio.shadowing import LogNormalShadowing, NoShadowing
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Summary of one proximity graph."""
+
+    n_devices: int
+    edges: int
+    mean_degree: float
+    min_degree: int
+    max_degree: int
+    hop_diameter: int
+    mean_link_m: float
+    p90_link_m: float
+    max_link_m: float
+    clustering: float
+
+
+def topology_stats(network: D2DNetwork) -> TopologyStats:
+    """Compute the summary for a built network."""
+    g = network.graph()
+    degrees = [d for _, d in g.degree()]
+    dist = network.true_distances()
+    iu, ju = np.nonzero(np.triu(network.adjacency, k=1))
+    link_m = dist[iu, ju]
+    return TopologyStats(
+        n_devices=network.n,
+        edges=g.number_of_edges(),
+        mean_degree=float(np.mean(degrees)),
+        min_degree=int(np.min(degrees)),
+        max_degree=int(np.max(degrees)),
+        hop_diameter=int(nx.diameter(g)),
+        mean_link_m=float(link_m.mean()),
+        p90_link_m=float(np.percentile(link_m, 90)),
+        max_link_m=float(link_m.max()),
+        clustering=float(nx.average_clustering(g)),
+    )
+
+
+def connectivity_probability(
+    config: PaperConfig, *, attempts: int = 50, seed: int = 0
+) -> float:
+    """Fraction of random placements whose proximity graph is connected.
+
+    Draws ``attempts`` independent placements (and shadowing realizations)
+    of the scenario and tests connectivity — without the redraw loop, so
+    the estimate is unbiased.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    rng = np.random.default_rng(seed)
+    model = PaperPathLoss()
+    connected = 0
+    for _ in range(attempts):
+        positions = rng.uniform(
+            0.0, config.area_side_m, size=(config.n_devices, 2)
+        )
+        shadowing = (
+            LogNormalShadowing(config.shadowing_sigma_db, rng)
+            if config.shadowing_sigma_db > 0
+            else NoShadowing()
+        )
+        budget = LinkBudget(
+            positions,
+            model,
+            tx_power_dbm=config.tx_power_dbm,
+            threshold_dbm=config.threshold_dbm,
+            shadowing=shadowing,
+        )
+        adj = budget.adjacency()
+        adj = adj & adj.T
+        if nx.is_connected(nx.from_numpy_array(adj)):
+            connected += 1
+    return connected / attempts

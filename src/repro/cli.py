@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment <id>``
+    Run one of the paper's evaluation artifacts (``fig2``, ``fig3``,
+    ``fig4``, ``table1``, ``complexity``) and print its rendered output.
+``simulate``
+    Run ST and/or FST on one scenario and print the result summary.
+``list``
+    List the available experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.core.fst import FSTSimulation
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation
+from repro.experiments import EXPERIMENTS
+from repro.experiments.scaling import run_scaling
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Firefly-inspired improved distributed proximity algorithm "
+            "for D2D communication (IPDPSW 2015 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a paper artifact")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    exp.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="device counts for fig3/fig4 (default: paper grid)",
+    )
+    exp.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="repetition seeds for fig3/fig4",
+    )
+
+    sim = sub.add_parser("simulate", help="run one scenario")
+    sim.add_argument("--devices", "-n", type=int, default=None)
+    sim.add_argument("--area", type=float, default=None, help="side (m)")
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument(
+        "--scenario",
+        default="paper",
+        help="named preset (paper, stadium, mall, campus, iot)",
+    )
+    sim.add_argument(
+        "--algorithm",
+        choices=("st", "fst", "both"),
+        default="both",
+    )
+    sim.add_argument(
+        "--breakdown", action="store_true", help="print per-kind message bill"
+    )
+    sim.add_argument(
+        "--export-csv",
+        default=None,
+        metavar="PATH",
+        help="also write the run results as CSV",
+    )
+
+    sub.add_parser("list", help="list experiment ids")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument(
+        "--output", "-o", default="results/REPORT.md", help="output path"
+    )
+    report.add_argument(
+        "--full", action="store_true", help="use the paper's full grid"
+    )
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.id in ("fig3", "fig4"):
+        kwargs = {}
+        if args.sizes:
+            kwargs["sizes"] = tuple(args.sizes)
+        if args.seeds:
+            kwargs["seeds"] = tuple(args.seeds)
+        result = run_scaling(**kwargs)
+        print(result.render_fig3() if args.id == "fig3" else result.render_fig4())
+        return 0
+    result = EXPERIMENTS[args.id]()
+    print(result.render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.scenarios import get_scenario
+
+    try:
+        config = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    overrides = {"seed": args.seed}
+    if args.devices is not None:
+        overrides["n_devices"] = args.devices
+    if args.area is not None:
+        overrides["area_side_m"] = args.area
+    config = config.replace(**overrides)
+    network = D2DNetwork(config)
+    stats = network.degree_stats()
+    print(
+        f"topology [{args.scenario}]: {network.n} devices, "
+        f"{config.area_side_m:.0f} m side, mean degree {stats['mean']:.1f}"
+    )
+    runs = []
+    if args.algorithm in ("st", "both"):
+        runs.append(STSimulation(network).run())
+    if args.algorithm in ("fst", "both"):
+        runs.append(FSTSimulation(network).run())
+    for result in runs:
+        print(result.summary())
+        if args.breakdown:
+            for kind, count in sorted(result.message_breakdown.items()):
+                if count:
+                    print(f"  {kind:<24} {count:>8}")
+    if args.export_csv:
+        from repro.analysis.export import runs_to_csv
+
+        rows = runs_to_csv(runs, args.export_csv)
+        print(f"wrote {rows} rows to {args.export_csv}")
+    return 0
+
+
+def _cmd_list() -> int:
+    for exp_id in sorted(EXPERIMENTS):
+        print(exp_id)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        report = generate_report(fast=not args.full)
+        path = report.save(args.output)
+        print(f"report written to {path}")
+        print(
+            f"checks: {'all pass' if report.all_checks_pass else 'FAILURES'}; "
+            f"message crossover n={report.crossover_messages}"
+        )
+        return 0 if report.all_checks_pass else 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Core library: configuration, network assembly and the two algorithms.
+
+* :class:`~repro.core.config.PaperConfig` — Table I parameters + protocol
+  knobs;
+* :class:`~repro.core.network.D2DNetwork` — placement, channel, proximity
+  graph and RSSI weights for one (config, seed);
+* :class:`~repro.core.st.STSimulation` — the proposed tree-based
+  distributed firefly algorithm (Algorithms 1–3);
+* :class:`~repro.core.fst.FSTSimulation` — the FST baseline [17];
+* :class:`~repro.core.pulsesync.PulseSyncKernel` — the shared vectorized
+  pulse-coupled synchronization kernel.
+"""
+
+from repro.core.beacon import BeaconDiscovery, BeaconResult, top_k_required
+from repro.core.churn import ChurnEvent, ChurnSession
+from repro.core.config import PAPER_DENSITY_PER_M2, PaperConfig
+from repro.core.device import Device, make_devices
+from repro.core.fst import FSTSimulation, heavy_edge_forest, stitch_forest
+from repro.core.network import D2DNetwork
+from repro.core.pulsesync import (
+    PulseSyncKernel,
+    PulseSyncResult,
+    TelemetrySample,
+)
+from repro.core.results import RunResult
+from repro.core.st import STSimulation
+
+__all__ = [
+    "BeaconDiscovery",
+    "BeaconResult",
+    "ChurnEvent",
+    "ChurnSession",
+    "D2DNetwork",
+    "Device",
+    "FSTSimulation",
+    "PAPER_DENSITY_PER_M2",
+    "PaperConfig",
+    "PulseSyncKernel",
+    "PulseSyncResult",
+    "RunResult",
+    "STSimulation",
+    "TelemetrySample",
+    "heavy_edge_forest",
+    "make_devices",
+    "stitch_forest",
+    "top_k_required",
+]

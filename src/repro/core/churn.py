@@ -1,0 +1,178 @@
+"""Device churn: joins and failures against a live spanning tree.
+
+Real D2D populations churn (the paper's §VI "realistic scenarios"): users
+arrive, leave, and die mid-protocol.  :class:`ChurnSession` maintains the
+heavy-edge tree of the *active* population incrementally:
+
+* **join** — the newcomer beacons for a discovery window, then attaches
+  over its heaviest link to an active device (one RACH2 handshake).  This
+  is O(1) messages but *greedy*: it does not re-optimize the global tree,
+  so the session tracks how far the incremental tree drifts from the
+  maximum-spanning-tree oracle.
+* **fail** — the tree is repaired with
+  :func:`repro.spanningtree.repair.repair_after_failure`: surviving
+  fragments are kept and only the re-merging phases are paid.
+* **rebuild** — on demand, a full Borůvka run restores optimality; the
+  session reports the message bill either way, so the repair-vs-rebuild
+  trade-off is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.network import D2DNetwork
+from repro.spanningtree.boruvka import distributed_boruvka
+from repro.spanningtree.mst import maximum_spanning_tree, tree_weight
+from repro.spanningtree.repair import repair_after_failure
+
+#: Messages a join costs: one discovery beacon round + RACH2 handshake.
+JOIN_HANDSHAKE_MSGS = 2
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One join/fail/rebuild and its cost."""
+
+    kind: str
+    device: int
+    messages: int
+    succeeded: bool
+    active_count: int
+    #: current tree weight / oracle max-ST weight on the active subgraph
+    #: (≥ 1.0 since weights are negative dBm sums; 1.0 = optimal)
+    optimality_ratio: float
+
+
+class ChurnSession:
+    """Incremental tree maintenance over an (in)active device population.
+
+    Parameters
+    ----------
+    network:
+        The full device universe (positions/weights fixed); devices may be
+        active or not.
+    initially_active:
+        Device ids active at start (default: all).  The initial tree is
+        built with a full Borůvka run over the active subgraph.
+    """
+
+    def __init__(
+        self,
+        network: D2DNetwork,
+        initially_active: set[int] | None = None,
+    ) -> None:
+        self.network = network
+        n = network.n
+        if initially_active is None:
+            initially_active = set(range(n))
+        if not initially_active:
+            raise ValueError("need at least one initially active device")
+        if not all(0 <= d < n for d in initially_active):
+            raise ValueError("active ids out of range")
+        self.active: set[int] = set(initially_active)
+        self.events: list[ChurnEvent] = []
+        self.tree_edges: list[tuple[int, int]] = []
+        self._rebuild(initial=True)
+
+    # ------------------------------------------------------------------
+    def _masked_adjacency(self) -> np.ndarray:
+        adj = self.network.adjacency.copy()
+        inactive = [i for i in range(self.network.n) if i not in self.active]
+        if inactive:
+            adj[inactive, :] = False
+            adj[:, inactive] = False
+        return adj
+
+    def _optimality_ratio(self) -> float:
+        if len(self.active) < 2:
+            return 1.0
+        w = self.network.weights
+        oracle = maximum_spanning_tree(w, self._masked_adjacency())
+        oracle_w = tree_weight(w, oracle)
+        mine = tree_weight(w, self.tree_edges)
+        if oracle_w == 0.0:
+            return 1.0
+        # weights are negative (dBm sums): mine/oracle >= 1 means heavier
+        # total loss, i.e. worse; 1.0 is optimal
+        return mine / oracle_w
+
+    def _record(self, kind: str, device: int, messages: int, ok: bool) -> ChurnEvent:
+        event = ChurnEvent(
+            kind=kind,
+            device=device,
+            messages=messages,
+            succeeded=ok,
+            active_count=len(self.active),
+            optimality_ratio=self._optimality_ratio(),
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def join(self, device: int) -> ChurnEvent:
+        """Activate ``device`` and attach it over its heaviest active link."""
+        if device in self.active:
+            raise ValueError(f"device {device} is already active")
+        if not 0 <= device < self.network.n:
+            raise ValueError(f"device {device} out of range")
+        w = np.where(
+            self.network.adjacency[device], self.network.weights[device], -np.inf
+        )
+        # only links to currently active devices count
+        mask = np.zeros(self.network.n, dtype=bool)
+        mask[list(self.active)] = True
+        w = np.where(mask, w, -np.inf)
+        best = int(np.argmax(w))
+        ok = bool(np.isfinite(w[best]))
+        messages = self.network.config.discovery_periods + JOIN_HANDSHAKE_MSGS
+        self.active.add(device)
+        if ok:
+            self.tree_edges.append((min(device, best), max(device, best)))
+        return self._record("join", device, messages, ok)
+
+    def fail(self, device: int) -> ChurnEvent:
+        """Deactivate ``device`` and repair the tree around the hole."""
+        if device not in self.active:
+            raise ValueError(f"device {device} is not active")
+        self.active.discard(device)
+        inactive = {i for i in range(self.network.n) if i not in self.active}
+        result = repair_after_failure(
+            self.tree_edges,
+            inactive | {device},
+            self.network.weights,
+            self.network.adjacency,
+        )
+        self.tree_edges = result.tree_edges
+        return self._record("fail", device, result.messages, result.repaired)
+
+    def rebuild(self) -> ChurnEvent:
+        """Full Borůvka rebuild on the active subgraph (restores optimality)."""
+        messages = self._rebuild(initial=False)
+        return self._record("rebuild", -1, messages, True)
+
+    def _rebuild(self, *, initial: bool) -> int:
+        result = distributed_boruvka(
+            self.network.weights, self._masked_adjacency()
+        )
+        # keep only edges among active devices (inactive are isolated)
+        self.tree_edges = [
+            e for e in result.edges if e[0] in self.active and e[1] in self.active
+        ]
+        return result.counter.total
+
+    # ------------------------------------------------------------------
+    @property
+    def is_spanning(self) -> bool:
+        """Does the current tree span the active devices?"""
+        if len(self.active) <= 1:
+            return True
+        from repro.spanningtree.unionfind import UnionFind
+
+        uf = UnionFind(self.network.n)
+        for u, v in self.tree_edges:
+            uf.union(u, v)
+        roots = {uf.find(d) for d in self.active}
+        return len(roots) == 1

@@ -1,0 +1,114 @@
+"""Device (UE) model.
+
+A :class:`Device` bundles the per-UE state the protocols manipulate: its
+position, oscillator, neighbour table, service interest and message
+counters.  The heavy numerical state (phases, fire times) lives in the
+vectorized kernels; ``Device`` is the object-level view used by examples,
+the discovery layer and the fragment bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.discovery.neighbor import NeighborTable
+from repro.oscillator.phase import PhaseOscillator
+from repro.oscillator.prc import LinearPRC
+
+
+@dataclass
+class Device:
+    """One User Equipment participating in D2D discovery.
+
+    Attributes
+    ----------
+    device_id:
+        0-based id; doubles as the index into all network matrices.
+    position:
+        ``(x, y)`` in metres.
+    oscillator:
+        The device's firefly clock (eqs 3–4).
+    neighbor_table:
+        Physical + application discovery state.
+    service:
+        The service interest this device advertises.
+    fragment:
+        Current fragment root (ST algorithm bookkeeping); ``device_id``
+        while the device is still a singleton.
+    """
+
+    device_id: int
+    position: tuple[float, float]
+    oscillator: PhaseOscillator
+    neighbor_table: NeighborTable = field(init=False)
+    service: int = 0
+    fragment: int = field(init=False)
+    messages_sent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ValueError(f"device_id must be >= 0, got {self.device_id}")
+        if self.service < 0:
+            raise ValueError(f"service must be >= 0, got {self.service}")
+        self.neighbor_table = NeighborTable(self.device_id)
+        self.fragment = self.device_id
+
+    def distance_to(self, other: "Device") -> float:
+        """Euclidean distance in metres."""
+        dx = self.position[0] - other.position[0]
+        dy = self.position[1] - other.position[1]
+        return float(np.hypot(dx, dy))
+
+    def __repr__(self) -> str:
+        x, y = self.position
+        return (
+            f"Device(id={self.device_id}, pos=({x:.1f}, {y:.1f}), "
+            f"service={self.service}, fragment={self.fragment})"
+        )
+
+
+def make_devices(
+    positions: np.ndarray,
+    period_ms: float,
+    prc: LinearPRC,
+    rng: np.random.Generator,
+    *,
+    services: np.ndarray | None = None,
+    refractory_ms: float = 0.0,
+) -> list[Device]:
+    """Build devices with independent random initial phases.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` coordinates.
+    services:
+        Optional per-device service ids (default all 0).
+    """
+    positions = np.asarray(positions, dtype=float)
+    n = positions.shape[0]
+    if services is None:
+        services = np.zeros(n, dtype=int)
+    services = np.asarray(services, dtype=int)
+    if services.shape != (n,):
+        raise ValueError(f"services must have shape ({n},), got {services.shape}")
+    phases = rng.uniform(0.0, 1.0, size=n)
+    devices = []
+    for i in range(n):
+        osc = PhaseOscillator(
+            period_ms,
+            prc,
+            phase=float(min(phases[i], 0.999999)),
+            refractory=refractory_ms,
+        )
+        devices.append(
+            Device(
+                device_id=i,
+                position=(float(positions[i, 0]), float(positions[i, 1])),
+                oscillator=osc,
+                service=int(services[i]),
+            )
+        )
+    return devices

@@ -1,0 +1,172 @@
+"""FST baseline — mesh firefly synchronization (Chao et al. [17]).
+
+The existing method the paper compares against: every device runs the
+pulse-coupled firefly algorithm over the *whole proximity mesh* on a
+single RACH codec, discovering neighbours and service interests from the
+same PSs that drive synchronization.  Convergence is emergent — there is
+no coordination structure — so at large scale (multi-hop topologies under
+constant density) both the time to global synchrony and the number of PS
+transmissions grow quickly, which is exactly the scaling weakness
+Figs. 3–4 exhibit.
+
+After synchronization the *basic firefly spanning tree* of Fig. 2 is
+assembled: every device marks its heaviest (strongest-PS) incident edge;
+the resulting heavy-edge forest is stitched into a tree over the heaviest
+inter-component links, each stitch costing one RACH2 handshake (2
+messages).  The headline metrics (time, messages) are dominated by the
+mesh synchronization, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.beacon import BeaconDiscovery
+from repro.core.config import PaperConfig
+from repro.core.network import D2DNetwork
+from repro.core.pulsesync import PulseSyncKernel
+from repro.core.results import RunResult
+from repro.oscillator.prc import LinearPRC
+from repro.spanningtree.mst import tree_weight
+from repro.spanningtree.unionfind import UnionFind
+
+
+def heavy_edge_forest(
+    weights: np.ndarray, adjacency: np.ndarray
+) -> list[tuple[int, int]]:
+    """Each node's heaviest incident edge (Fig. 2's "selecting heavy edge").
+
+    The union over nodes is a forest (it is a subgraph of the maximum
+    spanning tree on distinct weights).
+    """
+    w = np.where(adjacency, weights, -np.inf)
+    n = w.shape[0]
+    edges: set[tuple[int, int]] = set()
+    best = np.argmax(w, axis=1)
+    finite = np.isfinite(w[np.arange(n), best])
+    for u in np.nonzero(finite)[0]:
+        v = int(best[u])
+        edges.add((min(int(u), v), max(int(u), v)))
+    return sorted(edges)
+
+
+def stitch_forest(
+    forest: list[tuple[int, int]],
+    weights: np.ndarray,
+    adjacency: np.ndarray,
+) -> tuple[list[tuple[int, int]], int]:
+    """Connect forest components over heaviest available links.
+
+    Returns ``(tree_edges, stitches)``.  Greedy over all inter-component
+    edges by descending weight — i.e. Kruskal completion of the forest.
+    """
+    n = weights.shape[0]
+    uf = UnionFind(n)
+    edges = list(forest)
+    for u, v in forest:
+        uf.union(u, v)
+    stitches = 0
+    if uf.components > 1:
+        w = np.where(adjacency, weights, -np.inf)
+        iu, ju = np.triu_indices(n, k=1)
+        usable = np.isfinite(w[iu, ju])
+        iu, ju = iu[usable], ju[usable]
+        order = np.argsort(-w[iu, ju], kind="stable")
+        for k in order:
+            u, v = int(iu[k]), int(ju[k])
+            if uf.union(u, v):
+                edges.append((u, v))
+                stitches += 1
+                if uf.components == 1:
+                    break
+    return sorted(edges), stitches
+
+
+class FSTSimulation:
+    """Run the FST baseline on a prepared :class:`D2DNetwork`."""
+
+    def __init__(self, network: D2DNetwork) -> None:
+        self.network = network
+        self.config: PaperConfig = network.config
+        self.prc = LinearPRC.from_dissipation(
+            self.config.dissipation, self.config.epsilon
+        )
+
+    def run(self) -> RunResult:
+        cfg = self.config
+        net = self.network
+        kernel = PulseSyncKernel(
+            net.link_budget.mean_rx_dbm,
+            net.adjacency,
+            self.prc,
+            period_ms=cfg.period_ms,
+            threshold_dbm=cfg.threshold_dbm,
+            refractory_ms=cfg.refractory_ms,
+            sync_window_ms=cfg.sync_window_ms,
+            fading=net.link_budget.fading,
+            collision_policy=cfg.collision_policy,
+        )
+        # FST's deliverable is simultaneous synchronization AND complete
+        # mesh neighbour discovery: every device must identity-decode
+        # every proximity neighbour at least once (that is what [17]'s
+        # protocol produces).  Sync pulses drive the oscillators; one
+        # random-slot discovery beacon per device per period ([17]'s
+        # random subframe) carries identities.  Convergence is when both
+        # finish; whichever finishes first keeps transmitting its
+        # per-period traffic until the other catches up.
+        sync = kernel.run(
+            net.streams.stream("fst-sync"),
+            max_time_ms=cfg.max_time_ms,
+            require_sync=True,
+        )
+        beacons = BeaconDiscovery(
+            net.link_budget.mean_rx_dbm,
+            threshold_dbm=cfg.threshold_dbm,
+            period_slots=cfg.period_slots,
+            slot_ms=cfg.slot_ms,
+            preambles=cfg.beacon_preambles,
+            fading=net.link_budget.fading,
+        ).run(
+            net.streams.stream("fst-beacons"),
+            required=net.adjacency
+            & net.link_budget.adjacency(cfg.discovery_margin_db),
+            max_periods=max(1, int(cfg.max_time_ms / cfg.period_ms)),
+        )
+
+        time_ms = max(sync.time_ms, beacons.time_ms)
+        converged = sync.converged and beacons.complete
+        # keep-alive pulses while waiting for the slower of the two goals
+        lag_ms = max(0.0, time_ms - sync.time_ms)
+        keepalive = int(cfg.n_devices * (lag_ms / cfg.period_ms))
+
+        forest = heavy_edge_forest(net.weights, net.adjacency)
+        tree, stitches = stitch_forest(forest, net.weights, net.adjacency)
+        stitch_messages = 2 * stitches  # one RACH2 handshake per stitch
+
+        breakdown = {
+            "sync_pulse": sync.messages,
+            "keep_alive": keepalive,
+            "discovery": beacons.messages,
+            "stitch": stitch_messages,
+        }
+        return RunResult(
+            algorithm="fst",
+            n_devices=cfg.n_devices,
+            seed=cfg.seed,
+            converged=converged,
+            time_ms=time_ms,
+            messages=sum(breakdown.values()),
+            message_breakdown=breakdown,
+            tree_edges=tree,
+            extra={
+                "fires": sync.fires,
+                "instants": sync.instants,
+                "final_spread_ms": sync.final_spread_ms,
+                "sync_time_ms": sync.time_ms,
+                "discovery_time_ms": beacons.time_ms,
+                "discovery_periods": beacons.periods,
+                "missing_pairs": beacons.missing_pairs,
+                "tree_weight": tree_weight(net.weights, tree),
+                "forest_components_stitched": stitches,
+            },
+        )

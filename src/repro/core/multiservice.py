@@ -1,0 +1,127 @@
+"""Multi-service tree organization.
+
+"Different codecs scheme indicate different services in the application"
+(§III): each service interest owns a RACH codec pair, so service groups
+can organize *independently* — one heavy-edge spanning tree per service,
+built only over devices sharing that interest.  The alternative is one
+global tree plus interest aggregation over it.
+
+``run_multiservice`` builds both organizations on the same network and
+reports the trade-off: per-service trees give each group a private,
+shorter tree (and their codecs never interfere), but pay the tree
+machinery once per service and can fail to span a sparse group; the
+global tree amortizes construction across everyone and disseminates
+interests for 2·(n−1) extra messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.network import D2DNetwork
+from repro.discovery.aggregation import aggregate_interests
+from repro.spanningtree.boruvka import distributed_boruvka
+
+
+@dataclass
+class ServiceTree:
+    """One service group's private tree."""
+
+    service: int
+    members: list[int]
+    tree_edges: list[tuple[int, int]]
+    messages: int
+    #: a sparse group may not be connected on the induced subgraph
+    spanning: bool
+
+
+@dataclass
+class MultiServiceResult:
+    """Both organizations, measured on the same network."""
+
+    per_service: list[ServiceTree]
+    per_service_messages: int
+    global_messages: int
+    global_tree_edges: list[tuple[int, int]] = field(repr=False, default_factory=list)
+
+    @property
+    def all_groups_spanned(self) -> bool:
+        return all(t.spanning for t in self.per_service)
+
+    @property
+    def cheaper(self) -> str:
+        """Which organization used fewer messages."""
+        return (
+            "per-service"
+            if self.per_service_messages < self.global_messages
+            else "global"
+        )
+
+
+def run_multiservice(
+    network: D2DNetwork, services: np.ndarray
+) -> MultiServiceResult:
+    """Build per-service trees and the global-tree alternative.
+
+    Parameters
+    ----------
+    network:
+        The shared deployment (weights/adjacency).
+    services:
+        Per-device service id (length n).
+    """
+    services = np.asarray(services, dtype=int)
+    n = network.n
+    if services.shape != (n,):
+        raise ValueError(f"services must have shape ({n},), got {services.shape}")
+    if np.any(services < 0):
+        raise ValueError("service ids must be >= 0")
+
+    # --- organization A: one tree per service group -------------------
+    trees: list[ServiceTree] = []
+    per_service_total = 0
+    for service in sorted(set(services.tolist())):
+        members = np.nonzero(services == service)[0]
+        if members.size < 2:
+            trees.append(
+                ServiceTree(
+                    service=service,
+                    members=[int(m) for m in members],
+                    tree_edges=[],
+                    messages=0,
+                    spanning=True,  # nothing to connect
+                )
+            )
+            continue
+        mask = np.zeros(n, dtype=bool)
+        mask[members] = True
+        induced = network.adjacency & mask[:, None] & mask[None, :]
+        result = distributed_boruvka(network.weights, induced)
+        group_edges = [
+            e for e in result.edges if mask[e[0]] and mask[e[1]]
+        ]
+        trees.append(
+            ServiceTree(
+                service=service,
+                members=[int(m) for m in members],
+                tree_edges=group_edges,
+                messages=result.counter.total,
+                spanning=len(group_edges) == members.size - 1,
+            )
+        )
+        per_service_total += result.counter.total
+
+    # --- organization B: one global tree + interest aggregation -------
+    global_result = distributed_boruvka(network.weights, network.adjacency)
+    head = global_result.fragments[0].head if global_result.fragments else 0
+    dissemination = aggregate_interests(global_result.edges, services, head)
+    global_total = global_result.counter.total + dissemination.messages
+
+    return MultiServiceResult(
+        per_service=trees,
+        per_service_messages=per_service_total,
+        global_messages=global_total,
+        global_tree_edges=global_result.edges,
+    )

@@ -1,0 +1,173 @@
+"""D2D network assembly: placement, channel, proximity graph, weights.
+
+:class:`D2DNetwork` turns a :class:`~repro.core.config.PaperConfig` into
+the concrete simulation inputs:
+
+* uniform device placement in the square area,
+* a :class:`~repro.radio.link.LinkBudget` over the configured channel,
+* the proximity graph ``G(V, E)`` (edges where mean PS power clears the
+  −95 dBm threshold),
+* the PS-strength edge weights ("weight of edge is directly proportional
+  to PS strength observed by nodes", §IV).
+
+Disconnected placements are repaired by re-drawing (documented option) so
+the spanning-tree algorithms always have a spanning tree to find; the
+number of re-draws is recorded for honesty in sweep outputs.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.core.config import PaperConfig
+from repro.radio.fading import NoFading, RayleighFading
+from repro.radio.link import LinkBudget
+from repro.radio.pathloss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    PaperPathLoss,
+)
+from repro.radio.rssi import RSSIRanging
+from repro.radio.shadowing import LogNormalShadowing, NoShadowing
+from repro.sim.random import RandomStreams
+
+#: Give up re-drawing after this many disconnected placements.
+MAX_PLACEMENT_ATTEMPTS = 50
+
+
+def _pathloss_for(config: PaperConfig):
+    if config.pathloss_model == "paper":
+        return PaperPathLoss()
+    if config.pathloss_model == "logdistance":
+        return LogDistancePathLoss(
+            exponent=config.rssi_exponent,
+            reference_loss_db=config.rssi_reference_loss_db,
+            reference_distance_m=config.rssi_reference_distance_m,
+        )
+    if config.pathloss_model == "freespace":
+        return FreeSpacePathLoss()
+    raise ValueError(f"unknown pathloss model {config.pathloss_model!r}")
+
+
+class D2DNetwork:
+    """Concrete network instance for one (config, seed) pair.
+
+    Parameters
+    ----------
+    config:
+        Scenario parameters.
+    streams:
+        Random-stream universe; derived from ``config.seed`` when omitted.
+    require_connected:
+        Re-draw placements until the proximity graph is connected
+        (default True — both algorithms need a spanning tree to exist).
+    """
+
+    def __init__(
+        self,
+        config: PaperConfig,
+        streams: RandomStreams | None = None,
+        *,
+        require_connected: bool = True,
+    ) -> None:
+        self.config = config
+        self.streams = streams if streams is not None else RandomStreams(config.seed)
+        self.pathloss = _pathloss_for(config)
+        self.placement_attempts = 0
+
+        placement_rng = self.streams.stream("placement")
+        shadow_rng = self.streams.stream("shadowing")
+        for _attempt in range(MAX_PLACEMENT_ATTEMPTS):
+            self.placement_attempts += 1
+            positions = placement_rng.uniform(
+                0.0, config.area_side_m, size=(config.n_devices, 2)
+            )
+            if config.shadowing_sigma_db > 0:
+                shadowing = LogNormalShadowing(
+                    config.shadowing_sigma_db, shadow_rng
+                )
+            else:
+                shadowing = NoShadowing()
+            budget = LinkBudget(
+                positions,
+                self.pathloss,
+                tx_power_dbm=config.tx_power_dbm,
+                threshold_dbm=config.threshold_dbm,
+                shadowing=shadowing,
+                fading=self._make_fading(),
+            )
+            adjacency = budget.adjacency()
+            if not require_connected or self._is_connected(adjacency):
+                break
+        else:
+            raise RuntimeError(
+                f"could not draw a connected topology in "
+                f"{MAX_PLACEMENT_ATTEMPTS} attempts "
+                f"(n={config.n_devices}, side={config.area_side_m:.0f} m)"
+            )
+
+        self.positions = positions
+        self.link_budget = budget
+        self.adjacency = adjacency & adjacency.T  # symmetric detectability
+        np.fill_diagonal(self.adjacency, False)
+        # PS-strength weights: mean of the two directions' rx power, so the
+        # weight matrix is symmetric even though shadowing already is.
+        self.weights = 0.5 * (budget.mean_rx_dbm + budget.mean_rx_dbm.T)
+        self.ranging = RSSIRanging(
+            LogDistancePathLoss(
+                exponent=config.rssi_exponent,
+                reference_loss_db=config.rssi_reference_loss_db,
+                reference_distance_m=config.rssi_reference_distance_m,
+            ),
+            tx_power_dbm=config.tx_power_dbm,
+            sigma_db=config.shadowing_sigma_db,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_fading(self):
+        if self.config.fading_model == "rayleigh":
+            return RayleighFading(self.streams.stream("fading"))
+        return NoFading()
+
+    @staticmethod
+    def _is_connected(adjacency: np.ndarray) -> bool:
+        sym = adjacency & adjacency.T
+        g = nx.from_numpy_array(sym)
+        return nx.is_connected(g)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.config.n_devices
+
+    def graph(self) -> nx.Graph:
+        """The proximity graph with PS-strength edge weights."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        iu, ju = np.nonzero(np.triu(self.adjacency, k=1))
+        for u, v in zip(iu.tolist(), ju.tolist()):
+            g.add_edge(u, v, weight=float(self.weights[u, v]))
+        return g
+
+    def degree_stats(self) -> dict[str, float]:
+        """Mean/min/max degree of the proximity graph."""
+        deg = self.adjacency.sum(axis=1)
+        return {
+            "mean": float(deg.mean()),
+            "min": int(deg.min()),
+            "max": int(deg.max()),
+        }
+
+    def hop_diameter(self) -> int:
+        """Hop diameter of the proximity graph."""
+        return int(nx.diameter(self.graph()))
+
+    def true_distances(self) -> np.ndarray:
+        return self.link_budget.distance_m
+
+    def __repr__(self) -> str:
+        return (
+            f"D2DNetwork(n={self.n}, side={self.config.area_side_m:.0f} m, "
+            f"attempts={self.placement_attempts})"
+        )

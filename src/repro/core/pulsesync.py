@@ -1,0 +1,433 @@
+"""Vectorized event-driven pulse-coupled synchronization kernel.
+
+This is the hot loop of both algorithms: a population of phase
+oscillators (eqs 3–4) firing Proximity Signals over a radio graph, with
+per-transmission fading and same-slot collision handling.  It advances
+fire-instant to fire-instant (no per-slot stepping) and handles the
+Mirollo–Strogatz *avalanche* — a pulse pushing receivers over threshold so
+they fire in the same instant — as successive **waves**:
+
+wave 0
+    the oscillators whose phase naturally reached threshold;
+wave k+1
+    oscillators pushed to threshold by wave k's pulses.
+
+Within one instant all transmissions share the slot and codec, so a
+receiver integrates **at most one** phase jump per instant (the waves'
+preambles superpose into a single detectable PS) — without this cap the
+avalanche would recurse through the whole network in zero time, which no
+radio can do.
+
+Two reception channels are modelled, matching LTE RACH physics:
+
+* **pulse detection** (energy): identical preambles superpose
+  constructively, so under the default ``tolerant`` policy any detected
+  superposition counts as one received pulse;
+* **identity decoding** (payload): to learn *who* transmitted (neighbour
+  discovery, RSSI bookkeeping) the receiver must decode the strongest
+  copy against the superposition — the classic capture effect, needing
+  ``capture_margin_db`` of SIR when several transmissions land together.
+
+The split is what makes the FST baseline degrade at scale: synchronizing
+helps pulse detection but ruins identity decoding, so mesh-wide neighbour
+discovery stalls exactly when synchronization succeeds.  The kernel
+optionally tracks decoding and can require a set of ordered pairs to be
+decoded before declaring convergence (``required_decoding``).
+
+The kernel is pure NumPy per wave (no per-node Python loops), following
+the HPC guide's vectorization rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.oscillator.prc import LinearPRC
+from repro.oscillator.sync_metrics import count_sync_groups, order_parameter
+from repro.radio.fading import NoFading
+from repro.sim.trace import TraceRecorder
+
+#: Fire times closer than this (ms) are simultaneous (one instant).
+TIE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One synchrony snapshot along a run."""
+
+    time_ms: float
+    order_parameter: float
+    sync_groups: int
+    fires_so_far: int
+
+
+@dataclass
+class PulseSyncResult:
+    """Outcome of one synchronization run."""
+
+    converged: bool
+    time_ms: float
+    messages: int
+    fires: int
+    instants: int
+    final_spread_ms: float
+    #: first time the sync window was met (NaN if never)
+    sync_time_ms: float = float("nan")
+    #: first time the decoding requirement was met (NaN if never/untracked)
+    discovery_time_ms: float = float("nan")
+    #: phases (fraction of period elapsed) at the end; full-length array
+    #: with NaN at inactive nodes
+    final_phase: np.ndarray | None = field(repr=False, default=None)
+    #: decoded[i, j] — receiver i decoded sender j's identity (when tracked)
+    decoded: np.ndarray | None = field(repr=False, default=None)
+    #: sampled synchrony trajectory (when telemetry_interval_ms was set)
+    telemetry: list[TelemetrySample] = field(repr=False, default_factory=list)
+
+
+class PulseSyncKernel:
+    """Reusable synchronization kernel over a fixed radio environment.
+
+    Parameters
+    ----------
+    mean_rx_dbm:
+        ``(n, n)`` mean received power matrix (dBm), −inf on the diagonal.
+    adjacency:
+        Boolean coupling mask — mesh for FST, tree edges for ST fragments.
+        A pulse only affects receivers that are (a) adjacent and (b) above
+        threshold after fading.
+    prc:
+        Linear PRC (eq. 5).  ``LinearPRC(1.0, 0.0)`` disables coupling —
+        useful for pure (unsynchronized) discovery beaconing.
+    period_ms, refractory_ms, sync_window_ms, threshold_dbm:
+        Oscillator and convergence parameters (see PaperConfig).
+    fading:
+        Per-transmission fading model; ``NoFading()`` for oracle runs.
+    collision_policy:
+        Pulse-detection rule for superposed same-instant transmissions:
+        ``"tolerant"`` (any detected superposition is one pulse — the
+        paper's assumption and RACH preamble physics), ``"capture"``
+        (strongest must clear the SIR margin) or ``"destructive"``
+        (any collision destroys the pulse).  Identity decoding always
+        uses the capture rule regardless of this policy.
+    """
+
+    def __init__(
+        self,
+        mean_rx_dbm: np.ndarray,
+        adjacency: np.ndarray,
+        prc: LinearPRC,
+        *,
+        period_ms: float,
+        threshold_dbm: float,
+        refractory_ms: float = 1.0,
+        sync_window_ms: float = 2.0,
+        fading=None,
+        collision_policy: str = "tolerant",
+        capture_margin_db: float = 6.0,
+    ) -> None:
+        mean_rx_dbm = np.asarray(mean_rx_dbm, dtype=float)
+        adjacency = np.asarray(adjacency, dtype=bool)
+        if mean_rx_dbm.shape != adjacency.shape or mean_rx_dbm.ndim != 2:
+            raise ValueError("mean_rx_dbm and adjacency must be equal square")
+        if period_ms <= 0:
+            raise ValueError("period_ms must be positive")
+        if collision_policy not in ("tolerant", "capture", "destructive"):
+            raise ValueError(f"unknown collision policy {collision_policy!r}")
+        self.n = mean_rx_dbm.shape[0]
+        self.mean_rx = mean_rx_dbm
+        self.adjacency = adjacency
+        self.prc = prc
+        self.period_ms = float(period_ms)
+        self.threshold_dbm = float(threshold_dbm)
+        self.refractory_ms = float(refractory_ms)
+        self.sync_window_ms = float(sync_window_ms)
+        self.fading = fading if fading is not None else NoFading()
+        self.collision_policy = collision_policy
+        self.capture_margin_db = float(capture_margin_db)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        rng: np.random.Generator,
+        *,
+        active: np.ndarray | None = None,
+        initial_phases: np.ndarray | None = None,
+        start_time_ms: float = 0.0,
+        max_time_ms: float = 300_000.0,
+        require_sync: bool = True,
+        required_decoding: np.ndarray | None = None,
+        trace: TraceRecorder | None = None,
+        telemetry_interval_ms: float | None = None,
+    ) -> PulseSyncResult:
+        """Run until the convergence conditions hold (or time runs out).
+
+        Parameters
+        ----------
+        require_sync:
+            Demand all active devices fire within the sync window.
+        required_decoding:
+            Optional ``(n, n)`` boolean matrix of ordered (receiver,
+            sender) pairs that must be identity-decoded before the run
+            counts as converged.  Decoding is tracked iff this is given.
+        initial_phases:
+            Fractions of the period already elapsed (phase 0.9 fires
+            soon); drawn uniformly when omitted.
+        telemetry_interval_ms:
+            When set, a :class:`TelemetrySample` (order parameter, group
+            count) is recorded about every this-many ms of simulated time
+            — the convergence *trajectory*, not just the endpoint.
+        """
+        n = self.n
+        if active is None:
+            active = np.ones(n, dtype=bool)
+        else:
+            active = np.asarray(active, dtype=bool)
+            if active.shape != (n,):
+                raise ValueError(f"active must have shape ({n},)")
+        n_active = int(active.sum())
+        if n_active == 0:
+            raise ValueError("at least one node must be active")
+        if not require_sync and required_decoding is None:
+            raise ValueError(
+                "at least one convergence condition is required "
+                "(require_sync or required_decoding)"
+            )
+
+        if initial_phases is None:
+            phases = rng.uniform(0.0, 1.0, size=n)
+        else:
+            phases = np.asarray(initial_phases, dtype=float)
+            if phases.shape != (n,):
+                raise ValueError(f"initial_phases must have shape ({n},)")
+            if np.any((phases[active] < 0) | (phases[active] >= 1.0)):
+                raise ValueError("phases must lie in [0, 1)")
+
+        track_decoding = required_decoding is not None
+        if track_decoding:
+            required = np.asarray(required_decoding, dtype=bool).copy()
+            if required.shape != (n, n):
+                raise ValueError(f"required_decoding must be ({n}, {n})")
+            np.fill_diagonal(required, False)
+            decoded = np.zeros((n, n), dtype=bool)
+            remaining = int(required.sum())
+        else:
+            required = None
+            decoded = None
+            remaining = 0
+
+        inactive = ~active
+        next_fire = start_time_ms + (1.0 - phases) * self.period_ms
+        next_fire[inactive] = np.inf
+        last_fire = np.full(n, -np.inf)
+        refractory_until = np.full(n, -np.inf)
+        fired_once = np.zeros(n, dtype=bool)
+
+        messages = 0
+        fires = 0
+        instants = 0
+        sync_time = float("nan")
+        discovery_time = float("nan")
+        deadline = start_time_ms + max_time_ms
+        use_fading = not isinstance(self.fading, NoFading)
+        samples: list[TelemetrySample] = []
+        if telemetry_interval_ms is not None and telemetry_interval_ms <= 0:
+            raise ValueError("telemetry_interval_ms must be positive")
+        next_sample = (
+            start_time_ms + telemetry_interval_ms
+            if telemetry_interval_ms is not None
+            else float("inf")
+        )
+
+        while True:
+            t = float(next_fire.min())
+            if not np.isfinite(t) or t > deadline:
+                t = min(t, deadline)
+                return self._finish(
+                    False, t, messages, fires, instants, next_fire, active,
+                    last_fire, fired_once, sync_time, discovery_time, decoded,
+                    samples,
+                )
+            instants += 1
+            fired_now = np.zeros(n, dtype=bool)
+            prc_done = np.zeros(n, dtype=bool)
+            wave = active & (next_fire <= t + TIE_EPS)
+
+            while wave.any():
+                firers = np.nonzero(wave)[0]
+                k = firers.size
+                fires += k
+                messages += k
+                if trace is not None:
+                    for f in firers:
+                        trace.emit(t, "ps_tx", node=int(f))
+                fired_now |= wave
+
+                # reception: (k, n) powers with fresh fading per pair
+                power = self.mean_rx[firers]
+                if use_fading:
+                    power = power + self.fading.sample_db((k, n))
+                det = (power >= self.threshold_dbm) & self.adjacency[firers]
+                heard, dec_sender = self._resolve_wave(det, power, firers)
+
+                if track_decoding:
+                    # transmitters are half-duplex: no decoding while firing
+                    rx_ok = (dec_sender >= 0) & active & ~fired_now
+                    rx_idx = np.nonzero(rx_ok)[0]
+                    if rx_idx.size:
+                        tx_idx = dec_sender[rx_idx]
+                        newly = required[rx_idx, tx_idx] & ~decoded[
+                            rx_idx, tx_idx
+                        ]
+                        remaining -= int(newly.sum())
+                        decoded[rx_idx, tx_idx] = True
+                        if remaining == 0 and np.isnan(discovery_time):
+                            discovery_time = t
+
+                eligible = (
+                    heard
+                    & active
+                    & ~fired_now
+                    & ~prc_done
+                    & (refractory_until <= t + TIE_EPS)
+                )
+                if not eligible.any():
+                    wave = np.zeros(n, dtype=bool)
+                    continue
+                prc_done |= eligible
+                theta = 1.0 - (next_fire - t) / self.period_ms
+                theta = np.clip(theta, 0.0, 1.0)
+                new_theta = np.minimum(
+                    self.prc.alpha * theta + self.prc.beta, 1.0
+                )
+                to_fire = eligible & (new_theta >= 1.0)
+                adjust = eligible & ~to_fire
+                next_fire[adjust] = t + (1.0 - new_theta[adjust]) * self.period_ms
+                wave = to_fire
+
+            last_fire[fired_now] = t
+            fired_once |= fired_now
+            next_fire[fired_now] = t + self.period_ms
+            refractory_until[fired_now] = t + self.refractory_ms
+
+            if t >= next_sample:
+                phases_now = self._phases_at(t, next_fire, active)
+                vals = np.clip(phases_now[active], 0.0, 1.0)
+                samples.append(
+                    TelemetrySample(
+                        time_ms=t,
+                        order_parameter=order_parameter(vals),
+                        sync_groups=count_sync_groups(vals),
+                        fires_so_far=fires,
+                    )
+                )
+                # anchor the next sample from now, so consecutive samples
+                # are always at least one interval apart
+                next_sample = t + telemetry_interval_ms  # type: ignore[operator]
+
+            sync_ok = True
+            if require_sync or np.isnan(sync_time):
+                if fired_once[active].all():
+                    spread = float(
+                        last_fire[active].max() - last_fire[active].min()
+                    )
+                    sync_ok = spread <= self.sync_window_ms
+                else:
+                    sync_ok = False
+                if sync_ok and np.isnan(sync_time):
+                    sync_time = t
+            decode_ok = (not track_decoding) or remaining == 0
+            if (sync_ok or not require_sync) and decode_ok:
+                return self._finish(
+                    True, t, messages, fires, instants, next_fire, active,
+                    last_fire, fired_once, sync_time, discovery_time, decoded,
+                    samples,
+                )
+
+    # ------------------------------------------------------------------
+    def _resolve_wave(
+        self, det: np.ndarray, power: np.ndarray, firers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-receiver pulse detection and identity decoding for one wave.
+
+        Returns ``(heard, decoded_sender)``: ``heard`` is the boolean
+        pulse-detection vector under the configured collision policy;
+        ``decoded_sender[i]`` is the sender id receiver ``i`` captured
+        (−1 when nothing decodable).
+        """
+        n = self.n
+        counts = det.sum(axis=0)
+        any_heard = counts >= 1
+
+        # identity decoding (capture rule, always)
+        masked = np.where(det, power, -np.inf)
+        strongest_row = np.argmax(masked, axis=0)
+        strongest_pow = masked[strongest_row, np.arange(n)]
+        linear = np.where(det, np.power(10.0, power / 10.0), 0.0)
+        total = linear.sum(axis=0)
+        signal = np.where(
+            any_heard, np.power(10.0, strongest_pow / 10.0), 0.0
+        )
+        noise = np.maximum(total - signal, 1e-30)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sir_db = 10.0 * np.log10(np.maximum(signal, 1e-300) / noise)
+        decodable = any_heard & (
+            (counts == 1) | (sir_db >= self.capture_margin_db)
+        )
+        decoded_sender = np.where(
+            decodable, firers[strongest_row], -1
+        ).astype(int)
+
+        # pulse detection per policy
+        if self.collision_policy == "tolerant":
+            heard = any_heard
+        elif self.collision_policy == "destructive":
+            heard = counts == 1
+        else:  # capture
+            heard = decodable
+        return heard, decoded_sender
+
+    def _phases_at(
+        self, t: float, next_fire: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """Phases (fraction of period elapsed) at time ``t``; NaN inactive."""
+        out = np.full(self.n, np.nan)
+        remaining_t = np.clip(next_fire[active] - t, 0.0, self.period_ms)
+        out[active] = 1.0 - remaining_t / self.period_ms
+        return out
+
+    def _finish(
+        self,
+        converged: bool,
+        t: float,
+        messages: int,
+        fires: int,
+        instants: int,
+        next_fire: np.ndarray,
+        active: np.ndarray,
+        last_fire: np.ndarray,
+        fired_once: np.ndarray,
+        sync_time: float,
+        discovery_time: float,
+        decoded: np.ndarray | None,
+        telemetry: list[TelemetrySample],
+    ) -> PulseSyncResult:
+        if fired_once[active].all():
+            spread = float(last_fire[active].max() - last_fire[active].min())
+        else:
+            spread = float("inf")
+        out = self._phases_at(t, next_fire, active)
+        return PulseSyncResult(
+            converged=converged,
+            time_ms=t,
+            messages=messages,
+            fires=fires,
+            instants=instants,
+            final_spread_ms=spread,
+            sync_time_ms=sync_time,
+            discovery_time_ms=discovery_time,
+            final_phase=out,
+            decoded=decoded,
+            telemetry=telemetry,
+        )

@@ -1,0 +1,63 @@
+"""Result records shared by the FST and ST simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RunResult:
+    """One algorithm run on one topology.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"st"`` (proposed) or ``"fst"`` (baseline).
+    converged:
+        Whether global synchronization was reached before ``max_time_ms``.
+    time_ms:
+        Convergence time — the Fig. 3 quantity.
+    messages:
+        Total control messages (all codecs) — the Fig. 4 quantity.
+    message_breakdown:
+        Messages by kind (sync pulses, discovery, merge traffic, ...).
+    tree_edges:
+        The spanning tree the run produced (empty if not applicable).
+    extra:
+        Algorithm-specific diagnostics (phase count, tree weight, ...).
+    """
+
+    algorithm: str
+    n_devices: int
+    seed: int
+    converged: bool
+    time_ms: float
+    messages: int
+    message_breakdown: dict[str, int] = field(default_factory=dict)
+    tree_edges: list[tuple[int, int]] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("st", "fst"):
+            raise ValueError(
+                f"algorithm must be 'st' or 'fst', got {self.algorithm!r}"
+            )
+        if self.n_devices < 1:
+            raise ValueError("n_devices must be >= 1")
+        if self.time_ms < 0:
+            raise ValueError("time_ms must be >= 0")
+        if self.messages < 0:
+            raise ValueError("messages must be >= 0")
+
+    @property
+    def messages_per_device(self) -> float:
+        return self.messages / self.n_devices
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        status = "converged" if self.converged else "TIMED OUT"
+        return (
+            f"{self.algorithm.upper()} n={self.n_devices} seed={self.seed}: "
+            f"{status} at t={self.time_ms:.0f} ms with {self.messages} messages"
+        )

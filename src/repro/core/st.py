@@ -1,0 +1,226 @@
+"""ST — the paper's proposed distributed firefly spanning-tree algorithm.
+
+Composition of Algorithms 1–3 over the RSSI-weighted proximity graph:
+
+1. **Discovery** (Algorithm 1 lines 1–5): every device beacons PSs on
+   RACH1 for ``discovery_periods`` oscillator periods, filling neighbour
+   tables with RSSI weights.  Singleton fragments are trivially synced.
+2. **Fragment growth** (Algorithm 1 lines 6–12 + Algorithm 2): Borůvka
+   phases over maximum PS-strength edges.  Each phase a fragment
+   convergecasts local candidates to its head, the head announces the
+   MWOE, and ``H_Connect`` performs the RACH2 handshake over the chosen
+   edge; the smaller fragment then *adopts the larger fragment's phase*
+   via a RACH2 alignment wave down its own subtree (head election per the
+   paper: "choose Sv.head from highest number of node's tree").
+   Fragments work in parallel, so a phase lasts as long as its slowest
+   fragment (convergecast + broadcast + handshake + alignment wave, one
+   hop per slot).  Throughout construction every device keeps firing its
+   RACH1 keep-alive once per period (Algorithm 1 line 5's ``F_F_A``).
+3. **Final trim** (Algorithm 3 over the finished tree): alignment waves
+   leave residual per-hop quantization offsets, so a short pulse-coupled
+   run over the tree edges tightens the network into the sync window —
+   this is a genuine :class:`~repro.core.pulsesync.PulseSyncKernel` run
+   seeded with the residual spread.
+
+Timing model: control actions advance one hop per 1 ms slot (RACH
+response time at LTE granularity); all per-fragment work in a phase is
+concurrent.  Message accounting is per transmission, split by kind.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.beacon import BeaconDiscovery, top_k_required
+from repro.core.config import PaperConfig
+from repro.core.network import D2DNetwork
+from repro.core.pulsesync import PulseSyncKernel
+from repro.core.results import RunResult
+from repro.oscillator.prc import LinearPRC
+from repro.spanningtree.boruvka import distributed_boruvka
+from repro.spanningtree.fragment import FragmentSet
+from repro.spanningtree.ghs import distributed_ghs
+from repro.spanningtree.mst import tree_weight
+
+#: Slots for one H_Connect RACH2 exchange (broadcast + acknowledgement).
+HANDSHAKE_SLOTS = 2
+
+
+def _tree_diameter(start: int, adj: dict[int, list[int]]) -> int:
+    """Hop diameter of the tree component containing ``start`` (double BFS)."""
+
+    def farthest(src: int) -> tuple[int, int]:
+        seen = {src: 0}
+        queue = deque([src])
+        far_node, far_dist = src, 0
+        while queue:
+            u = queue.popleft()
+            for v in adj.get(u, ()):
+                if v not in seen:
+                    seen[v] = seen[u] + 1
+                    if seen[v] > far_dist:
+                        far_node, far_dist = v, seen[v]
+                    queue.append(v)
+        return far_node, far_dist
+
+    a, _ = farthest(start)
+    _, diameter = farthest(a)
+    return diameter
+
+
+class STSimulation:
+    """Run the proposed ST algorithm on a prepared :class:`D2DNetwork`."""
+
+    def __init__(self, network: D2DNetwork) -> None:
+        self.network = network
+        self.config: PaperConfig = network.config
+        self.prc = LinearPRC.from_dissipation(
+            self.config.dissipation, self.config.epsilon
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        cfg = self.config
+        net = self.network
+        n = cfg.n_devices
+
+        # ---- 1. discovery window ------------------------------------
+        # ST only needs each device to decode its heaviest detectable
+        # neighbour (the Borůvka seed edge); heavy edges are strong, so
+        # they win the capture race quickly even in dense deployments.
+        # A floor of ``discovery_periods`` beacon periods is always paid.
+        disc = BeaconDiscovery(
+            net.link_budget.mean_rx_dbm,
+            threshold_dbm=cfg.threshold_dbm,
+            period_slots=cfg.period_slots,
+            slot_ms=cfg.slot_ms,
+            preambles=cfg.beacon_preambles,
+            fading=net.link_budget.fading,
+        ).run(
+            net.streams.stream("st-beacons"),
+            required=top_k_required(net.weights, net.adjacency, k=1),
+            max_periods=max(1, int(cfg.max_time_ms / cfg.period_ms)),
+        )
+        discovery_periods = max(disc.periods, cfg.discovery_periods)
+        discovery_ms = discovery_periods * cfg.period_ms
+        discovery_msgs = n * discovery_periods
+
+        # ---- 2. fragment construction with timing replay --------------
+        # (merge rule per config: plain Borůvka or level-based GHS; both
+        # produce per-phase chosen-edge records the replay consumes)
+        if cfg.merge_rule == "ghs":
+            boruvka = distributed_ghs(net.weights, net.adjacency)
+        else:
+            boruvka = distributed_boruvka(net.weights, net.adjacency)
+        frags = FragmentSet(n)
+        adj: dict[int, list[int]] = {}
+        handshake_msgs = 0
+        align_msgs = 0
+        construction_slots = 0
+        max_wave_depth = 0
+
+        for phase in boruvka.phases:
+            phase_slots = 0
+            for u, v in phase.chosen_edges:
+                size_u, size_v = frags.size_of(u), frags.size_of(v)
+                diam_u = _tree_diameter(u, adj)
+                diam_v = _tree_diameter(v, adj)
+                # control round: convergecast up + announce down the
+                # larger side, then the RACH2 handshake over (u, v)
+                control = 2 * max(diam_u, diam_v) + HANDSHAKE_SLOTS
+                handshake_msgs += 2
+                # the smaller fragment re-phases to the larger one's clock
+                if size_u >= size_v:
+                    loser_size, loser_diam = size_v, diam_v
+                else:
+                    loser_size, loser_diam = size_u, diam_u
+                align_msgs += loser_size
+                max_wave_depth = max(max_wave_depth, loser_diam + 1)
+                phase_slots = max(phase_slots, control + loser_diam + 1)
+
+                frags.merge(u, v)
+                adj.setdefault(u, []).append(v)
+                adj.setdefault(v, []).append(u)
+            construction_slots += phase_slots
+
+        construction_ms = construction_slots * cfg.slot_ms
+        keepalive_msgs = int(n * (construction_ms / cfg.period_ms))
+        # Algorithm 1 line 5: every phase each fragment runs its FFA
+        # ranking/keep-alive rounds on RACH1 (all fragments together cover
+        # all n devices); these ride alongside the control traffic.
+        ffa_msgs = cfg.ffa_rounds_per_phase * n * boruvka.phase_count
+
+        # ---- 3. final trim: PCO run over the tree --------------------
+        tree_edges = frags.all_tree_edges()
+        converged_tree = len(frags.fragments()) == 1
+        tree_adj = np.zeros((n, n), dtype=bool)
+        for u, v in tree_edges:
+            tree_adj[u, v] = tree_adj[v, u] = True
+
+        # Residual spread after alignment: the RACH2 wave carries the
+        # head's clock and every relay compensates the known 1-slot hop
+        # delay, so the residual is bounded by the per-hop timing jitter
+        # (~1 slot) plus the final merge's handshake slot — independent of
+        # tree depth (MEMFIS-style clock adoption).
+        residual_slots = 2
+        window = min(0.5, residual_slots * cfg.slot_ms / cfg.period_ms)
+        phase_rng = net.streams.stream("st-trim-phases")
+        base = float(phase_rng.uniform(0.0, 1.0 - window))
+        initial_phases = base + phase_rng.uniform(0.0, window, size=n)
+
+        start_ms = discovery_ms + construction_ms
+        kernel = PulseSyncKernel(
+            net.link_budget.mean_rx_dbm,
+            tree_adj,
+            self.prc,
+            period_ms=cfg.period_ms,
+            threshold_dbm=cfg.threshold_dbm,
+            refractory_ms=cfg.refractory_ms,
+            sync_window_ms=cfg.sync_window_ms,
+            fading=net.link_budget.fading,
+            collision_policy=cfg.collision_policy,
+        )
+        trim = kernel.run(
+            net.streams.stream("st-trim"),
+            initial_phases=np.clip(initial_phases, 0.0, 1.0 - 1e-9),
+            start_time_ms=start_ms,
+            max_time_ms=max(cfg.max_time_ms - start_ms, cfg.period_ms),
+        )
+
+        time_ms = trim.time_ms
+        converged = converged_tree and trim.converged
+
+        breakdown = {
+            "discovery": discovery_msgs,
+            "keep_alive": keepalive_msgs,
+            "ffa_rounds": ffa_msgs,
+            "trim_sync": trim.messages,
+            "handshake": handshake_msgs,
+            "alignment": align_msgs,
+        }
+        breakdown.update(
+            {f"boruvka_{k}": v for k, v in boruvka.counter.as_dict().items()}
+        )
+        messages = sum(breakdown.values())
+
+        return RunResult(
+            algorithm="st",
+            n_devices=n,
+            seed=cfg.seed,
+            converged=converged,
+            time_ms=time_ms,
+            messages=messages,
+            message_breakdown=breakdown,
+            tree_edges=tree_edges,
+            extra={
+                "phases": boruvka.phase_count,
+                "construction_ms": construction_ms,
+                "trim_ms": trim.time_ms - start_ms,
+                "trim_fires": trim.fires,
+                "tree_weight": tree_weight(net.weights, tree_edges),
+                "final_spread_ms": trim.final_spread_ms,
+                "max_wave_depth": max_wave_depth,
+            },
+        )

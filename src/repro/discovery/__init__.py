@@ -1,0 +1,28 @@
+"""Neighbour, proximity and service discovery (paper §I and §III).
+
+ProSe splits discovery into a *physical* level (who can I hear, how far
+are they) and an *application* level (who shares my service interest).
+The paper's mechanism performs both simultaneously: every PS carries the
+sender's service tag on its RACH codec scheme, and the receiver's RSSI
+measurement doubles as the ranging input.
+
+* :mod:`repro.discovery.neighbor` — per-device neighbour table fed by PS
+  receptions, with RSSI smoothing and staleness eviction;
+* :mod:`repro.discovery.service` — service-interest registry and the
+  codec-scheme mapping;
+* :mod:`repro.discovery.proximity` — the ProSe proximity predicate
+  combining estimated distance with a configurable criterion.
+"""
+
+from repro.discovery.neighbor import NeighborEntry, NeighborTable
+from repro.discovery.proximity import ProximityCriterion, ProximityEvaluator
+from repro.discovery.service import ServiceDirectory, ServiceInterest
+
+__all__ = [
+    "NeighborEntry",
+    "NeighborTable",
+    "ProximityCriterion",
+    "ProximityEvaluator",
+    "ServiceDirectory",
+    "ServiceInterest",
+]

@@ -1,0 +1,133 @@
+"""Per-device neighbour tables.
+
+Each PS reception inserts or refreshes an entry keyed by sender id; RSSI
+is smoothed with an exponentially weighted moving average (EWMA) so the
+distance estimate does not jump with every fading draw — the practical
+fix for the eq. (12) error the paper motivates RSSI modelling with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NeighborEntry:
+    """State a device keeps about one heard neighbour."""
+
+    neighbor_id: int
+    rssi_dbm: float
+    last_heard_ms: float
+    service: int = 0
+    estimated_distance_m: float | None = None
+    heard_count: int = 1
+
+
+class NeighborTable:
+    """Neighbour bookkeeping for one device.
+
+    Parameters
+    ----------
+    owner_id:
+        The device this table belongs to (receptions from itself are
+        rejected — a device never hears its own PS).
+    rssi_alpha:
+        EWMA weight of the newest RSSI sample in (0, 1]; 1 disables
+        smoothing.
+    stale_after_ms:
+        Entries not refreshed within this window are dropped by
+        :meth:`evict_stale` (None disables eviction).
+    """
+
+    def __init__(
+        self,
+        owner_id: int,
+        *,
+        rssi_alpha: float = 0.3,
+        stale_after_ms: float | None = None,
+    ) -> None:
+        if owner_id < 0:
+            raise ValueError(f"owner_id must be >= 0, got {owner_id}")
+        if not 0.0 < rssi_alpha <= 1.0:
+            raise ValueError(f"rssi_alpha must be in (0, 1], got {rssi_alpha}")
+        if stale_after_ms is not None and stale_after_ms <= 0:
+            raise ValueError("stale_after_ms must be positive or None")
+        self.owner_id = owner_id
+        self.rssi_alpha = float(rssi_alpha)
+        self.stale_after_ms = stale_after_ms
+        self._entries: dict[int, NeighborEntry] = {}
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        neighbor_id: int,
+        rssi_dbm: float,
+        now_ms: float,
+        *,
+        service: int = 0,
+        estimated_distance_m: float | None = None,
+    ) -> NeighborEntry:
+        """Record one PS reception; returns the (updated) entry."""
+        if neighbor_id == self.owner_id:
+            raise ValueError("a device cannot observe its own transmission")
+        if neighbor_id < 0:
+            raise ValueError(f"neighbor_id must be >= 0, got {neighbor_id}")
+        entry = self._entries.get(neighbor_id)
+        if entry is None:
+            entry = NeighborEntry(
+                neighbor_id=neighbor_id,
+                rssi_dbm=float(rssi_dbm),
+                last_heard_ms=float(now_ms),
+                service=service,
+                estimated_distance_m=estimated_distance_m,
+            )
+            self._entries[neighbor_id] = entry
+        else:
+            a = self.rssi_alpha
+            entry.rssi_dbm = a * float(rssi_dbm) + (1.0 - a) * entry.rssi_dbm
+            entry.last_heard_ms = float(now_ms)
+            entry.service = service
+            if estimated_distance_m is not None:
+                entry.estimated_distance_m = estimated_distance_m
+            entry.heard_count += 1
+        return entry
+
+    def evict_stale(self, now_ms: float) -> int:
+        """Drop entries older than ``stale_after_ms``; returns eviction count."""
+        if self.stale_after_ms is None:
+            return 0
+        cutoff = now_ms - self.stale_after_ms
+        stale = [k for k, e in self._entries.items() if e.last_heard_ms < cutoff]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    def get(self, neighbor_id: int) -> NeighborEntry | None:
+        return self._entries.get(neighbor_id)
+
+    def known_ids(self) -> list[int]:
+        return sorted(self._entries)
+
+    def strongest(self, count: int = 1) -> list[NeighborEntry]:
+        """The ``count`` neighbours with highest smoothed RSSI — the
+        paper's "heavy edge" candidates."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        ranked = sorted(
+            self._entries.values(), key=lambda e: (-e.rssi_dbm, e.neighbor_id)
+        )
+        return ranked[:count]
+
+    def with_service(self, service: int) -> list[NeighborEntry]:
+        """Application-level discovery: neighbours sharing an interest."""
+        return sorted(
+            (e for e in self._entries.values() if e.service == service),
+            key=lambda e: e.neighbor_id,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, neighbor_id: int) -> bool:
+        return neighbor_id in self._entries

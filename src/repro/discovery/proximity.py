@@ -1,0 +1,87 @@
+"""ProSe proximity predicate.
+
+"The main required criteria of proximity is geographical distance between
+devices" (§I).  The evaluator applies a distance criterion to *estimated*
+distances from the neighbour table, optionally requiring a shared service
+interest — the combined physical + application discovery the paper argues
+for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.discovery.neighbor import NeighborTable
+
+
+@dataclass(frozen=True)
+class ProximityCriterion:
+    """Thresholds a neighbour must meet to count as 'in proximity'.
+
+    Attributes
+    ----------
+    max_distance_m:
+        Estimated-distance ceiling.
+    min_rssi_dbm:
+        Optional floor on smoothed RSSI (a cheap sanity gate against
+        entries whose single heard PS rode a deep up-fade).
+    require_service:
+        When set, only neighbours advertising this service id qualify.
+    """
+
+    max_distance_m: float
+    min_rssi_dbm: float | None = None
+    require_service: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_distance_m <= 0:
+            raise ValueError(
+                f"max_distance_m must be positive, got {self.max_distance_m}"
+            )
+
+
+class ProximityEvaluator:
+    """Applies a :class:`ProximityCriterion` to a neighbour table."""
+
+    def __init__(self, criterion: ProximityCriterion) -> None:
+        self.criterion = criterion
+
+    def in_proximity(self, table: NeighborTable) -> list[int]:
+        """ids of neighbours satisfying the criterion, sorted ascending."""
+        crit = self.criterion
+        out: list[int] = []
+        for nid in table.known_ids():
+            entry = table.get(nid)
+            assert entry is not None
+            if entry.estimated_distance_m is None:
+                continue
+            if entry.estimated_distance_m > crit.max_distance_m:
+                continue
+            if crit.min_rssi_dbm is not None and entry.rssi_dbm < crit.min_rssi_dbm:
+                continue
+            if (
+                crit.require_service is not None
+                and entry.service != crit.require_service
+            ):
+                continue
+            out.append(nid)
+        return out
+
+    def proximity_pairs(
+        self, tables: dict[int, NeighborTable]
+    ) -> list[tuple[int, int]]:
+        """Mutual proximity pairs across a set of devices.
+
+        A pair qualifies only if *each* side sees the other in proximity —
+        the symmetric ProSe notion (UE16 ↔ UE17 in the paper's Fig. 1).
+        """
+        seen: dict[int, set[int]] = {
+            owner: set(self.in_proximity(table))
+            for owner, table in tables.items()
+        }
+        pairs: list[tuple[int, int]] = []
+        for a, neighbours in seen.items():
+            for b in neighbours:
+                if a < b and a in seen.get(b, set()):
+                    pairs.append((a, b))
+        return sorted(pairs)

@@ -1,0 +1,94 @@
+"""Service-interest registry and RACH codec-scheme mapping.
+
+"Different codecs scheme indicate different services in the application"
+(§III): each service interest maps to a distinct RACH preamble pair — one
+keep-alive codec and one event codec — so a device can tell *what* a
+neighbour wants from the preamble alone, before decoding any payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.radio.rach import RACHCodec
+
+#: LTE-A exposes 64 RACH preambles; we reserve pairs out of this space.
+MAX_PREAMBLES = 64
+
+
+@dataclass(frozen=True)
+class ServiceInterest:
+    """One application-level service a device can advertise/search."""
+
+    service_id: int
+    name: str
+    keep_alive_codec: RACHCodec
+    event_codec: RACHCodec
+
+    def __post_init__(self) -> None:
+        if self.service_id < 0:
+            raise ValueError(f"service_id must be >= 0, got {self.service_id}")
+        if not self.keep_alive_codec.orthogonal_to(self.event_codec):
+            raise ValueError(
+                "keep-alive and event codecs must be distinct preambles"
+            )
+
+
+class ServiceDirectory:
+    """Allocates codec pairs to services and resolves codecs back to them."""
+
+    def __init__(self) -> None:
+        self._services: dict[int, ServiceInterest] = {}
+        self._by_codec: dict[int, ServiceInterest] = {}
+        self._next_preamble = 1  # preamble 0 reserved for network use
+
+    def register(self, service_id: int, name: str) -> ServiceInterest:
+        """Register a service, allocating its codec pair.
+
+        Idempotent on ``service_id`` (returns the existing registration if
+        the name matches; conflicting names raise).
+        """
+        existing = self._services.get(service_id)
+        if existing is not None:
+            if existing.name != name:
+                raise ValueError(
+                    f"service {service_id} already registered as "
+                    f"{existing.name!r}, cannot re-register as {name!r}"
+                )
+            return existing
+        if self._next_preamble + 1 >= MAX_PREAMBLES:
+            raise RuntimeError(
+                f"RACH preamble space exhausted ({MAX_PREAMBLES} preambles)"
+            )
+        keep_alive = RACHCodec(self._next_preamble, f"{name}:keep-alive")
+        event = RACHCodec(self._next_preamble + 1, f"{name}:event")
+        self._next_preamble += 2
+        svc = ServiceInterest(service_id, name, keep_alive, event)
+        self._services[service_id] = svc
+        self._by_codec[keep_alive.index] = svc
+        self._by_codec[event.index] = svc
+        return svc
+
+    def lookup(self, service_id: int) -> ServiceInterest:
+        try:
+            return self._services[service_id]
+        except KeyError:
+            raise KeyError(f"unknown service id {service_id}") from None
+
+    def service_for_codec(self, codec: RACHCodec) -> ServiceInterest:
+        """Preamble-level service identification (the §III multiplexing)."""
+        try:
+            return self._by_codec[codec.index]
+        except KeyError:
+            raise KeyError(
+                f"codec index {codec.index} is not assigned to any service"
+            ) from None
+
+    def services(self) -> list[ServiceInterest]:
+        return [self._services[k] for k in sorted(self._services)]
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __contains__(self, service_id: int) -> bool:
+        return service_id in self._services

@@ -1,0 +1,34 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function returning a result object with a
+``render()`` method that prints the same rows/series the paper reports;
+the ``benchmarks/`` suite wraps these with pytest-benchmark.  The
+:mod:`repro.experiments.registry` maps experiment ids (``fig2``, ``fig3``,
+``fig4``, ``table1``, ``complexity``) to their drivers.
+"""
+
+from repro.experiments.complexity import ComplexityResult, run_complexity
+from repro.experiments.fig2_spanning_tree import Fig2Result, run_fig2
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.scaling import (
+    ScalingResult,
+    run_fig3,
+    run_fig4,
+    run_scaling,
+)
+from repro.experiments.table1_parameters import Table1Result, run_table1
+
+__all__ = [
+    "ComplexityResult",
+    "EXPERIMENTS",
+    "Fig2Result",
+    "ScalingResult",
+    "Table1Result",
+    "run_complexity",
+    "run_experiment",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_scaling",
+    "run_table1",
+]

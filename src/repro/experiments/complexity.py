@@ -1,0 +1,113 @@
+"""§V complexity claim — basic O(n²) vs sorted O(n log n) firefly loops.
+
+The paper argues the basic firefly inner loop costs O(n²) brightness
+comparisons per iteration while an ordered-tree (sorted) population needs
+only O(n log n).  This driver measures the comparison counters of both
+implementations over a size sweep and fits the growth exponents, plus
+checks the sorted variant still optimizes (final objective within a
+tolerance of the basic variant's on a standard benchmark function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.firefly.fa import BasicFireflyAlgorithm, FAParams
+from repro.firefly.fa_sorted import SortedFireflyAlgorithm
+from repro.firefly.objectives import sphere
+
+DEFAULT_SIZES = (16, 32, 64, 128, 256)
+
+
+@dataclass
+class ComplexityResult:
+    """Comparison counts and quality for both variants."""
+
+    sizes: tuple[int, ...]
+    iterations: int
+    basic_comparisons: list[int]
+    sorted_comparisons: list[int]
+    basic_best: list[float]
+    sorted_best: list[float]
+
+    def growth_exponent(self, counts: list[int]) -> float:
+        """Least-squares slope of log(comparisons) vs log(n)."""
+        x = np.log(np.asarray(self.sizes, dtype=float))
+        y = np.log(np.asarray(counts, dtype=float))
+        slope, _ = np.polyfit(x, y, 1)
+        return float(slope)
+
+    @property
+    def basic_exponent(self) -> float:
+        return self.growth_exponent(self.basic_comparisons)
+
+    @property
+    def sorted_exponent(self) -> float:
+        return self.growth_exponent(self.sorted_comparisons)
+
+    def render(self) -> str:
+        rows = []
+        for i, n in enumerate(self.sizes):
+            rows.append(
+                [
+                    n,
+                    self.basic_comparisons[i],
+                    self.sorted_comparisons[i],
+                    f"{self.basic_comparisons[i] / self.sorted_comparisons[i]:.1f}x",
+                    f"{self.basic_best[i]:.2e}",
+                    f"{self.sorted_best[i]:.2e}",
+                ]
+            )
+        return (
+            "§V complexity — firefly inner-loop comparisons "
+            f"({self.iterations} iterations, sphere objective)\n"
+            + format_table(
+                [
+                    "n",
+                    "basic cmp",
+                    "sorted cmp",
+                    "speedup",
+                    "basic best f",
+                    "sorted best f",
+                ],
+                rows,
+            )
+            + f"\nfitted growth: basic n^{self.basic_exponent:.2f} "
+            f"(paper: n^2), sorted n^{self.sorted_exponent:.2f} "
+            f"(paper: n log n)"
+        )
+
+
+def run_complexity(
+    sizes=DEFAULT_SIZES, iterations: int = 20, dim: int = 4, seed: int = 3
+) -> ComplexityResult:
+    """Measure both variants' comparison counts across population sizes."""
+    sizes = tuple(sorted(set(int(s) for s in sizes)))
+    if len(sizes) < 2:
+        raise ValueError("need at least two sizes to fit a growth exponent")
+    basic_cmp, sorted_cmp, basic_best, sorted_best = [], [], [], []
+    params = FAParams()
+    for n in sizes:
+        basic = BasicFireflyAlgorithm(
+            sphere, dim, n, params=params, rng=np.random.default_rng(seed)
+        )
+        rb = basic.run(iterations)
+        srt = SortedFireflyAlgorithm(
+            sphere, dim, n, params=params, rng=np.random.default_rng(seed)
+        )
+        rs = srt.run(iterations)
+        basic_cmp.append(rb.comparisons)
+        sorted_cmp.append(rs.comparisons)
+        basic_best.append(rb.best_value)
+        sorted_best.append(rs.best_value)
+    return ComplexityResult(
+        sizes=sizes,
+        iterations=iterations,
+        basic_comparisons=basic_cmp,
+        sorted_comparisons=sorted_cmp,
+        basic_best=basic_best,
+        sorted_best=sorted_best,
+    )

@@ -1,0 +1,32 @@
+"""Registry mapping experiment ids to their drivers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.experiments.complexity import run_complexity
+from repro.experiments.fig2_spanning_tree import run_fig2
+from repro.experiments.scaling import run_scaling
+from repro.experiments.table1_parameters import run_table1
+
+#: experiment id → zero-config driver.  ``fig3`` and ``fig4`` share one
+#: sweep; render with ``render_fig3()`` / ``render_fig4()``.
+EXPERIMENTS: dict[str, Callable[[], Any]] = {
+    "fig2": run_fig2,
+    "fig3": run_scaling,
+    "fig4": run_scaling,
+    "table1": run_table1,
+    "complexity": run_complexity,
+}
+
+
+def run_experiment(experiment_id: str):
+    """Run one experiment by id; raises KeyError with the valid ids."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        valid = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; valid ids: {valid}"
+        ) from None
+    return driver()

@@ -1,0 +1,118 @@
+"""Figs. 3 and 4 — ST vs FST convergence time and message count vs scale.
+
+Both figures come from one sweep (they are two metrics of the same runs),
+so :func:`run_scaling` executes it once and the fig-specific wrappers
+extract their series.  Default grid follows the paper's plotted range
+(50–1000 devices) in the fixed Table I cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.ascii_plot import ascii_chart
+from repro.analysis.sweep import SweepResult, run_sweep
+from repro.analysis.tables import format_series_table
+from repro.core.config import PaperConfig
+
+#: Paper's plotted scales (Figs. 3–4 x-axes run to ~1000 devices).
+DEFAULT_SIZES = (50, 100, 200, 400, 600, 800, 1000)
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+@dataclass
+class ScalingResult:
+    """Shared result of the Fig. 3 / Fig. 4 sweep."""
+
+    sweep: SweepResult
+    sizes: tuple[int, ...]
+    seeds: tuple[int, ...]
+
+    # ------------------------------------------------------------------
+    def series(self, metric: str) -> dict[str, list[tuple[int, float]]]:
+        return {
+            "ST (proposed)": self.sweep.series("st", metric),
+            "FST [17]": self.sweep.series("fst", metric),
+        }
+
+    def render_fig3(self) -> str:
+        """The Fig. 3 table: convergence time (ms) per scale."""
+        lines = [
+            "Fig. 3 — convergence time vs number of devices "
+            f"(mean over {len(self.seeds)} seeds, ms)",
+            format_series_table("devices", self.series("time_ms")),
+            "",
+            ascii_chart(self.series("time_ms"), title="convergence time (ms)"),
+        ]
+        crossover = self.sweep.crossover("time_ms")
+        lines.append(
+            f"ST first beats FST at n={crossover}"
+            if crossover is not None
+            else "ST never beats FST in this range"
+        )
+        return "\n".join(lines)
+
+    def render_fig4(self) -> str:
+        """The Fig. 4 table: total control messages per scale."""
+        lines = [
+            "Fig. 4 — control messages until convergence vs number of "
+            f"devices (mean over {len(self.seeds)} seeds)",
+            format_series_table(
+                "devices", self.series("messages"), value_format="{:.0f}"
+            ),
+            "",
+            ascii_chart(
+                self.series("messages"),
+                title="control messages (log scale)",
+                logy=True,
+            ),
+        ]
+        crossover = self.sweep.crossover("messages")
+        lines.append(
+            f"ST first beats FST at n={crossover}"
+            if crossover is not None
+            else "ST never beats FST in this range"
+        )
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        return self.render_fig3() + "\n\n" + self.render_fig4()
+
+
+def run_scaling(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    *,
+    base_config: PaperConfig | None = None,
+    workers: int = 1,
+) -> ScalingResult:
+    """Execute the shared Fig. 3 / Fig. 4 sweep."""
+    sweep = run_sweep(
+        sizes,
+        seeds,
+        base_config=base_config,
+        keep_density=False,  # the Table I cell stays 100 m x 100 m
+        workers=workers,
+    )
+    return ScalingResult(
+        sweep=sweep, sizes=tuple(sorted(sizes)), seeds=tuple(sorted(seeds))
+    )
+
+
+def run_fig3(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    **kwargs,
+) -> ScalingResult:
+    """Fig. 3 driver (identical sweep; render with ``render_fig3``)."""
+    return run_scaling(sizes, seeds, **kwargs)
+
+
+def run_fig4(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    **kwargs,
+) -> ScalingResult:
+    """Fig. 4 driver (identical sweep; render with ``render_fig4``)."""
+    return run_scaling(sizes, seeds, **kwargs)

@@ -1,0 +1,129 @@
+"""Sensitivity sweeps over the calibration knobs.
+
+The paper omits every protocol constant (EXPERIMENTS.md documents the
+values we fixed), so this driver answers the natural referee question:
+*how much do the headline numbers move if a knob moves?*  One parameter
+is swept with everything else at defaults; both algorithms run on paired
+topologies at a fixed scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.analysis.stats import SeriesStats, summarize
+from repro.analysis.tables import format_table
+from repro.core.config import PaperConfig
+from repro.core.fst import FSTSimulation
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation
+
+#: Knobs the driver accepts (all PaperConfig fields with numeric/str values).
+SWEEPABLE = (
+    "epsilon",
+    "dissipation",
+    "beacon_preambles",
+    "discovery_margin_db",
+    "ffa_rounds_per_phase",
+    "period_slots",
+    "refractory_slots",
+    "shadowing_sigma_db",
+    "collision_policy",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Aggregates for one (parameter value, algorithm)."""
+
+    value: Any
+    algorithm: str
+    time_ms: SeriesStats
+    messages: SeriesStats
+    converged_runs: int
+    total_runs: int
+
+
+@dataclass
+class SensitivityResult:
+    """Full sweep over one knob."""
+
+    parameter: str
+    n_devices: int
+    points: list[SensitivityPoint]
+
+    def for_algorithm(self, algorithm: str) -> list[SensitivityPoint]:
+        return [p for p in self.points if p.algorithm == algorithm]
+
+    def render(self) -> str:
+        rows = []
+        for p in self.points:
+            rows.append(
+                [
+                    str(p.value),
+                    p.algorithm.upper(),
+                    f"{p.time_ms.mean:.0f}",
+                    f"{p.messages.mean:.0f}",
+                    f"{p.converged_runs}/{p.total_runs}",
+                ]
+            )
+        return (
+            f"Sensitivity — {self.parameter} at n={self.n_devices}\n"
+            + format_table(
+                [self.parameter, "algo", "time ms", "messages", "converged"],
+                rows,
+            )
+        )
+
+
+def run_sensitivity(
+    parameter: str,
+    values: Sequence[Any],
+    *,
+    n_devices: int = 100,
+    seeds: Sequence[int] = (1, 2),
+    base_config: PaperConfig | None = None,
+    algorithms: Sequence[str] = ("st", "fst"),
+) -> SensitivityResult:
+    """Sweep ``parameter`` over ``values`` with everything else fixed."""
+    if parameter not in SWEEPABLE:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; sweepable: {SWEEPABLE}"
+        )
+    if not values:
+        raise ValueError("values must be non-empty")
+    bad = set(algorithms) - {"st", "fst"}
+    if bad:
+        raise ValueError(f"unknown algorithms {sorted(bad)}")
+    base = base_config if base_config is not None else PaperConfig()
+
+    points: list[SensitivityPoint] = []
+    for value in values:
+        runs: dict[str, list] = {a: [] for a in algorithms}
+        for seed in seeds:
+            config = (
+                base.replace(**{parameter: value})
+                .with_devices(n_devices, keep_density=False)
+                .with_seed(int(seed))
+            )
+            network = D2DNetwork(config)
+            if "st" in algorithms:
+                runs["st"].append(STSimulation(network).run())
+            if "fst" in algorithms:
+                runs["fst"].append(FSTSimulation(network).run())
+        for algorithm in algorithms:
+            batch = runs[algorithm]
+            points.append(
+                SensitivityPoint(
+                    value=value,
+                    algorithm=algorithm,
+                    time_ms=summarize([r.time_ms for r in batch]),
+                    messages=summarize([r.messages for r in batch]),
+                    converged_runs=sum(r.converged for r in batch),
+                    total_runs=len(batch),
+                )
+            )
+    return SensitivityResult(
+        parameter=parameter, n_devices=n_devices, points=points
+    )

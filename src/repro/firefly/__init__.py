@@ -1,0 +1,44 @@
+"""Firefly algorithm (Yang) — the optimizer inside Algorithm 3.
+
+The paper's Algorithm 3 (``F_F_A``) runs Yang's firefly algorithm with the
+location update of eq. (13):
+
+    xᵢ ← xᵢ + k·exp[−γ·r²ᵢⱼ]·(xⱼ − xᵢ) + η·μ
+
+The paper's complexity argument (§V) is that the basic algorithm is
+O(n²) per iteration because every firefly compares against every other,
+while keeping the fireflies in a *sorted/ordered tree* structure reduces
+the brighter-neighbour search to O(log n), i.e. O(n log n) per iteration.
+Both variants are implemented here so the claim is measurable
+(:mod:`benchmarks.bench_complexity_ffa`).
+"""
+
+from repro.firefly.attractiveness import (
+    exponential_kernel,
+    gaussian_kernel,
+    rational_kernel,
+)
+from repro.firefly.fa import BasicFireflyAlgorithm, FAParams, FAResult
+from repro.firefly.fa_sorted import SortedFireflyAlgorithm
+from repro.firefly.objectives import (
+    ackley,
+    rastrigin,
+    rosenbrock,
+    sphere,
+    OBJECTIVES,
+)
+
+__all__ = [
+    "BasicFireflyAlgorithm",
+    "FAParams",
+    "FAResult",
+    "OBJECTIVES",
+    "SortedFireflyAlgorithm",
+    "ackley",
+    "exponential_kernel",
+    "gaussian_kernel",
+    "rastrigin",
+    "rational_kernel",
+    "rosenbrock",
+    "sphere",
+]

@@ -1,0 +1,36 @@
+"""Attractiveness kernels β(r).
+
+Eq. (13) uses the Gaussian form ``exp(−γ r²)``; Algorithm 3 line 11 states
+the exponential form ``exp(−γ r)``; Yang's survey [23] also lists the
+rational form ``1/(1 + γ r²)``.  All three are provided and vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_gamma(gamma: float) -> None:
+    if gamma < 0:
+        raise ValueError(f"gamma must be >= 0, got {gamma}")
+
+
+def gaussian_kernel(r: np.ndarray | float, gamma: float) -> np.ndarray | float:
+    """``exp(−γ r²)`` — the eq. (13) kernel."""
+    _check_gamma(gamma)
+    out = np.exp(-gamma * np.square(np.asarray(r, dtype=float)))
+    return float(out) if np.isscalar(r) else out
+
+
+def exponential_kernel(r: np.ndarray | float, gamma: float) -> np.ndarray | float:
+    """``exp(−γ r)`` — Algorithm 3's variant."""
+    _check_gamma(gamma)
+    out = np.exp(-gamma * np.abs(np.asarray(r, dtype=float)))
+    return float(out) if np.isscalar(r) else out
+
+
+def rational_kernel(r: np.ndarray | float, gamma: float) -> np.ndarray | float:
+    """``1/(1 + γ r²)`` — cheap long-tailed approximation."""
+    _check_gamma(gamma)
+    out = 1.0 / (1.0 + gamma * np.square(np.asarray(r, dtype=float)))
+    return float(out) if np.isscalar(r) else out

@@ -1,0 +1,189 @@
+"""Basic O(n²) firefly algorithm (Algorithm 3 as written).
+
+Every iteration performs the full double loop: firefly *j* moves toward
+every brighter firefly *i* using the eq. (13) update.  The per-iteration
+cost is Θ(n²) brightness comparisons — the baseline for the paper's
+complexity claim.
+
+Brightness convention: we *minimize* the objective, so firefly i is
+brighter than j iff ``f(xᵢ) < f(xⱼ)`` (light intensity Iᵢ ∝ −f(xᵢ)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.firefly.attractiveness import (
+    exponential_kernel,
+    gaussian_kernel,
+    rational_kernel,
+)
+
+#: Attractiveness kernels selectable via :attr:`FAParams.kernel`.
+KERNELS = {
+    "gaussian": gaussian_kernel,       # eq. (13): exp(−γ r²)
+    "exponential": exponential_kernel,  # Algorithm 3 line 11: exp(−γ r)
+    "rational": rational_kernel,        # Yang [23]: 1/(1 + γ r²)
+}
+
+
+@dataclass(frozen=True)
+class FAParams:
+    """Hyper-parameters of eq. (13).
+
+    Attributes
+    ----------
+    step:
+        ``k`` — step size toward the brighter firefly.
+    gamma:
+        ``γ`` — light absorption coefficient (Algorithm 3's Υ).
+    eta:
+        ``η`` — random walk scale multiplying the Gaussian vector μ.
+    eta_decay:
+        Per-iteration multiplicative decay of η (1.0 = none); standard
+        practice so late iterations exploit rather than explore.
+    kernel:
+        Attractiveness form: ``"gaussian"`` (eq. 13), ``"exponential"``
+        (Algorithm 3 line 11) or ``"rational"`` (Yang's survey [23]).
+    """
+
+    step: float = 0.5
+    gamma: float = 1.0
+    eta: float = 0.2
+    eta_decay: float = 0.97
+    kernel: str = "gaussian"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.step <= 1.0:
+            raise ValueError(f"step k must be in (0, 1], got {self.step}")
+        if self.gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {self.gamma}")
+        if self.eta < 0:
+            raise ValueError(f"eta must be >= 0, got {self.eta}")
+        if not 0.0 < self.eta_decay <= 1.0:
+            raise ValueError(f"eta_decay must be in (0, 1], got {self.eta_decay}")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; valid: {sorted(KERNELS)}"
+            )
+
+    @property
+    def kernel_fn(self):
+        """The selected attractiveness callable ``β(r, γ)``."""
+        return KERNELS[self.kernel]
+
+
+@dataclass
+class FAResult:
+    """Outcome of a firefly optimization run."""
+
+    best_position: np.ndarray
+    best_value: float
+    history: list[float] = field(default_factory=list)
+    evaluations: int = 0
+    comparisons: int = 0
+    moves: int = 0
+    iterations: int = 0
+
+
+class BasicFireflyAlgorithm:
+    """Yang's firefly algorithm with the quadratic inner loop.
+
+    Parameters
+    ----------
+    objective:
+        Vectorized callable ``(n, d) → (n,)``; minimized.
+    dim:
+        Problem dimension ``d``.
+    pop_size:
+        Number of fireflies ``n``.
+    bounds:
+        ``(low, high)`` box constraints applied after each move.
+    params:
+        eq. (13) hyper-parameters.
+    rng:
+        Seeded generator (init + random walk draws).
+    """
+
+    def __init__(
+        self,
+        objective: Callable[[np.ndarray], np.ndarray],
+        dim: int,
+        pop_size: int,
+        *,
+        bounds: tuple[float, float] = (-5.0, 5.0),
+        params: FAParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if pop_size < 2:
+            raise ValueError(f"pop_size must be >= 2, got {pop_size}")
+        low, high = bounds
+        if low >= high:
+            raise ValueError(f"bounds must satisfy low < high, got {bounds}")
+        self.objective = objective
+        self.dim = dim
+        self.pop_size = pop_size
+        self.bounds = (float(low), float(high))
+        self.params = params or FAParams()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+        # Algorithm 3 line 1: generate initial population
+        self.positions = self.rng.uniform(low, high, size=(pop_size, dim))
+        self.values = np.asarray(objective(self.positions), dtype=float)
+        self._result = FAResult(
+            best_position=self.positions[np.argmin(self.values)].copy(),
+            best_value=float(self.values.min()),
+            evaluations=pop_size,
+        )
+
+    # ------------------------------------------------------------------
+    def _move(
+        self, j: int, i: int, eta: float
+    ) -> None:
+        """Move firefly j toward brighter firefly i (eq. 13)."""
+        xi, xj = self.positions[i], self.positions[j]
+        r = float(np.linalg.norm(xj - xi))
+        beta = self.params.step * self.params.kernel_fn(r, self.params.gamma)
+        mu = self.rng.standard_normal(self.dim)
+        new = xj + beta * (xi - xj) + eta * mu
+        low, high = self.bounds
+        self.positions[j] = np.clip(new, low, high)
+        self._result.moves += 1
+
+    def step(self, eta: float) -> None:
+        """One full iteration: the Θ(n²) double loop of Algorithm 3."""
+        n = self.pop_size
+        for j in range(n):
+            for i in range(n):
+                if i == j:
+                    continue
+                self._result.comparisons += 1
+                if self.values[i] < self.values[j]:  # Ii > Ij
+                    self._move(j, i, eta)
+                    # Algorithm 3 line 12: evaluate new solution, update I
+                    self.values[j] = float(
+                        self.objective(self.positions[j][None, :])[0]
+                    )
+                    self._result.evaluations += 1
+
+    def run(self, iterations: int) -> FAResult:
+        """Run ``iterations`` steps; returns the accumulated result."""
+        if iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        eta = self.params.eta * (self.bounds[1] - self.bounds[0])
+        for _ in range(iterations):
+            self.step(eta)
+            eta *= self.params.eta_decay
+            # Algorithm 3 line 13: rank fireflies, find current best
+            best_idx = int(np.argmin(self.values))
+            if self.values[best_idx] < self._result.best_value:
+                self._result.best_value = float(self.values[best_idx])
+                self._result.best_position = self.positions[best_idx].copy()
+            self._result.history.append(self._result.best_value)
+            self._result.iterations += 1
+        return self._result

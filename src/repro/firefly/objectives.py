@@ -1,0 +1,62 @@
+"""Benchmark objective functions for the firefly optimizer.
+
+All objectives are *minimized*, vectorized over a population matrix of
+shape ``(n, d)``, and have their global optimum at the origin with value 0
+(Rosenbrock's optimum is at the all-ones point — see its docstring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pop(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[None, :]
+    if x.ndim != 2:
+        raise ValueError(f"population must be (n, d), got shape {x.shape}")
+    return x
+
+
+def sphere(x: np.ndarray) -> np.ndarray:
+    """``f(x) = Σ xᵢ²`` — convex bowl; optimum f(0) = 0."""
+    return np.sum(_pop(x) ** 2, axis=1)
+
+
+def rastrigin(x: np.ndarray) -> np.ndarray:
+    """Highly multimodal: ``10d + Σ(xᵢ² − 10·cos 2πxᵢ)``; optimum f(0) = 0."""
+    p = _pop(x)
+    d = p.shape[1]
+    return 10.0 * d + np.sum(p**2 - 10.0 * np.cos(2.0 * np.pi * p), axis=1)
+
+
+def ackley(x: np.ndarray) -> np.ndarray:
+    """Ackley function; nearly flat outer region, deep hole at 0; f(0) = 0."""
+    p = _pop(x)
+    d = p.shape[1]
+    s1 = np.sqrt(np.sum(p**2, axis=1) / d)
+    s2 = np.sum(np.cos(2.0 * np.pi * p), axis=1) / d
+    return -20.0 * np.exp(-0.2 * s1) - np.exp(s2) + 20.0 + np.e
+
+
+def rosenbrock(x: np.ndarray) -> np.ndarray:
+    """Banana valley ``Σ 100(xᵢ₊₁ − xᵢ²)² + (1 − xᵢ)²``; optimum f(1,…,1) = 0.
+
+    Requires d ≥ 2.
+    """
+    p = _pop(x)
+    if p.shape[1] < 2:
+        raise ValueError("rosenbrock requires dimension >= 2")
+    a = p[:, 1:] - p[:, :-1] ** 2
+    b = 1.0 - p[:, :-1]
+    return np.sum(100.0 * a**2 + b**2, axis=1)
+
+
+#: Registry used by benches and examples.
+OBJECTIVES = {
+    "sphere": sphere,
+    "rastrigin": rastrigin,
+    "ackley": ackley,
+    "rosenbrock": rosenbrock,
+}

@@ -1,0 +1,26 @@
+"""Device mobility — eq. (13) as motion, plus classic random waypoint.
+
+The paper's eq. (13),
+
+    xᵢ ← xᵢ + k·exp[−γ·r²ᵢⱼ]·(xⱼ − xᵢ) + η·μ,
+
+is literally a *location update between two devices*: a device drifts
+toward a brighter (stronger-PS / more attractive) peer with a Gaussian
+exploration term.  §VI lists "more realistic scenarios" as future work;
+this subpackage provides both the paper's attraction dynamics
+(:class:`FireflyAttractionMobility`) and the standard random-waypoint
+model (:class:`RandomWaypoint`), plus a session harness that measures how
+synchronization and the spanning tree survive motion
+(:class:`MobilitySession`).
+"""
+
+from repro.mobility.attraction import FireflyAttractionMobility
+from repro.mobility.resync import MobilityEpoch, MobilitySession
+from repro.mobility.waypoint import RandomWaypoint
+
+__all__ = [
+    "FireflyAttractionMobility",
+    "MobilityEpoch",
+    "MobilitySession",
+    "RandomWaypoint",
+]

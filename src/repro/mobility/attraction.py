@@ -1,0 +1,128 @@
+"""Firefly-attraction mobility — eq. (13) applied to device positions.
+
+Each step, every device moves toward its *brightest detected* peer
+(brightness = any scalar attractiveness: PS strength toward a service
+peer, content value, residual battery, ...) with the eq. (13) update
+
+    xᵢ ← xᵢ + k·exp[−γ·r²ᵢⱼ]·(xⱼ − xᵢ) + η·μ.
+
+The attraction kernel means far peers barely pull (the exp collapses) and
+near-bright peers pull hard — devices with shared interests physically
+cluster, which shortens their D2D links; the MobilitySession harness
+quantifies that effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.firefly.attractiveness import gaussian_kernel
+
+
+class FireflyAttractionMobility:
+    """Eq. (13) motion toward brighter detected peers.
+
+    Parameters
+    ----------
+    positions:
+        Initial ``(n, 2)`` coordinates (copied).
+    area_side_m:
+        Square-area side; motion is clipped into the area.
+    step:
+        ``k`` of eq. (13) — fraction of the gap closed per move.
+    gamma:
+        Attraction coefficient ``γ`` (per m²); sets the attraction range.
+    eta_m:
+        ``η`` — Gaussian exploration step in metres.
+    rng:
+        Seeded generator (for μ).
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        area_side_m: float,
+        *,
+        step: float = 0.3,
+        gamma: float = 1e-3,
+        eta_m: float = 0.5,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must be (n, 2), got {positions.shape}")
+        if area_side_m <= 0:
+            raise ValueError("area_side_m must be positive")
+        if not 0.0 < step <= 1.0:
+            raise ValueError(f"step k must be in (0, 1], got {step}")
+        if gamma < 0:
+            raise ValueError("gamma must be >= 0")
+        if eta_m < 0:
+            raise ValueError("eta_m must be >= 0")
+        self.positions = positions.copy()
+        self.area_side_m = float(area_side_m)
+        self.step = float(step)
+        self.gamma = float(gamma)
+        self.eta_m = float(eta_m)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.n = positions.shape[0]
+
+    def move(
+        self,
+        brightness: np.ndarray,
+        visible: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One eq.-13 step; returns the new positions (copy).
+
+        Parameters
+        ----------
+        brightness:
+            Per-device attractiveness ``I``; device j attracts i iff
+            ``I[j] > I[i]`` (Algorithm 3's brightness rule).
+        visible:
+            Optional boolean ``(n, n)`` detectability mask (a device only
+            moves toward peers it can hear); default all-visible.
+        """
+        brightness = np.asarray(brightness, dtype=float)
+        if brightness.shape != (self.n,):
+            raise ValueError(
+                f"brightness must have shape ({self.n},), got {brightness.shape}"
+            )
+        if visible is None:
+            visible = ~np.eye(self.n, dtype=bool)
+        else:
+            visible = np.asarray(visible, dtype=bool)
+            if visible.shape != (self.n, self.n):
+                raise ValueError("visible must be (n, n)")
+
+        # candidate targets: visible peers strictly brighter than me
+        brighter = visible & (brightness[None, :] > brightness[:, None])
+        # among them pick the brightest (Algorithm 3 line 9-10)
+        masked = np.where(brighter, brightness[None, :], -np.inf)
+        target = np.argmax(masked, axis=1)
+        has_target = np.isfinite(masked[np.arange(self.n), target])
+
+        new = self.positions.copy()
+        if has_target.any():
+            i = np.nonzero(has_target)[0]
+            j = target[i]
+            delta = self.positions[j] - self.positions[i]
+            r2 = np.einsum("ij,ij->i", delta, delta)
+            beta = self.step * gaussian_kernel(np.sqrt(r2), self.gamma)
+            new[i] += beta[:, None] * delta
+        # every device explores (rule III: equal brightness → random move)
+        new += self.eta_m * self.rng.standard_normal((self.n, 2))
+        np.clip(new, 0.0, self.area_side_m, out=new)
+        self.positions = new
+        return new.copy()
+
+    def mean_pairwise_distance(self, subset: np.ndarray | None = None) -> float:
+        """Mean pairwise distance (of ``subset`` ids if given) — the
+        clustering metric the extension experiments track."""
+        pts = self.positions if subset is None else self.positions[subset]
+        if pts.shape[0] < 2:
+            return 0.0
+        diff = pts[:, None, :] - pts[None, :, :]
+        d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        iu, ju = np.triu_indices(pts.shape[0], k=1)
+        return float(d[iu, ju].mean())

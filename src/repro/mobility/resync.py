@@ -1,0 +1,167 @@
+"""Mobility session: how synchronization and the tree survive motion.
+
+The session starts from a synchronized, tree-organized network.  Each
+epoch the devices move (any mobility model with ``positions`` and a step
+method), the channel is rebuilt at the new geometry, and the network
+re-synchronizes over the *new* maximum-PS spanning tree.  Per-epoch
+records capture the re-sync cost (time, messages), how much of the old
+tree survived, and the current phase coherence — the quantities a
+"realistic scenario" extension of the paper (its §VI) would plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PaperConfig
+from repro.core.pulsesync import PulseSyncKernel
+from repro.oscillator.prc import LinearPRC
+from repro.radio.fading import NoFading, RayleighFading
+from repro.radio.link import LinkBudget
+from repro.radio.pathloss import PaperPathLoss
+from repro.radio.shadowing import LogNormalShadowing, NoShadowing
+from repro.spanningtree.boruvka import distributed_boruvka
+
+
+class _FrozenShadowing:
+    """Shadowing provider that replays one fixed link matrix."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self._matrix = matrix
+        self.sigma_db = float(matrix.std()) if matrix.size else 0.0
+
+    def link_matrix(self, n: int) -> np.ndarray:
+        if n != self._matrix.shape[0]:
+            raise ValueError(
+                f"frozen shadowing is {self._matrix.shape[0]}x..., asked for {n}"
+            )
+        return self._matrix
+
+    def sample(self, size=1) -> np.ndarray:
+        raise NotImplementedError("frozen shadowing only provides link_matrix")
+
+
+@dataclass(frozen=True)
+class MobilityEpoch:
+    """One epoch's outcome."""
+
+    epoch: int
+    resync_time_ms: float
+    resync_messages: int
+    converged: bool
+    #: fraction of the previous epoch's tree edges still in the new tree
+    tree_stability: float
+    mean_tree_edge_m: float
+
+
+class MobilitySession:
+    """Move → rebuild channel → re-tree → re-sync, epoch by epoch.
+
+    Parameters
+    ----------
+    config:
+        Scenario parameters (the mobility area is ``config.area_side_m``).
+    mover:
+        Object exposing ``positions`` (``(n, 2)`` array) that the caller
+        advances between :meth:`run_epoch` calls.
+    seed:
+        Seed for the per-epoch channel and sync draws.
+    """
+
+    def __init__(
+        self, config: PaperConfig, mover, *, seed: int = 0
+    ) -> None:
+        self.config = config
+        self.mover = mover
+        self.rng = np.random.default_rng(seed)
+        self.prc = LinearPRC.from_dissipation(config.dissipation, config.epsilon)
+        self.epochs: list[MobilityEpoch] = []
+        self._prev_tree: set[tuple[int, int]] = set()
+        # the per-link shadowing environment is drawn once and held fixed
+        # across epochs (buildings don't reshuffle when devices walk), so
+        # tree churn measures *geometry* change, not channel re-rolls
+        if config.shadowing_sigma_db > 0:
+            self._shadow = _FrozenShadowing(
+                LogNormalShadowing(
+                    config.shadowing_sigma_db, self.rng
+                ).link_matrix(config.n_devices)
+            )
+        else:
+            self._shadow = NoShadowing()
+
+    # ------------------------------------------------------------------
+    def _build_budget(self) -> LinkBudget:
+        cfg = self.config
+        shadowing = self._shadow
+        fading = (
+            RayleighFading(self.rng)
+            if cfg.fading_model == "rayleigh"
+            else NoFading()
+        )
+        return LinkBudget(
+            self.mover.positions,
+            PaperPathLoss(),
+            tx_power_dbm=cfg.tx_power_dbm,
+            threshold_dbm=cfg.threshold_dbm,
+            shadowing=shadowing,
+            fading=fading,
+        )
+
+    def run_epoch(self) -> MobilityEpoch:
+        """Rebuild the channel at current positions, re-tree, re-sync."""
+        cfg = self.config
+        budget = self._build_budget()
+        adjacency = budget.adjacency() & budget.adjacency().T
+        np.fill_diagonal(adjacency, False)
+        weights = 0.5 * (budget.mean_rx_dbm + budget.mean_rx_dbm.T)
+
+        boruvka = distributed_boruvka(weights, adjacency)
+        tree = set(boruvka.edges)
+        if self._prev_tree:
+            stability = len(tree & self._prev_tree) / max(len(self._prev_tree), 1)
+        else:
+            stability = 1.0
+        self._prev_tree = tree
+
+        n = cfg.n_devices
+        tree_adj = np.zeros((n, n), dtype=bool)
+        for u, v in tree:
+            tree_adj[u, v] = tree_adj[v, u] = True
+
+        kernel = PulseSyncKernel(
+            budget.mean_rx_dbm,
+            tree_adj,
+            self.prc,
+            period_ms=cfg.period_ms,
+            threshold_dbm=cfg.threshold_dbm,
+            refractory_ms=cfg.refractory_ms,
+            sync_window_ms=cfg.sync_window_ms,
+            fading=budget.fading,
+            collision_policy=cfg.collision_policy,
+        )
+        # devices kept their clocks through the move: phases start nearly
+        # aligned, perturbed by the inter-epoch drift (a few slots)
+        base = float(self.rng.uniform(0.0, 0.9))
+        jitter = self.rng.uniform(0.0, 0.05, size=n)
+        sync = kernel.run(
+            self.rng,
+            initial_phases=np.clip(base + jitter, 0.0, 1.0 - 1e-9),
+            max_time_ms=cfg.max_time_ms,
+        )
+
+        dist = budget.distance_m
+        edge_m = (
+            float(np.mean([dist[u, v] for u, v in tree])) if tree else 0.0
+        )
+        record = MobilityEpoch(
+            epoch=len(self.epochs),
+            resync_time_ms=sync.time_ms,
+            resync_messages=sync.messages,
+            converged=sync.converged,
+            tree_stability=stability,
+            mean_tree_edge_m=edge_m,
+        )
+        self.epochs.append(record)
+        return record

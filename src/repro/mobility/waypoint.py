@@ -1,0 +1,99 @@
+"""Random-waypoint mobility (the standard ad-hoc evaluation model).
+
+Each device picks a uniform random destination in the area and moves
+toward it at a per-device speed; on arrival it pauses for a random time
+and repeats.  Fully vectorized: one ``step`` advances every device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandomWaypoint:
+    """Vectorized random-waypoint walker.
+
+    Parameters
+    ----------
+    positions:
+        Initial ``(n, 2)`` coordinates (copied).
+    area_side_m:
+        Square-area side; all motion is clipped to ``[0, side]``.
+    speed_range_mps:
+        ``(min, max)`` uniform speed per leg, metres/second.
+    pause_range_s:
+        ``(min, max)`` uniform pause at each waypoint, seconds.
+    rng:
+        Seeded generator.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        area_side_m: float,
+        *,
+        speed_range_mps: tuple[float, float] = (0.5, 1.5),
+        pause_range_s: tuple[float, float] = (0.0, 2.0),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must be (n, 2), got {positions.shape}")
+        if area_side_m <= 0:
+            raise ValueError("area_side_m must be positive")
+        lo, hi = speed_range_mps
+        if not 0 < lo <= hi:
+            raise ValueError(f"invalid speed range {speed_range_mps}")
+        plo, phi = pause_range_s
+        if not 0 <= plo <= phi:
+            raise ValueError(f"invalid pause range {pause_range_s}")
+        self.positions = positions.copy()
+        self.area_side_m = float(area_side_m)
+        self.speed_range = (float(lo), float(hi))
+        self.pause_range = (float(plo), float(phi))
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.n = positions.shape[0]
+        self._targets = self._draw_targets(np.ones(self.n, dtype=bool))
+        self._speeds = self.rng.uniform(lo, hi, size=self.n)
+        self._pause_left = np.zeros(self.n)
+
+    def _draw_targets(self, mask: np.ndarray) -> np.ndarray:
+        targets = getattr(self, "_targets", np.zeros((self.n, 2)))
+        k = int(mask.sum())
+        if k:
+            targets = targets.copy()
+            targets[mask] = self.rng.uniform(
+                0.0, self.area_side_m, size=(k, 2)
+            )
+        return targets
+
+    def step(self, dt_s: float) -> np.ndarray:
+        """Advance every device by ``dt_s`` seconds; returns positions (view copy)."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        moving = self._pause_left <= 0.0
+        self._pause_left = np.maximum(self._pause_left - dt_s, 0.0)
+
+        delta = self._targets - self.positions
+        dist = np.linalg.norm(delta, axis=1)
+        travel = self._speeds * dt_s
+        arrive = moving & (travel >= dist)
+        cruise = moving & ~arrive
+
+        # cruising devices move along the unit vector
+        if cruise.any():
+            unit = delta[cruise] / np.maximum(dist[cruise, None], 1e-12)
+            self.positions[cruise] += unit * travel[cruise, None]
+        # arrivals snap to target, start a pause, pick the next leg
+        if arrive.any():
+            self.positions[arrive] = self._targets[arrive]
+            k = int(arrive.sum())
+            self._pause_left[arrive] = self.rng.uniform(
+                self.pause_range[0], self.pause_range[1], size=k
+            )
+            self._targets = self._draw_targets(arrive)
+            self._speeds[arrive] = self.rng.uniform(
+                self.speed_range[0], self.speed_range[1], size=k
+            )
+        np.clip(self.positions, 0.0, self.area_side_m, out=self.positions)
+        return self.positions.copy()

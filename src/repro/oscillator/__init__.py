@@ -1,0 +1,56 @@
+"""Pulse-coupled (firefly) oscillator models — paper §III.
+
+* :mod:`repro.oscillator.phase` — the phase oscillator of eqs (3)–(4):
+  linear ramp to a normalized threshold of 1, reset on fire.
+* :mod:`repro.oscillator.prc` — phase response curves, including the
+  Mirollo–Strogatz concave-up return map and its linearization
+  ``θ ← min(α·θ + β, 1)`` with α, β from the dissipation factor (eq. 5).
+* :mod:`repro.oscillator.coupling` — coupling matrices ``M`` of eq. (1).
+* :mod:`repro.oscillator.integrate_fire` — exact event-driven integration
+  of the RC-circuit integrate-and-fire dynamics (eqs 1–2), used as the
+  ground-truth reference the phase model is validated against.
+* :mod:`repro.oscillator.sync_metrics` — order parameter, circular phase
+  spread, synchrony-group counting and convergence detection.
+"""
+
+from repro.oscillator.coupling import (
+    all_to_all_coupling,
+    graph_coupling,
+    normalize_coupling,
+)
+from repro.oscillator.integrate_fire import IntegrateFireNetwork
+from repro.oscillator.kuramoto import (
+    KuramotoNetwork,
+    order_parameter_rad,
+    to_unit_phases,
+)
+from repro.oscillator.phase import PhaseOscillator
+from repro.oscillator.prc import (
+    LinearPRC,
+    MirolloStrogatzPRC,
+    coupling_parameters,
+)
+from repro.oscillator.sync_metrics import (
+    circular_spread,
+    count_sync_groups,
+    is_synchronized,
+    order_parameter,
+)
+
+__all__ = [
+    "IntegrateFireNetwork",
+    "KuramotoNetwork",
+    "LinearPRC",
+    "MirolloStrogatzPRC",
+    "PhaseOscillator",
+    "all_to_all_coupling",
+    "circular_spread",
+    "count_sync_groups",
+    "coupling_parameters",
+    "graph_coupling",
+    "is_synchronized",
+    "normalize_coupling",
+    "order_parameter",
+    "order_parameter_rad",
+    "to_unit_phases",
+]

@@ -1,0 +1,65 @@
+"""Coupling matrices ``M`` of eq. (1).
+
+``M[i, j]`` is the strength with which oscillator ``j``'s pulses perturb
+oscillator ``i``.  The paper's two regimes:
+
+* FST (baseline [17]): coupling over the whole proximity mesh;
+* ST (proposed): coupling restricted to spanning-tree edges.
+
+Helpers here build both from a boolean adjacency (or NetworkX graph) and
+optionally normalize rows so total incident coupling is degree-independent
+(Lucarelli & Wang [16] nearest-neighbour convergence condition).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+def all_to_all_coupling(n: int, epsilon: float) -> np.ndarray:
+    """Fully meshed coupling: ``M[i, j] = ε`` for i ≠ j (eq. 1's ideal case)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    m = np.full((n, n), float(epsilon))
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def graph_coupling(
+    adjacency: np.ndarray | nx.Graph, epsilon: float, n: int | None = None
+) -> np.ndarray:
+    """Coupling restricted to graph edges: ``M[i, j] = ε·A[i, j]``."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    if isinstance(adjacency, nx.Graph):
+        size = n if n is not None else adjacency.number_of_nodes()
+        a = nx.to_numpy_array(
+            adjacency, nodelist=range(size), weight=None, dtype=float
+        )
+    else:
+        a = np.asarray(adjacency, dtype=float)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"adjacency must be square, got {a.shape}")
+    m = (a != 0).astype(float) * float(epsilon)
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def normalize_coupling(m: np.ndarray, total: float = 1.0) -> np.ndarray:
+    """Scale each row so its incident coupling sums to ``total``.
+
+    Rows with no neighbours are left zero.  Degree normalization keeps the
+    effective pulse strength comparable between a degree-3 node and a
+    degree-50 node, which matters when comparing mesh (FST) and tree (ST)
+    topologies fairly.
+    """
+    if total <= 0:
+        raise ValueError(f"total must be > 0, got {total}")
+    m = np.asarray(m, dtype=float)
+    row_sums = m.sum(axis=1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scaled = np.where(row_sums > 0, m * (total / row_sums), 0.0)
+    return scaled

@@ -1,0 +1,112 @@
+"""Phase oscillator of eqs (3)–(4).
+
+The phase ``θ`` ramps linearly from 0 to the (normalized) threshold 1 over
+the free-running period ``T``: ``dθ/dt = 1/T``.  On reaching threshold the
+oscillator *fires* and resets to 0; on hearing a neighbour's pulse it jumps
+by the PRC.  Phase is stored lazily — ``(phase_at_last_update, time)`` —
+so advancing costs O(1) regardless of how long the oscillator idles.
+"""
+
+from __future__ import annotations
+
+from repro.oscillator.prc import LinearPRC
+
+
+class PhaseOscillator:
+    """One integrate-and-fire phase oscillator with a linear ramp.
+
+    Parameters
+    ----------
+    period:
+        Free-running period ``T`` in ms.
+    prc:
+        Phase response curve applied on pulse reception.
+    phase:
+        Initial phase in [0, 1).
+    refractory:
+        Window (ms) after a fire during which received pulses are ignored.
+        Werner-Allen et al. [13] show this is required on real radios to
+        stop echo storms; 0 disables it (paper's idealized model).
+    """
+
+    __slots__ = ("period", "prc", "_phase", "_last_update", "_last_fire", "refractory", "fire_count")
+
+    def __init__(
+        self,
+        period: float,
+        prc: LinearPRC,
+        *,
+        phase: float = 0.0,
+        refractory: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 <= phase < 1.0:
+            raise ValueError(f"initial phase must be in [0, 1), got {phase}")
+        if refractory < 0:
+            raise ValueError(f"refractory must be >= 0, got {refractory}")
+        self.period = float(period)
+        self.prc = prc
+        self._phase = float(phase)
+        self._last_update = 0.0
+        self._last_fire = -float("inf")
+        self.refractory = float(refractory)
+        self.fire_count = 0
+
+    # ------------------------------------------------------------------
+    def phase_at(self, now: float) -> float:
+        """Phase at time ``now`` (≥ last update), capped at 1.0."""
+        if now < self._last_update - 1e-9:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_update}"
+            )
+        elapsed = max(0.0, now - self._last_update)
+        return min(self._phase + elapsed / self.period, 1.0)
+
+    def time_to_fire(self, now: float) -> float:
+        """Time from ``now`` until the natural (uncoupled) threshold crossing."""
+        return (1.0 - self.phase_at(now)) * self.period
+
+    def in_refractory(self, now: float) -> bool:
+        return (now - self._last_fire) < self.refractory
+
+    # ------------------------------------------------------------------
+    def fire(self, now: float) -> None:
+        """Fire at ``now``: reset phase to 0 (eq. 4, first case)."""
+        self._phase = 0.0
+        self._last_update = now
+        self._last_fire = now
+        self.fire_count += 1
+
+    def receive_pulse(self, now: float) -> bool:
+        """Apply the PRC to the current phase (eq. 4, second case).
+
+        Returns ``True`` if the pulse pushed the phase to threshold — the
+        caller must then make this oscillator fire too.  During the
+        refractory window the pulse is ignored and ``False`` returned.
+        """
+        if self.in_refractory(now):
+            return False
+        theta = self.phase_at(now)
+        new_theta = self.prc.apply(theta)
+        if new_theta >= 1.0:
+            # caller is responsible for calling fire(); hold at threshold
+            self._phase = 1.0
+            self._last_update = now
+            return True
+        self._phase = new_theta
+        self._last_update = now
+        return False
+
+    def set_phase(self, now: float, phase: float) -> None:
+        """Force the phase (used for seeded random initialisation)."""
+        if not 0.0 <= phase <= 1.0:
+            raise ValueError(f"phase must be in [0, 1], got {phase}")
+        self._phase = float(phase)
+        self._last_update = now
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseOscillator(period={self.period}, phase={self._phase:.4f}"
+            f"@t={self._last_update}, fires={self.fire_count})"
+        )

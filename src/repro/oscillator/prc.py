@@ -1,0 +1,128 @@
+"""Phase response curves (paper §III, eq. 5 and ref [19]).
+
+Mirollo & Strogatz model each oscillator by a concave-up state function
+``x = f(θ)`` rising from 0 to 1; an incoming pulse adds ``ε`` to the state
+and the phase jumps to ``g(f(θ) + ε)`` where ``g = f⁻¹``.  With the
+standard choice ``f(θ) = (1/b)·ln(1 + (e^b − 1)·θ)`` (dissipation ``b``)
+the return map *linearizes* to
+
+    θ⁺ = min(α·θ + β, 1),  α = e^{bε},  β = (e^{bε} − 1)/(e^b − 1),
+
+which is the paper's eq. (5) (the paper writes the dissipation factor as
+``a``).  Mirollo–Strogatz prove that for a fully meshed network with
+``α > 1`` and ``β > 0`` (equivalently ``b > 0, ε > 0``) the system always
+converges to synchrony.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def coupling_parameters(dissipation: float, epsilon: float) -> tuple[float, float]:
+    """Compute (α, β) from dissipation ``a`` and pulse strength ``ε`` (eq. 5)."""
+    if dissipation <= 0:
+        raise ValueError(f"dissipation must be > 0, got {dissipation}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    alpha = math.exp(dissipation * epsilon)
+    beta = (alpha - 1.0) / (math.exp(dissipation) - 1.0)
+    return alpha, beta
+
+
+@dataclass(frozen=True)
+class LinearPRC:
+    """Linear phase response curve ``θ⁺ = min(α·θ + β, 1)``.
+
+    ``apply`` returns the new phase; a result of exactly 1.0 means the
+    pulse pushed the receiver over threshold (it should itself fire).
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1.0:
+            raise ValueError(
+                f"alpha must be >= 1 for excitatory coupling, got {self.alpha}"
+            )
+        if self.beta < 0.0:
+            raise ValueError(f"beta must be >= 0, got {self.beta}")
+
+    @classmethod
+    def from_dissipation(cls, dissipation: float, epsilon: float) -> "LinearPRC":
+        """Construct via eq. (5)."""
+        alpha, beta = coupling_parameters(dissipation, epsilon)
+        return cls(alpha, beta)
+
+    @property
+    def guarantees_convergence(self) -> bool:
+        """Mirollo–Strogatz sufficient condition: α > 1 and β > 0."""
+        return self.alpha > 1.0 and self.beta > 0.0
+
+    def apply(self, theta: float) -> float:
+        """New phase after receiving one pulse at phase ``theta``."""
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError(f"phase must be in [0, 1], got {theta}")
+        return min(self.alpha * theta + self.beta, 1.0)
+
+    def fires(self, theta: float) -> bool:
+        """Does a pulse at phase ``theta`` push the receiver to threshold?"""
+        return self.apply(theta) >= 1.0
+
+    def absorption_phase(self) -> float:
+        """Phase above which a received pulse causes an immediate fire.
+
+        Solves ``α·θ + β = 1``; receivers past this phase are *absorbed*
+        into the sender's group — the mechanism behind Mirollo–Strogatz
+        convergence.
+        """
+        return max(0.0, (1.0 - self.beta) / self.alpha)
+
+
+class MirolloStrogatzPRC:
+    """Exact (non-linearized) Mirollo–Strogatz return map.
+
+    Uses ``f(θ) = (1/b)·ln(1 + (e^b − 1)·θ)``, the canonical concave-up
+    state function; ``apply`` computes ``g(f(θ) + ε)`` exactly.  Kept as a
+    reference to validate the linear PRC against.
+    """
+
+    def __init__(self, dissipation: float, epsilon: float) -> None:
+        if dissipation <= 0:
+            raise ValueError(f"dissipation must be > 0, got {dissipation}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {epsilon}")
+        self.dissipation = float(dissipation)
+        self.epsilon = float(epsilon)
+        self._eb = math.exp(self.dissipation)
+
+    def state(self, theta: float) -> float:
+        """``x = f(θ)`` — concave-up state in [0, 1]."""
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError(f"phase must be in [0, 1], got {theta}")
+        return math.log1p((self._eb - 1.0) * theta) / self.dissipation
+
+    def phase(self, x: float) -> float:
+        """``θ = g(x) = f⁻¹(x)``."""
+        if not 0.0 <= x <= 1.0:
+            raise ValueError(f"state must be in [0, 1], got {x}")
+        return (math.exp(self.dissipation * x) - 1.0) / (self._eb - 1.0)
+
+    def apply(self, theta: float) -> float:
+        """New phase after a pulse: ``g(min(f(θ) + ε, 1))``."""
+        x = self.state(theta) + self.epsilon
+        if x >= 1.0:
+            return 1.0
+        return self.phase(x)
+
+    def linearized(self) -> LinearPRC:
+        """The eq.-5 linear PRC with the same (dissipation, ε)."""
+        return LinearPRC.from_dissipation(self.dissipation, self.epsilon)
+
+    def __repr__(self) -> str:
+        return (
+            f"MirolloStrogatzPRC(dissipation={self.dissipation}, "
+            f"epsilon={self.epsilon})"
+        )

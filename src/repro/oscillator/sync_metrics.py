@@ -1,0 +1,75 @@
+"""Synchrony metrics for populations of phase oscillators.
+
+All phases are on the unit circle (period-normalized to [0, 1)); metrics
+must therefore be *circular* — a population split between phase 0.99 and
+0.01 is nearly synchronized, not maximally spread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_phases(phases) -> np.ndarray:
+    p = np.asarray(phases, dtype=float)
+    if p.ndim != 1:
+        raise ValueError(f"phases must be 1-D, got shape {p.shape}")
+    if p.size and (np.any(p < 0.0) or np.any(p > 1.0)):
+        raise ValueError("phases must lie in [0, 1]")
+    return p
+
+
+def order_parameter(phases) -> float:
+    """Kuramoto order parameter ``R = |mean(e^{2πiθ})|`` in [0, 1].
+
+    1 means perfect synchrony, ~0 a uniformly spread population.
+    """
+    p = _as_phases(phases)
+    if p.size == 0:
+        raise ValueError("need at least one phase")
+    z = np.exp(2j * np.pi * p)
+    return float(np.abs(z.mean()))
+
+
+def circular_spread(phases) -> float:
+    """Smallest arc length (in phase units, ≤ 0.5·…·1) containing all phases.
+
+    Computed as 1 minus the largest gap between consecutive sorted phases
+    on the circle.  0 ⇔ identical phases.
+    """
+    p = np.sort(_as_phases(phases))
+    if p.size == 0:
+        raise ValueError("need at least one phase")
+    if p.size == 1:
+        return 0.0
+    gaps = np.diff(p)
+    wrap_gap = 1.0 - p[-1] + p[0]
+    largest_gap = max(float(gaps.max()), wrap_gap)
+    return 1.0 - largest_gap
+
+
+def is_synchronized(phases, tolerance: float = 1e-3) -> bool:
+    """True when every phase lies within a ``tolerance`` arc."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    return circular_spread(phases) <= tolerance
+
+
+def count_sync_groups(phases, gap: float = 0.02) -> int:
+    """Number of phase clusters separated by circular gaps > ``gap``.
+
+    This is the "how many independent flashing groups remain" metric used
+    to watch fragments coalesce during the ST algorithm.
+    """
+    if gap <= 0:
+        raise ValueError("gap must be > 0")
+    p = np.sort(_as_phases(phases))
+    if p.size == 0:
+        raise ValueError("need at least one phase")
+    if p.size == 1:
+        return 1
+    gaps = np.diff(p)
+    wrap_gap = 1.0 - p[-1] + p[0]
+    boundaries = int(np.count_nonzero(gaps > gap)) + (1 if wrap_gap > gap else 0)
+    # On a circle, k boundaries delimit k clusters (0 boundaries = 1 cluster).
+    return max(boundaries, 1)

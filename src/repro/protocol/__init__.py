@@ -1,0 +1,20 @@
+"""Node-level message-passing execution of the ST construction.
+
+:class:`~repro.core.st.STSimulation` models Algorithm 1/2 with *aggregate*
+accounting (it replays centrally-computed Borůvka phases and bills the
+messages each protocol step implies).  This subpackage executes the same
+protocol at **node granularity**: every device holds only local state
+(its incident weights, fragment id, tree parent/children) and everything
+it learns arrives in an explicit message delivered over a proximity-graph
+link.  The two implementations are cross-validated in the test suite —
+same tree, consistent message/round orders — which is the strongest
+internal check that the fast aggregate model is not cheating.
+"""
+
+from repro.protocol.rounds import (
+    MessagePassingST,
+    NodeState,
+    ProtocolResult,
+)
+
+__all__ = ["MessagePassingST", "NodeState", "ProtocolResult"]

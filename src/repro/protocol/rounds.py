@@ -1,0 +1,296 @@
+"""Synchronous-round message-passing execution of Algorithms 1–2.
+
+Every device holds strictly local state and all coordination happens in
+counted messages over proximity-graph links, one hop per round:
+
+per phase (while more than one fragment remains):
+
+1. **ANNOUNCE-FRAGMENT** — every node broadcasts its fragment id so
+   neighbours can classify incident edges as internal/outgoing
+   (n messages, 1 round).
+2. **REPORT** — leaves start a convergecast of each subtree's best
+   outgoing edge toward the head; inner nodes merge children's candidates
+   with their own before forwarding (n − #fragments messages,
+   max-depth rounds).
+3. **MERGE-ANNOUNCE** — each head broadcasts its fragment's chosen MWOE
+   down the tree (n − #fragments messages, max-depth rounds).
+4. **CONNECT / SIZE** — the MWOE's local endpoint sends CONNECT across;
+   the two heads' sizes ride along, deciding the surviving head
+   (Algorithm 1: "choose Sv.head from highest number of node's tree";
+   2 messages per chosen edge, 1 round).
+5. **ADOPT** — the losing side re-roots: an adoption wave spreads from
+   its connect endpoint over its old tree edges, flipping parents and
+   rewriting fragment ids (losing-fragment-size messages, its depth in
+   rounds).
+
+Within a phase all fragments work concurrently, so the phase's round
+cost is the max over fragments — exactly the timing model the aggregate
+:class:`~repro.core.st.STSimulation` bills.  Chained merges (A connects
+to B while B connects to C) are handled by processing adoptions in
+deterministic order within the phase.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spanningtree.messages import MessageCounter, MessageKind
+
+
+@dataclass
+class NodeState:
+    """Everything one device knows."""
+
+    node_id: int
+    fragment: int
+    parent: int | None = None
+    children: set[int] = field(default_factory=set)
+
+    @property
+    def is_head(self) -> bool:
+        return self.parent is None
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of a node-level run."""
+
+    tree_edges: list[tuple[int, int]]
+    messages: int
+    rounds: int
+    phases: int
+    counter: MessageCounter
+    converged: bool
+    #: every node's final fragment id (all equal on convergence)
+    fragments: dict[int, int] = field(default_factory=dict)
+
+
+class MessagePassingST:
+    """Execute the distributed construction at node granularity.
+
+    Parameters
+    ----------
+    weights:
+        Symmetric PS-strength matrix (higher = heavier).
+    adjacency:
+        Usable-link mask; messages travel only over these links.
+    """
+
+    def __init__(self, weights: np.ndarray, adjacency: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=float)
+        adjacency = np.asarray(adjacency, dtype=bool)
+        if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+            raise ValueError(f"weights must be square, got {weights.shape}")
+        if adjacency.shape != weights.shape:
+            raise ValueError("adjacency shape must match weights")
+        self.n = weights.shape[0]
+        self.weights = weights
+        self.adjacency = adjacency
+        self.nodes = [NodeState(i, i) for i in range(self.n)]
+        self.counter = MessageCounter()
+        self.rounds = 0
+        self.phases = 0
+        self.tree_edges: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # local helpers (node-scope knowledge only)
+    # ------------------------------------------------------------------
+    def _edge_key(self, w: float, u: int, v: int) -> tuple[float, int]:
+        a, b = (u, v) if u < v else (v, u)
+        return (w, -(a * self.n + b))
+
+    def _local_best_outgoing(
+        self, node: int, neighbour_fragment: np.ndarray
+    ) -> tuple[tuple[float, int], int, int] | None:
+        """Node's heaviest incident edge leaving its fragment."""
+        me = self.nodes[node].fragment
+        best = None
+        for v in np.nonzero(self.adjacency[node])[0]:
+            v = int(v)
+            if neighbour_fragment[v] == me:
+                continue
+            key = self._edge_key(float(self.weights[node, v]), node, v)
+            if best is None or key > best[0]:
+                best = (key, node, v)
+        return best
+
+    def _fragment_members(self, fragment: int) -> list[int]:
+        return [i for i in range(self.n) if self.nodes[i].fragment == fragment]
+
+    def _subtree_depth(self, head: int) -> int:
+        """Depth of the fragment tree under ``head`` (rounds a wave needs)."""
+        depth = {head: 0}
+        queue = deque([head])
+        deepest = 0
+        while queue:
+            u = queue.popleft()
+            for c in self.nodes[u].children:
+                depth[c] = depth[u] + 1
+                deepest = max(deepest, depth[c])
+                queue.append(c)
+        return deepest
+
+    # ------------------------------------------------------------------
+    # phase steps
+    # ------------------------------------------------------------------
+    def _announce_fragments(self) -> np.ndarray:
+        """Step 1: everyone broadcasts its fragment id (1 round)."""
+        self.counter.add(MessageKind.DISCOVERY, self.n)
+        self.rounds += 1
+        return np.fromiter(
+            (self.nodes[i].fragment for i in range(self.n)),
+            dtype=int,
+            count=self.n,
+        )
+
+    def _convergecast_mwoe(
+        self, heads: list[int], neighbour_fragment: np.ndarray
+    ) -> dict[int, tuple[tuple[float, int], int, int] | None]:
+        """Steps 2: REPORT waves (concurrent across fragments)."""
+        choices: dict[int, tuple[tuple[float, int], int, int] | None] = {}
+        max_depth = 0
+        for head in heads:
+            # post-order aggregation: each non-head node sends exactly one
+            # REPORT to its parent carrying the best candidate in its subtree
+            members = self._fragment_members(head)
+            best_in_subtree: dict[int, tuple | None] = {
+                m: self._local_best_outgoing(m, neighbour_fragment)
+                for m in members
+            }
+            order = self._bottom_up_order(head)
+            for node in order:
+                state = self.nodes[node]
+                if state.parent is not None:
+                    self.counter.add(MessageKind.REPORT, 1)
+                    parent_best = best_in_subtree[state.parent]
+                    mine = best_in_subtree[node]
+                    if mine is not None and (
+                        parent_best is None or mine[0] > parent_best[0]
+                    ):
+                        best_in_subtree[state.parent] = mine
+            choices[head] = best_in_subtree[head]
+            max_depth = max(max_depth, self._subtree_depth(head))
+        self.rounds += max(max_depth, 1)
+        return choices
+
+    def _broadcast_choice(self, heads: list[int]) -> None:
+        """Step 3: MERGE-ANNOUNCE down every fragment tree."""
+        max_depth = 0
+        for head in heads:
+            members = self._fragment_members(head)
+            self.counter.add(MessageKind.MERGE_ANNOUNCE, len(members) - 1)
+            max_depth = max(max_depth, self._subtree_depth(head))
+        self.rounds += max(max_depth, 1)
+
+    def _bottom_up_order(self, head: int) -> list[int]:
+        """Members ordered leaves-first (reverse BFS from the head)."""
+        order = []
+        queue = deque([head])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            queue.extend(self.nodes[u].children)
+        return list(reversed(order))
+
+    def _adopt(self, endpoint: int, new_fragment: int, new_parent: int) -> int:
+        """Step 5: the losing side re-roots from ``endpoint``.
+
+        Returns the number of ADOPT messages (= losing fragment size).
+        Walks the old tree (parent+children links), flipping parents so
+        every path leads to ``endpoint``, which now hangs off
+        ``new_parent`` in the winning fragment.
+        """
+        old_members = self._fragment_members(self.nodes[endpoint].fragment)
+        # neighbour sets in the old tree
+        tree_nbrs: dict[int, set[int]] = {}
+        for m in old_members:
+            state = self.nodes[m]
+            nbrs = set(state.children)
+            if state.parent is not None:
+                nbrs.add(state.parent)
+            tree_nbrs[m] = nbrs
+
+        # BFS from the endpoint re-parents everyone toward it
+        seen = {endpoint}
+        queue = deque([endpoint])
+        self.nodes[endpoint].parent = new_parent
+        self.nodes[endpoint].children = set()
+        self.nodes[endpoint].fragment = new_fragment
+        self.nodes[new_parent].children.add(endpoint)
+        while queue:
+            u = queue.popleft()
+            for v in tree_nbrs[u]:
+                if v in seen:
+                    continue
+                seen.add(v)
+                self.nodes[v].parent = u
+                self.nodes[v].children = tree_nbrs[v] - {u}
+                self.nodes[v].fragment = new_fragment
+                self.nodes[u].children.add(v)
+                queue.append(v)
+        return len(old_members)
+
+    # ------------------------------------------------------------------
+    def run(self, max_phases: int | None = None) -> ProtocolResult:
+        """Run phases until one fragment remains (or progress stops)."""
+        if max_phases is None:
+            max_phases = 2 * max(1, int(np.ceil(np.log2(max(self.n, 2))))) + 4
+
+        for _ in range(max_phases):
+            heads = sorted(
+                {self.nodes[i].fragment for i in range(self.n)}
+            )
+            if len(heads) == 1:
+                break
+            self.phases += 1
+
+            neighbour_fragment = self._announce_fragments()
+            choices = self._convergecast_mwoe(heads, neighbour_fragment)
+            if all(c is None for c in choices.values()):
+                break  # disconnected: no fragment can grow
+            self._broadcast_choice(heads)
+
+            # steps 4–5: connects processed in deterministic head order;
+            # a fragment already absorbed this phase skips its stale choice
+            adopt_msgs_max_depth = 0
+            for head in heads:
+                choice = choices.get(head)
+                if choice is None:
+                    continue
+                _key, u, v = choice
+                if self.nodes[u].fragment == self.nodes[v].fragment:
+                    continue  # merged earlier this phase
+                if self.nodes[u].fragment != head:
+                    continue  # this fragment was absorbed already
+                self.counter.add(MessageKind.CONNECT, 1)
+                self.counter.add(MessageKind.TEST, 1)  # size exchange reply
+                my_size = len(self._fragment_members(head))
+                their_head = self.nodes[v].fragment
+                their_size = len(self._fragment_members(their_head))
+                if (their_size, -their_head) >= (my_size, -head):
+                    # we lose: our side adopts their fragment
+                    depth = self._subtree_depth(head)
+                    count = self._adopt(u, their_head, v)
+                else:
+                    depth = self._subtree_depth(their_head)
+                    count = self._adopt(v, head, u)
+                # the ADOPT wave is RACH2 merge traffic down the old tree
+                self.counter.add(MessageKind.MERGE_ANNOUNCE, count)
+                adopt_msgs_max_depth = max(adopt_msgs_max_depth, depth + 1)
+                self.tree_edges.append((min(u, v), max(u, v)))
+            self.rounds += max(adopt_msgs_max_depth, 1)
+
+        final_fragments = {i: self.nodes[i].fragment for i in range(self.n)}
+        converged = len(set(final_fragments.values())) == 1
+        return ProtocolResult(
+            tree_edges=sorted(self.tree_edges),
+            messages=self.counter.total,
+            rounds=self.rounds,
+            phases=self.phases,
+            counter=self.counter,
+            converged=converged,
+            fragments=final_fragments,
+        )

@@ -1,0 +1,44 @@
+"""Fast fading (small-scale, per-transmission).
+
+Table I specifies "UMi (NLOS)" fast fading.  In NLOS conditions the
+received envelope is Rayleigh distributed; the corresponding power gain is
+exponential with unit mean.  We express the gain in dB so it composes
+additively with the path-loss/shadowing pipeline.  A fresh draw is made
+per (transmission, receiver) pair, which is the behaviour that matters to
+the protocols: a marginal link may hear one beacon and miss the next.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RayleighFading:
+    """Rayleigh (NLOS) fast fading expressed as a dB power offset.
+
+    The power gain ``g ~ Exp(1)``; the dB offset is ``10·log10(g)``, which
+    has mean ``10·log10(e)·(−γ) ≈ −2.507 dB`` (γ = Euler–Mascheroni) — deep
+    fades are common, large up-fades rare, exactly the asymmetry that makes
+    NLOS detection flaky.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def sample_db(self, size: int | tuple[int, ...] = 1) -> np.ndarray:
+        gain = self._rng.exponential(1.0, size=size)
+        # Clamp so a pathological 0 draw cannot produce -inf dB.
+        return 10.0 * np.log10(np.maximum(gain, 1e-12))
+
+    def __repr__(self) -> str:
+        return "RayleighFading()"
+
+
+class NoFading:
+    """Deterministic zero-fading stand-in."""
+
+    def sample_db(self, size: int | tuple[int, ...] = 1) -> np.ndarray:
+        return np.zeros(size if isinstance(size, tuple) else (size,))
+
+    def __repr__(self) -> str:
+        return "NoFading()"

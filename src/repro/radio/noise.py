@@ -1,0 +1,60 @@
+"""Thermal noise and the physical grounding of the −95 dBm threshold.
+
+Table I states the detection threshold as a bare number; this module
+derives where such a number comes from so scenario designers can adapt it:
+
+    noise floor = 10·log10(k·T·1000) + 10·log10(B) + NF
+                = −174 dBm/Hz + 10·log10(B) + NF
+
+For an LTE PRB (180 kHz) and a typical UE noise figure of 9 dB the floor
+is ≈ −112.4 dBm; a −95 dBm threshold therefore implies ≈ 17.4 dB of
+required SNR — a comfortable margin for preamble detection.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Thermal noise density at T = 290 K, dBm/Hz.
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+#: One LTE physical resource block.
+LTE_PRB_HZ = 180_000.0
+
+
+def noise_floor_dbm(
+    bandwidth_hz: float = LTE_PRB_HZ, noise_figure_db: float = 9.0
+) -> float:
+    """Receiver noise floor in dBm for ``bandwidth_hz`` and a noise figure."""
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth_hz must be positive, got {bandwidth_hz}")
+    if noise_figure_db < 0:
+        raise ValueError("noise_figure_db must be >= 0")
+    return (
+        THERMAL_NOISE_DBM_PER_HZ
+        + 10.0 * math.log10(bandwidth_hz)
+        + noise_figure_db
+    )
+
+
+def required_snr_db(
+    threshold_dbm: float = -95.0,
+    bandwidth_hz: float = LTE_PRB_HZ,
+    noise_figure_db: float = 9.0,
+) -> float:
+    """SNR a signal at ``threshold_dbm`` enjoys over the noise floor.
+
+    A positive result means the Table I threshold sits above the floor —
+    i.e. detection at the threshold is noise-feasible with that margin.
+    """
+    return threshold_dbm - noise_floor_dbm(bandwidth_hz, noise_figure_db)
+
+
+def detection_feasible(
+    threshold_dbm: float = -95.0,
+    min_snr_db: float = 0.0,
+    bandwidth_hz: float = LTE_PRB_HZ,
+    noise_figure_db: float = 9.0,
+) -> bool:
+    """Is a threshold achievable given a minimum decoding SNR?"""
+    return required_snr_db(threshold_dbm, bandwidth_hz, noise_figure_db) >= min_snr_db

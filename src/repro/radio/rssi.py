@@ -1,0 +1,128 @@
+"""RSSI ranging (paper §III equations 6–12).
+
+A receiver inverts the log-distance model to estimate the distance to a
+transmitter from the measured PS power.  With shadowing ``x ~ N(0, σ²)``
+(in dB) the estimate obeys
+
+    r̂ = r · 10^{x / 10n}          (eq. 11)
+    ε  = r̂/r − 1 = 10^{x/10n} − 1  (eq. 12),
+
+where ``n`` is the path-loss exponent.  The paper's key point is that this
+error is *predictable in distribution*: ``10^{x/10n}`` is log-normal, so
+both the expected multiplicative bias and any quantile are closed-form.
+:func:`expected_ranging_error` exposes them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.radio.pathloss import LogDistancePathLoss
+
+#: ln(10)/10 — converts dB-domain normal to natural-log normal.
+_DB_TO_LN = math.log(10.0) / 10.0
+
+
+@dataclass(frozen=True)
+class RangingEstimate:
+    """Distance estimate with the information a protocol can actually use."""
+
+    distance_m: float
+    rx_power_dbm: float
+    #: one-sigma multiplicative spread, e.g. 1.3 → ±30 % typical error
+    sigma_factor: float
+
+
+class RSSIRanging:
+    """Inverts a log-distance model: received power → estimated distance.
+
+    Parameters
+    ----------
+    model:
+        The log-distance model assumed by the *receiver*.  (The true
+        channel may differ — e.g. Table I's piecewise model — which is one
+        source of ranging bias the experiments quantify.)
+    tx_power_dbm:
+        Transmit power the receiver assumes (23 dBm, known system-wide).
+    sigma_db:
+        Shadowing standard deviation used for the error bounds.
+    """
+
+    def __init__(
+        self,
+        model: LogDistancePathLoss,
+        tx_power_dbm: float = 23.0,
+        sigma_db: float = 10.0,
+    ) -> None:
+        self.model = model
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.sigma_db = float(sigma_db)
+
+    # ------------------------------------------------------------------
+    def estimate(self, rx_power_dbm: float | np.ndarray) -> np.ndarray | float:
+        """Distance estimate(s) in metres from received power in dBm."""
+        loss = self.tx_power_dbm - np.asarray(rx_power_dbm, dtype=float)
+        exponent = (loss - self.model.reference_loss_db) / (
+            10.0 * self.model.exponent
+        )
+        d = self.model.reference_distance_m * np.power(10.0, exponent)
+        return float(d) if np.isscalar(rx_power_dbm) else d
+
+    def estimate_full(self, rx_power_dbm: float) -> RangingEstimate:
+        """Estimate plus its one-sigma multiplicative spread."""
+        return RangingEstimate(
+            distance_m=float(self.estimate(rx_power_dbm)),
+            rx_power_dbm=float(rx_power_dbm),
+            sigma_factor=self.sigma_factor,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def sigma_factor(self) -> float:
+        """One-sigma multiplicative error ``10^{σ/10n}`` (eq. 11 at x=σ)."""
+        return 10.0 ** (self.sigma_db / (10.0 * self.model.exponent))
+
+    def relative_error(self, shadow_db: float | np.ndarray) -> np.ndarray | float:
+        """ε for given shadowing draw(s) — eq. (12): ``10^{x/10n} − 1``.
+
+        Sign convention matches the paper: the shadowing value here is the
+        *measurement perturbation* x of eq. (9)/(11); positive x inflates
+        the distance estimate.
+        """
+        x = np.asarray(shadow_db, dtype=float)
+        eps = np.power(10.0, x / (10.0 * self.model.exponent)) - 1.0
+        return float(eps) if np.isscalar(shadow_db) else eps
+
+    def __repr__(self) -> str:
+        return (
+            f"RSSIRanging(model={self.model!r}, "
+            f"tx_power_dbm={self.tx_power_dbm}, sigma_db={self.sigma_db})"
+        )
+
+
+def expected_ranging_error(sigma_db: float, exponent: float) -> dict[str, float]:
+    """Closed-form moments of the eq.-12 error distribution.
+
+    ``10^{x/10n}`` with ``x ~ N(0, σ²)`` is log-normal with log-domain
+    sigma ``s = σ·ln10/(10n)``.  Returns the mean multiplicative bias
+    ``E[r̂/r] = exp(s²/2)``, its median (1 — the estimator is median-
+    unbiased), the standard deviation of the ratio, and the expected
+    relative error ``E[ε]``.
+    """
+    if sigma_db < 0:
+        raise ValueError("sigma_db must be >= 0")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    s = sigma_db * _DB_TO_LN / exponent
+    mean_ratio = math.exp(s * s / 2.0)
+    var_ratio = (math.exp(s * s) - 1.0) * math.exp(s * s)
+    return {
+        "log_sigma": s,
+        "mean_ratio": mean_ratio,
+        "median_ratio": 1.0,
+        "std_ratio": math.sqrt(var_ratio),
+        "mean_relative_error": mean_ratio - 1.0,
+    }

@@ -1,0 +1,59 @@
+"""Named scenario presets.
+
+Ready-made :class:`~repro.core.config.PaperConfig` instances for the
+deployments the examples and CLI exercise, so "run the stadium case"
+is one flag instead of six numbers.  All presets keep Table I's radio
+parameters and vary only geometry/population/environment.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PaperConfig
+
+#: The paper's evaluation scenario (Table I verbatim).
+PAPER_DEFAULT = PaperConfig()
+
+#: Dense stand section: ~6x Table I density, body-shadowing heavy.
+STADIUM = PaperConfig(
+    n_devices=300,
+    area_side_m=60.0,
+    shadowing_sigma_db=12.0,
+)
+
+#: Shopping mall: moderate density, indoor-ish shadowing.
+MALL = PaperConfig(
+    n_devices=80,
+    area_side_m=120.0,
+    shadowing_sigma_db=8.0,
+)
+
+#: Sparse campus quad: connectivity is the challenge, not collisions.
+CAMPUS_SPARSE = PaperConfig(
+    n_devices=25,
+    area_side_m=260.0,
+)
+
+#: Machine-type cluster: very dense, tiny area, clean channel.
+IOT_DENSE = PaperConfig(
+    n_devices=150,
+    area_side_m=25.0,
+    shadowing_sigma_db=6.0,
+)
+
+#: Registry for CLI/example lookup.
+SCENARIOS: dict[str, PaperConfig] = {
+    "paper": PAPER_DEFAULT,
+    "stadium": STADIUM,
+    "mall": MALL,
+    "campus": CAMPUS_SPARSE,
+    "iot": IOT_DENSE,
+}
+
+
+def get_scenario(name: str) -> PaperConfig:
+    """Look up a preset by name; raises with the valid names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        valid = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; valid: {valid}") from None

@@ -1,0 +1,193 @@
+"""Deterministic event-heap simulation engine.
+
+The engine maintains a binary heap of ``(time, priority, seq, callback)``
+entries.  Ties on ``time`` are broken first by an explicit integer
+``priority`` (lower runs first) and then by insertion order (``seq``), so a
+run is fully deterministic for a given schedule of calls — a property the
+reproduction relies on for seed-stable experiment results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.errors import (
+    ScheduleInPastError,
+    SimulationLimitExceeded,
+    StopSimulation,
+)
+
+#: Default hard cap on processed events; generous for all paper workloads.
+DEFAULT_EVENT_BUDGET = 50_000_000
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _HeapEntry) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time (ms)."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns ``False`` if it already fired/cancelled.
+
+        Cancellation is lazy: the heap entry stays in place and is skipped
+        when popped, which keeps ``cancel`` O(1).
+        """
+        if self._entry.cancelled:
+            return False
+        self._entry.cancelled = True
+        return True
+
+
+class Engine:
+    """Discrete-event engine with millisecond float time.
+
+    Parameters
+    ----------
+    event_budget:
+        Hard cap on the number of callbacks executed by :meth:`run`.
+        Exceeding it raises :class:`SimulationLimitExceeded`.
+
+    Examples
+    --------
+    >>> eng = Engine()
+    >>> fired = []
+    >>> _ = eng.schedule(5.0, lambda: fired.append(eng.now))
+    >>> eng.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, event_budget: int = DEFAULT_EVENT_BUDGET) -> None:
+        if event_budget <= 0:
+            raise ValueError("event_budget must be positive")
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+        self._event_budget = event_budget
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` ms from now."""
+        return self.schedule_at(self._now + delay, callback, priority=priority)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``when`` (ms)."""
+        if when < self._now:
+            raise ScheduleInPastError(when, self._now)
+        entry = _HeapEntry(float(when), priority, next(self._seq), callback)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def call_soon(
+        self, callback: Callable[[], None], *, priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.schedule_at(self._now, callback, priority=priority)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next live event.  Returns ``False`` if queue was empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        entry = heapq.heappop(self._heap)
+        self._now = entry.time
+        self._events_processed += 1
+        if self._events_processed > self._event_budget:
+            raise SimulationLimitExceeded(self._event_budget)
+        entry.callback()
+        return True
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the queue drains or time would pass ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if no event falls on it, mirroring SimPy's ``run(until=...)``
+        semantics.  A callback may raise :class:`StopSimulation` to halt
+        the run early; the clock stays at that callback's time.
+        """
+        self._running = True
+        try:
+            while self._heap:
+                self._drop_cancelled_head()
+                if not self._heap:
+                    break
+                if until is not None and self._heap[0].time > until:
+                    break
+                try:
+                    self.step()
+                except StopSimulation:
+                    return
+            if until is not None and until > self._now:
+                self._now = float(until)
+        finally:
+            self._running = False
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

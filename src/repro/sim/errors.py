@@ -1,0 +1,41 @@
+"""Exception hierarchy for the simulation engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-engine errors."""
+
+
+class ScheduleInPastError(SimulationError):
+    """Raised when an event is scheduled at a time earlier than ``now``.
+
+    The engine never rewinds its clock; allowing past events would break
+    causality and make traces unusable.
+    """
+
+    def __init__(self, when: float, now: float) -> None:
+        super().__init__(f"cannot schedule event at t={when} (now t={now})")
+        self.when = when
+        self.now = now
+
+
+class SimulationLimitExceeded(SimulationError):
+    """Raised when the engine exceeds its configured event budget.
+
+    A hard event budget catches livelocked protocols (e.g. a pulse-coupled
+    oscillator echo storm with no refractory period) instead of spinning
+    forever.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"event budget exhausted ({limit} events processed)")
+        self.limit = limit
+
+
+class StopSimulation(Exception):  # noqa: N818 - control-flow sentinel
+    """Raised inside a callback to halt the run immediately.
+
+    This is control flow, not an error: ``Engine.run`` catches it and
+    returns normally.
+    """

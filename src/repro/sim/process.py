@@ -1,0 +1,192 @@
+"""Generator-based processes on top of :class:`repro.sim.engine.Engine`.
+
+A *process* is a Python generator that yields scheduling directives:
+
+``Timeout(delay)``
+    Suspend the process for ``delay`` milliseconds.
+
+``WaitSignal(signal)``
+    Suspend until another process (or callback) fires the signal.  The
+    value passed to :meth:`Signal.fire` becomes the result of the yield.
+
+This mirrors the SimPy programming model closely enough that protocol
+pseudo-code written against SimPy ports over directly, while staying a few
+hundred lines of dependency-free code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.sim.engine import Engine, EventHandle
+
+
+class Timeout:
+    """Directive: resume the yielding process after ``delay`` ms."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay})"
+
+
+class Signal:
+    """One-to-many wakeup channel.
+
+    Processes yield ``WaitSignal(sig)``; a later ``sig.fire(value)`` resumes
+    every waiter at the current simulation time with ``value`` as the yield
+    result.  Waiters registered *after* a fire wait for the next fire
+    (edge-triggered, like a condition variable's notify_all).
+    """
+
+    __slots__ = ("name", "_waiters", "fire_count")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[Process] = []
+        self.fire_count = 0
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume_soon(value)
+        return len(waiters)
+
+    def _register(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def __repr__(self) -> str:
+        label = self.name or hex(id(self))
+        return f"Signal({label}, waiters={len(self._waiters)})"
+
+
+class WaitSignal:
+    """Directive: resume the yielding process when ``signal`` fires."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+    def __repr__(self) -> str:
+        return f"WaitSignal({self.signal!r})"
+
+
+class Process:
+    """Drives a generator, interpreting yielded directives.
+
+    The process starts at the current engine time (scheduled via
+    ``call_soon``) unless ``start_delay`` is given.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        generator: Generator[Any, Any, Any],
+        *,
+        name: str = "",
+        start_delay: float = 0.0,
+    ) -> None:
+        self.engine = engine
+        self.name = name or repr(generator)
+        self._gen = generator
+        self._alive = True
+        self._result: Any = None
+        self._pending_handle: EventHandle | None = None
+        self._done_signal = Signal(f"done:{self.name}")
+        if start_delay:
+            engine.schedule(start_delay, lambda: self._resume(None))
+        else:
+            engine.call_soon(lambda: self._resume(None))
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True until the generator returns or is interrupted."""
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value (``None`` until finished)."""
+        return self._result
+
+    @property
+    def done_signal(self) -> Signal:
+        """Fires (with the return value) when the process finishes."""
+        return self._done_signal
+
+    def interrupt(self) -> None:
+        """Kill the process: cancel its pending timeout and close the generator."""
+        if not self._alive:
+            return
+        self._alive = False
+        if self._pending_handle is not None:
+            self._pending_handle.cancel()
+            self._pending_handle = None
+        self._gen.close()
+        self._done_signal.fire(None)
+
+    # ------------------------------------------------------------------
+    def _resume_soon(self, value: Any) -> None:
+        self.engine.call_soon(lambda: self._resume(value))
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        self._pending_handle = None
+        try:
+            directive = self._gen.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self._result = stop.value
+            self._done_signal.fire(stop.value)
+            return
+        self._dispatch(directive)
+
+    def _dispatch(self, directive: Any) -> None:
+        if isinstance(directive, Timeout):
+            self._pending_handle = self.engine.schedule(
+                directive.delay, lambda: self._resume(None)
+            )
+        elif isinstance(directive, WaitSignal):
+            directive.signal._register(self)
+        elif isinstance(directive, Process):
+            # waiting on a child process == waiting on its done signal
+            if directive.alive:
+                directive.done_signal._register(self)
+            else:
+                self._resume_soon(directive.result)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported directive "
+                f"{directive!r}; expected Timeout, WaitSignal or Process"
+            )
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name}, {state})"
+
+
+def all_done(engine: Engine, processes: Iterable[Process]) -> Process:
+    """Return a process that completes when every input process has."""
+
+    def _waiter() -> Generator[Any, Any, list[Any]]:
+        results = []
+        for proc in processes:
+            if proc.alive:
+                yield WaitSignal(proc.done_signal)
+            results.append(proc.result)
+        return results
+
+    return Process(engine, _waiter(), name="all_done")

@@ -1,0 +1,74 @@
+"""Reproducible named random streams.
+
+Every stochastic component of the simulator (placement, shadowing, fading,
+phase initialisation, firefly mutation, ...) draws from its **own** child
+stream derived from a single master seed via :class:`numpy.random.SeedSequence`
+spawning.  This gives two properties the experiments need:
+
+* bit-reproducibility: the same master seed always produces the same run;
+* variance isolation: adding draws to one component (say, fading) does not
+  perturb another component's stream, so paired ST-vs-FST comparisons see
+  identical topologies and channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RandomStreams:
+    """Factory of named, independent :class:`numpy.random.Generator` streams.
+
+    Examples
+    --------
+    >>> rs = RandomStreams(42)
+    >>> rs.stream("placement") is rs.stream("placement")
+    True
+    >>> a = RandomStreams(42).stream("x").random()
+    >>> b = RandomStreams(42).stream("x").random()
+    >>> a == b
+    True
+    """
+
+    def __init__(self, master_seed: int) -> None:
+        if master_seed < 0:
+            raise ValueError("master_seed must be non-negative")
+        self.master_seed = int(master_seed)
+        self._root = np.random.SeedSequence(self.master_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it deterministically.
+
+        The child seed depends only on ``(master_seed, name)`` — not on the
+        order in which streams are first requested.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            # Derive a stable 128-bit key from the name so stream identity
+            # is order-independent.
+            digest = np.frombuffer(
+                name.encode("utf-8").ljust(16, b"\0")[:16], dtype=np.uint32
+            )
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy,
+                spawn_key=tuple(int(x) for x in digest),
+            )
+            gen = np.random.Generator(np.random.PCG64(child))
+            self._streams[name] = gen
+        return gen
+
+    def spawn(self, index: int) -> "RandomStreams":
+        """Derive an independent sub-universe (e.g. one per sweep repetition)."""
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        # Mix the index into the master seed with a large odd constant; the
+        # result stays within the SeedSequence entropy domain.
+        mixed = (self.master_seed * 0x9E3779B1 + index * 0x85EBCA77) % (2**63)
+        return RandomStreams(mixed)
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomStreams(master_seed={self.master_seed}, "
+            f"streams={sorted(self._streams)})"
+        )

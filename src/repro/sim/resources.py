@@ -1,0 +1,185 @@
+"""Contention primitives for processes: Resource, Store, Container.
+
+These complete the engine substrate with the SimPy-style primitives that
+slot-contention and queueing models need (e.g. modelling a RACH
+opportunity as a capacity-k resource).  All three integrate with the
+generator-process protocol: acquiring/getting yields a
+:class:`~repro.sim.process.WaitSignal` directive, so a process writes
+
+    grant = yield resource.acquire()
+    ...critical section...
+    resource.release()
+
+Fairness is FIFO: waiters are granted strictly in arrival order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Engine
+from repro.sim.process import Signal, WaitSignal
+
+
+class Resource:
+    """Capacity-limited resource with FIFO granting.
+
+    Parameters
+    ----------
+    engine:
+        The engine used to schedule grant wakeups.
+    capacity:
+        Number of simultaneous holders.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Signal] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> WaitSignal:
+        """Directive to yield; resumes when a slot is granted."""
+        sig = Signal("resource-grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.engine.call_soon(lambda: sig.fire(self))
+        else:
+            self._waiters.append(sig)
+        return WaitSignal(sig)
+
+    def release(self) -> None:
+        """Free one slot; the oldest waiter (if any) is granted in place."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        if self._waiters:
+            sig = self._waiters.popleft()
+            # slot passes directly to the waiter: in_use stays constant
+            self.engine.call_soon(lambda: sig.fire(self))
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO item store with optional capacity (SimPy's Store).
+
+    ``put`` never blocks unless the store is full; ``get`` blocks until an
+    item is available.  Items are handed to getters in insertion order.
+    """
+
+    def __init__(self, engine: Engine, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.engine = engine
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Signal] = deque()
+        self._putters: deque[tuple[Signal, Any]] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def item_count(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> WaitSignal:
+        """Directive; resumes once the item is stored (or handed over)."""
+        sig = Signal("store-put")
+        if self._getters:
+            getter = self._getters.popleft()
+            self.engine.call_soon(lambda: getter.fire(item))
+            self.engine.call_soon(lambda: sig.fire(None))
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.engine.call_soon(lambda: sig.fire(None))
+        else:
+            self._putters.append((sig, item))
+        return WaitSignal(sig)
+
+    def get(self) -> WaitSignal:
+        """Directive; resumes with the oldest item."""
+        sig = Signal("store-get")
+        if self._items:
+            item = self._items.popleft()
+            self.engine.call_soon(lambda: sig.fire(item))
+            # a blocked putter can now complete
+            if self._putters:
+                put_sig, put_item = self._putters.popleft()
+                self._items.append(put_item)
+                self.engine.call_soon(lambda: put_sig.fire(None))
+        else:
+            self._getters.append(sig)
+        return WaitSignal(sig)
+
+
+class Container:
+    """Continuous-level container (tokens, energy, credit).
+
+    ``get(amount)`` blocks until the level covers the request; ``put``
+    raises the level and wakes satisfiable getters in FIFO order.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        capacity: float = float("inf"),
+        initial: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= initial <= capacity:
+            raise ValueError("initial level must lie in [0, capacity]")
+        self.engine = engine
+        self.capacity = float(capacity)
+        self._level = float(initial)
+        self._getters: deque[tuple[Signal, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> None:
+        """Add immediately (overflow raises); wakes eligible getters."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if self._level + amount > self.capacity + 1e-12:
+            raise ValueError(
+                f"overflow: level {self._level} + {amount} exceeds "
+                f"capacity {self.capacity}"
+            )
+        self._level += amount
+        # FIFO drain: stop at the first waiter we cannot satisfy
+        while self._getters and self._getters[0][1] <= self._level:
+            sig, req = self._getters.popleft()
+            self._level -= req
+            self.engine.call_soon(lambda s=sig, r=req: s.fire(r))
+
+    def get(self, amount: float) -> WaitSignal:
+        """Directive; resumes once ``amount`` has been withdrawn."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > self.capacity:
+            raise ValueError("request exceeds container capacity")
+        sig = Signal("container-get")
+        if not self._getters and amount <= self._level:
+            self._level -= amount
+            self.engine.call_soon(lambda: sig.fire(amount))
+        else:
+            self._getters.append((sig, amount))
+        return WaitSignal(sig)

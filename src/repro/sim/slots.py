@@ -1,0 +1,55 @@
+"""LTE slot bookkeeping.
+
+The paper's Table I fixes the time slot at 1 ms (LTE standard).  All RACH
+transmissions happen on slot boundaries; the :class:`SlotClock` converts
+between continuous engine time (ms) and integer slot indices.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class SlotClock:
+    """Maps continuous time in ms to integer LTE slots of fixed length.
+
+    Parameters
+    ----------
+    slot_ms:
+        Slot duration in milliseconds (Table I: 1 ms).
+    """
+
+    __slots__ = ("slot_ms",)
+
+    def __init__(self, slot_ms: float = 1.0) -> None:
+        if slot_ms <= 0:
+            raise ValueError(f"slot_ms must be positive, got {slot_ms}")
+        self.slot_ms = float(slot_ms)
+
+    def slot_of(self, time_ms: float) -> int:
+        """Index of the slot containing ``time_ms`` (slot i covers [i, i+1))."""
+        if time_ms < 0:
+            raise ValueError(f"time must be >= 0, got {time_ms}")
+        return int(math.floor(time_ms / self.slot_ms + 1e-12))
+
+    def start_of(self, slot: int) -> float:
+        """Start time (ms) of ``slot``."""
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        return slot * self.slot_ms
+
+    def next_boundary(self, time_ms: float) -> float:
+        """First slot boundary strictly after ``time_ms``."""
+        return self.start_of(self.slot_of(time_ms) + 1)
+
+    def align(self, time_ms: float) -> float:
+        """Snap ``time_ms`` down to its slot start."""
+        return self.start_of(self.slot_of(time_ms))
+
+    def same_slot(self, a: float, b: float) -> bool:
+        """True if both times fall in one slot — the paper's notion of
+        devices having "fired together" for convergence detection."""
+        return self.slot_of(a) == self.slot_of(b)
+
+    def __repr__(self) -> str:
+        return f"SlotClock(slot_ms={self.slot_ms})"

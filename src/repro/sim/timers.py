@@ -1,0 +1,66 @@
+"""Timer utilities built on the engine."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Engine, EventHandle
+
+
+class PeriodicTimer:
+    """Fires ``callback(tick_index)`` every ``period`` ms until stopped.
+
+    The timer reschedules itself from the *nominal* tick time, not the
+    callback's completion, so long callbacks do not drift the phase.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        period: float,
+        callback: Callable[[int], None],
+        *,
+        start_delay: float = 0.0,
+        max_ticks: int | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if max_ticks is not None and max_ticks < 0:
+            raise ValueError("max_ticks must be >= 0")
+        self.engine = engine
+        self.period = float(period)
+        self.callback = callback
+        self.max_ticks = max_ticks
+        self.ticks = 0
+        self._handle: EventHandle | None = None
+        self._stopped = False
+        self._next_time = engine.now + start_delay
+        self._arm()
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Stop the timer; pending tick is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _arm(self) -> None:
+        if self._stopped:
+            return
+        if self.max_ticks is not None and self.ticks >= self.max_ticks:
+            self._stopped = True
+            return
+        self._handle = self.engine.schedule_at(self._next_time, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        tick = self.ticks
+        self.ticks += 1
+        self._next_time += self.period
+        self._arm()
+        self.callback(tick)

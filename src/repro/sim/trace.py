@@ -1,0 +1,87 @@
+"""Structured event tracing and counting.
+
+Protocol implementations emit trace records (``recorder.emit(t, "ps_tx",
+node=3, codec=1)``); analysis code filters and counts them.  Counters are
+kept separately from the record list so message counting stays O(1) even
+when full record retention is disabled for big sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects and per-category counters.
+
+    Parameters
+    ----------
+    keep_records:
+        When ``False`` only counters are maintained (constant memory); the
+        large fig3/fig4 sweeps run in this mode.
+    """
+
+    def __init__(self, keep_records: bool = True) -> None:
+        self.keep_records = keep_records
+        self._records: list[TraceRecord] = []
+        self._counts: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    def emit(self, time: float, category: str, **data: Any) -> None:
+        """Record one event in ``category`` at ``time``."""
+        self._counts[category] += 1
+        if self.keep_records:
+            self._records.append(TraceRecord(time, category, data))
+
+    def count(self, category: str) -> int:
+        """Number of events emitted in ``category``."""
+        return self._counts[category]
+
+    def total(self, *categories: str) -> int:
+        """Sum of counts over ``categories`` (all categories if empty)."""
+        if not categories:
+            return sum(self._counts.values())
+        return sum(self._counts[c] for c in categories)
+
+    @property
+    def categories(self) -> list[str]:
+        return sorted(self._counts)
+
+    # ------------------------------------------------------------------
+    def records(self, category: str | None = None) -> list[TraceRecord]:
+        """All retained records, optionally filtered by category."""
+        if not self.keep_records:
+            raise RuntimeError(
+                "record retention is disabled (keep_records=False); "
+                "only counters are available"
+            )
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records())
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder(total={len(self)}, categories={self.categories})"

@@ -1,0 +1,135 @@
+"""Fragment bookkeeping for distributed spanning-tree growth.
+
+A *fragment* (the paper's sub-tree ``Sv``) is a connected set of devices
+that already agree on a common tree and a head.  ``FragmentSet`` tracks
+all fragments over a union–find and maintains each fragment's tree edges,
+head, and size — the inputs to the head-election rule of Algorithm 1
+("choose Sv.head from highest number of node's tree").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.spanningtree.unionfind import UnionFind
+
+
+@dataclass
+class Fragment:
+    """One sub-tree: members, head, and accepted tree edges."""
+
+    head: int
+    members: frozenset[int]
+    tree_edges: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def subtree_graph(self) -> nx.Graph:
+        """The fragment's tree as a NetworkX graph (isolated head if no edges)."""
+        g = nx.Graph()
+        g.add_nodes_from(self.members)
+        g.add_edges_from(self.tree_edges)
+        return g
+
+    def diameter_hops(self) -> int:
+        """Hop diameter of the fragment tree (0 for singleton)."""
+        if self.size <= 1:
+            return 0
+        return nx.diameter(self.subtree_graph())
+
+
+class FragmentSet:
+    """All current fragments; starts with every device a singleton."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self._uf = UnionFind(n)
+        self._heads: dict[int, int] = {i: i for i in range(n)}
+        self._edges: dict[int, list[tuple[int, int]]] = {i: [] for i in range(n)}
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of fragments remaining (``|ST|`` in Algorithm 1)."""
+        return self._uf.components
+
+    def fragment_of(self, node: int) -> int:
+        """Union–find root identifying ``node``'s fragment."""
+        return self._uf.find(node)
+
+    def head_of(self, node: int) -> int:
+        return self._heads[self._uf.find(node)]
+
+    def size_of(self, node: int) -> int:
+        return self._uf.size_of(node)
+
+    def same_fragment(self, a: int, b: int) -> bool:
+        return self._uf.connected(a, b)
+
+    def change_head(self, node: int, new_head: int) -> None:
+        """The paper's ``Change_head(Sv)`` — reassign the fragment head."""
+        root = self._uf.find(node)
+        if self._uf.find(new_head) != root:
+            raise ValueError(
+                f"new head {new_head} is not a member of {node}'s fragment"
+            )
+        self._heads[root] = new_head
+
+    # ------------------------------------------------------------------
+    def merge(self, u: int, v: int) -> bool:
+        """Merge the fragments of ``u`` and ``v`` across tree edge (u, v).
+
+        Head election follows Algorithm 1: the merged head is the head of
+        the *larger* fragment (node-count), ties broken toward the smaller
+        head id for determinism.  Returns ``False`` (and does nothing) if
+        the two nodes are already in one fragment.
+        """
+        ru, rv = self._uf.find(u), self._uf.find(v)
+        if ru == rv:
+            return False
+        size_u, size_v = self._uf.size_of(u), self._uf.size_of(v)
+        head_u, head_v = self._heads[ru], self._heads[rv]
+        if size_u > size_v:
+            new_head = head_u
+        elif size_v > size_u:
+            new_head = head_v
+        else:
+            new_head = min(head_u, head_v)
+        edges = self._edges[ru] + self._edges[rv] + [(min(u, v), max(u, v))]
+        self._uf.union(u, v)
+        root = self._uf.find(u)
+        # drop stale entries so lookups can't resurrect old roots
+        for old in (ru, rv):
+            if old != root:
+                self._heads.pop(old, None)
+                self._edges.pop(old, None)
+        self._heads[root] = new_head
+        self._edges[root] = edges
+        return True
+
+    # ------------------------------------------------------------------
+    def fragments(self) -> list[Fragment]:
+        """Snapshot of all current fragments, sorted by head id."""
+        out = []
+        for root, members in self._uf.groups().items():
+            out.append(
+                Fragment(
+                    head=self._heads[root],
+                    members=frozenset(members),
+                    tree_edges=tuple(self._edges[root]),
+                )
+            )
+        return sorted(out, key=lambda f: f.head)
+
+    def all_tree_edges(self) -> list[tuple[int, int]]:
+        """Every accepted tree edge across all fragments."""
+        edges: list[tuple[int, int]] = []
+        for root in self._edges:
+            edges.extend(self._edges[root])
+        return sorted(set(edges))

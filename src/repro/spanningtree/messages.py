@@ -1,0 +1,79 @@
+"""Protocol message kinds and counting for the tree-construction phase.
+
+The paper's headline metric (Fig. 4) is *total control messages until
+convergence*, so every protocol action that would put energy on the air is
+counted here, split by kind and by RACH codec:
+
+========================  =====  ==========================================
+kind                      codec  meaning
+========================  =====  ==========================================
+``TEST``                  2      boundary node probes its heaviest edge
+``REPORT``                2      member reports local MWOE to fragment head
+``MERGE_ANNOUNCE``        2      head broadcasts chosen edge down the tree
+``CONNECT``               2      connect request over the chosen edge
+``SYNC_PULSE``            1      firefly PS (keep-alive) during sync
+``DISCOVERY``             1      initial neighbour-discovery beacon
+========================  =====  ==========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+
+
+class MessageKind(enum.Enum):
+    """One class of over-the-air control message."""
+
+    TEST = "test"
+    REPORT = "report"
+    MERGE_ANNOUNCE = "merge_announce"
+    CONNECT = "connect"
+    SYNC_PULSE = "sync_pulse"
+    DISCOVERY = "discovery"
+
+    @property
+    def codec_index(self) -> int:
+        """RACH codec the paper assigns this kind to (1 keep-alive, 2 merge)."""
+        if self in (MessageKind.SYNC_PULSE, MessageKind.DISCOVERY):
+            return 1
+        return 2
+
+
+class MessageCounter:
+    """Tallies messages by kind; supports merging sub-counts."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[MessageKind] = Counter()
+
+    def add(self, kind: MessageKind, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._counts[kind] += count
+
+    def count(self, kind: MessageKind) -> int:
+        return self._counts[kind]
+
+    @property
+    def total(self) -> int:
+        """All messages, both codecs — the Fig. 4 quantity."""
+        return sum(self._counts.values())
+
+    def total_for_codec(self, codec_index: int) -> int:
+        return sum(
+            v for k, v in self._counts.items() if k.codec_index == codec_index
+        )
+
+    def merge(self, other: "MessageCounter") -> None:
+        self._counts.update(other._counts)
+
+    def as_dict(self) -> dict[str, int]:
+        return {kind.value: self._counts[kind] for kind in MessageKind}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{k.value}={v}" for k, v in sorted(
+                self._counts.items(), key=lambda kv: kv[0].value
+            )
+        )
+        return f"MessageCounter({parts or 'empty'})"

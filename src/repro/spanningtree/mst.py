@@ -1,0 +1,83 @@
+"""Centralized maximum-spanning-tree reference (Kruskal).
+
+The distributed Borůvka/GHS runs are validated against this oracle: on a
+connected graph with *distinct* edge weights the maximum spanning tree is
+unique, so the distributed result must match edge-for-edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spanningtree.unionfind import UnionFind
+
+
+def _validate_weights(weights: np.ndarray) -> np.ndarray:
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise ValueError(f"weights must be square, got shape {w.shape}")
+    if not np.allclose(w, w.T, equal_nan=True):
+        raise ValueError("weight matrix must be symmetric")
+    return w
+
+
+def maximum_spanning_tree(
+    weights: np.ndarray, adjacency: np.ndarray | None = None
+) -> list[tuple[int, int]]:
+    """Kruskal on negated weights → maximum spanning forest edge list.
+
+    Parameters
+    ----------
+    weights:
+        Symmetric ``(n, n)`` weight matrix (PS strength — higher is better).
+    adjacency:
+        Optional boolean mask of usable edges; defaults to all finite,
+        positive-weight off-diagonal pairs.
+
+    Returns a sorted list of ``(u, v)`` with u < v.  If the graph is
+    disconnected the result is a spanning forest (fewer than n−1 edges).
+    """
+    w = _validate_weights(weights)
+    n = w.shape[0]
+    if adjacency is None:
+        mask = np.isfinite(w)
+    else:
+        adjacency = np.asarray(adjacency, dtype=bool)
+        if adjacency.shape != w.shape:
+            raise ValueError("adjacency shape must match weights")
+        mask = adjacency & np.isfinite(w)
+    iu, ju = np.triu_indices(n, k=1)
+    usable = mask[iu, ju]
+    iu, ju = iu[usable], ju[usable]
+    order = np.argsort(-w[iu, ju], kind="stable")
+
+    uf = UnionFind(n)
+    edges: list[tuple[int, int]] = []
+    for k in order:
+        u, v = int(iu[k]), int(ju[k])
+        if uf.union(u, v):
+            edges.append((u, v))
+            if len(edges) == n - 1:
+                break
+    return sorted(edges)
+
+
+def tree_weight(weights: np.ndarray, edges: list[tuple[int, int]]) -> float:
+    """Total weight of an edge list under ``weights``."""
+    w = _validate_weights(weights)
+    return float(sum(w[u, v] for u, v in edges))
+
+
+def is_spanning_tree(edges: list[tuple[int, int]], n: int) -> bool:
+    """True iff ``edges`` form a spanning tree on n nodes (acyclic + connected)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(edges) != n - 1:
+        return False
+    uf = UnionFind(n)
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            return False
+        if not uf.union(u, v):  # cycle
+            return False
+    return uf.components == 1

@@ -1,0 +1,123 @@
+"""Spanning-tree repair after device failure (churn extension).
+
+When a tree device dies (battery, mobility out of cell, user exit), the
+spanning tree splits into as many fragments as the dead device had tree
+neighbours.  Rebuilding from scratch costs the full Borůvka bill; the
+*repair* protocol instead keeps every surviving fragment intact and runs
+Borůvka seeded with those fragments — only the few re-merging phases are
+paid.  ``repair_after_failure`` implements this and reports both the
+repaired tree and the message cost, so the repair-vs-rebuild saving is
+measurable (see ``benchmarks/bench_extensions.py``).
+
+This addresses the paper's §VI "more realistic scenarios" future work:
+real D2D populations churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.spanningtree.boruvka import distributed_boruvka
+from repro.spanningtree.messages import MessageCounter
+from repro.spanningtree.unionfind import UnionFind
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one repair."""
+
+    #: the repaired tree over the surviving devices
+    tree_edges: list[tuple[int, int]]
+    #: edges newly added by the repair phases
+    new_edges: list[tuple[int, int]]
+    #: tree edges lost with the failed devices
+    removed_edges: list[tuple[int, int]]
+    #: fragments the failure created (before re-merging)
+    fragments_after_failure: int
+    messages: int
+    phases: int
+    #: True when the surviving devices are spanned again
+    repaired: bool
+    counter: MessageCounter
+
+
+def repair_after_failure(
+    tree_edges: Iterable[tuple[int, int]],
+    failed: int | Iterable[int],
+    weights: np.ndarray,
+    adjacency: np.ndarray,
+) -> RepairResult:
+    """Repair ``tree_edges`` after ``failed`` device(s) leave the network.
+
+    Parameters
+    ----------
+    tree_edges:
+        The spanning tree before the failure.
+    failed:
+        A device id or a collection of ids that left.
+    weights, adjacency:
+        The (current) PS-strength matrix and usable-link mask; rows and
+        columns of failed devices are ignored.
+
+    Raises
+    ------
+    ValueError
+        If every device failed, or inputs are inconsistent.
+    """
+    weights = np.asarray(weights, dtype=float)
+    adjacency = np.asarray(adjacency, dtype=bool)
+    n = weights.shape[0]
+    failed_set = {failed} if isinstance(failed, (int, np.integer)) else set(
+        int(f) for f in failed
+    )
+    for f in failed_set:
+        if not 0 <= f < n:
+            raise ValueError(f"failed id {f} out of range [0, {n})")
+    survivors = [i for i in range(n) if i not in failed_set]
+    if not survivors:
+        raise ValueError("all devices failed; nothing to repair")
+
+    tree_edges = [tuple(sorted(e)) for e in tree_edges]
+    surviving_edges = [
+        e for e in tree_edges if e[0] not in failed_set and e[1] not in failed_set
+    ]
+    removed_edges = [e for e in tree_edges if e not in surviving_edges]
+
+    # how many pieces did the failure leave? (failed ids excluded)
+    uf = UnionFind(n)
+    for u, v in surviving_edges:
+        uf.union(u, v)
+    fragments = len({uf.find(i) for i in survivors})
+
+    # mask out the failed devices and re-run Borůvka from the survivors'
+    # fragments; the pre-existing fragments are free
+    adj = adjacency.copy()
+    adj[list(failed_set), :] = False
+    adj[:, list(failed_set)] = False
+    result = distributed_boruvka(
+        weights, adj, initial_edges=surviving_edges
+    )
+
+    # repaired iff all survivors ended in one fragment (failed ids remain
+    # isolated singleton fragments by construction)
+    survivor_fragments = {
+        frag.head
+        for frag in result.fragments
+        if not frag.members <= failed_set
+    }
+    repaired = len(survivor_fragments) == 1
+
+    new_edges = sorted(set(result.edges) - set(surviving_edges))
+    return RepairResult(
+        tree_edges=result.edges,
+        new_edges=new_edges,
+        removed_edges=sorted(removed_edges),
+        fragments_after_failure=fragments,
+        messages=result.counter.total,
+        phases=result.phase_count,
+        repaired=repaired,
+        counter=result.counter,
+    )

@@ -1,0 +1,59 @@
+"""Union–find (disjoint set) with union-by-size and path compression."""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Disjoint-set forest over elements ``0..n-1``.
+
+    ``union`` returns whether a merge happened; ``size_of`` supports the
+    paper's head-election rule ("choose Sv.head from highest number of
+    node's tree").
+    """
+
+    __slots__ = ("_parent", "_size", "components")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self.components = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; False if already together."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self.components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def size_of(self, x: int) -> int:
+        """Size of the set containing ``x``."""
+        return self._size[self.find(x)]
+
+    def groups(self) -> dict[int, list[int]]:
+        """Map root → sorted member list."""
+        out: dict[int, list[int]] = {}
+        for i in range(len(self._parent)):
+            out.setdefault(self.find(i), []).append(i)
+        return out

@@ -1,0 +1,67 @@
+"""Tests for ASCII charting."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_renders_title_axes_legend(self):
+        out = ascii_chart(
+            {"a": [(0, 0.0), (10, 5.0)]},
+            title="demo",
+            width=20,
+            height=6,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "o=a" in lines[-1]
+        assert any("+" in ln and "-" in ln for ln in lines)
+
+    def test_markers_distinct_per_series(self):
+        out = ascii_chart(
+            {"up": [(0, 0.0), (10, 10.0)], "down": [(0, 10.0), (10, 0.0)]},
+            width=20,
+            height=8,
+        )
+        assert "o=up" in out and "x=down" in out
+        body = "\n".join(out.splitlines()[:-3])
+        assert "o" in body and "x" in body
+
+    def test_extremes_placed_at_corners(self):
+        out = ascii_chart({"s": [(0, 0.0), (10, 10.0)]}, width=20, height=6)
+        rows = [ln.split("|", 1)[1] for ln in out.splitlines() if "|" in ln]
+        assert rows[0].rstrip().endswith("o")   # max y at right/top
+        assert rows[-1].startswith("o")          # min y at left/bottom
+
+    def test_collision_marked(self):
+        out = ascii_chart(
+            {"a": [(5, 5.0)], "b": [(5, 5.0)]}, width=12, height=5
+        )
+        assert "%" in out
+
+    def test_log_scale(self):
+        out = ascii_chart(
+            {"m": [(1, 10.0), (2, 100.0), (3, 1000.0)]},
+            width=20,
+            height=6,
+            logy=True,
+        )
+        assert "(log y)" in out
+        assert "1e+03" in out or "1000" in out
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ascii_chart({"m": [(1, 0.0)]}, logy=True)
+
+    def test_constant_series_ok(self):
+        out = ascii_chart({"c": [(0, 5.0), (10, 5.0)]}, width=15, height=5)
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 1.0)]}, width=5, height=2)

@@ -1,0 +1,61 @@
+"""Tests for CSV/JSON export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import runs_to_csv, sweep_to_csv, sweep_to_json
+from repro.analysis.sweep import run_sweep
+from repro.core.config import PaperConfig
+from repro.core.results import RunResult
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep((20,), (1, 2), base_config=PaperConfig(max_time_ms=120_000.0))
+
+
+class TestRunsToCsv:
+    def test_roundtrip(self, tmp_path):
+        runs = [
+            RunResult("st", 10, 1, True, 100.0, 500),
+            RunResult("fst", 10, 1, False, 900.0, 700),
+        ]
+        path = tmp_path / "runs.csv"
+        assert runs_to_csv(runs, path) == 2
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["algorithm"] == "st"
+        assert rows[1]["converged"] == "False"
+        assert float(rows[0]["time_ms"]) == 100.0
+
+
+class TestSweepToCsv:
+    def test_grid_rows(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        assert sweep_to_csv(sweep, path) == len(sweep.points)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert {r["algorithm"] for r in rows} == {"st", "fst"}
+        for r in rows:
+            assert int(r["total_runs"]) == 2
+
+
+class TestSweepToJson:
+    def test_structure(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep_to_json(sweep, path)
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"points", "runs"}
+        assert len(payload["runs"]) == len(sweep.runs)
+        point = payload["points"][0]
+        assert {"mean", "std", "ci95", "min", "max"} <= set(point["time_ms"])
+
+    def test_json_numbers_match_stats(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep_to_json(sweep, path)
+        payload = json.loads(path.read_text())
+        for point, src in zip(payload["points"], sweep.points):
+            assert point["time_ms"]["mean"] == pytest.approx(src.time_ms.mean)
+            assert point["messages"]["mean"] == pytest.approx(src.messages.mean)

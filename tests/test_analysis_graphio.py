@@ -1,0 +1,48 @@
+"""Tests for graph export."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.graphio import network_to_graphml, tree_to_dot
+from repro.core.config import PaperConfig
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation
+
+
+@pytest.fixture(scope="module")
+def built():
+    net = D2DNetwork(PaperConfig(n_devices=12, area_side_m=40.0, seed=77))
+    st = STSimulation(net).run()
+    return net, st
+
+
+class TestDot:
+    def test_structure(self, built):
+        net, st = built
+        dot = tree_to_dot(st.tree_edges, positions=net.positions, head=st.tree_edges[0][0])
+        assert dot.startswith("graph spanning_tree {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -- ") == len(st.tree_edges)
+        assert "doublecircle" in dot
+        assert 'pos="' in dot
+
+    def test_minimal(self):
+        dot = tree_to_dot([(0, 1), (1, 2)])
+        assert "0 -- 1;" in dot and "1 -- 2;" in dot
+        assert "pos=" not in dot
+
+
+class TestGraphML:
+    def test_roundtrip(self, built, tmp_path):
+        net, st = built
+        path = network_to_graphml(
+            net, tmp_path / "net.graphml", tree_edges=st.tree_edges
+        )
+        g = nx.read_graphml(path)
+        assert g.number_of_nodes() == net.n
+        # positions stored per node
+        any_node = next(iter(g.nodes(data=True)))[1]
+        assert "x" in any_node and "y" in any_node
+        # tree flag marks exactly the tree edges
+        flagged = sum(1 for _, _, d in g.edges(data=True) if d["in_tree"])
+        assert flagged == len(st.tree_edges)

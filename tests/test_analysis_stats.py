@@ -1,0 +1,44 @@
+"""Tests for summary statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import summarize
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.count == 3
+        assert s.minimum == 1.0 and s.maximum == 3.0
+
+    def test_single_value_zero_spread(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.ci95 == 0.0
+
+    def test_ci_formula(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        s = summarize(values)
+        assert s.ci95 == pytest.approx(1.96 * s.std / math.sqrt(4))
+
+    def test_lo_hi_bracket_mean(self):
+        s = summarize([10.0, 20.0, 30.0])
+        assert s.lo < s.mean < s.hi
+        assert s.hi - s.mean == pytest.approx(s.ci95)
+
+    def test_identical_values(self):
+        s = summarize([7.0] * 10)
+        assert s.std == 0.0 and s.ci95 == 0.0
+
+    def test_accepts_generator(self):
+        s = summarize(x for x in (1.0, 3.0))
+        assert s.mean == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

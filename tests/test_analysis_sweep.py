@@ -1,0 +1,69 @@
+"""Tests for the sweep harness (small grids to stay fast)."""
+
+import pytest
+
+from repro.analysis.sweep import run_sweep
+from repro.core.config import PaperConfig
+
+SIZES = (20, 40)
+SEEDS = (1, 2)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(SIZES, SEEDS, base_config=PaperConfig(max_time_ms=120_000.0))
+
+
+class TestSweepStructure:
+    def test_point_grid_complete(self, sweep):
+        algos = {p.algorithm for p in sweep.points}
+        sizes = {p.n_devices for p in sweep.points}
+        assert algos == {"st", "fst"}
+        assert sizes == set(SIZES)
+        assert len(sweep.points) == 4
+
+    def test_runs_retained(self, sweep):
+        assert len(sweep.runs) == len(SIZES) * len(SEEDS) * 2
+
+    def test_all_converged(self, sweep):
+        assert all(p.all_converged for p in sweep.points)
+
+    def test_stats_count_matches_seeds(self, sweep):
+        for p in sweep.points:
+            assert p.time_ms.count == len(SEEDS)
+            assert p.messages.count == len(SEEDS)
+
+    def test_series_sorted_by_n(self, sweep):
+        series = sweep.series("st", "time_ms")
+        assert [n for n, _ in series] == sorted(SIZES)
+
+    def test_paired_topologies(self, sweep):
+        """ST and FST see the same (n, seed) network."""
+        st_keys = {(r.n_devices, r.seed) for r in sweep.runs if r.algorithm == "st"}
+        fst_keys = {(r.n_devices, r.seed) for r in sweep.runs if r.algorithm == "fst"}
+        assert st_keys == fst_keys
+
+
+class TestCrossover:
+    def test_crossover_semantics(self, sweep):
+        x = sweep.crossover("messages")
+        st = dict(sweep.series("st", "messages"))
+        fst = dict(sweep.series("fst", "messages"))
+        if x is None:
+            assert all(st[n] >= fst[n] for n in st)
+        else:
+            assert st[x] < fst[x]
+
+
+class TestValidation:
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep([], [1])
+        with pytest.raises(ValueError):
+            run_sweep([10], [])
+
+    def test_duplicates_collapsed(self):
+        result = run_sweep(
+            (20, 20), (1, 1), base_config=PaperConfig(max_time_ms=120_000.0)
+        )
+        assert len(result.runs) == 2  # one size, one seed, two algorithms

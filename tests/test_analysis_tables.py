@@ -1,0 +1,65 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_header_and_rule(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_alignment(self):
+        out = format_table(["k", "v"], [["x", 1], ["longer", 22]])
+        lines = out.splitlines()
+        # first column left-aligned, second right-aligned
+        assert lines[2].startswith("x ")
+        assert lines[2].rstrip().endswith("1")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.14" in out and "3.14159" not in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestFormatSeriesTable:
+    def test_shared_x_column(self):
+        out = format_series_table(
+            "n",
+            {"st": [(50, 1.0), (100, 2.0)], "fst": [(50, 3.0), (100, 4.0)]},
+        )
+        lines = out.splitlines()
+        assert lines[0].split()[0] == "n"
+        assert "st" in lines[0] and "fst" in lines[0]
+        assert len(lines) == 4
+
+    def test_missing_points_dashed(self):
+        out = format_series_table(
+            "n", {"a": [(1, 1.0)], "b": [(1, 2.0), (2, 3.0)]}
+        )
+        assert "-" in out.splitlines()[-1].split()
+
+    def test_value_format(self):
+        out = format_series_table(
+            "n", {"a": [(1, 1234.5)]}, value_format="{:.0f}"
+        )
+        assert "1234" in out and "1234.5" not in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series_table("n", {})

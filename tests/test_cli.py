@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == {"complexity", "fig2", "fig3", "fig4", "table1"}
+
+
+class TestSimulate:
+    def test_both_algorithms(self, capsys):
+        assert main(["simulate", "-n", "20", "--area", "50", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ST n=20" in out and "FST n=20" in out
+        assert "converged" in out
+
+    def test_single_algorithm(self, capsys):
+        assert main(["simulate", "-n", "20", "--area", "50", "--algorithm", "st"]) == 0
+        out = capsys.readouterr().out
+        assert "ST n=20" in out and "FST" not in out
+
+    def test_breakdown_flag(self, capsys):
+        assert main(
+            ["simulate", "-n", "20", "--area", "50", "--algorithm", "st", "--breakdown"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "handshake" in out and "discovery" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "PASS" in out
+
+    def test_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_fig3_with_custom_grid(self, capsys):
+        assert main(
+            ["experiment", "fig3", "--sizes", "20", "40", "--seeds", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out and "20" in out and "40" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestExportAndReport:
+    def test_simulate_export_csv(self, capsys, tmp_path):
+        path = tmp_path / "runs.csv"
+        assert main(
+            [
+                "simulate", "-n", "20", "--area", "50",
+                "--algorithm", "st", "--export-csv", str(path),
+            ]
+        ) == 0
+        assert path.exists()
+        assert "algorithm" in path.read_text().splitlines()[0]
+
+    def test_report_command(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.report as report_mod
+
+        monkeypatch.setattr(report_mod, "FAST_SIZES", (20, 40))
+        monkeypatch.setattr(report_mod, "FAST_SEEDS", (1,))
+        out = tmp_path / "REPORT.md"
+        assert main(["report", "-o", str(out)]) == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()
+        assert "all pass" in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out

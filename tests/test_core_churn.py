@@ -1,0 +1,112 @@
+"""Tests for the churn session."""
+
+import numpy as np
+import pytest
+
+from repro.core.churn import ChurnSession
+from repro.core.config import PaperConfig
+from repro.core.network import D2DNetwork
+
+
+@pytest.fixture(scope="module")
+def network():
+    return D2DNetwork(PaperConfig(seed=41))
+
+
+class TestInitial:
+    def test_starts_spanning_and_optimal(self, network):
+        session = ChurnSession(network)
+        assert session.is_spanning
+        assert session._optimality_ratio() == pytest.approx(1.0)
+
+    def test_partial_activation(self, network):
+        session = ChurnSession(network, initially_active=set(range(20)))
+        assert session.is_spanning
+        assert len(session.tree_edges) == 19
+
+    def test_empty_active_rejected(self, network):
+        with pytest.raises(ValueError):
+            ChurnSession(network, initially_active=set())
+
+
+class TestJoin:
+    def test_join_attaches_and_spans(self, network):
+        session = ChurnSession(network, initially_active=set(range(30)))
+        event = session.join(35)
+        assert event.succeeded
+        assert event.kind == "join"
+        assert 35 in session.active
+        assert session.is_spanning
+
+    def test_join_constant_messages(self, network):
+        session = ChurnSession(network, initially_active=set(range(30)))
+        event = session.join(40)
+        assert event.messages == network.config.discovery_periods + 2
+
+    def test_join_attaches_to_heaviest(self, network):
+        session = ChurnSession(network, initially_active=set(range(30)))
+        session.join(45)
+        new_edge = session.tree_edges[-1]
+        assert 45 in new_edge
+        other = new_edge[0] if new_edge[1] == 45 else new_edge[1]
+        # the chosen partner is the heaviest active link of device 45
+        w = network.weights[45].copy()
+        w[~network.adjacency[45]] = -np.inf
+        w[[i for i in range(network.n) if i not in session.active or i == 45]] = -np.inf
+        assert other == int(np.argmax(w))
+
+    def test_joins_may_drift_from_optimal(self, network):
+        """Greedy attachment accumulates (bounded) suboptimality."""
+        session = ChurnSession(network, initially_active=set(range(25)))
+        for d in range(25, 40):
+            session.join(d)
+        assert session.is_spanning
+        assert session._optimality_ratio() >= 1.0
+
+    def test_double_join_rejected(self, network):
+        session = ChurnSession(network, initially_active=set(range(30)))
+        session.join(31)
+        with pytest.raises(ValueError):
+            session.join(31)
+
+
+class TestFail:
+    def test_fail_repairs_spanning(self, network):
+        session = ChurnSession(network)
+        event = session.fail(10)
+        assert event.succeeded
+        assert 10 not in session.active
+        assert session.is_spanning
+        assert all(10 not in e for e in session.tree_edges)
+
+    def test_sequence_of_failures(self, network):
+        session = ChurnSession(network)
+        for d in (3, 17, 29, 44):
+            event = session.fail(d)
+            assert event.succeeded
+            assert session.is_spanning
+
+    def test_fail_inactive_rejected(self, network):
+        session = ChurnSession(network, initially_active=set(range(30)))
+        with pytest.raises(ValueError):
+            session.fail(45)
+
+
+class TestRebuild:
+    def test_rebuild_restores_optimality(self, network):
+        session = ChurnSession(network, initially_active=set(range(25)))
+        for d in range(25, 40):
+            session.join(d)
+        drifted = session._optimality_ratio()
+        event = session.rebuild()
+        assert event.kind == "rebuild"
+        assert session._optimality_ratio() == pytest.approx(1.0)
+        assert session._optimality_ratio() <= drifted + 1e-12
+
+    def test_event_log_grows(self, network):
+        session = ChurnSession(network, initially_active=set(range(30)))
+        session.join(33)
+        session.fail(5)
+        session.rebuild()
+        assert [e.kind for e in session.events] == ["join", "fail", "rebuild"]
+        assert [e.active_count for e in session.events] == [31, 30, 30]

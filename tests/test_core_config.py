@@ -1,0 +1,94 @@
+"""Tests for PaperConfig (Table I)."""
+
+import math
+
+import pytest
+
+from repro.core.config import PAPER_DENSITY_PER_M2, PaperConfig
+
+
+class TestTableIDefaults:
+    def test_exact_table1_values(self):
+        cfg = PaperConfig()
+        assert cfg.tx_power_dbm == 23.0
+        assert cfg.threshold_dbm == -95.0
+        assert cfg.n_devices == 50
+        assert cfg.area_side_m == 100.0
+        assert cfg.shadowing_sigma_db == 10.0
+        assert cfg.slot_ms == 1.0
+        assert cfg.pathloss_model == "paper"
+        assert cfg.fading_model == "rayleigh"
+
+    def test_density_constant(self):
+        assert PAPER_DENSITY_PER_M2 == pytest.approx(50.0 / 10_000.0)
+        assert PaperConfig().density_per_m2 == pytest.approx(PAPER_DENSITY_PER_M2)
+
+    def test_outdoor_exponent(self):
+        assert PaperConfig().rssi_exponent == 4.0
+
+
+class TestDerived:
+    def test_period_ms(self):
+        assert PaperConfig(period_slots=100).period_ms == 100.0
+
+    def test_refractory_and_window(self):
+        cfg = PaperConfig(refractory_slots=2, sync_window_slots=3)
+        assert cfg.refractory_ms == 2.0
+        assert cfg.sync_window_ms == 3.0
+
+    def test_prc_regime_defaults(self):
+        """Defaults must sit in the Mirollo–Strogatz convergence regime."""
+        cfg = PaperConfig()
+        assert cfg.dissipation > 0 and cfg.epsilon > 0
+
+
+class TestScaling:
+    def test_with_devices_keep_density(self):
+        cfg = PaperConfig().with_devices(200, keep_density=True)
+        assert cfg.n_devices == 200
+        assert cfg.area_side_m == pytest.approx(math.sqrt(200 / PAPER_DENSITY_PER_M2))
+        assert cfg.density_per_m2 == pytest.approx(PAPER_DENSITY_PER_M2)
+
+    def test_with_devices_fixed_area(self):
+        cfg = PaperConfig().with_devices(200, keep_density=False)
+        assert cfg.n_devices == 200
+        assert cfg.area_side_m == 100.0
+
+    def test_with_seed(self):
+        cfg = PaperConfig().with_seed(99)
+        assert cfg.seed == 99
+        assert cfg.n_devices == 50  # everything else untouched
+
+    def test_replace(self):
+        cfg = PaperConfig().replace(epsilon=0.2)
+        assert cfg.epsilon == 0.2
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PaperConfig().n_devices = 10  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_devices": 1},
+            {"area_side_m": 0.0},
+            {"shadowing_sigma_db": -1.0},
+            {"slot_ms": 0.0},
+            {"period_slots": 1},
+            {"dissipation": 0.0},
+            {"epsilon": 0.0},
+            {"refractory_slots": -1},
+            {"sync_window_slots": 0},
+            {"discovery_periods": -1},
+            {"max_time_ms": 0.0},
+            {"rssi_exponent": 0.0},
+            {"discovery_margin_db": -1.0},
+            {"beacon_preambles": 0},
+            {"ffa_rounds_per_phase": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PaperConfig(**kwargs)

@@ -1,0 +1,75 @@
+"""Tests for the Device model."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import Device, make_devices
+from repro.oscillator.phase import PhaseOscillator
+from repro.oscillator.prc import LinearPRC
+
+
+@pytest.fixture
+def prc():
+    return LinearPRC.from_dissipation(3.0, 0.1)
+
+
+class TestDevice:
+    def test_construction(self, prc):
+        dev = Device(3, (1.0, 2.0), PhaseOscillator(100.0, prc), service=1)
+        assert dev.device_id == 3
+        assert dev.fragment == 3  # starts as its own fragment
+        assert dev.neighbor_table.owner_id == 3
+
+    def test_distance(self, prc):
+        a = Device(0, (0.0, 0.0), PhaseOscillator(100.0, prc))
+        b = Device(1, (3.0, 4.0), PhaseOscillator(100.0, prc))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_validation(self, prc):
+        with pytest.raises(ValueError):
+            Device(-1, (0.0, 0.0), PhaseOscillator(100.0, prc))
+        with pytest.raises(ValueError):
+            Device(0, (0.0, 0.0), PhaseOscillator(100.0, prc), service=-1)
+
+
+class TestMakeDevices:
+    def test_count_and_positions(self, prc):
+        pos = np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 1.0]])
+        devices = make_devices(pos, 100.0, prc, np.random.default_rng(1))
+        assert len(devices) == 3
+        assert devices[2].position == (9.0, 1.0)
+
+    def test_random_phases_distinct(self, prc):
+        pos = np.zeros((20, 2))
+        devices = make_devices(pos, 100.0, prc, np.random.default_rng(2))
+        phases = {d.oscillator.phase_at(0.0) for d in devices}
+        assert len(phases) > 15
+
+    def test_services_assigned(self, prc):
+        pos = np.zeros((3, 2))
+        devices = make_devices(
+            pos, 100.0, prc, np.random.default_rng(3),
+            services=np.array([4, 5, 6]),
+        )
+        assert [d.service for d in devices] == [4, 5, 6]
+
+    def test_refractory_propagated(self, prc):
+        pos = np.zeros((2, 2))
+        devices = make_devices(
+            pos, 100.0, prc, np.random.default_rng(4), refractory_ms=5.0
+        )
+        assert all(d.oscillator.refractory == 5.0 for d in devices)
+
+    def test_bad_services_shape(self, prc):
+        with pytest.raises(ValueError):
+            make_devices(
+                np.zeros((3, 2)), 100.0, prc, np.random.default_rng(5),
+                services=np.array([1, 2]),
+            )
+
+    def test_deterministic(self, prc):
+        pos = np.zeros((5, 2))
+        a = make_devices(pos, 100.0, prc, np.random.default_rng(6))
+        b = make_devices(pos, 100.0, prc, np.random.default_rng(6))
+        for da, db in zip(a, b):
+            assert da.oscillator.phase_at(0.0) == db.oscillator.phase_at(0.0)

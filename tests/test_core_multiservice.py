@@ -1,0 +1,97 @@
+"""Tests for multi-service tree organization."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PaperConfig
+from repro.core.multiservice import run_multiservice
+from repro.core.network import D2DNetwork
+from repro.spanningtree.mst import is_spanning_tree
+
+
+@pytest.fixture(scope="module")
+def network():
+    return D2DNetwork(PaperConfig(seed=61))
+
+
+class TestPerServiceTrees:
+    def test_groups_partition_and_span(self, network):
+        rng = np.random.default_rng(61)
+        services = rng.integers(0, 3, network.n)
+        result = run_multiservice(network, services)
+        assert len(result.per_service) == 3
+        covered = sorted(m for t in result.per_service for m in t.members)
+        assert covered == list(range(network.n))
+        # at Table I density, every group of 10+ is connected
+        assert result.all_groups_spanned
+
+    def test_tree_edges_stay_within_group(self, network):
+        services = np.random.default_rng(62).integers(0, 3, network.n)
+        result = run_multiservice(network, services)
+        for tree in result.per_service:
+            members = set(tree.members)
+            for u, v in tree.tree_edges:
+                assert u in members and v in members
+
+    def test_each_group_tree_valid(self, network):
+        services = np.random.default_rng(63).integers(0, 2, network.n)
+        result = run_multiservice(network, services)
+        for tree in result.per_service:
+            if len(tree.members) < 2:
+                continue
+            remap = {m: i for i, m in enumerate(tree.members)}
+            mapped = [(remap[u], remap[v]) for u, v in tree.tree_edges]
+            assert is_spanning_tree(mapped, len(tree.members))
+
+    def test_singleton_group_trivial(self, network):
+        services = np.zeros(network.n, dtype=int)
+        services[7] = 99
+        result = run_multiservice(network, services)
+        lone = next(t for t in result.per_service if t.service == 99)
+        assert lone.members == [7]
+        assert lone.tree_edges == [] and lone.messages == 0
+        assert lone.spanning
+
+
+class TestComparison:
+    def test_global_includes_dissemination(self, network):
+        services = np.random.default_rng(64).integers(0, 3, network.n)
+        result = run_multiservice(network, services)
+        # global bill = construction + 2(n-1) aggregation messages
+        assert result.global_messages > 2 * (network.n - 1)
+
+    def test_single_service_degenerate(self, network):
+        """With one service, both organizations build the same global tree;
+        the global variant additionally disseminates (pays 2(n-1) more)."""
+        services = np.zeros(network.n, dtype=int)
+        result = run_multiservice(network, services)
+        assert len(result.per_service) == 1
+        assert set(result.per_service[0].tree_edges) == set(
+            result.global_tree_edges
+        )
+        assert result.global_messages == result.per_service_messages + 2 * (
+            network.n - 1
+        )
+        assert result.cheaper == "per-service"
+
+    def test_many_tiny_services_favour_global(self, network):
+        """25 two-member groups: per-service pays 25 construction bills...
+        but tiny groups are cheap, so just verify accounting consistency."""
+        services = np.repeat(np.arange(25), 2)
+        result = run_multiservice(network, services)
+        assert result.per_service_messages == sum(
+            t.messages for t in result.per_service
+        )
+        assert result.cheaper in ("per-service", "global")
+
+
+class TestValidation:
+    def test_bad_shape(self, network):
+        with pytest.raises(ValueError):
+            run_multiservice(network, np.zeros(3, dtype=int))
+
+    def test_negative_service(self, network):
+        services = np.zeros(network.n, dtype=int)
+        services[0] = -1
+        with pytest.raises(ValueError):
+            run_multiservice(network, services)

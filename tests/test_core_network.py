@@ -1,0 +1,109 @@
+"""Tests for D2DNetwork assembly."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.config import PaperConfig
+from repro.core.network import D2DNetwork
+from repro.sim.random import RandomStreams
+
+
+@pytest.fixture(scope="module")
+def network():
+    return D2DNetwork(PaperConfig(seed=1))
+
+
+class TestAssembly:
+    def test_positions_in_area(self, network):
+        side = network.config.area_side_m
+        assert np.all((network.positions >= 0) & (network.positions <= side))
+
+    def test_adjacency_symmetric_no_selfloops(self, network):
+        assert np.array_equal(network.adjacency, network.adjacency.T)
+        assert not network.adjacency.diagonal().any()
+
+    def test_weights_symmetric(self, network):
+        assert np.allclose(network.weights, network.weights.T)
+
+    def test_connected_by_construction(self, network):
+        assert nx.is_connected(network.graph())
+
+    def test_weights_track_ps_strength(self, network):
+        """Heavier edge ⇔ stronger mean received power (§IV)."""
+        iu, ju = np.nonzero(np.triu(network.adjacency, k=1))
+        w = network.weights[iu, ju]
+        d = network.true_distances()[iu, ju]
+        # correlation between weight and -distance should be strongly positive
+        corr = np.corrcoef(w, -d)[0, 1]
+        assert corr > 0.5
+
+    def test_graph_carries_weights(self, network):
+        g = network.graph()
+        u, v = next(iter(g.edges()))
+        assert g[u][v]["weight"] == pytest.approx(float(network.weights[u, v]))
+
+    def test_degree_stats(self, network):
+        stats = network.degree_stats()
+        assert 0 < stats["min"] <= stats["mean"] <= stats["max"] < network.n
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        a = D2DNetwork(PaperConfig(seed=5))
+        b = D2DNetwork(PaperConfig(seed=5))
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_different_seed_different_network(self):
+        a = D2DNetwork(PaperConfig(seed=5))
+        b = D2DNetwork(PaperConfig(seed=6))
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_explicit_streams_used(self):
+        streams = RandomStreams(123)
+        net = D2DNetwork(PaperConfig(seed=1), streams)
+        ref = D2DNetwork(PaperConfig(seed=1), RandomStreams(123))
+        assert np.array_equal(net.positions, ref.positions)
+
+
+class TestPathlossModes:
+    def test_logdistance_mode(self):
+        net = D2DNetwork(PaperConfig(seed=1, pathloss_model="logdistance"))
+        assert net.n == 50
+
+    def test_no_shadowing_mode(self):
+        net = D2DNetwork(PaperConfig(seed=1, shadowing_sigma_db=0.0))
+        # without shadowing the weights are a pure function of distance:
+        # strictly monotone in -d for the far segment
+        iu, ju = np.nonzero(np.triu(net.adjacency, k=1))
+        far = net.true_distances()[iu, ju] > 6.0
+        w = net.weights[iu, ju][far]
+        d = net.true_distances()[iu, ju][far]
+        order = np.argsort(d)
+        assert np.all(np.diff(w[order]) <= 1e-9)
+
+    def test_unknown_model_rejected(self):
+        cfg = PaperConfig(seed=1)
+        object.__setattr__(cfg, "pathloss_model", "bogus")
+        with pytest.raises(ValueError, match="unknown pathloss"):
+            D2DNetwork(cfg)
+
+
+class TestConnectivityRepair:
+    def test_sparse_scenario_eventually_connects(self):
+        # large area + few devices: first draws are often disconnected
+        cfg = PaperConfig(n_devices=10, area_side_m=400.0, seed=3)
+        net = D2DNetwork(cfg)
+        assert nx.is_connected(net.graph())
+        assert net.placement_attempts >= 1
+
+    def test_impossible_scenario_raises(self):
+        cfg = PaperConfig(n_devices=4, area_side_m=5000.0, seed=3)
+        with pytest.raises(RuntimeError, match="connected topology"):
+            D2DNetwork(cfg)
+
+    def test_require_connected_false_accepts_any(self):
+        cfg = PaperConfig(n_devices=4, area_side_m=5000.0, seed=3)
+        net = D2DNetwork(cfg, require_connected=False)
+        assert net.placement_attempts == 1

@@ -1,0 +1,51 @@
+"""Tests for result records."""
+
+import pytest
+
+from repro.core.results import RunResult
+
+
+def make(**kwargs):
+    base = dict(
+        algorithm="st",
+        n_devices=50,
+        seed=1,
+        converged=True,
+        time_ms=500.0,
+        messages=1000,
+    )
+    base.update(kwargs)
+    return RunResult(**base)
+
+
+class TestRunResult:
+    def test_messages_per_device(self):
+        assert make().messages_per_device == pytest.approx(20.0)
+
+    def test_summary_converged(self):
+        s = make().summary()
+        assert "ST" in s and "converged" in s and "500 ms" in s
+
+    def test_summary_timeout(self):
+        s = make(converged=False).summary()
+        assert "TIMED OUT" in s
+
+    def test_defaults_are_instance_local(self):
+        a, b = make(), make()
+        a.message_breakdown["x"] = 1
+        assert "x" not in b.message_breakdown
+        a.tree_edges.append((0, 1))
+        assert b.tree_edges == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"algorithm": "other"},
+            {"n_devices": 0},
+            {"time_ms": -1.0},
+            {"messages": -5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            make(**kwargs)

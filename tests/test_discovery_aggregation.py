@@ -1,0 +1,99 @@
+"""Tests for tree aggregation vs mesh flooding."""
+
+import numpy as np
+import pytest
+
+from repro.discovery.aggregation import (
+    aggregate_interests,
+    flood_interests,
+)
+
+PATH_TREE = [(0, 1), (1, 2), (2, 3)]  # 4-node chain
+
+
+class TestAggregateInterests:
+    def test_message_count_formula(self):
+        services = np.array([0, 1, 0, 2])
+        result = aggregate_interests(PATH_TREE, services, head=0)
+        assert result.messages == 2 * 3  # 2(n-1)
+
+    def test_service_map_complete(self):
+        services = np.array([0, 1, 0, 2])
+        result = aggregate_interests(PATH_TREE, services, head=1)
+        assert result.service_map == {0: [0, 2], 1: [1], 2: [3]}
+
+    def test_latency_twice_eccentricity(self):
+        services = np.zeros(4, dtype=int)
+        end = aggregate_interests(PATH_TREE, services, head=0)
+        mid = aggregate_interests(PATH_TREE, services, head=1)
+        assert end.slots == 6  # ecc(0) = 3
+        assert mid.slots == 4  # ecc(1) = 2
+
+    def test_star_topology(self):
+        star = [(0, 1), (0, 2), (0, 3), (0, 4)]
+        result = aggregate_interests(star, np.arange(5), head=0)
+        assert result.messages == 8
+        assert result.slots == 2
+
+    def test_non_spanning_tree_rejected(self):
+        with pytest.raises(ValueError, match="span"):
+            aggregate_interests([(0, 1)], np.zeros(3, dtype=int), head=0)
+
+    def test_bad_head(self):
+        with pytest.raises(ValueError):
+            aggregate_interests(PATH_TREE, np.zeros(4, dtype=int), head=9)
+
+
+class TestFloodInterests:
+    def test_message_count_n_squared(self):
+        n = 5
+        adj = ~np.eye(n, dtype=bool)
+        result = flood_interests(adj, np.zeros(n, dtype=int))
+        assert result.messages == n * n
+
+    def test_same_map_as_aggregation(self):
+        services = np.array([2, 0, 2, 1])
+        adj = np.zeros((4, 4), dtype=bool)
+        for u, v in PATH_TREE:
+            adj[u, v] = adj[v, u] = True
+        flood = flood_interests(adj, services)
+        tree = aggregate_interests(PATH_TREE, services, head=0)
+        assert flood.service_map == tree.service_map
+
+    def test_latency_is_worst_eccentricity(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        for u, v in PATH_TREE:
+            adj[u, v] = adj[v, u] = True
+        result = flood_interests(adj, np.zeros(4, dtype=int))
+        assert result.slots == 3  # chain diameter
+
+    def test_disconnected_rejected(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True
+        with pytest.raises(ValueError, match="disconnected"):
+            flood_interests(adj, np.zeros(4, dtype=int))
+
+
+class TestComparison:
+    def test_tree_always_cheaper_beyond_trivial(self):
+        """The paper's overhead claim: 2(n−1) < n² for n ≥ 2."""
+        rng = np.random.default_rng(1)
+        for n in (3, 8, 20):
+            # random tree: connect node i to a random earlier node
+            tree = [(int(rng.integers(0, i)), i) for i in range(1, n)]
+            adj = ~np.eye(n, dtype=bool)
+            services = rng.integers(0, 4, n)
+            t = aggregate_interests(tree, services, head=0)
+            f = flood_interests(adj, services)
+            assert t.messages < f.messages
+            assert t.service_map == f.service_map
+
+
+class TestValidation:
+    def test_empty_services(self):
+        with pytest.raises(ValueError):
+            aggregate_interests([], np.array([], dtype=int), head=0)
+
+    def test_negative_service(self):
+        with pytest.raises(ValueError):
+            flood_interests(~np.eye(2, dtype=bool), np.array([0, -1]))

@@ -1,0 +1,114 @@
+"""Tests for neighbour tables."""
+
+import pytest
+
+from repro.discovery.neighbor import NeighborTable
+
+
+class TestObserve:
+    def test_insert_new_entry(self):
+        table = NeighborTable(0)
+        entry = table.observe(3, -70.0, 10.0, service=2, estimated_distance_m=15.0)
+        assert entry.neighbor_id == 3
+        assert entry.rssi_dbm == -70.0
+        assert entry.service == 2
+        assert entry.heard_count == 1
+        assert 3 in table
+
+    def test_ewma_smoothing(self):
+        table = NeighborTable(0, rssi_alpha=0.5)
+        table.observe(1, -80.0, 1.0)
+        entry = table.observe(1, -60.0, 2.0)
+        assert entry.rssi_dbm == pytest.approx(-70.0)
+        assert entry.heard_count == 2
+
+    def test_alpha_one_disables_smoothing(self):
+        table = NeighborTable(0, rssi_alpha=1.0)
+        table.observe(1, -80.0, 1.0)
+        assert table.observe(1, -60.0, 2.0).rssi_dbm == -60.0
+
+    def test_distance_update_preserved_when_absent(self):
+        table = NeighborTable(0)
+        table.observe(1, -70.0, 1.0, estimated_distance_m=20.0)
+        entry = table.observe(1, -71.0, 2.0)  # no distance this time
+        assert entry.estimated_distance_m == 20.0
+
+    def test_own_transmission_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborTable(5).observe(5, -50.0, 0.0)
+
+    def test_negative_neighbor_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborTable(0).observe(-1, -50.0, 0.0)
+
+
+class TestQueries:
+    def test_known_ids_sorted(self):
+        table = NeighborTable(0)
+        for nid in (5, 2, 9):
+            table.observe(nid, -70.0, 1.0)
+        assert table.known_ids() == [2, 5, 9]
+
+    def test_strongest_ranks_by_rssi(self):
+        table = NeighborTable(0)
+        table.observe(1, -90.0, 1.0)
+        table.observe(2, -60.0, 1.0)
+        table.observe(3, -75.0, 1.0)
+        top2 = table.strongest(2)
+        assert [e.neighbor_id for e in top2] == [2, 3]
+
+    def test_strongest_tie_break_by_id(self):
+        table = NeighborTable(0)
+        table.observe(7, -70.0, 1.0)
+        table.observe(3, -70.0, 1.0)
+        assert table.strongest(1)[0].neighbor_id == 3
+
+    def test_with_service(self):
+        table = NeighborTable(0)
+        table.observe(1, -70.0, 1.0, service=4)
+        table.observe(2, -70.0, 1.0, service=9)
+        table.observe(3, -70.0, 1.0, service=4)
+        assert [e.neighbor_id for e in table.with_service(4)] == [1, 3]
+
+    def test_len_and_get(self):
+        table = NeighborTable(0)
+        table.observe(1, -70.0, 1.0)
+        assert len(table) == 1
+        assert table.get(1) is not None
+        assert table.get(99) is None
+
+
+class TestEviction:
+    def test_stale_entries_dropped(self):
+        table = NeighborTable(0, stale_after_ms=100.0)
+        table.observe(1, -70.0, 0.0)
+        table.observe(2, -70.0, 90.0)
+        assert table.evict_stale(150.0) == 1
+        assert 1 not in table and 2 in table
+
+    def test_refresh_prevents_eviction(self):
+        table = NeighborTable(0, stale_after_ms=100.0)
+        table.observe(1, -70.0, 0.0)
+        table.observe(1, -70.0, 80.0)
+        assert table.evict_stale(150.0) == 0
+
+    def test_disabled_eviction(self):
+        table = NeighborTable(0)
+        table.observe(1, -70.0, 0.0)
+        assert table.evict_stale(1e9) == 0
+
+
+class TestValidation:
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            NeighborTable(0, rssi_alpha=0.0)
+        with pytest.raises(ValueError):
+            NeighborTable(0, rssi_alpha=1.5)
+
+    def test_bad_stale_window(self):
+        with pytest.raises(ValueError):
+            NeighborTable(0, stale_after_ms=0.0)
+
+    def test_bad_owner(self):
+        with pytest.raises(ValueError):
+            NeighborTable(-1)

@@ -1,0 +1,89 @@
+"""Tests for the ProSe proximity predicate."""
+
+import pytest
+
+from repro.discovery.neighbor import NeighborTable
+from repro.discovery.proximity import ProximityCriterion, ProximityEvaluator
+
+
+def table_with(owner, entries):
+    """entries: list of (nid, rssi, distance, service)."""
+    t = NeighborTable(owner)
+    for nid, rssi, dist, svc in entries:
+        t.observe(nid, rssi, 1.0, service=svc, estimated_distance_m=dist)
+    return t
+
+
+class TestInProximity:
+    def test_distance_filter(self):
+        t = table_with(0, [(1, -60, 10.0, 0), (2, -80, 50.0, 0)])
+        ev = ProximityEvaluator(ProximityCriterion(max_distance_m=30.0))
+        assert ev.in_proximity(t) == [1]
+
+    def test_unranged_neighbours_excluded(self):
+        t = NeighborTable(0)
+        t.observe(1, -60.0, 1.0)  # no distance estimate
+        ev = ProximityEvaluator(ProximityCriterion(max_distance_m=30.0))
+        assert ev.in_proximity(t) == []
+
+    def test_rssi_floor(self):
+        t = table_with(0, [(1, -92, 10.0, 0), (2, -60, 10.0, 0)])
+        ev = ProximityEvaluator(
+            ProximityCriterion(max_distance_m=30.0, min_rssi_dbm=-80.0)
+        )
+        assert ev.in_proximity(t) == [2]
+
+    def test_service_filter(self):
+        t = table_with(0, [(1, -60, 5.0, 3), (2, -60, 5.0, 4)])
+        ev = ProximityEvaluator(
+            ProximityCriterion(max_distance_m=30.0, require_service=4)
+        )
+        assert ev.in_proximity(t) == [2]
+
+    def test_sorted_output(self):
+        t = table_with(0, [(9, -60, 5.0, 0), (1, -60, 5.0, 0), (4, -60, 5.0, 0)])
+        ev = ProximityEvaluator(ProximityCriterion(max_distance_m=30.0))
+        assert ev.in_proximity(t) == [1, 4, 9]
+
+
+class TestMutualPairs:
+    def test_symmetric_pair_found(self):
+        tables = {
+            0: table_with(0, [(1, -60, 10.0, 0)]),
+            1: table_with(1, [(0, -60, 12.0, 0)]),
+        }
+        ev = ProximityEvaluator(ProximityCriterion(max_distance_m=30.0))
+        assert ev.proximity_pairs(tables) == [(0, 1)]
+
+    def test_one_sided_hearing_excluded(self):
+        """ProSe requires both directions (the Fig. 1 mutual notion)."""
+        tables = {
+            0: table_with(0, [(1, -60, 10.0, 0)]),
+            1: NeighborTable(1),  # never heard 0
+        }
+        ev = ProximityEvaluator(ProximityCriterion(max_distance_m=30.0))
+        assert ev.proximity_pairs(tables) == []
+
+    def test_asymmetric_distance_estimates(self):
+        """One side's estimate over the limit kills the pair."""
+        tables = {
+            0: table_with(0, [(1, -60, 10.0, 0)]),
+            1: table_with(1, [(0, -60, 45.0, 0)]),
+        }
+        ev = ProximityEvaluator(ProximityCriterion(max_distance_m=30.0))
+        assert ev.proximity_pairs(tables) == []
+
+    def test_multiple_pairs_sorted(self):
+        tables = {
+            0: table_with(0, [(1, -60, 5.0, 0), (2, -60, 5.0, 0)]),
+            1: table_with(1, [(0, -60, 5.0, 0)]),
+            2: table_with(2, [(0, -60, 5.0, 0)]),
+        }
+        ev = ProximityEvaluator(ProximityCriterion(max_distance_m=30.0))
+        assert ev.proximity_pairs(tables) == [(0, 1), (0, 2)]
+
+
+class TestValidation:
+    def test_bad_distance(self):
+        with pytest.raises(ValueError):
+            ProximityCriterion(max_distance_m=0.0)

@@ -1,0 +1,81 @@
+"""Tests for the service directory and codec mapping."""
+
+import pytest
+
+from repro.discovery.service import MAX_PREAMBLES, ServiceDirectory
+from repro.radio.rach import RACHCodec
+
+
+class TestRegistration:
+    def test_register_allocates_codec_pair(self):
+        d = ServiceDirectory()
+        svc = d.register(0, "chat")
+        assert svc.keep_alive_codec.orthogonal_to(svc.event_codec)
+
+    def test_distinct_services_distinct_preambles(self):
+        d = ServiceDirectory()
+        a = d.register(0, "chat")
+        b = d.register(1, "files")
+        indices = {
+            a.keep_alive_codec.index,
+            a.event_codec.index,
+            b.keep_alive_codec.index,
+            b.event_codec.index,
+        }
+        assert len(indices) == 4
+
+    def test_idempotent_reregistration(self):
+        d = ServiceDirectory()
+        a = d.register(0, "chat")
+        b = d.register(0, "chat")
+        assert a is b
+        assert len(d) == 1
+
+    def test_conflicting_name_rejected(self):
+        d = ServiceDirectory()
+        d.register(0, "chat")
+        with pytest.raises(ValueError, match="already registered"):
+            d.register(0, "video")
+
+    def test_preamble_space_exhaustion(self):
+        d = ServiceDirectory()
+        capacity = (MAX_PREAMBLES - 2) // 2
+        for i in range(capacity):
+            d.register(i, f"svc{i}")
+        with pytest.raises(RuntimeError, match="exhausted"):
+            d.register(capacity, "one-too-many")
+
+
+class TestLookup:
+    def test_lookup_by_id(self):
+        d = ServiceDirectory()
+        d.register(3, "gaming")
+        assert d.lookup(3).name == "gaming"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            ServiceDirectory().lookup(9)
+
+    def test_service_for_codec_both_directions(self):
+        """Preamble-level identification: either codec maps back (§III)."""
+        d = ServiceDirectory()
+        svc = d.register(0, "chat")
+        assert d.service_for_codec(svc.keep_alive_codec) is svc
+        assert d.service_for_codec(svc.event_codec) is svc
+
+    def test_service_for_unknown_codec(self):
+        d = ServiceDirectory()
+        d.register(0, "chat")
+        with pytest.raises(KeyError):
+            d.service_for_codec(RACHCodec(50))
+
+    def test_services_sorted(self):
+        d = ServiceDirectory()
+        d.register(5, "b")
+        d.register(1, "a")
+        assert [s.service_id for s in d.services()] == [1, 5]
+
+    def test_contains(self):
+        d = ServiceDirectory()
+        d.register(2, "x")
+        assert 2 in d and 3 not in d

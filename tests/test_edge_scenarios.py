@@ -1,0 +1,93 @@
+"""Edge-scenario tests: the smallest and oddest configurations that must
+still behave (error clearly or converge)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PaperConfig
+from repro.core.fst import FSTSimulation
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation
+from repro.spanningtree.mst import is_spanning_tree
+
+
+class TestTinyNetworks:
+    def test_two_devices(self):
+        cfg = PaperConfig(n_devices=2, area_side_m=20.0, seed=1)
+        net = D2DNetwork(cfg)
+        st = STSimulation(net).run()
+        fst = FSTSimulation(net).run()
+        assert st.converged and fst.converged
+        assert st.tree_edges == [(0, 1)]
+        assert fst.tree_edges == [(0, 1)]
+
+    def test_three_devices(self):
+        cfg = PaperConfig(n_devices=3, area_side_m=25.0, seed=2)
+        net = D2DNetwork(cfg)
+        st = STSimulation(net).run()
+        assert st.converged
+        assert is_spanning_tree(st.tree_edges, 3)
+
+    def test_single_device_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            PaperConfig(n_devices=1)
+
+
+class TestExtremeChannels:
+    def test_very_tight_area_everyone_hears_everyone(self):
+        cfg = PaperConfig(n_devices=20, area_side_m=5.0, seed=3)
+        net = D2DNetwork(cfg)
+        assert net.degree_stats()["min"] == 19  # complete graph
+        st = STSimulation(net).run()
+        assert st.converged
+
+    def test_no_shadowing_no_fading(self):
+        cfg = PaperConfig(
+            seed=4, shadowing_sigma_db=0.0, fading_model="none"
+        )
+        net = D2DNetwork(cfg)
+        st = STSimulation(net).run()
+        fst = FSTSimulation(net).run()
+        assert st.converged and fst.converged
+
+    def test_huge_shadowing_still_works(self):
+        cfg = PaperConfig(n_devices=30, area_side_m=60.0, seed=5,
+                          shadowing_sigma_db=20.0)
+        net = D2DNetwork(cfg)
+        st = STSimulation(net).run()
+        assert st.converged
+
+
+class TestOscillatorExtremes:
+    def test_very_strong_coupling(self):
+        cfg = PaperConfig(seed=6, epsilon=0.5)
+        st = STSimulation(D2DNetwork(cfg)).run()
+        assert st.converged
+
+    def test_very_weak_coupling_slower_but_converges(self):
+        weak = PaperConfig(seed=7, epsilon=0.01)
+        strong = PaperConfig(seed=7, epsilon=0.2)
+        weak_fst = FSTSimulation(D2DNetwork(weak)).run()
+        strong_fst = FSTSimulation(D2DNetwork(strong)).run()
+        assert weak_fst.converged and strong_fst.converged
+        assert weak_fst.extra["sync_time_ms"] >= strong_fst.extra["sync_time_ms"]
+
+    def test_short_period(self):
+        cfg = PaperConfig(seed=8, period_slots=20)
+        st = STSimulation(D2DNetwork(cfg)).run()
+        assert st.converged
+
+    def test_long_refractory(self):
+        cfg = PaperConfig(seed=9, refractory_slots=10)
+        st = STSimulation(D2DNetwork(cfg)).run()
+        assert st.converged
+
+
+class TestTimeouts:
+    def test_tiny_time_budget_reports_honestly(self):
+        """A 1 ms budget cannot complete anything: converged must be False
+        and the clock must not overrun the budget materially."""
+        cfg = PaperConfig(seed=10, max_time_ms=1.0)
+        fst = FSTSimulation(D2DNetwork(cfg)).run()
+        assert not fst.converged
+        assert fst.time_ms <= 2.0 * cfg.period_ms

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run clean end-to-end.
+
+The scaling study is exercised with a reduced grid through its module
+function rather than the full script (the script's default grid is a
+multi-minute run reserved for manual use).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_SCRIPTS = [
+    "quickstart.py",
+    "spanning_tree_demo.py",
+    "mall_service_discovery.py",
+    "convergence_dynamics.py",
+    "churn_recovery.py",
+    "mobile_drift.py",
+    "deployment_planner.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_SCRIPTS)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+    assert "Traceback" not in result.stderr
+
+
+def test_stadium_crowd_runs_clean():
+    """Larger scenario gets its own test (and a longer allowance)."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "stadium_crowd.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "organizes the section" in result.stdout
+
+
+def test_scaling_study_reduced_grid():
+    from repro.experiments.scaling import run_scaling
+
+    result = run_scaling(sizes=(20, 50), seeds=(1,))
+    assert all(p.all_converged for p in result.sweep.points)
+    assert "Fig. 3" in result.render_fig3()

@@ -1,0 +1,97 @@
+"""Tests for the experiment drivers (reduced scales for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_complexity,
+    run_experiment,
+    run_fig2,
+    run_scaling,
+    run_table1,
+)
+
+
+class TestFig2:
+    def test_tree_matches_oracle_and_beats_random(self):
+        result = run_fig2(n_devices=8, seed=7)
+        assert result.matches_oracle
+        assert result.beats_all_random
+        assert len(result.tree_edges) == 7
+
+    def test_multiple_seeds_always_optimal(self):
+        for seed in range(5):
+            assert run_fig2(n_devices=6, seed=seed, random_trees=5).matches_oracle
+
+    def test_render_contains_edges(self):
+        text = run_fig2().render()
+        assert "tree edges" in text and "Borůvka phases" in text
+
+    def test_too_few_devices_rejected(self):
+        with pytest.raises(ValueError):
+            run_fig2(n_devices=2)
+
+
+class TestTable1:
+    def test_all_checks_pass(self):
+        assert run_table1().all_checks_pass
+
+    def test_render_contains_every_row(self):
+        text = run_table1().render()
+        for token in ("23 dBm", "-95 dBm", "10 dB", "1 ms", "25log10", "40log10"):
+            assert token in text
+
+    def test_derived_range_matches_budget(self):
+        result = run_table1()
+        assert 85.0 < result.derived["mean link budget range (m)"] < 95.0
+
+
+class TestComplexity:
+    def test_exponents(self):
+        result = run_complexity(sizes=(16, 32, 64, 128), iterations=8)
+        assert 1.7 < result.basic_exponent < 2.3
+        assert result.sorted_exponent < 1.6
+
+    def test_sorted_always_cheaper(self):
+        result = run_complexity(sizes=(16, 64), iterations=5)
+        assert all(
+            s < b
+            for s, b in zip(result.sorted_comparisons, result.basic_comparisons)
+        )
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            run_complexity(sizes=(16,))
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scaling(sizes=(20, 60), seeds=(1,))
+
+    def test_series_structure(self, result):
+        fig3 = result.series("time_ms")
+        assert set(fig3) == {"ST (proposed)", "FST [17]"}
+        assert len(fig3["ST (proposed)"]) == 2
+
+    def test_renders(self, result):
+        assert "Fig. 3" in result.render_fig3()
+        assert "Fig. 4" in result.render_fig4()
+        assert "Fig. 3" in result.render() and "Fig. 4" in result.render()
+
+    def test_all_converged(self, result):
+        assert all(p.all_converged for p in result.sweep.points)
+
+
+class TestRegistry:
+    def test_ids_present(self):
+        assert set(EXPERIMENTS) == {"fig2", "fig3", "fig4", "table1", "complexity"}
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("fig2")
+        assert result.matches_oracle
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="valid ids"):
+            run_experiment("fig99")

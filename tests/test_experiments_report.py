@@ -1,0 +1,45 @@
+"""Tests for the one-shot report generator (tiny grid via monkeypatch)."""
+
+import pytest
+
+import repro.experiments.report as report_mod
+from repro.experiments.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    # shrink the "fast" grid further so the test stays quick
+    original = (report_mod.FAST_SIZES, report_mod.FAST_SEEDS)
+    report_mod.FAST_SIZES = (20, 50)
+    report_mod.FAST_SEEDS = (1,)
+    try:
+        yield generate_report(fast=True)
+    finally:
+        report_mod.FAST_SIZES, report_mod.FAST_SEEDS = original
+
+
+class TestReport:
+    def test_all_sections_present(self, tiny_report):
+        md = tiny_report.markdown
+        for heading in (
+            "# Reproduction report",
+            "## Table I",
+            "## Fig. 2",
+            "## Fig. 3",
+            "## Fig. 4",
+            "## §V",
+            "## Verdict",
+        ):
+            assert heading in md
+
+    def test_checks_pass(self, tiny_report):
+        assert tiny_report.all_checks_pass
+
+    def test_save(self, tiny_report, tmp_path):
+        path = tiny_report.save(tmp_path / "sub" / "REPORT.md")
+        assert path.exists()
+        assert path.read_text() == tiny_report.markdown
+
+    def test_crossovers_are_ints_or_none(self, tiny_report):
+        for x in (tiny_report.crossover_time, tiny_report.crossover_messages):
+            assert x is None or isinstance(x, int)

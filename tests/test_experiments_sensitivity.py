@@ -1,0 +1,72 @@
+"""Tests for the sensitivity-sweep driver (small grids)."""
+
+import pytest
+
+from repro.experiments.sensitivity import SWEEPABLE, run_sensitivity
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def epsilon_sweep(self):
+        return run_sensitivity(
+            "epsilon", (0.05, 0.15), n_devices=30, seeds=(1,), algorithms=("st",)
+        )
+
+    def test_point_grid(self, epsilon_sweep):
+        assert len(epsilon_sweep.points) == 2
+        assert {p.value for p in epsilon_sweep.points} == {0.05, 0.15}
+        assert all(p.algorithm == "st" for p in epsilon_sweep.points)
+
+    def test_all_converge(self, epsilon_sweep):
+        assert all(
+            p.converged_runs == p.total_runs for p in epsilon_sweep.points
+        )
+
+    def test_render(self, epsilon_sweep):
+        text = epsilon_sweep.render()
+        assert "epsilon" in text and "ST" in text
+
+    def test_for_algorithm_filter(self, epsilon_sweep):
+        assert len(epsilon_sweep.for_algorithm("st")) == 2
+        assert epsilon_sweep.for_algorithm("fst") == []
+
+    def test_preamble_sweep_monotone_for_fst(self):
+        """More beacon preambles can only help FST's discovery."""
+        result = run_sensitivity(
+            "beacon_preambles",
+            (2, 16),
+            n_devices=60,
+            seeds=(1,),
+            algorithms=("fst",),
+        )
+        by_value = {p.value: p for p in result.points}
+        assert by_value[16].messages.mean <= by_value[2].messages.mean
+
+    def test_collision_policy_sweep(self):
+        result = run_sensitivity(
+            "collision_policy",
+            ("tolerant", "destructive"),
+            n_devices=30,
+            seeds=(1,),
+            algorithms=("st",),
+        )
+        assert {p.value for p in result.points} == {"tolerant", "destructive"}
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="sweepable"):
+            run_sensitivity("bogus", (1, 2))
+
+    def test_empty_values(self):
+        with pytest.raises(ValueError):
+            run_sensitivity("epsilon", ())
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            run_sensitivity("epsilon", (0.1,), algorithms=("st", "magic"))
+
+    def test_sweepable_list_valid(self):
+        from repro.core.config import PaperConfig
+
+        cfg = PaperConfig()
+        for name in SWEEPABLE:
+            assert hasattr(cfg, name)

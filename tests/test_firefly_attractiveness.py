@@ -1,0 +1,61 @@
+"""Tests for attractiveness kernels."""
+
+import numpy as np
+import pytest
+
+from repro.firefly.attractiveness import (
+    exponential_kernel,
+    gaussian_kernel,
+    rational_kernel,
+)
+
+KERNELS = [gaussian_kernel, exponential_kernel, rational_kernel]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_full_attraction_at_zero_distance(self, kernel):
+        assert kernel(0.0, 1.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_monotone_decreasing(self, kernel):
+        r = np.linspace(0.0, 10.0, 50)
+        beta = kernel(r, 0.7)
+        assert np.all(np.diff(beta) <= 1e-12)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_bounded_zero_one(self, kernel):
+        r = np.linspace(0.0, 100.0, 200)
+        beta = kernel(r, 2.0)
+        assert np.all((beta >= 0.0) & (beta <= 1.0))
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_zero_gamma_constant_one(self, kernel):
+        assert kernel(5.0, 0.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_negative_gamma_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel(1.0, -0.5)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_scalar_returns_float(self, kernel):
+        assert isinstance(kernel(1.0, 1.0), float)
+
+
+class TestSpecificForms:
+    def test_gaussian_formula(self):
+        assert gaussian_kernel(2.0, 0.5) == pytest.approx(np.exp(-0.5 * 4.0))
+
+    def test_exponential_formula(self):
+        assert exponential_kernel(2.0, 0.5) == pytest.approx(np.exp(-1.0))
+
+    def test_rational_formula(self):
+        assert rational_kernel(2.0, 0.5) == pytest.approx(1.0 / 3.0)
+
+    def test_gaussian_decays_fastest_at_long_range(self):
+        assert gaussian_kernel(5.0, 1.0) < exponential_kernel(5.0, 1.0)
+        assert exponential_kernel(5.0, 1.0) < rational_kernel(5.0, 1.0)
+
+    def test_exponential_uses_absolute_distance(self):
+        assert exponential_kernel(-2.0, 0.5) == exponential_kernel(2.0, 0.5)

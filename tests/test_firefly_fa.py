@@ -1,0 +1,130 @@
+"""Tests for the basic O(n²) firefly algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.firefly.fa import BasicFireflyAlgorithm, FAParams
+from repro.firefly.objectives import rastrigin, sphere
+
+
+def make(objective=sphere, dim=3, pop=12, seed=0, **params):
+    return BasicFireflyAlgorithm(
+        objective,
+        dim,
+        pop,
+        params=FAParams(**params) if params else None,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestInitialization:
+    def test_population_within_bounds(self):
+        fa = make(pop=30)
+        low, high = fa.bounds
+        assert np.all((fa.positions >= low) & (fa.positions <= high))
+
+    def test_initial_evaluations_counted(self):
+        fa = make(pop=15)
+        result = fa.run(0)
+        assert result.evaluations == 15
+
+    def test_best_tracks_minimum(self):
+        fa = make()
+        assert fa._result.best_value == pytest.approx(float(fa.values.min()))
+
+
+class TestOptimization:
+    def test_sphere_improves(self):
+        fa = make(pop=20, seed=1)
+        start = fa._result.best_value
+        result = fa.run(15)
+        assert result.best_value < start
+
+    def test_sphere_converges_near_zero(self):
+        fa = make(pop=25, seed=2)
+        result = fa.run(40)
+        assert result.best_value < 0.5
+
+    def test_history_monotone_nonincreasing(self):
+        fa = make(objective=rastrigin, pop=15, seed=3)
+        result = fa.run(20)
+        assert all(a >= b for a, b in zip(result.history, result.history[1:]))
+
+    def test_positions_stay_in_bounds(self):
+        fa = make(pop=15, seed=4, eta=0.5, eta_decay=1.0)
+        fa.run(10)
+        low, high = fa.bounds
+        assert np.all((fa.positions >= low) & (fa.positions <= high))
+
+    def test_deterministic_given_seed(self):
+        r1 = make(seed=5).run(5)
+        r2 = make(seed=5).run(5)
+        assert r1.best_value == r2.best_value
+        assert np.array_equal(r1.best_position, r2.best_position)
+
+
+class TestComplexityAccounting:
+    def test_comparisons_quadratic_per_iteration(self):
+        fa = make(pop=10)
+        fa.run(3)
+        assert fa._result.comparisons == 3 * 10 * 9
+
+    def test_moves_bounded_by_comparisons(self):
+        fa = make(pop=10, seed=6)
+        result = fa.run(5)
+        assert 0 < result.moves <= result.comparisons
+
+    def test_iterations_recorded(self):
+        assert make().run(7).iterations == 7
+
+
+class TestValidation:
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            make(dim=0)
+
+    def test_bad_pop(self):
+        with pytest.raises(ValueError):
+            BasicFireflyAlgorithm(sphere, 2, 1)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            BasicFireflyAlgorithm(sphere, 2, 5, bounds=(1.0, -1.0))
+
+    def test_negative_iterations(self):
+        with pytest.raises(ValueError):
+            make().run(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"step": 0.0},
+            {"step": 1.5},
+            {"gamma": -1.0},
+            {"eta": -0.1},
+            {"eta_decay": 0.0},
+            {"kernel": "magic"},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            FAParams(**kwargs)
+
+
+class TestKernelVariants:
+    @pytest.mark.parametrize("kernel", ["gaussian", "exponential", "rational"])
+    def test_every_kernel_optimizes(self, kernel):
+        fa = make(pop=20, seed=20, kernel=kernel)
+        start = fa._result.best_value
+        result = fa.run(20)
+        assert result.best_value < start
+
+    def test_kernel_changes_trajectory(self):
+        a = make(seed=21, kernel="gaussian").run(5)
+        b = make(seed=21, kernel="rational").run(5)
+        assert a.best_value != b.best_value
+
+    def test_kernel_fn_property(self):
+        from repro.firefly.attractiveness import exponential_kernel
+
+        assert FAParams(kernel="exponential").kernel_fn is exponential_kernel

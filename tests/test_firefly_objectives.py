@@ -1,0 +1,69 @@
+"""Tests for optimizer objective functions."""
+
+import numpy as np
+import pytest
+
+from repro.firefly.objectives import (
+    OBJECTIVES,
+    ackley,
+    rastrigin,
+    rosenbrock,
+    sphere,
+)
+
+
+class TestOptima:
+    def test_sphere_optimum_origin(self):
+        assert sphere(np.zeros((1, 5)))[0] == pytest.approx(0.0)
+
+    def test_rastrigin_optimum_origin(self):
+        assert rastrigin(np.zeros((1, 5)))[0] == pytest.approx(0.0)
+
+    def test_ackley_optimum_origin(self):
+        assert ackley(np.zeros((1, 5)))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_rosenbrock_optimum_ones(self):
+        assert rosenbrock(np.ones((1, 5)))[0] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("name,fn", sorted(OBJECTIVES.items()))
+    def test_nonnegative_everywhere(self, name, fn):
+        rng = np.random.default_rng(1)
+        pop = rng.uniform(-5, 5, size=(200, 4))
+        assert np.all(fn(pop) >= -1e-12)
+
+
+class TestVectorization:
+    @pytest.mark.parametrize("name,fn", sorted(OBJECTIVES.items()))
+    def test_population_shape(self, name, fn):
+        pop = np.random.default_rng(0).uniform(-2, 2, size=(17, 3))
+        assert fn(pop).shape == (17,)
+
+    @pytest.mark.parametrize("name,fn", sorted(OBJECTIVES.items()))
+    def test_single_vector_promoted(self, name, fn):
+        out = fn(np.array([0.5, 0.5, 0.5]))
+        assert out.shape == (1,)
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ValueError):
+            sphere(np.zeros((2, 2, 2)))
+
+
+class TestValues:
+    def test_sphere_formula(self):
+        assert sphere(np.array([[1.0, 2.0, 3.0]]))[0] == pytest.approx(14.0)
+
+    def test_rastrigin_multimodal(self):
+        """Integer lattice points are local minima: f(1,0) < f(0.5,0)."""
+        assert rastrigin(np.array([[1.0, 0.0]]))[0] < rastrigin(
+            np.array([[0.5, 0.0]])
+        )[0]
+
+    def test_rosenbrock_valley(self):
+        """Points on the parabola y = x² sit in the valley."""
+        on = rosenbrock(np.array([[0.5, 0.25]]))[0]
+        off = rosenbrock(np.array([[0.5, 1.5]]))[0]
+        assert on < off
+
+    def test_rosenbrock_needs_dim2(self):
+        with pytest.raises(ValueError):
+            rosenbrock(np.zeros((1, 1)))

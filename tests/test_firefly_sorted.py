@@ -1,0 +1,87 @@
+"""Tests for the sorted O(n log n) firefly algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.firefly.fa import BasicFireflyAlgorithm
+from repro.firefly.fa_sorted import SortedFireflyAlgorithm
+from repro.firefly.objectives import rastrigin, sphere
+
+
+def make(objective=sphere, dim=3, pop=16, seed=0):
+    return SortedFireflyAlgorithm(
+        objective, dim, pop, rng=np.random.default_rng(seed)
+    )
+
+
+class TestOptimization:
+    def test_sphere_improves(self):
+        fa = make(pop=24, seed=1)
+        start = fa._result.best_value
+        assert fa.run(20).best_value < start
+
+    def test_sphere_converges(self):
+        result = make(pop=30, seed=2).run(50)
+        assert result.best_value < 1.0
+
+    def test_rastrigin_reasonable(self):
+        result = make(objective=rastrigin, dim=2, pop=30, seed=3).run(60)
+        assert result.best_value < 10.0
+
+    def test_history_monotone(self):
+        result = make(seed=4).run(25)
+        assert all(a >= b for a, b in zip(result.history, result.history[1:]))
+
+    def test_deterministic(self):
+        assert make(seed=5).run(8).best_value == make(seed=5).run(8).best_value
+
+
+class TestComplexityAccounting:
+    def test_comparisons_n_log_n_per_iteration(self):
+        fa = make(pop=32)
+        fa.run(4)
+        expected = 4 * 32 * math.ceil(math.log2(32))
+        assert fa._result.comparisons == expected
+
+    def test_cheaper_than_basic_at_scale(self):
+        n, iters = 64, 5
+        basic = BasicFireflyAlgorithm(
+            sphere, 3, n, rng=np.random.default_rng(7)
+        )
+        srt = SortedFireflyAlgorithm(sphere, 3, n, rng=np.random.default_rng(7))
+        rb, rs = basic.run(iters), srt.run(iters)
+        assert rs.comparisons < rb.comparisons / 5
+
+    def test_growth_subquadratic(self):
+        counts = {}
+        for n in (16, 64, 256):
+            fa = make(pop=n, seed=8)
+            counts[n] = fa.run(2).comparisons
+        # quadrupling n should far less than 16x the comparisons
+        assert counts[256] / counts[16] < 40  # n log n gives 32x
+
+    def test_every_non_best_firefly_moves(self):
+        fa = make(pop=10, seed=9)
+        result = fa.run(1)
+        # ranks 1..9 move once or twice (predecessor + best) + best walks
+        assert result.moves >= 10
+
+
+class TestSharedBehaviour:
+    def test_positions_in_bounds(self):
+        fa = make(pop=20, seed=10)
+        fa.run(10)
+        low, high = fa.bounds
+        assert np.all((fa.positions >= low) & (fa.positions <= high))
+
+    def test_quality_comparable_to_basic(self):
+        """Same budget, the sorted variant stays within an order of magnitude."""
+        basic = BasicFireflyAlgorithm(
+            sphere, 3, 20, rng=np.random.default_rng(11)
+        ).run(30)
+        srt = SortedFireflyAlgorithm(
+            sphere, 3, 20, rng=np.random.default_rng(11)
+        ).run(30)
+        assert srt.best_value < max(10.0 * basic.best_value, 1.0)

@@ -1,0 +1,83 @@
+"""Cross-extension integration: churn + multiservice + mobility together."""
+
+import numpy as np
+import pytest
+
+from repro import ChurnSession, D2DNetwork, PaperConfig
+from repro.core.multiservice import run_multiservice
+from repro.discovery.aggregation import aggregate_interests
+from repro.mobility.resync import MobilitySession
+from repro.mobility.waypoint import RandomWaypoint
+from repro.radio.energy import EnergyModel
+from repro.core.st import STSimulation
+
+
+class TestChurnThenDisseminate:
+    def test_service_map_stays_correct_through_churn(self):
+        """After joins and failures, aggregation over the *current* tree
+        still reaches exactly the active devices."""
+        net = D2DNetwork(PaperConfig(seed=101))
+        session = ChurnSession(net, initially_active=set(range(40)))
+        session.join(42)
+        session.fail(5)
+        session.join(45)
+        assert session.is_spanning
+
+        rng = np.random.default_rng(101)
+        services = rng.integers(0, 3, net.n)
+        head = next(iter(session.active))
+        # restrict to active: build the service map over the churned tree
+        result = aggregate_interests(
+            session.tree_edges,
+            services,
+            head=head,
+        ) if len(session.active) == net.n else None
+        # the churned tree does not span inactive devices, so aggregation
+        # must reject it when inactive devices exist
+        with pytest.raises(ValueError):
+            aggregate_interests(session.tree_edges, services, head=head)
+
+
+class TestMobilityEnergy:
+    def test_epoch_energy_accounting(self):
+        """Mobility epochs convert cleanly into energy via the model."""
+        n, side = 25, 70.0
+        config = PaperConfig(n_devices=n, area_side_m=side, seed=102)
+        mover = RandomWaypoint(
+            np.random.default_rng(102).uniform(0, side, size=(n, 2)),
+            side,
+            pause_range_s=(0.0, 0.0),
+            rng=np.random.default_rng(103),
+        )
+        session = MobilitySession(config, mover, seed=104)
+        model = EnergyModel()
+        total_mj = 0.0
+        for _ in range(3):
+            mover.step(2.0)
+            epoch = session.run_epoch()
+            assert epoch.converged
+            total_mj += model.tx_energy_mj(epoch.resync_messages)
+            total_mj += model.listen_energy_mj(epoch.resync_time_ms, n)
+        assert total_mj > 0.0
+
+
+class TestMultiServiceOnScenario:
+    def test_stadium_services_organize(self):
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("mall").with_seed(7)
+        net = D2DNetwork(config)
+        services = np.random.default_rng(7).integers(0, 2, net.n)
+        result = run_multiservice(net, services)
+        assert result.all_groups_spanned
+        # both organizations account consistently
+        assert result.per_service_messages == sum(
+            t.messages for t in result.per_service
+        )
+
+    def test_global_tree_matches_st_simulation(self):
+        net = D2DNetwork(PaperConfig(seed=105))
+        services = np.zeros(net.n, dtype=int)
+        ms = run_multiservice(net, services)
+        st = STSimulation(net).run()
+        assert set(ms.global_tree_edges) == set(st.tree_edges)

@@ -1,0 +1,104 @@
+"""Tests for eq.-13 firefly-attraction mobility."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.attraction import FireflyAttractionMobility
+
+
+def make(pos, side=100.0, seed=1, **kwargs):
+    return FireflyAttractionMobility(
+        np.asarray(pos, dtype=float),
+        side,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestMove:
+    def test_dimmer_moves_toward_brighter(self):
+        fa = make([[0.0, 0.0], [10.0, 0.0]], step=0.5, gamma=0.0, eta_m=0.0)
+        fa.move(np.array([0.0, 1.0]))  # device 1 brighter
+        # device 0 moved half the gap (gamma=0 → kernel = 1)
+        assert fa.positions[0, 0] == pytest.approx(5.0)
+        # the brightest device has no one to chase
+        assert fa.positions[1, 0] == pytest.approx(10.0)
+
+    def test_gamma_damps_long_range_attraction(self):
+        near = make([[0.0, 0.0], [1.0, 0.0]], step=0.5, gamma=0.1, eta_m=0.0)
+        far = make([[0.0, 0.0], [50.0, 0.0]], step=0.5, gamma=0.1, eta_m=0.0)
+        b = np.array([0.0, 1.0])
+        near.move(b)
+        far.move(b)
+        near_frac = near.positions[0, 0] / 1.0
+        far_frac = far.positions[0, 0] / 50.0
+        assert near_frac > far_frac  # eq. 13: exp(−γr²) collapses with r
+
+    def test_moves_toward_brightest_visible(self):
+        # device 0 dim; device 1 bright but invisible; device 2 medium visible
+        fa = make(
+            [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]],
+            step=0.5, gamma=0.0, eta_m=0.0,
+        )
+        visible = np.array(
+            [
+                [False, False, True],
+                [False, False, True],
+                [True, True, False],
+            ]
+        )
+        fa.move(np.array([0.0, 2.0, 1.0]), visible=visible)
+        # device 0 moved toward device 2 (up), not device 1 (right)
+        assert fa.positions[0, 1] > 0.0
+        assert fa.positions[0, 0] == pytest.approx(0.0)
+
+    def test_exploration_term(self):
+        fa = make([[50.0, 50.0], [50.0, 50.0]], eta_m=1.0)
+        fa.move(np.array([1.0, 1.0]))  # equal brightness → random walk only
+        assert not np.allclose(fa.positions, 50.0)
+
+    def test_positions_clipped_to_area(self):
+        fa = make([[0.5, 0.5], [99.5, 99.5]], eta_m=10.0)
+        for _ in range(50):
+            fa.move(np.array([0.0, 1.0]))
+            assert np.all((fa.positions >= 0.0) & (fa.positions <= 100.0))
+
+    def test_clustering_emerges(self):
+        """Bright cluster attracts the population: mean distance shrinks."""
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, 100, size=(40, 2))
+        fa = make(pos, step=0.4, gamma=1e-4, eta_m=0.2, seed=4)
+        brightness = rng.random(40)
+        before = fa.mean_pairwise_distance()
+        for _ in range(40):
+            fa.move(brightness)
+        assert fa.mean_pairwise_distance() < before
+
+
+class TestHelpers:
+    def test_mean_pairwise_distance_subset(self):
+        fa = make([[0.0, 0.0], [3.0, 4.0], [100.0, 100.0]])
+        assert fa.mean_pairwise_distance(np.array([0, 1])) == pytest.approx(5.0)
+
+    def test_single_point_distance_zero(self):
+        fa = make([[1.0, 1.0]])
+        assert fa.mean_pairwise_distance() == 0.0
+
+
+class TestValidation:
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            make(np.zeros((2, 3)))
+        fa = make([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError):
+            fa.move(np.zeros(3))
+        with pytest.raises(ValueError):
+            fa.move(np.zeros(2), visible=np.zeros((3, 3), dtype=bool))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"step": 0.0}, {"step": 1.5}, {"gamma": -1.0}, {"eta_m": -0.1}],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            make([[0.0, 0.0], [1.0, 1.0]], **kwargs)

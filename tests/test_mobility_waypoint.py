@@ -1,0 +1,73 @@
+"""Tests for random-waypoint mobility."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.waypoint import RandomWaypoint
+
+
+def make(n=20, side=100.0, seed=1, **kwargs):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, side, size=(n, 2))
+    return RandomWaypoint(pos, side, rng=np.random.default_rng(seed + 1), **kwargs)
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_in_area(self):
+        wp = make()
+        for _ in range(200):
+            pos = wp.step(1.0)
+            assert np.all((pos >= 0) & (pos <= 100.0))
+
+    def test_devices_actually_move(self):
+        wp = make(pause_range_s=(0.0, 0.0))
+        start = wp.positions.copy()
+        for _ in range(30):
+            wp.step(1.0)
+        moved = np.linalg.norm(wp.positions - start, axis=1)
+        assert (moved > 1.0).mean() > 0.8
+
+    def test_speed_respected(self):
+        wp = make(speed_range_mps=(1.0, 1.0), pause_range_s=(0.0, 0.0))
+        before = wp.positions.copy()
+        wp.step(1.0)
+        step_len = np.linalg.norm(wp.positions - before, axis=1)
+        assert np.all(step_len <= 1.0 + 1e-9)
+
+    def test_pause_halts_motion(self):
+        wp = make(pause_range_s=(1000.0, 1000.0))
+        # drive everyone to arrival by taking a huge step
+        wp._speeds[:] = 1e6
+        wp.step(1.0)  # all arrive, start pausing
+        paused_at = wp.positions.copy()
+        wp.step(1.0)
+        assert np.allclose(wp.positions, paused_at)
+
+    def test_returns_copy(self):
+        wp = make()
+        out = wp.step(1.0)
+        out[:] = -1.0
+        assert np.all(wp.positions >= 0)
+
+    def test_deterministic(self):
+        a, b = make(seed=5), make(seed=5)
+        for _ in range(10):
+            pa, pb = a.step(0.5), b.step(0.5)
+        assert np.array_equal(pa, pb)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 10, size=(5, 2))
+        with pytest.raises(ValueError):
+            RandomWaypoint(pos, 0.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(pos, 10.0, speed_range_mps=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypoint(pos, 10.0, pause_range_s=(2.0, 1.0))
+        wp = RandomWaypoint(pos, 10.0)
+        with pytest.raises(ValueError):
+            wp.step(0.0)
+
+    def test_bad_positions_shape(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(np.zeros((3, 3)), 10.0)

@@ -1,0 +1,78 @@
+"""Tests for coupling matrix builders (eq. 1)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.oscillator.coupling import (
+    all_to_all_coupling,
+    graph_coupling,
+    normalize_coupling,
+)
+
+
+class TestAllToAll:
+    def test_values_and_diagonal(self):
+        m = all_to_all_coupling(4, 0.1)
+        assert m.shape == (4, 4)
+        assert np.all(np.diag(m) == 0.0)
+        off = m[~np.eye(4, dtype=bool)]
+        assert np.all(off == 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            all_to_all_coupling(-1, 0.1)
+        with pytest.raises(ValueError):
+            all_to_all_coupling(4, 0.0)
+
+
+class TestGraphCoupling:
+    def test_from_bool_matrix(self):
+        adj = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=bool)
+        m = graph_coupling(adj, 0.2)
+        assert m[0, 1] == 0.2 and m[0, 2] == 0.0
+
+    def test_from_networkx(self):
+        g = nx.path_graph(4)
+        m = graph_coupling(g, 0.5)
+        assert m[0, 1] == 0.5 and m[1, 2] == 0.5 and m[0, 3] == 0.0
+
+    def test_self_loops_removed(self):
+        adj = np.ones((3, 3))
+        m = graph_coupling(adj, 0.1)
+        assert np.all(np.diag(m) == 0.0)
+
+    def test_weighted_input_treated_as_topology(self):
+        adj = np.array([[0.0, 5.0], [5.0, 0.0]])
+        m = graph_coupling(adj, 0.3)
+        assert m[0, 1] == 0.3  # magnitude ignored, only existence matters
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            graph_coupling(np.zeros((2, 3)), 0.1)
+        with pytest.raises(ValueError):
+            graph_coupling(np.zeros((2, 2)), -0.1)
+
+
+class TestNormalize:
+    def test_rows_sum_to_total(self):
+        g = nx.star_graph(4)  # center has degree 4, leaves degree 1
+        m = normalize_coupling(graph_coupling(g, 0.1), total=1.0)
+        sums = m.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_isolated_node_stays_zero(self):
+        m = np.zeros((3, 3))
+        m[0, 1] = m[1, 0] = 1.0
+        out = normalize_coupling(m)
+        assert np.all(out[2] == 0.0)
+
+    def test_degree_independence(self):
+        """Degree-1 and degree-10 nodes receive the same total coupling."""
+        g = nx.star_graph(10)
+        m = normalize_coupling(graph_coupling(g, 0.1))
+        assert m[0].sum() == pytest.approx(m[1].sum())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalize_coupling(np.ones((2, 2)), total=0.0)

@@ -1,0 +1,108 @@
+"""Tests for the exact integrate-and-fire reference (eqs 1–2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.oscillator.coupling import all_to_all_coupling
+from repro.oscillator.integrate_fire import IntegrateFireNetwork
+
+
+class TestSingleOscillator:
+    def test_natural_period_formula(self):
+        net = IntegrateFireNetwork(np.zeros((1, 1)), drive=1.2,
+                                   initial_states=np.array([0.0]))
+        assert net.natural_period == pytest.approx(math.log(1.2 / 0.2))
+
+    def test_uncoupled_fires_periodically(self):
+        net = IntegrateFireNetwork(np.zeros((1, 1)), drive=1.5,
+                                   initial_states=np.array([0.0]))
+        t1 = net.step().time
+        t2 = net.step().time
+        assert t1 == pytest.approx(net.natural_period)
+        assert t2 - t1 == pytest.approx(net.natural_period)
+
+    def test_initial_state_shortens_first_fire(self):
+        net = IntegrateFireNetwork(np.zeros((1, 1)), drive=1.5,
+                                   initial_states=np.array([0.9]))
+        assert net.step().time < net.natural_period
+
+
+class TestTwoOscillators:
+    def test_mirollo_strogatz_two_always_sync(self):
+        """MS theorem: two pulse-coupled oscillators almost surely synchronize."""
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            net = IntegrateFireNetwork(
+                all_to_all_coupling(2, 0.1), drive=1.3, rng=rng
+            )
+            converged, _ = net.run_until_synchronized(max_events=5000)
+            assert converged
+
+    def test_kick_advances_receiver(self):
+        coupling = all_to_all_coupling(2, 0.3)
+        net = IntegrateFireNetwork(
+            coupling, drive=1.5, initial_states=np.array([0.9, 0.5])
+        )
+        net.step()  # oscillator 0 fires, kicks oscillator 1 by 0.3
+        assert net.states[0] == 0.0
+        assert net.states[1] > 0.5
+
+    def test_absorption_simultaneous_fire(self):
+        """A kicked oscillator crossing threshold fires in the same event."""
+        coupling = all_to_all_coupling(2, 0.3)
+        net = IntegrateFireNetwork(
+            coupling, drive=1.5, initial_states=np.array([0.9, 0.85])
+        )
+        event = net.step()
+        assert event.oscillators == [0, 1]
+
+
+class TestPopulation:
+    def test_full_mesh_population_synchronizes(self):
+        net = IntegrateFireNetwork(
+            all_to_all_coupling(20, 0.05),
+            drive=1.3,
+            rng=np.random.default_rng(7),
+        )
+        converged, t = net.run_until_synchronized(max_events=20_000)
+        assert converged
+        assert t > 0
+
+    def test_synchrony_is_absorbing(self):
+        """Once fully synchronized, every subsequent event is population-wide."""
+        net = IntegrateFireNetwork(
+            all_to_all_coupling(10, 0.05),
+            drive=1.3,
+            rng=np.random.default_rng(3),
+        )
+        converged, _ = net.run_until_synchronized()
+        assert converged
+        for _ in range(3):
+            assert len(net.step().oscillators) == 10
+
+    def test_zero_coupling_never_synchronizes(self):
+        net = IntegrateFireNetwork(
+            np.zeros((5, 5)), drive=1.3, rng=np.random.default_rng(1)
+        )
+        converged, _ = net.run_until_synchronized(max_events=500)
+        assert not converged
+
+
+class TestValidation:
+    def test_drive_must_exceed_threshold(self):
+        with pytest.raises(ValueError, match="drive"):
+            IntegrateFireNetwork(np.zeros((2, 2)), drive=1.0)
+
+    def test_bad_coupling_shape(self):
+        with pytest.raises(ValueError):
+            IntegrateFireNetwork(np.zeros((2, 3)))
+
+    def test_bad_initial_states(self):
+        with pytest.raises(ValueError):
+            IntegrateFireNetwork(
+                np.zeros((2, 2)), initial_states=np.array([0.5, 1.0])
+            )
+        with pytest.raises(ValueError):
+            IntegrateFireNetwork(np.zeros((2, 2)), initial_states=np.array([0.5]))

@@ -1,0 +1,105 @@
+"""Tests for the continuous Kuramoto comparison model (ref [16])."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.oscillator.kuramoto import (
+    KuramotoNetwork,
+    order_parameter_rad,
+    to_unit_phases,
+)
+from repro.oscillator.sync_metrics import order_parameter
+
+
+def graph_adj(g):
+    return nx.to_numpy_array(g, dtype=bool)
+
+
+class TestDynamics:
+    def test_two_oscillators_lock(self):
+        net = KuramotoNetwork(~np.eye(2, dtype=bool), coupling=1.0)
+        result = net.run(np.array([0.0, 2.5]), duration=40.0)
+        assert result.locked
+        assert result.lock_time is not None
+
+    def test_connected_graph_locks(self):
+        """Lucarelli–Wang: connected + identical frequencies ⇒ consensus."""
+        g = nx.path_graph(8)
+        net = KuramotoNetwork(graph_adj(g), coupling=2.0)
+        rng = np.random.default_rng(1)
+        result = net.run(rng.uniform(-1.5, 1.5, 8), duration=120.0)
+        assert result.locked
+
+    def test_disconnected_components_do_not_lock_globally(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True
+        adj[2, 3] = adj[3, 2] = True
+        net = KuramotoNetwork(adj, coupling=1.0)
+        # components start far apart; nothing couples them
+        result = net.run(np.array([0.0, 0.1, 3.0, 3.1]), duration=30.0)
+        assert not result.locked
+
+    def test_order_parameter_monotone_tail(self):
+        """R(t) climbs toward 1 (allowing tiny numerical wiggle)."""
+        g = nx.cycle_graph(6)
+        net = KuramotoNetwork(graph_adj(g), coupling=2.0)
+        result = net.run(
+            np.random.default_rng(2).uniform(-1.0, 1.0, 6), duration=60.0
+        )
+        r = result.order_parameter
+        assert r[-1] > r[0]
+        assert r[-1] > 0.999
+
+    def test_stronger_coupling_locks_faster(self):
+        g = nx.path_graph(6)
+        phases = np.random.default_rng(3).uniform(-1.0, 1.0, 6)
+        weak = KuramotoNetwork(graph_adj(g), coupling=0.5).run(
+            phases, duration=200.0
+        )
+        strong = KuramotoNetwork(graph_adj(g), coupling=4.0).run(
+            phases, duration=200.0
+        )
+        assert weak.locked and strong.locked
+        assert strong.lock_time < weak.lock_time
+
+    def test_identical_start_instantly_locked(self):
+        net = KuramotoNetwork(~np.eye(5, dtype=bool))
+        result = net.run(np.zeros(5), duration=5.0)
+        assert result.locked
+        assert result.lock_time == 0.0
+
+
+class TestHelpers:
+    def test_order_parameter_conventions_agree(self):
+        rng = np.random.default_rng(4)
+        rad = rng.uniform(0, 2 * np.pi, 20)
+        assert order_parameter_rad(rad) == pytest.approx(
+            order_parameter(to_unit_phases(rad)), abs=1e-9
+        )
+
+    def test_to_unit_phases_range(self):
+        rad = np.array([-1.0, 0.0, 7.0, 100.0])
+        unit = to_unit_phases(rad)
+        assert np.all((unit >= 0.0) & (unit < 1.0))
+
+
+class TestValidation:
+    def test_asymmetric_rejected(self):
+        adj = np.zeros((2, 2), dtype=bool)
+        adj[0, 1] = True
+        with pytest.raises(ValueError, match="symmetric"):
+            KuramotoNetwork(adj)
+
+    def test_bad_coupling(self):
+        with pytest.raises(ValueError):
+            KuramotoNetwork(~np.eye(2, dtype=bool), coupling=0.0)
+
+    def test_bad_shapes(self):
+        net = KuramotoNetwork(~np.eye(3, dtype=bool))
+        with pytest.raises(ValueError):
+            net.run(np.zeros(2))
+        with pytest.raises(ValueError):
+            KuramotoNetwork(
+                ~np.eye(3, dtype=bool), frequencies=np.ones(2)
+            )

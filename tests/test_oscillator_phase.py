@@ -1,0 +1,103 @@
+"""Tests for the phase oscillator (eqs 3–4)."""
+
+import pytest
+
+from repro.oscillator.phase import PhaseOscillator
+from repro.oscillator.prc import LinearPRC
+
+
+@pytest.fixture
+def prc():
+    return LinearPRC.from_dissipation(3.0, 0.1)
+
+
+class TestRamp:
+    def test_linear_ramp(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.0)
+        assert osc.phase_at(0.0) == 0.0
+        assert osc.phase_at(50.0) == pytest.approx(0.5)
+        assert osc.phase_at(100.0) == pytest.approx(1.0)
+
+    def test_phase_capped_at_one(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.0)
+        assert osc.phase_at(500.0) == 1.0
+
+    def test_initial_phase_offsets_ramp(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.25)
+        assert osc.phase_at(25.0) == pytest.approx(0.5)
+
+    def test_time_to_fire(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.25)
+        assert osc.time_to_fire(0.0) == pytest.approx(75.0)
+        assert osc.time_to_fire(25.0) == pytest.approx(50.0)
+
+    def test_time_backwards_rejected(self, prc):
+        osc = PhaseOscillator(100.0, prc)
+        osc.fire(50.0)
+        with pytest.raises(ValueError, match="backwards"):
+            osc.phase_at(10.0)
+
+
+class TestFire:
+    def test_fire_resets_phase(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.9)
+        osc.fire(10.0)
+        assert osc.phase_at(10.0) == 0.0
+        assert osc.fire_count == 1
+
+    def test_free_running_period(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.0)
+        osc.fire(100.0)
+        assert osc.time_to_fire(100.0) == pytest.approx(100.0)
+
+
+class TestPulseReception:
+    def test_prc_applied(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.0)
+        fired = osc.receive_pulse(50.0)  # theta = 0.5
+        assert not fired
+        assert osc.phase_at(50.0) == pytest.approx(prc.apply(0.5))
+
+    def test_pulse_above_absorption_fires(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.0)
+        t = 100.0 * (prc.absorption_phase() + 0.01)
+        assert osc.receive_pulse(t) is True
+        assert osc.phase_at(t) == 1.0
+
+    def test_refractory_ignores_pulse(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.0, refractory=5.0)
+        osc.fire(10.0)
+        before = osc.phase_at(12.0)
+        assert osc.receive_pulse(12.0) is False
+        assert osc.phase_at(12.0) == pytest.approx(before)
+
+    def test_pulse_after_refractory_applies(self, prc):
+        osc = PhaseOscillator(100.0, prc, phase=0.0, refractory=5.0)
+        osc.fire(10.0)
+        osc.receive_pulse(20.0)
+        assert osc.phase_at(20.0) > 0.1  # PRC advanced the ramp value
+
+    def test_in_refractory_window(self, prc):
+        osc = PhaseOscillator(100.0, prc, refractory=5.0)
+        osc.fire(10.0)
+        assert osc.in_refractory(14.9)
+        assert not osc.in_refractory(15.1)
+
+
+class TestSetPhaseAndValidation:
+    def test_set_phase(self, prc):
+        osc = PhaseOscillator(100.0, prc)
+        osc.set_phase(30.0, 0.75)
+        assert osc.phase_at(30.0) == 0.75
+
+    def test_invalid_construction(self, prc):
+        with pytest.raises(ValueError):
+            PhaseOscillator(0.0, prc)
+        with pytest.raises(ValueError):
+            PhaseOscillator(100.0, prc, phase=1.0)
+        with pytest.raises(ValueError):
+            PhaseOscillator(100.0, prc, refractory=-1.0)
+
+    def test_invalid_set_phase(self, prc):
+        with pytest.raises(ValueError):
+            PhaseOscillator(100.0, prc).set_phase(0.0, 1.5)

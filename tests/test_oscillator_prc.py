@@ -1,0 +1,122 @@
+"""Tests for phase response curves (eq. 5, Mirollo–Strogatz)."""
+
+import math
+
+import pytest
+
+from repro.oscillator.prc import (
+    LinearPRC,
+    MirolloStrogatzPRC,
+    coupling_parameters,
+)
+
+
+class TestCouplingParameters:
+    def test_eq5_formulas(self):
+        a, eps = 3.0, 0.1
+        alpha, beta = coupling_parameters(a, eps)
+        assert alpha == pytest.approx(math.exp(a * eps))
+        assert beta == pytest.approx((math.exp(a * eps) - 1) / (math.exp(a) - 1))
+
+    def test_convergence_regime(self):
+        """a > 0, ε > 0 → α > 1, β > 0 (the Mirollo–Strogatz condition)."""
+        for a in (0.5, 1.0, 3.0, 10.0):
+            for eps in (0.01, 0.1, 0.5):
+                alpha, beta = coupling_parameters(a, eps)
+                assert alpha > 1.0 and beta > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coupling_parameters(0.0, 0.1)
+        with pytest.raises(ValueError):
+            coupling_parameters(3.0, 0.0)
+
+
+class TestLinearPRC:
+    def test_apply_formula(self):
+        prc = LinearPRC(1.2, 0.05)
+        assert prc.apply(0.5) == pytest.approx(0.65)
+
+    def test_saturates_at_one(self):
+        prc = LinearPRC(1.2, 0.05)
+        assert prc.apply(0.99) == 1.0
+
+    def test_phase_advances_never_retreats(self):
+        prc = LinearPRC.from_dissipation(3.0, 0.1)
+        for theta in (0.0, 0.2, 0.5, 0.8, 1.0):
+            assert prc.apply(theta) >= theta
+
+    def test_fires_predicate(self):
+        prc = LinearPRC(1.27, 0.014)
+        assert prc.fires(0.99)
+        assert not prc.fires(0.1)
+
+    def test_absorption_phase(self):
+        prc = LinearPRC(1.27, 0.014)
+        thr = prc.absorption_phase()
+        assert prc.apply(thr + 1e-9) >= 1.0
+        assert prc.apply(thr - 1e-3) < 1.0
+
+    def test_guarantees_convergence(self):
+        assert LinearPRC(1.1, 0.01).guarantees_convergence
+        assert not LinearPRC(1.0, 0.0).guarantees_convergence
+
+    def test_identity_prc_is_noop(self):
+        """α=1, β=0 disables coupling (used for pure beaconing)."""
+        prc = LinearPRC(1.0, 0.0)
+        for theta in (0.0, 0.3, 0.99):
+            assert prc.apply(theta) == pytest.approx(theta)
+
+    def test_out_of_range_phase_rejected(self):
+        with pytest.raises(ValueError):
+            LinearPRC(1.1, 0.01).apply(1.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LinearPRC(0.9, 0.1)
+        with pytest.raises(ValueError):
+            LinearPRC(1.1, -0.1)
+
+
+class TestMirolloStrogatzPRC:
+    def test_state_concave_up_inverse(self):
+        ms = MirolloStrogatzPRC(3.0, 0.1)
+        for theta in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert ms.phase(ms.state(theta)) == pytest.approx(theta)
+
+    def test_state_endpoints(self):
+        ms = MirolloStrogatzPRC(3.0, 0.1)
+        assert ms.state(0.0) == pytest.approx(0.0)
+        assert ms.state(1.0) == pytest.approx(1.0)
+
+    def test_state_concavity(self):
+        """f is concave down in θ ... f' decreasing (concave-up voltage curve
+        means f rises steeply early)."""
+        ms = MirolloStrogatzPRC(3.0, 0.1)
+        thetas = [0.1, 0.3, 0.5, 0.7, 0.9]
+        slopes = [
+            (ms.state(t + 0.01) - ms.state(t)) / 0.01 for t in thetas
+        ]
+        assert all(s1 > s2 for s1, s2 in zip(slopes, slopes[1:]))
+
+    def test_exact_map_matches_linearization(self):
+        """The eq.-5 linear PRC is exactly the MS return map."""
+        ms = MirolloStrogatzPRC(3.0, 0.1)
+        lin = ms.linearized()
+        for theta in (0.0, 0.2, 0.4, 0.6):
+            assert ms.apply(theta) == pytest.approx(lin.apply(theta), abs=1e-12)
+
+    def test_saturation(self):
+        ms = MirolloStrogatzPRC(3.0, 0.5)
+        assert ms.apply(0.9) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MirolloStrogatzPRC(0.0, 0.1)
+        with pytest.raises(ValueError):
+            MirolloStrogatzPRC(3.0, -0.1)
+        ms = MirolloStrogatzPRC(3.0, 0.1)
+        with pytest.raises(ValueError):
+            ms.state(1.5)
+        with pytest.raises(ValueError):
+            ms.phase(-0.1)

@@ -1,0 +1,90 @@
+"""Tests for circular synchrony metrics."""
+
+import numpy as np
+import pytest
+
+from repro.oscillator.sync_metrics import (
+    circular_spread,
+    count_sync_groups,
+    is_synchronized,
+    order_parameter,
+)
+
+
+class TestOrderParameter:
+    def test_perfect_sync(self):
+        assert order_parameter([0.3, 0.3, 0.3]) == pytest.approx(1.0)
+
+    def test_uniform_spread_near_zero(self):
+        phases = np.linspace(0.0, 1.0, 100, endpoint=False)
+        assert order_parameter(phases) < 0.01
+
+    def test_two_opposite_groups_cancel(self):
+        assert order_parameter([0.0, 0.5]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_wraparound_cluster_high(self):
+        """0.99 and 0.01 are nearly in phase on the circle."""
+        assert order_parameter([0.99, 0.01]) > 0.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            order_parameter([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            order_parameter([1.5])
+
+
+class TestCircularSpread:
+    def test_identical_phases_zero(self):
+        assert circular_spread([0.4, 0.4, 0.4]) == pytest.approx(0.0)
+
+    def test_single_phase_zero(self):
+        assert circular_spread([0.7]) == 0.0
+
+    def test_wraparound_cluster_small(self):
+        assert circular_spread([0.98, 0.99, 0.01, 0.02]) == pytest.approx(0.04)
+
+    def test_linear_cluster(self):
+        assert circular_spread([0.1, 0.15, 0.2]) == pytest.approx(0.1)
+
+    def test_spread_le_for_uniform(self):
+        phases = np.linspace(0.0, 1.0, 10, endpoint=False)
+        assert circular_spread(phases) == pytest.approx(0.9)
+
+
+class TestIsSynchronized:
+    def test_within_tolerance(self):
+        assert is_synchronized([0.5, 0.5005], tolerance=1e-3)
+
+    def test_outside_tolerance(self):
+        assert not is_synchronized([0.5, 0.6], tolerance=1e-3)
+
+    def test_wraparound(self):
+        assert is_synchronized([0.9995, 0.0005], tolerance=2e-3)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            is_synchronized([0.5], tolerance=-1.0)
+
+
+class TestCountSyncGroups:
+    def test_single_cluster(self):
+        assert count_sync_groups([0.5, 0.505, 0.51]) == 1
+
+    def test_two_clusters(self):
+        assert count_sync_groups([0.1, 0.11, 0.6, 0.61]) == 2
+
+    def test_cluster_across_wrap(self):
+        assert count_sync_groups([0.99, 0.01, 0.5], gap=0.05) == 2
+
+    def test_all_isolated(self):
+        phases = np.linspace(0.0, 1.0, 5, endpoint=False)
+        assert count_sync_groups(phases, gap=0.1) == 5
+
+    def test_single_phase(self):
+        assert count_sync_groups([0.2]) == 1
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            count_sync_groups([0.5], gap=0.0)

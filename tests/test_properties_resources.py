@@ -1,0 +1,95 @@
+"""Property-based tests on the engine contention primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.process import Process, Timeout
+from repro.sim.resources import Container, Resource, Store
+
+
+class TestResourceProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    def test_capacity_never_exceeded_and_fifo(self, capacity, hold_times):
+        eng = Engine()
+        res = Resource(eng, capacity=capacity)
+        active = [0]
+        peak = [0]
+        order: list[int] = []
+
+        def worker(idx, hold):
+            yield res.acquire()
+            order.append(idx)
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield Timeout(hold)
+            active[0] -= 1
+            res.release()
+
+        for idx, hold in enumerate(hold_times):
+            Process(eng, worker(idx, hold))
+        eng.run()
+        assert peak[0] <= capacity
+        assert order == sorted(order)  # FIFO grants
+        assert len(order) == len(hold_times)  # nobody starves
+        assert res.in_use == 0
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(st.integers(min_value=0, max_value=999), max_size=15))
+    def test_store_preserves_fifo_content(self, items):
+        eng = Engine()
+        store = Store(eng)
+        got: list[int] = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                value = yield store.get()
+                got.append(value)
+
+        Process(eng, producer())
+        Process(eng, consumer())
+        eng.run()
+        assert got == items
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=10
+        ),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_container_conserves_mass(self, amounts, seed):
+        """Total withdrawn never exceeds total deposited."""
+        eng = Engine()
+        box = Container(eng, capacity=1000.0)
+        rng = np.random.default_rng(seed)
+        withdrawn: list[float] = []
+
+        def consumer(amount):
+            value = yield box.get(amount)
+            withdrawn.append(value)
+
+        deposits = [float(rng.uniform(0.1, 5.0)) for _ in amounts]
+        for amount in amounts:
+            Process(eng, consumer(amount))
+        for i, dep in enumerate(deposits):
+            eng.schedule(float(i + 1), lambda d=dep: box.put(d))
+        eng.run()
+        assert sum(withdrawn) <= sum(deposits) + 1e-9
+        assert box.level == pytest.approx(
+            sum(deposits) - sum(withdrawn), abs=1e-9
+        )

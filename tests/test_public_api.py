@@ -1,0 +1,59 @@
+"""Public-API surface checks: exports resolve and stay importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.radio",
+    "repro.oscillator",
+    "repro.spanningtree",
+    "repro.firefly",
+    "repro.discovery",
+    "repro.core",
+    "repro.mobility",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.protocol",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    """Every name in __all__ must be an attribute of the package."""
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), f"{package} lacks __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_sorted_and_unique(package):
+    mod = importlib.import_module(package)
+    names = list(mod.__all__)
+    assert len(names) == len(set(names)), f"{package}.__all__ has duplicates"
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_every_public_item_documented():
+    """Top-level exports all carry docstrings."""
+    import repro
+
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(repro, name)
+        assert getattr(obj, "__doc__", None), f"repro.{name} lacks a docstring"
+
+
+def test_module_docstrings():
+    for package in PACKAGES:
+        mod = importlib.import_module(package)
+        assert mod.__doc__ and mod.__doc__.strip(), f"{package} lacks a docstring"

@@ -1,0 +1,91 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.core.results import RunResult
+from repro.radio.energy import EnergyModel
+
+
+def run_result(messages=1000, time_ms=500.0, n=50):
+    return RunResult("st", n, 1, True, time_ms, messages)
+
+
+class TestFormulas:
+    def test_radiated_power_conversion(self):
+        assert EnergyModel(23.0).radiated_mw == pytest.approx(199.5, rel=1e-3)
+        assert EnergyModel(0.0).radiated_mw == pytest.approx(1.0)
+
+    def test_tx_draw_includes_pa_and_overhead(self):
+        model = EnergyModel(23.0, pa_efficiency=0.5, tx_overhead_mw=50.0)
+        assert model.tx_draw_mw == pytest.approx(
+            model.radiated_mw / 0.5 + 50.0
+        )
+
+    def test_tx_energy_linear_in_messages(self):
+        model = EnergyModel()
+        assert model.tx_energy_mj(200) == pytest.approx(
+            2 * model.tx_energy_mj(100)
+        )
+        assert model.tx_energy_mj(0) == 0.0
+
+    def test_listen_energy(self):
+        model = EnergyModel(rx_power_mw=100.0)
+        # 100 mW for 1000 ms over 2 devices = 200 mJ
+        assert model.listen_energy_mj(1000.0, 2) == pytest.approx(200.0)
+
+
+class TestReport:
+    def test_components_sum(self):
+        report = EnergyModel().report(run_result())
+        assert report.total_mj == pytest.approx(report.tx_mj + report.listen_mj)
+        assert report.per_device_mj == pytest.approx(report.total_mj / 50)
+
+    def test_half_duplex_correction(self):
+        """TX slots are deducted from listening time."""
+        model = EnergyModel(rx_power_mw=80.0, slot_ms=1.0)
+        with_msgs = model.report(run_result(messages=10_000, time_ms=500.0))
+        # listen time = 500*50 - 10000 slots
+        assert with_msgs.listen_mj == pytest.approx(
+            80.0 * (500.0 * 50 - 10_000) / 1000.0
+        )
+
+    def test_listening_dominates_at_low_traffic(self):
+        """The discovery-literature insight: idle listening, not TX, is the
+        energy problem at realistic message rates."""
+        report = EnergyModel().report(run_result(messages=500, time_ms=1000.0))
+        assert report.tx_fraction < 0.1
+
+    def test_more_messages_more_energy(self):
+        model = EnergyModel()
+        lo = model.report(run_result(messages=100))
+        hi = model.report(run_result(messages=50_000))
+        assert hi.total_mj > lo.total_mj
+
+    def test_longer_run_more_energy(self):
+        model = EnergyModel()
+        short = model.report(run_result(time_ms=100.0))
+        long = model.report(run_result(time_ms=10_000.0))
+        assert long.total_mj > short.total_mj
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pa_efficiency": 0.0},
+            {"pa_efficiency": 1.5},
+            {"tx_overhead_mw": -1.0},
+            {"rx_power_mw": -1.0},
+            {"slot_ms": 0.0},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            EnergyModel(**kwargs)
+
+    def test_negative_inputs(self):
+        model = EnergyModel()
+        with pytest.raises(ValueError):
+            model.tx_energy_mj(-1)
+        with pytest.raises(ValueError):
+            model.listen_energy_mj(-1.0, 1)

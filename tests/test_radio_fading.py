@@ -1,0 +1,46 @@
+"""Tests for fast fading models."""
+
+import numpy as np
+import pytest
+
+from repro.radio.fading import NoFading, RayleighFading
+
+
+class TestRayleighFading:
+    def test_shapes(self):
+        fad = RayleighFading(np.random.default_rng(1))
+        assert fad.sample_db(7).shape == (7,)
+        assert fad.sample_db((4, 5)).shape == (4, 5)
+
+    def test_unit_mean_linear_power(self):
+        """Exp(1) power gain → linear-domain mean 1 (energy conserved)."""
+        fad = RayleighFading(np.random.default_rng(2))
+        db = fad.sample_db(200_000)
+        linear = np.power(10.0, db / 10.0)
+        assert abs(linear.mean() - 1.0) < 0.02
+
+    def test_mean_db_matches_euler_gamma(self):
+        """E[10·log10(Exp(1))] = −10·γ/ln10 ≈ −2.507 dB."""
+        fad = RayleighFading(np.random.default_rng(3))
+        db = fad.sample_db(200_000)
+        assert abs(db.mean() - (-2.507)) < 0.05
+
+    def test_deep_fades_more_common_than_upfades(self):
+        fad = RayleighFading(np.random.default_rng(4))
+        db = fad.sample_db(100_000)
+        assert (db < -10.0).mean() > (db > 10.0).mean()
+
+    def test_no_infinities(self):
+        fad = RayleighFading(np.random.default_rng(5))
+        assert np.all(np.isfinite(fad.sample_db(100_000)))
+
+    def test_deterministic_for_seed(self):
+        a = RayleighFading(np.random.default_rng(6)).sample_db(10)
+        b = RayleighFading(np.random.default_rng(6)).sample_db(10)
+        assert np.array_equal(a, b)
+
+
+class TestNoFading:
+    def test_all_zero(self):
+        assert np.all(NoFading().sample_db(5) == 0.0)
+        assert np.all(NoFading().sample_db((2, 2)) == 0.0)

@@ -1,0 +1,72 @@
+"""Tests for the collision model."""
+
+import numpy as np
+import pytest
+
+from repro.radio.interference import CollisionModel
+
+
+class TestSingleTransmission:
+    @pytest.mark.parametrize("policy", ["tolerant", "capture", "destructive"])
+    def test_lone_transmission_always_decodes(self, policy):
+        model = CollisionModel(policy)
+        out = model.resolve(np.array([7]), np.array([-80.0]))
+        assert out.decoded and out.decoded_sender == 7 and out.heard_count == 1
+
+    @pytest.mark.parametrize("policy", ["tolerant", "capture", "destructive"])
+    def test_silence(self, policy):
+        out = CollisionModel(policy).resolve(np.array([]), np.array([]))
+        assert not out.decoded and out.decoded_sender == -1 and out.heard_count == 0
+
+
+class TestTolerant:
+    def test_superposition_counts_as_one_pulse(self):
+        model = CollisionModel("tolerant")
+        out = model.resolve(np.array([1, 2, 3]), np.array([-80.0, -70.0, -90.0]))
+        assert out.decoded
+        assert out.decoded_sender == 2  # strongest attribution
+        assert out.heard_count == 3
+
+
+class TestDestructive:
+    def test_any_collision_destroys(self):
+        model = CollisionModel("destructive")
+        out = model.resolve(np.array([1, 2]), np.array([-50.0, -90.0]))
+        assert not out.decoded
+
+
+class TestCapture:
+    def test_dominant_signal_captured(self):
+        model = CollisionModel("capture", capture_margin_db=6.0)
+        out = model.resolve(np.array([1, 2]), np.array([-60.0, -80.0]))  # 20 dB SIR
+        assert out.decoded and out.decoded_sender == 1
+
+    def test_near_equal_signals_lost(self):
+        model = CollisionModel("capture", capture_margin_db=6.0)
+        out = model.resolve(np.array([1, 2]), np.array([-70.0, -71.0]))
+        assert not out.decoded
+
+    def test_margin_boundary(self):
+        model = CollisionModel("capture", capture_margin_db=6.0)
+        # exactly 6.02 dB above one interferer → just captured
+        captured = model.resolve(np.array([1, 2]), np.array([-70.0, -76.1]))
+        lost = model.resolve(np.array([1, 2]), np.array([-70.0, -75.9]))
+        assert captured.decoded and not lost.decoded
+
+    def test_interference_sums(self):
+        """Two interferers each 9 dB down sum to ~6 dB down → not captured."""
+        model = CollisionModel("capture", capture_margin_db=6.0)
+        out = model.resolve(
+            np.array([1, 2, 3]), np.array([-70.0, -79.0, -79.0])
+        )
+        assert not out.decoded
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            CollisionModel("magic")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CollisionModel().resolve(np.array([1, 2]), np.array([-70.0]))

@@ -1,0 +1,44 @@
+"""Tests for the noise-floor derivations."""
+
+import pytest
+
+from repro.radio.noise import (
+    LTE_PRB_HZ,
+    detection_feasible,
+    noise_floor_dbm,
+    required_snr_db,
+)
+
+
+class TestNoiseFloor:
+    def test_prb_floor_value(self):
+        """−174 + 10·log10(180 kHz) + 9 ≈ −112.4 dBm."""
+        assert noise_floor_dbm() == pytest.approx(-112.4, abs=0.1)
+
+    def test_wider_band_higher_floor(self):
+        assert noise_floor_dbm(20e6) > noise_floor_dbm(LTE_PRB_HZ)
+
+    def test_noise_figure_adds_directly(self):
+        assert noise_floor_dbm(LTE_PRB_HZ, 12.0) == pytest.approx(
+            noise_floor_dbm(LTE_PRB_HZ, 9.0) + 3.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            noise_floor_dbm(0.0)
+        with pytest.raises(ValueError):
+            noise_floor_dbm(LTE_PRB_HZ, -1.0)
+
+
+class TestRequiredSnr:
+    def test_table1_threshold_margin(self):
+        """The paper's −95 dBm threshold sits ~17 dB above the PRB floor —
+        noise-feasible with a healthy preamble-detection margin."""
+        snr = required_snr_db(-95.0)
+        assert 15.0 < snr < 20.0
+
+    def test_feasibility_predicate(self):
+        assert detection_feasible(-95.0, min_snr_db=10.0)
+        assert not detection_feasible(-95.0, min_snr_db=25.0)
+        # a threshold below the floor is infeasible outright
+        assert not detection_feasible(-120.0, min_snr_db=0.0)

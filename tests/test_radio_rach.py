@@ -1,0 +1,59 @@
+"""Tests for RACH codecs and messages."""
+
+import pytest
+
+from repro.radio.rach import RACH_KEEP_ALIVE, RACH_MERGE, RACHCodec, RACHMessage
+
+
+class TestRACHCodec:
+    def test_paper_codec_pair(self):
+        assert RACH_KEEP_ALIVE.index == 1
+        assert RACH_MERGE.index == 2
+        assert RACH_KEEP_ALIVE.orthogonal_to(RACH_MERGE)
+
+    def test_same_index_not_orthogonal(self):
+        assert not RACHCodec(3).orthogonal_to(RACHCodec(3))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            RACHCodec(-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RACH_KEEP_ALIVE.index = 9  # type: ignore[misc]
+
+
+class TestRACHMessage:
+    def test_construction(self):
+        msg = RACHMessage(sender=4, codec=RACH_KEEP_ALIVE, slot=10, service=2)
+        assert msg.sender == 4 and msg.slot == 10 and msg.service == 2
+
+    def test_same_slot_same_codec_interferes(self):
+        a = RACHMessage(0, RACH_KEEP_ALIVE, 5)
+        b = RACHMessage(1, RACH_KEEP_ALIVE, 5)
+        assert a.interferes_with(b)
+
+    def test_same_slot_different_codec_orthogonal(self):
+        """OFDMA: different preambles never interfere (paper §III)."""
+        a = RACHMessage(0, RACH_KEEP_ALIVE, 5)
+        b = RACHMessage(1, RACH_MERGE, 5)
+        assert not a.interferes_with(b)
+
+    def test_different_slot_no_interference(self):
+        a = RACHMessage(0, RACH_KEEP_ALIVE, 5)
+        b = RACHMessage(1, RACH_KEEP_ALIVE, 6)
+        assert not a.interferes_with(b)
+
+    def test_payload_default_independent(self):
+        a = RACHMessage(0, RACH_KEEP_ALIVE, 0)
+        b = RACHMessage(1, RACH_KEEP_ALIVE, 0)
+        assert a.payload == {} and a.payload is not b.payload
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"sender": -1}, {"slot": -2}, {"service": -3}]
+    )
+    def test_validation(self, kwargs):
+        base = {"sender": 0, "codec": RACH_KEEP_ALIVE, "slot": 0}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            RACHMessage(**base)

@@ -1,0 +1,100 @@
+"""Tests for RSSI ranging (eqs 6–12)."""
+
+import numpy as np
+import pytest
+
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.radio.rssi import RSSIRanging, expected_ranging_error
+
+
+@pytest.fixture
+def ranging():
+    return RSSIRanging(
+        LogDistancePathLoss(exponent=4.0, reference_loss_db=40.0),
+        tx_power_dbm=23.0,
+        sigma_db=10.0,
+    )
+
+
+class TestEstimation:
+    def test_roundtrip_without_noise(self, ranging):
+        """Inverting the same model the power came from recovers distance."""
+        for true_d in (1.0, 5.0, 20.0, 80.0):
+            rx = 23.0 - ranging.model.loss_db(true_d)
+            assert ranging.estimate(rx) == pytest.approx(true_d, rel=1e-9)
+
+    def test_shadowing_bias_matches_eq11(self, ranging):
+        """r̂ = r · 10^{x/10n} exactly (eq. 11)."""
+        true_d = 10.0
+        for x in (-10.0, -3.0, 0.0, 3.0, 10.0):
+            rx = 23.0 - ranging.model.loss_db(true_d) - x
+            expected = true_d * 10.0 ** (x / 40.0)
+            assert ranging.estimate(rx) == pytest.approx(expected, rel=1e-9)
+
+    def test_weaker_signal_longer_estimate(self, ranging):
+        assert ranging.estimate(-80.0) > ranging.estimate(-60.0)
+
+    def test_vectorized(self, ranging):
+        rx = np.array([-50.0, -70.0, -90.0])
+        d = ranging.estimate(rx)
+        assert d.shape == (3,)
+        assert np.all(np.diff(d) > 0)
+
+    def test_estimate_full_carries_sigma_factor(self, ranging):
+        est = ranging.estimate_full(-70.0)
+        assert est.sigma_factor == pytest.approx(10.0 ** (10.0 / 40.0))
+        assert est.rx_power_dbm == -70.0
+
+
+class TestRelativeError:
+    def test_eq12_formula(self, ranging):
+        """ε = 10^{x/10n} − 1 (eq. 12)."""
+        assert ranging.relative_error(0.0) == pytest.approx(0.0)
+        assert ranging.relative_error(40.0) == pytest.approx(9.0)  # 10^1 − 1
+        assert ranging.relative_error(-40.0) == pytest.approx(-0.9)
+
+    def test_bounds_from_paper(self, ranging):
+        """Paper: ε ∈ [−1, +∞]."""
+        xs = np.linspace(-200, 200, 100)
+        eps = ranging.relative_error(xs)
+        assert np.all(eps > -1.0)
+
+    def test_higher_exponent_smaller_error(self):
+        """Outdoor n=4 halves the dB-to-error mapping vs indoor n=2."""
+        outdoor = RSSIRanging(LogDistancePathLoss(4.0), sigma_db=10.0)
+        indoor = RSSIRanging(LogDistancePathLoss(2.0), sigma_db=10.0)
+        assert outdoor.relative_error(10.0) < indoor.relative_error(10.0)
+
+    def test_empirical_error_distribution(self, ranging):
+        """Monte-Carlo over shadowing draws matches the closed form."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(0.0, 10.0, size=200_000)
+        ratio = 1.0 + ranging.relative_error(x)
+        stats = expected_ranging_error(10.0, 4.0)
+        assert abs(ratio.mean() - stats["mean_ratio"]) < 0.01
+        assert abs(np.median(ratio) - 1.0) < 0.01
+
+
+class TestExpectedError:
+    def test_zero_sigma_is_exact(self):
+        stats = expected_ranging_error(0.0, 4.0)
+        assert stats["mean_ratio"] == 1.0
+        assert stats["std_ratio"] == 0.0
+        assert stats["mean_relative_error"] == 0.0
+
+    def test_mean_bias_positive(self):
+        """Log-normal mean exceeds the median: estimator over-ranges on average."""
+        stats = expected_ranging_error(10.0, 4.0)
+        assert stats["mean_ratio"] > 1.0
+        assert stats["median_ratio"] == 1.0
+
+    def test_monotone_in_sigma(self):
+        s1 = expected_ranging_error(5.0, 4.0)["std_ratio"]
+        s2 = expected_ranging_error(10.0, 4.0)["std_ratio"]
+        assert s2 > s1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_ranging_error(-1.0, 4.0)
+        with pytest.raises(ValueError):
+            expected_ranging_error(10.0, 0.0)

@@ -1,0 +1,41 @@
+"""Tests for named scenario presets."""
+
+import pytest
+
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation
+from repro.scenarios import SCENARIOS, get_scenario
+
+
+class TestPresets:
+    def test_registry_names(self):
+        assert set(SCENARIOS) == {"paper", "stadium", "mall", "campus", "iot"}
+
+    def test_paper_is_table1(self):
+        cfg = get_scenario("paper")
+        assert cfg.n_devices == 50
+        assert cfg.area_side_m == 100.0
+        assert cfg.tx_power_dbm == 23.0
+
+    def test_all_presets_share_table1_radio(self):
+        for name, cfg in SCENARIOS.items():
+            assert cfg.tx_power_dbm == 23.0, name
+            assert cfg.threshold_dbm == -95.0, name
+            assert cfg.slot_ms == 1.0, name
+
+    def test_density_ordering(self):
+        densities = {
+            name: cfg.density_per_m2 for name, cfg in SCENARIOS.items()
+        }
+        assert densities["iot"] > densities["stadium"] > densities["paper"]
+        assert densities["paper"] > densities["campus"]
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_preset_runs(self, name):
+        cfg = get_scenario(name).with_seed(3)
+        result = STSimulation(D2DNetwork(cfg)).run()
+        assert result.converged, name
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="valid"):
+            get_scenario("moonbase")

@@ -1,0 +1,171 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.errors import (
+    ScheduleInPastError,
+    SimulationLimitExceeded,
+    StopSimulation,
+)
+
+
+class TestScheduling:
+    def test_initial_state(self):
+        eng = Engine()
+        assert eng.now == 0.0
+        assert eng.pending == 0
+        assert eng.events_processed == 0
+        assert eng.peek() is None
+
+    def test_schedule_and_run_in_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(5.0, lambda: fired.append("b"))
+        eng.schedule(1.0, lambda: fired.append("a"))
+        eng.schedule(9.0, lambda: fired.append("c"))
+        eng.run()
+        assert fired == ["a", "b", "c"]
+        assert eng.now == 9.0
+
+    def test_schedule_at_absolute_time(self):
+        eng = Engine()
+        times = []
+        eng.schedule_at(3.5, lambda: times.append(eng.now))
+        eng.run()
+        assert times == [3.5]
+
+    def test_same_time_fifo_order(self):
+        eng = Engine()
+        fired = []
+        for i in range(5):
+            eng.schedule(2.0, lambda i=i: fired.append(i))
+        eng.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_time_ties(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(2.0, lambda: fired.append("low"), priority=10)
+        eng.schedule(2.0, lambda: fired.append("high"), priority=-10)
+        eng.run()
+        assert fired == ["high", "low"]
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: eng.schedule_at(1.0, lambda: None))
+        with pytest.raises(ScheduleInPastError):
+            eng.run()
+
+    def test_call_soon_runs_at_current_time(self):
+        eng = Engine()
+        times = []
+        eng.schedule(4.0, lambda: eng.call_soon(lambda: times.append(eng.now)))
+        eng.run()
+        assert times == [4.0]
+
+    def test_nested_scheduling_from_callback(self):
+        eng = Engine()
+        fired = []
+
+        def outer():
+            fired.append(("outer", eng.now))
+            eng.schedule(2.0, lambda: fired.append(("inner", eng.now)))
+
+        eng.schedule(1.0, outer)
+        eng.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+
+class TestCancellation:
+    def test_cancel_prevents_execution(self):
+        eng = Engine()
+        fired = []
+        handle = eng.schedule(1.0, lambda: fired.append(1))
+        assert handle.cancel()
+        eng.run()
+        assert fired == []
+
+    def test_cancel_twice_returns_false(self):
+        eng = Engine()
+        handle = eng.schedule(1.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+
+    def test_cancelled_not_counted_in_pending(self):
+        eng = Engine()
+        h1 = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert eng.pending == 1
+
+    def test_peek_skips_cancelled(self):
+        eng = Engine()
+        h1 = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert eng.peek() == 2.0
+
+
+class TestRunControl:
+    def test_run_until_advances_clock_exactly(self):
+        eng = Engine()
+        eng.schedule(10.0, lambda: None)
+        eng.run(until=4.0)
+        assert eng.now == 4.0
+        assert eng.pending == 1
+
+    def test_run_until_executes_boundary_event(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(4.0, lambda: fired.append(1))
+        eng.run(until=4.0)
+        assert fired == [1]
+
+    def test_resume_after_partial_run(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(2.0, lambda: fired.append("a"))
+        eng.schedule(6.0, lambda: fired.append("b"))
+        eng.run(until=3.0)
+        assert fired == ["a"]
+        eng.run()
+        assert fired == ["a", "b"]
+
+    def test_stop_simulation_halts(self):
+        eng = Engine()
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            raise StopSimulation
+
+        eng.schedule(1.0, stopper)
+        eng.schedule(2.0, lambda: fired.append("never"))
+        eng.run()
+        assert fired == ["stop"]
+        assert eng.now == 1.0
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_event_budget_enforced(self):
+        eng = Engine(event_budget=10)
+
+        def reschedule():
+            eng.schedule(1.0, reschedule)
+
+        eng.schedule(1.0, reschedule)
+        with pytest.raises(SimulationLimitExceeded):
+            eng.run()
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(event_budget=0)
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for _ in range(7):
+            eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.events_processed == 7

@@ -1,0 +1,244 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.process import Process, Signal, Timeout, WaitSignal, all_done
+
+
+class TestTimeouts:
+    def test_timeout_suspends_for_delay(self):
+        eng = Engine()
+        times = []
+
+        def proc():
+            times.append(eng.now)
+            yield Timeout(5.0)
+            times.append(eng.now)
+
+        Process(eng, proc())
+        eng.run()
+        assert times == [0.0, 5.0]
+
+    def test_zero_timeout_allowed(self):
+        eng = Engine()
+        done = []
+
+        def proc():
+            yield Timeout(0.0)
+            done.append(eng.now)
+
+        Process(eng, proc())
+        eng.run()
+        assert done == [0.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_start_delay(self):
+        eng = Engine()
+        times = []
+
+        def proc():
+            times.append(eng.now)
+            yield Timeout(1.0)
+
+        Process(eng, proc(), start_delay=3.0)
+        eng.run()
+        assert times == [3.0]
+
+    def test_sequential_timeouts_accumulate(self):
+        eng = Engine()
+
+        def proc():
+            for _ in range(4):
+                yield Timeout(2.5)
+
+        p = Process(eng, proc())
+        eng.run()
+        assert eng.now == 10.0
+        assert not p.alive
+
+
+class TestSignals:
+    def test_fire_wakes_waiter_with_value(self):
+        eng = Engine()
+        sig = Signal("test")
+        got = []
+
+        def waiter():
+            value = yield WaitSignal(sig)
+            got.append(value)
+
+        Process(eng, waiter())
+        eng.schedule(3.0, lambda: sig.fire("payload"))
+        eng.run()
+        assert got == ["payload"]
+
+    def test_fire_wakes_all_waiters(self):
+        eng = Engine()
+        sig = Signal()
+        woken = []
+
+        def waiter(i):
+            yield WaitSignal(sig)
+            woken.append(i)
+
+        for i in range(3):
+            Process(eng, waiter(i))
+        eng.schedule(1.0, lambda: sig.fire())
+        eng.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_fire_returns_waiter_count(self):
+        eng = Engine()
+        sig = Signal()
+
+        def waiter():
+            yield WaitSignal(sig)
+
+        Process(eng, waiter())
+        Process(eng, waiter())
+        counts = []
+        eng.schedule(1.0, lambda: counts.append(sig.fire()))
+        eng.run()
+        assert counts == [2]
+
+    def test_edge_triggered_late_waiter_misses(self):
+        eng = Engine()
+        sig = Signal()
+        got = []
+
+        def late_waiter():
+            yield Timeout(5.0)
+            value = yield WaitSignal(sig)
+            got.append(value)
+
+        Process(eng, late_waiter())
+        eng.schedule(1.0, lambda: sig.fire("early"))
+        eng.schedule(9.0, lambda: sig.fire("late"))
+        eng.run()
+        assert got == ["late"]
+
+    def test_fire_count_tracked(self):
+        sig = Signal()
+        sig.fire()
+        sig.fire()
+        assert sig.fire_count == 2
+
+
+class TestProcessLifecycle:
+    def test_result_is_return_value(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = Process(eng, proc())
+        eng.run()
+        assert p.result == 42
+        assert not p.alive
+
+    def test_done_signal_fires_with_result(self):
+        eng = Engine()
+        got = []
+
+        def child():
+            yield Timeout(2.0)
+            return "done"
+
+        def parent(c):
+            value = yield WaitSignal(c.done_signal)
+            got.append(value)
+
+        c = Process(eng, child())
+        Process(eng, parent(c))
+        eng.run()
+        assert got == ["done"]
+
+    def test_waiting_on_process_directly(self):
+        eng = Engine()
+        got = []
+
+        def child():
+            yield Timeout(2.0)
+            return 7
+
+        def parent(c):
+            value = yield c
+            got.append((value, eng.now))
+
+        c = Process(eng, child())
+        Process(eng, parent(c))
+        eng.run()
+        assert got == [(7, 2.0)]
+
+    def test_waiting_on_finished_process_resumes_immediately(self):
+        eng = Engine()
+        got = []
+
+        def child():
+            return 1
+            yield  # pragma: no cover
+
+        def parent(c):
+            yield Timeout(5.0)
+            value = yield c
+            got.append(value)
+
+        c = Process(eng, child())
+        Process(eng, parent(c))
+        eng.run()
+        assert got == [1]
+
+    def test_interrupt_kills_pending_timeout(self):
+        eng = Engine()
+        reached = []
+
+        def proc():
+            yield Timeout(10.0)
+            reached.append(True)
+
+        p = Process(eng, proc())
+        eng.schedule(1.0, p.interrupt)
+        eng.run()
+        assert reached == []
+        assert not p.alive
+
+    def test_interrupt_idempotent(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+
+        p = Process(eng, proc())
+        p.interrupt()
+        p.interrupt()
+        assert not p.alive
+
+    def test_bad_directive_raises(self):
+        eng = Engine()
+
+        def proc():
+            yield "not a directive"
+
+        Process(eng, proc())
+        with pytest.raises(TypeError, match="unsupported directive"):
+            eng.run()
+
+
+class TestAllDone:
+    def test_all_done_collects_results(self):
+        eng = Engine()
+
+        def worker(delay, value):
+            yield Timeout(delay)
+            return value
+
+        procs = [Process(eng, worker(d, d * 10)) for d in (3.0, 1.0, 2.0)]
+        gate = all_done(eng, procs)
+        eng.run()
+        assert gate.result == [30.0, 10.0, 20.0]
+        assert eng.now == 3.0

@@ -1,0 +1,246 @@
+"""Tests for Resource, Store and Container."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.process import Process, Timeout
+from repro.sim.resources import Container, Resource, Store
+
+
+class TestResource:
+    def test_acquire_within_capacity_immediate(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        times = []
+
+        def proc():
+            yield res.acquire()
+            times.append(eng.now)
+
+        Process(eng, proc())
+        Process(eng, proc())
+        eng.run()
+        assert times == [0.0, 0.0]
+        assert res.in_use == 2
+
+    def test_contention_serializes(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            yield res.acquire()
+            log.append((name, "start", eng.now))
+            yield Timeout(hold)
+            res.release()
+            log.append((name, "end", eng.now))
+
+        Process(eng, worker("a", 5.0))
+        Process(eng, worker("b", 3.0))
+        eng.run()
+        assert log == [
+            ("a", "start", 0.0),
+            ("a", "end", 5.0),
+            ("b", "start", 5.0),
+            ("b", "end", 8.0),
+        ]
+
+    def test_fifo_grant_order(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        order = []
+
+        def worker(name):
+            yield res.acquire()
+            order.append(name)
+            yield Timeout(1.0)
+            res.release()
+
+        for name in ("first", "second", "third"):
+            Process(eng, worker(name))
+        eng.run()
+        assert order == ["first", "second", "third"]
+
+    def test_queue_length(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield Timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield res.acquire()
+            res.release()
+
+        Process(eng, holder())
+        Process(eng, waiter())
+        eng.run(until=1.0)
+        assert res.queue_length == 1
+        assert res.available == 0
+
+    def test_release_without_acquire_raises(self):
+        eng = Engine()
+        with pytest.raises(RuntimeError):
+            Resource(eng).release()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Engine(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def producer():
+            yield store.put("x")
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        Process(eng, producer())
+        Process(eng, consumer())
+        eng.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, eng.now))
+
+        def late_producer():
+            yield Timeout(7.0)
+            yield store.put("late")
+
+        Process(eng, consumer())
+        Process(eng, late_producer())
+        eng.run()
+        assert got == [("late", 7.0)]
+
+    def test_fifo_item_order(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        Process(eng, producer())
+        Process(eng, consumer())
+        eng.run()
+        assert got == [0, 1, 2]
+
+    def test_capacity_blocks_putter(self):
+        eng = Engine()
+        store = Store(eng, capacity=1)
+        events = []
+
+        def producer():
+            yield store.put("a")
+            events.append(("put-a", eng.now))
+            yield store.put("b")
+            events.append(("put-b", eng.now))
+
+        def slow_consumer():
+            yield Timeout(5.0)
+            item = yield store.get()
+            events.append((f"got-{item}", eng.now))
+
+        Process(eng, producer())
+        Process(eng, slow_consumer())
+        eng.run()
+        assert ("put-a", 0.0) in events
+        assert ("put-b", 5.0) in events  # blocked until the get freed a slot
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Engine(), capacity=0)
+
+
+class TestContainer:
+    def test_get_available_amount(self):
+        eng = Engine()
+        box = Container(eng, capacity=10.0, initial=5.0)
+        got = []
+
+        def proc():
+            amount = yield box.get(3.0)
+            got.append((amount, eng.now))
+
+        Process(eng, proc())
+        eng.run()
+        assert got == [(3.0, 0.0)]
+        assert box.level == 2.0
+
+    def test_get_blocks_until_level(self):
+        eng = Engine()
+        box = Container(eng, capacity=10.0, initial=0.0)
+        got = []
+
+        def consumer():
+            amount = yield box.get(4.0)
+            got.append((amount, eng.now))
+
+        def producer():
+            yield Timeout(2.0)
+            box.put(2.0)
+            yield Timeout(2.0)
+            box.put(2.5)
+
+        Process(eng, consumer())
+        Process(eng, producer())
+        eng.run()
+        assert got == [(4.0, 4.0)]
+        assert box.level == pytest.approx(0.5)
+
+    def test_fifo_blocking_preserves_order(self):
+        """A big request at the head blocks smaller later ones (no overtake)."""
+        eng = Engine()
+        box = Container(eng, capacity=10.0, initial=0.0)
+        order = []
+
+        def consumer(name, amount):
+            yield box.get(amount)
+            order.append(name)
+
+        Process(eng, consumer("big", 5.0))
+        Process(eng, consumer("small", 1.0))
+        eng.schedule(1.0, lambda: box.put(2.0))   # not enough for big
+        eng.schedule(2.0, lambda: box.put(5.0))   # now big, then small
+        eng.run()
+        assert order == ["big", "small"]
+
+    def test_overflow_rejected(self):
+        eng = Engine()
+        box = Container(eng, capacity=5.0, initial=4.0)
+        with pytest.raises(ValueError, match="overflow"):
+            box.put(2.0)
+
+    def test_validation(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            Container(eng, capacity=0.0)
+        with pytest.raises(ValueError):
+            Container(eng, capacity=5.0, initial=6.0)
+        box = Container(eng, capacity=5.0)
+        with pytest.raises(ValueError):
+            box.put(0.0)
+        with pytest.raises(ValueError):
+            box.get(-1.0)
+        with pytest.raises(ValueError):
+            box.get(99.0)

@@ -1,0 +1,61 @@
+"""Tests for LTE slot bookkeeping."""
+
+import pytest
+
+from repro.sim.slots import SlotClock
+
+
+class TestSlotClock:
+    def test_default_is_one_ms(self):
+        assert SlotClock().slot_ms == 1.0
+
+    def test_slot_of_boundaries(self):
+        clock = SlotClock(1.0)
+        assert clock.slot_of(0.0) == 0
+        assert clock.slot_of(0.999) == 0
+        assert clock.slot_of(1.0) == 1
+        assert clock.slot_of(42.5) == 42
+
+    def test_slot_of_with_custom_length(self):
+        clock = SlotClock(0.5)
+        assert clock.slot_of(0.49) == 0
+        assert clock.slot_of(0.5) == 1
+        assert clock.slot_of(2.75) == 5
+
+    def test_start_of_inverts_slot_of(self):
+        clock = SlotClock(1.0)
+        for slot in (0, 1, 17, 999):
+            assert clock.slot_of(clock.start_of(slot)) == slot
+
+    def test_next_boundary_strictly_after(self):
+        clock = SlotClock(1.0)
+        assert clock.next_boundary(0.0) == 1.0
+        assert clock.next_boundary(3.5) == 4.0
+        assert clock.next_boundary(4.0) == 5.0
+
+    def test_align_snaps_down(self):
+        clock = SlotClock(1.0)
+        assert clock.align(7.9) == 7.0
+        assert clock.align(7.0) == 7.0
+
+    def test_same_slot(self):
+        clock = SlotClock(1.0)
+        assert clock.same_slot(3.1, 3.9)
+        assert not clock.same_slot(3.9, 4.1)
+
+    def test_float_accumulation_robustness(self):
+        """Repeated additions of 0.1 must not misclassify slot membership."""
+        clock = SlotClock(1.0)
+        t = 0.0
+        for _ in range(10):
+            t += 0.1
+        # t is 0.9999999999999999; still slot 0... and 1.0 nominal is slot 1
+        assert clock.slot_of(t) in (0, 1)  # never jumps to slot 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotClock(0.0)
+        with pytest.raises(ValueError):
+            SlotClock(1.0).slot_of(-0.1)
+        with pytest.raises(ValueError):
+            SlotClock(1.0).start_of(-1)

@@ -1,0 +1,74 @@
+"""Tests for PeriodicTimer."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.timers import PeriodicTimer
+
+
+class TestPeriodicTimer:
+    def test_ticks_at_period(self):
+        eng = Engine()
+        ticks = []
+        PeriodicTimer(eng, 2.0, lambda i: ticks.append((i, eng.now)), max_ticks=3)
+        eng.run()
+        assert ticks == [(0, 0.0), (1, 2.0), (2, 4.0)]
+
+    def test_start_delay_offsets_first_tick(self):
+        eng = Engine()
+        times = []
+        PeriodicTimer(
+            eng, 5.0, lambda i: times.append(eng.now), start_delay=1.5, max_ticks=2
+        )
+        eng.run()
+        assert times == [1.5, 6.5]
+
+    def test_stop_cancels_future_ticks(self):
+        eng = Engine()
+        ticks = []
+        timer = PeriodicTimer(eng, 1.0, lambda i: ticks.append(i))
+        eng.schedule(2.5, timer.stop)
+        eng.run()
+        assert ticks == [0, 1, 2]
+        assert not timer.running
+
+    def test_stop_from_own_callback(self):
+        eng = Engine()
+        ticks = []
+
+        def cb(i):
+            ticks.append(i)
+            if i == 1:
+                timer.stop()
+
+        timer = PeriodicTimer(eng, 1.0, cb)
+        eng.run()
+        assert ticks == [0, 1]
+
+    def test_no_drift_with_slow_callbacks(self):
+        """Ticks stay on the nominal grid even if callbacks schedule work."""
+        eng = Engine()
+        times = []
+
+        def cb(i):
+            times.append(eng.now)
+            eng.schedule(0.3, lambda: None)  # unrelated same-window work
+
+        PeriodicTimer(eng, 1.0, cb, max_ticks=4)
+        eng.run()
+        assert times == [0.0, 1.0, 2.0, 3.0]
+
+    def test_max_ticks_zero_never_fires(self):
+        eng = Engine()
+        ticks = []
+        timer = PeriodicTimer(eng, 1.0, lambda i: ticks.append(i), max_ticks=0)
+        eng.run()
+        assert ticks == []
+        assert not timer.running
+
+    def test_validation(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            PeriodicTimer(eng, 0.0, lambda i: None)
+        with pytest.raises(ValueError):
+            PeriodicTimer(eng, 1.0, lambda i: None, max_ticks=-1)

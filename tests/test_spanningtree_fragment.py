@@ -1,0 +1,99 @@
+"""Tests for fragment bookkeeping."""
+
+import pytest
+
+from repro.spanningtree.fragment import Fragment, FragmentSet
+
+
+class TestFragment:
+    def test_size_and_graph(self):
+        frag = Fragment(head=1, members=frozenset({1, 2, 3}),
+                        tree_edges=((1, 2), (2, 3)))
+        assert frag.size == 3
+        g = frag.subtree_graph()
+        assert g.number_of_edges() == 2
+
+    def test_diameter(self):
+        chain = Fragment(0, frozenset({0, 1, 2, 3}), ((0, 1), (1, 2), (2, 3)))
+        assert chain.diameter_hops() == 3
+        star = Fragment(0, frozenset({0, 1, 2, 3}), ((0, 1), (0, 2), (0, 3)))
+        assert star.diameter_hops() == 2
+        singleton = Fragment(5, frozenset({5}))
+        assert singleton.diameter_hops() == 0
+
+
+class TestFragmentSet:
+    def test_initial_singletons(self):
+        fs = FragmentSet(4)
+        assert fs.count == 4
+        for i in range(4):
+            assert fs.head_of(i) == i
+            assert fs.size_of(i) == 1
+
+    def test_merge_reduces_count(self):
+        fs = FragmentSet(4)
+        assert fs.merge(0, 1)
+        assert fs.count == 3
+        assert fs.same_fragment(0, 1)
+
+    def test_merge_same_fragment_noop(self):
+        fs = FragmentSet(3)
+        fs.merge(0, 1)
+        assert not fs.merge(1, 0)
+        assert fs.count == 2
+
+    def test_head_election_larger_wins(self):
+        """Algorithm 1: merged head comes from the larger fragment."""
+        fs = FragmentSet(5)
+        fs.merge(0, 1)          # {0,1} head min(0,1)=0
+        fs.merge(0, 2)          # {0,1,2} size 3 > {2}? merged: head 0
+        fs.merge(3, 4)          # {3,4} head 3
+        fs.merge(2, 3)          # sizes 3 vs 2 → head of larger = 0
+        assert fs.head_of(4) == 0
+
+    def test_head_election_tie_prefers_smaller_id(self):
+        fs = FragmentSet(4)
+        fs.merge(2, 3)  # head 2
+        fs.merge(0, 1)  # head 0
+        fs.merge(1, 2)  # tie 2 vs 2 → head min(0, 2) = 0
+        assert fs.head_of(3) == 0
+
+    def test_change_head(self):
+        fs = FragmentSet(3)
+        fs.merge(0, 1)
+        fs.change_head(0, 1)
+        assert fs.head_of(0) == 1
+
+    def test_change_head_outside_fragment_rejected(self):
+        fs = FragmentSet(3)
+        fs.merge(0, 1)
+        with pytest.raises(ValueError):
+            fs.change_head(0, 2)
+
+    def test_tree_edges_accumulate(self):
+        fs = FragmentSet(4)
+        fs.merge(0, 1)
+        fs.merge(2, 3)
+        fs.merge(1, 2)
+        assert fs.all_tree_edges() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_fragments_snapshot(self):
+        fs = FragmentSet(5)
+        fs.merge(0, 1)
+        frags = fs.fragments()
+        assert len(frags) == 4
+        sizes = sorted(f.size for f in frags)
+        assert sizes == [1, 1, 1, 2]
+
+    def test_fragment_members_consistent_after_chain(self):
+        fs = FragmentSet(6)
+        for a, b in [(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)]:
+            fs.merge(a, b)
+        frags = fs.fragments()
+        assert len(frags) == 1
+        assert frags[0].members == frozenset(range(6))
+        assert len(frags[0].tree_edges) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FragmentSet(0)

@@ -1,0 +1,79 @@
+"""Tests for the GHS level-based merge rule."""
+
+import numpy as np
+import pytest
+
+from repro.spanningtree.boruvka import distributed_boruvka
+from repro.spanningtree.ghs import distributed_ghs
+from repro.spanningtree.mst import is_spanning_tree, maximum_spanning_tree
+
+
+def random_instance(n, seed, density=1.0):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(n, n))
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0.0)
+    adj = rng.random((n, n)) < density
+    adj = adj | adj.T
+    np.fill_diagonal(adj, False)
+    return w, adj
+
+
+class TestCorrectness:
+    def test_matches_oracle(self):
+        for seed in range(6):
+            w, adj = random_instance(24, seed)
+            result = distributed_ghs(w, adj)
+            assert result.converged
+            assert result.edges == maximum_spanning_tree(w, adj)
+
+    def test_same_tree_as_boruvka(self):
+        """Different merge schedules, identical unique max-ST."""
+        for seed in range(5):
+            w, adj = random_instance(30, seed, density=0.4)
+            ghs = distributed_ghs(w, adj)
+            bor = distributed_boruvka(w, adj)
+            assert ghs.edges == bor.edges
+
+    def test_spanning(self):
+        w, adj = random_instance(40, 2)
+        result = distributed_ghs(w, adj)
+        assert is_spanning_tree(result.edges, 40)
+
+    def test_two_nodes_mutual_merge(self):
+        w = np.array([[0.0, 1.0], [1.0, 0.0]])
+        adj = ~np.eye(2, dtype=bool)
+        result = distributed_ghs(w, adj)
+        assert result.converged
+        assert result.edges == [(0, 1)]
+        assert result.max_level == 1
+
+
+class TestLevels:
+    def test_levels_bounded_by_log_n(self):
+        """A level-k fragment has ≥ 2^k members → levels ≤ log₂ n."""
+        for n in (16, 64):
+            w, adj = random_instance(n, 3)
+            result = distributed_ghs(w, adj)
+            assert result.max_level <= int(np.log2(n))
+
+    def test_wait_rule_adds_rounds(self):
+        w, adj = random_instance(50, 4)
+        ghs = distributed_ghs(w, adj)
+        bor = distributed_boruvka(w, adj)
+        assert ghs.phase_count >= bor.phase_count
+
+    def test_terminates_within_cap(self):
+        w, adj = random_instance(100, 5)
+        result = distributed_ghs(w, adj)
+        assert result.converged
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            distributed_ghs(np.zeros((3, 3)), np.zeros((2, 2), dtype=bool))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            distributed_ghs(np.zeros((0, 0)), np.zeros((0, 0), dtype=bool))

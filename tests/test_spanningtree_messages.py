@@ -1,0 +1,62 @@
+"""Tests for message kinds and counting."""
+
+import pytest
+
+from repro.spanningtree.messages import MessageCounter, MessageKind
+
+
+class TestMessageKind:
+    def test_codec_assignment(self):
+        """Sync and discovery ride RACH1; tree control rides RACH2."""
+        assert MessageKind.SYNC_PULSE.codec_index == 1
+        assert MessageKind.DISCOVERY.codec_index == 1
+        for kind in (
+            MessageKind.TEST,
+            MessageKind.REPORT,
+            MessageKind.MERGE_ANNOUNCE,
+            MessageKind.CONNECT,
+        ):
+            assert kind.codec_index == 2
+
+
+class TestMessageCounter:
+    def test_add_and_count(self):
+        c = MessageCounter()
+        c.add(MessageKind.TEST, 5)
+        c.add(MessageKind.TEST)
+        assert c.count(MessageKind.TEST) == 6
+        assert c.count(MessageKind.CONNECT) == 0
+
+    def test_total(self):
+        c = MessageCounter()
+        c.add(MessageKind.TEST, 3)
+        c.add(MessageKind.SYNC_PULSE, 7)
+        assert c.total == 10
+
+    def test_total_per_codec(self):
+        c = MessageCounter()
+        c.add(MessageKind.SYNC_PULSE, 4)
+        c.add(MessageKind.DISCOVERY, 1)
+        c.add(MessageKind.CONNECT, 2)
+        assert c.total_for_codec(1) == 5
+        assert c.total_for_codec(2) == 2
+
+    def test_merge(self):
+        a, b = MessageCounter(), MessageCounter()
+        a.add(MessageKind.TEST, 1)
+        b.add(MessageKind.TEST, 2)
+        b.add(MessageKind.REPORT, 3)
+        a.merge(b)
+        assert a.count(MessageKind.TEST) == 3
+        assert a.count(MessageKind.REPORT) == 3
+        # merge does not mutate the source
+        assert b.total == 5
+
+    def test_as_dict_covers_all_kinds(self):
+        d = MessageCounter().as_dict()
+        assert set(d) == {k.value for k in MessageKind}
+        assert all(v == 0 for v in d.values())
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            MessageCounter().add(MessageKind.TEST, -1)

@@ -1,0 +1,96 @@
+"""Tests for the centralized maximum-spanning-tree oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.spanningtree.mst import (
+    is_spanning_tree,
+    maximum_spanning_tree,
+    tree_weight,
+)
+
+
+def random_weights(n, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(n, n))
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestMaximumSpanningTree:
+    def test_triangle_drops_lightest_edge(self):
+        w = np.array(
+            [[0.0, 3.0, 1.0], [3.0, 0.0, 2.0], [1.0, 2.0, 0.0]]
+        )
+        edges = maximum_spanning_tree(w)
+        assert edges == [(0, 1), (1, 2)]  # drops the weight-1 edge
+
+    def test_matches_networkx(self):
+        for seed in range(5):
+            w = random_weights(12, seed)
+            edges = maximum_spanning_tree(w)
+            g = nx.from_numpy_array(w)
+            nx_edges = sorted(
+                tuple(sorted(e)) for e in nx.maximum_spanning_edges(g, data=False)
+            )
+            assert edges == nx_edges
+
+    def test_respects_adjacency_mask(self):
+        w = np.array(
+            [[0.0, 10.0, 1.0], [10.0, 0.0, 2.0], [1.0, 2.0, 0.0]]
+        )
+        adj = np.array(
+            [[False, False, True], [False, False, True], [True, True, False]]
+        )
+        edges = maximum_spanning_tree(w, adj)
+        assert (0, 1) not in edges  # the heavy edge is masked out
+        assert edges == [(0, 2), (1, 2)]
+
+    def test_disconnected_gives_forest(self):
+        w = np.zeros((4, 4))
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True
+        adj[2, 3] = adj[3, 2] = True
+        w[0, 1] = w[1, 0] = 1.0
+        w[2, 3] = w[3, 2] = 2.0
+        edges = maximum_spanning_tree(w, adj)
+        assert edges == [(0, 1), (2, 3)]  # 2 trees, not spanning
+
+    def test_asymmetric_rejected(self):
+        w = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            maximum_spanning_tree(w)
+
+
+class TestTreeWeight:
+    def test_sums_edges(self):
+        w = random_weights(5, 1)
+        edges = [(0, 1), (2, 3)]
+        assert tree_weight(w, edges) == pytest.approx(w[0, 1] + w[2, 3])
+
+    def test_empty(self):
+        assert tree_weight(random_weights(3, 2), []) == 0.0
+
+
+class TestIsSpanningTree:
+    def test_valid_tree(self):
+        assert is_spanning_tree([(0, 1), (1, 2), (2, 3)], 4)
+
+    def test_wrong_edge_count(self):
+        assert not is_spanning_tree([(0, 1)], 3)
+
+    def test_cycle_detected(self):
+        assert not is_spanning_tree([(0, 1), (1, 2), (0, 2)], 4)
+
+    def test_disconnected_with_cycle(self):
+        # 3 edges on 4 nodes but one is a cycle → not spanning
+        assert not is_spanning_tree([(0, 1), (1, 2), (0, 2)], 4)
+
+    def test_out_of_range_nodes(self):
+        assert not is_spanning_tree([(0, 5)], 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            is_spanning_tree([], 0)

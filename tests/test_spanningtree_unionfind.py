@@ -1,0 +1,75 @@
+"""Tests for union–find."""
+
+import pytest
+
+from repro.spanningtree.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(5)
+        assert uf.components == 5
+        assert all(uf.find(i) == i for i in range(5))
+        assert all(uf.size_of(i) == 1 for i in range(5))
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.components == 3
+        assert uf.size_of(0) == 2
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.components == 2
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_size_tracking_through_chains(self):
+        uf = UnionFind(8)
+        for i in range(7):
+            uf.union(i, i + 1)
+        assert uf.size_of(3) == 8
+        assert uf.components == 1
+
+    def test_groups(self):
+        uf = UnionFind(5)
+        uf.union(0, 2)
+        uf.union(1, 3)
+        groups = uf.groups()
+        members = sorted(sorted(g) for g in groups.values())
+        assert members == [[0, 2], [1, 3], [4]]
+
+    def test_groups_roots_consistent(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        for root, members in uf.groups().items():
+            assert all(uf.find(m) == root for m in members)
+
+    def test_path_compression_keeps_correctness(self):
+        uf = UnionFind(100)
+        for i in range(99):
+            uf.union(0, i + 1)
+        # repeated finds after deep chains still agree
+        roots = {uf.find(i) for i in range(100)}
+        assert len(roots) == 1
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+    def test_zero_elements(self):
+        uf = UnionFind(0)
+        assert uf.components == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
