@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import save_and_print
+from benchmarks.conftest import save_and_print, timed_pedantic, write_bench_json
 from repro.analysis.tables import format_table
 from repro.core.beacon import BeaconDiscovery
 from repro.core.config import PaperConfig
@@ -47,7 +47,7 @@ def _sync_run(net: D2DNetwork, *, refractory_ms: float, policy: str):
     return kernel.run(np.random.default_rng(9), max_time_ms=60_000.0)
 
 
-def test_ablation_refractory(benchmark, results_dir):
+def test_ablation_refractory(benchmark, results_dir, bench_json_dir):
     """DESIGN §6.2 — removing the refractory window costs pulses."""
     net = _network()
 
@@ -56,7 +56,7 @@ def test_ablation_refractory(benchmark, results_dir):
         without = _sync_run(net, refractory_ms=0.0, policy="tolerant")
         return with_r, without
 
-    with_r, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    (with_r, without), wall_s = timed_pedantic(benchmark, run_both)
     rows = [
         ["refractory 1 slot", with_r.messages, f"{with_r.time_ms:.0f}", with_r.converged],
         ["no refractory", without.messages, f"{without.time_ms:.0f}", without.converged],
@@ -69,9 +69,18 @@ def test_ablation_refractory(benchmark, results_dir):
     )
     assert with_r.converged
     assert without.messages >= with_r.messages
+    write_bench_json(
+        bench_json_dir,
+        "ablation_refractory",
+        wall_s,
+        {
+            "with_refractory_messages": with_r.messages,
+            "without_refractory_messages": without.messages,
+        },
+    )
 
 
-def test_ablation_collision_policy(benchmark, results_dir):
+def test_ablation_collision_policy(benchmark, results_dir, bench_json_dir):
     """DESIGN §6 — pulse-detection policy under superposition."""
     net = _network()
 
@@ -79,7 +88,7 @@ def test_ablation_collision_policy(benchmark, results_dir):
         return {p: _sync_run(net, refractory_ms=1.0, policy=p)
                 for p in ("tolerant", "capture", "destructive")}
 
-    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    runs, wall_s = timed_pedantic(benchmark, run_all)
     rows = [
         [p, r.messages, f"{r.time_ms:.0f}", r.converged]
         for p, r in runs.items()
@@ -94,9 +103,18 @@ def test_ablation_collision_policy(benchmark, results_dir):
     assert runs["tolerant"].converged
     # destroying collided pulses can never be faster than tolerating them
     assert runs["destructive"].time_ms >= runs["tolerant"].time_ms
+    write_bench_json(
+        bench_json_dir,
+        "ablation_collision_policy",
+        wall_s,
+        {
+            policy: {"messages": r.messages, "time_ms": r.time_ms}
+            for policy, r in runs.items()
+        },
+    )
 
 
-def test_ablation_merge_rule(benchmark, results_dir):
+def test_ablation_merge_rule(benchmark, results_dir, bench_json_dir):
     """DESIGN §6.3 — Borůvka vs. GHS level-based merging."""
     net = _network()
 
@@ -106,7 +124,7 @@ def test_ablation_merge_rule(benchmark, results_dir):
             distributed_ghs(net.weights, net.adjacency),
         )
 
-    boruvka, ghs = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    (boruvka, ghs), wall_s = timed_pedantic(benchmark, run_both)
     oracle = maximum_spanning_tree(net.weights, net.adjacency)
     rows = [
         [
@@ -133,9 +151,21 @@ def test_ablation_merge_rule(benchmark, results_dir):
     assert ghs.edges == oracle
     # GHS's wait rule can only add rounds, never remove them
     assert ghs.phase_count >= boruvka.phase_count
+    write_bench_json(
+        bench_json_dir,
+        "ablation_merge_rule",
+        wall_s,
+        {
+            "boruvka": {
+                "rounds": boruvka.phase_count,
+                "messages": boruvka.counter.total,
+            },
+            "ghs": {"rounds": ghs.phase_count, "messages": ghs.counter.total},
+        },
+    )
 
 
-def test_ablation_rssi_vs_oracle_weights(benchmark, results_dir):
+def test_ablation_rssi_vs_oracle_weights(benchmark, results_dir, bench_json_dir):
     """DESIGN §6.4 — what the shadowed-RSSI weights cost vs. true distance."""
     net = _network()
 
@@ -146,7 +176,7 @@ def test_ablation_rssi_vs_oracle_weights(benchmark, results_dir):
         oracle_tree = distributed_boruvka(oracle_w, net.adjacency).edges
         return rssi_tree, oracle_tree
 
-    rssi_tree, oracle_tree = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    (rssi_tree, oracle_tree), wall_s = timed_pedantic(benchmark, run_both)
     dist = net.true_distances()
 
     def mean_edge_m(edges):
@@ -164,9 +194,18 @@ def test_ablation_rssi_vs_oracle_weights(benchmark, results_dir):
     )
     # shadowing can only make the tree geometrically worse (longer links)
     assert mean_edge_m(rssi_tree) >= mean_edge_m(oracle_tree) - 1e-9
+    write_bench_json(
+        bench_json_dir,
+        "ablation_rssi_weights",
+        wall_s,
+        {
+            "rssi_mean_edge_m": mean_edge_m(rssi_tree),
+            "oracle_mean_edge_m": mean_edge_m(oracle_tree),
+        },
+    )
 
 
-def test_ablation_continuous_vs_pulse_coupling(benchmark, results_dir):
+def test_ablation_continuous_vs_pulse_coupling(benchmark, results_dir, bench_json_dir):
     """Ref [16]'s continuous (Kuramoto) coupling vs the paper's pulse
     coupling on the identical proximity mesh — both must reach synchrony
     on a connected graph; the PCO additionally aligns firing instants."""
@@ -182,7 +221,7 @@ def test_ablation_continuous_vs_pulse_coupling(benchmark, results_dir):
         )
         return pco, kuramoto
 
-    pco, kuramoto = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    (pco, kuramoto), wall_s = timed_pedantic(benchmark, run_both)
     rows = [
         ["pulse-coupled (paper §III)", f"{pco.time_ms:.0f} ms",
          f"{pco.messages} messages", pco.converged],
@@ -197,9 +236,19 @@ def test_ablation_continuous_vs_pulse_coupling(benchmark, results_dir):
         + format_table(["model", "lock time", "cost", "synchronized"], rows),
     )
     assert pco.converged and kuramoto.locked
+    write_bench_json(
+        bench_json_dir,
+        "ablation_coupling_model",
+        wall_s,
+        {
+            "pco_time_ms": pco.time_ms,
+            "pco_messages": pco.messages,
+            "kuramoto_lock_time": kuramoto.lock_time,
+        },
+    )
 
 
-def test_ablation_beacon_preambles(benchmark, results_dir):
+def test_ablation_beacon_preambles(benchmark, results_dir, bench_json_dir):
     """DESIGN §6 — preamble-pool size vs discovery latency (n=300)."""
     net = _network(n=300)
     cfg = net.config
@@ -219,7 +268,7 @@ def test_ablation_beacon_preambles(benchmark, results_dir):
             out[pool] = disc
         return out
 
-    runs = benchmark.pedantic(run_pools, rounds=1, iterations=1)
+    runs, wall_s = timed_pedantic(benchmark, run_pools)
     rows = [
         [pool, r.periods, r.messages, r.complete]
         for pool, r in runs.items()
@@ -233,3 +282,12 @@ def test_ablation_beacon_preambles(benchmark, results_dir):
     assert runs[8].complete
     # a bigger orthogonal pool can only speed discovery up
     assert runs[16].periods <= runs[1].periods
+    write_bench_json(
+        bench_json_dir,
+        "ablation_beacon_preambles",
+        wall_s,
+        {
+            str(pool): {"periods": r.periods, "messages": r.messages}
+            for pool, r in runs.items()
+        },
+    )

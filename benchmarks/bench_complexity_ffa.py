@@ -7,13 +7,22 @@ fit ~n², the sorted loop clearly sub-quadratic.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_and_print
+from benchmarks.conftest import save_and_print, timed_pedantic, write_bench_json
 from repro.experiments.complexity import run_complexity
 
 
-def test_complexity_firefly_loops(benchmark, results_dir):
-    result = benchmark.pedantic(run_complexity, rounds=1, iterations=1)
+def test_complexity_firefly_loops(benchmark, results_dir, bench_json_dir):
+    result, wall_s = timed_pedantic(benchmark, run_complexity)
     save_and_print(results_dir, "complexity_ffa", result.render())
+    write_bench_json(
+        bench_json_dir,
+        "complexity_ffa",
+        wall_s,
+        {
+            "basic_exponent": result.basic_exponent,
+            "sorted_exponent": result.sorted_exponent,
+        },
+    )
 
     assert 1.8 < result.basic_exponent < 2.2
     assert result.sorted_exponent < 1.5

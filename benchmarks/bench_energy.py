@@ -9,7 +9,7 @@ the paper's faster-converging ST wins on energy at every scale.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_and_print
+from benchmarks.conftest import save_and_print, timed_pedantic, write_bench_json
 from repro.analysis.tables import format_table
 from repro.core.config import PaperConfig
 from repro.core.fst import FSTSimulation
@@ -20,7 +20,7 @@ from repro.radio.energy import EnergyModel
 SIZES = (50, 200, 600)
 
 
-def test_energy_per_device(benchmark, results_dir):
+def test_energy_per_device(benchmark, results_dir, bench_json_dir):
     model = EnergyModel()  # Table I's 23 dBm, LTE UE receive chain
 
     def run_all():
@@ -33,7 +33,7 @@ def test_energy_per_device(benchmark, results_dir):
             rows.append((n, st, fst))
         return rows
 
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows, wall_s = timed_pedantic(benchmark, run_all)
     table = []
     for n, st, fst in rows:
         table.append(
@@ -59,3 +59,15 @@ def test_energy_per_device(benchmark, results_dir):
     assert st.per_device_mj < fst.per_device_mj
     # idle listening dominates for both (the known discovery-energy insight)
     assert st.tx_fraction < 0.5 and fst.tx_fraction < 0.5
+    write_bench_json(
+        bench_json_dir,
+        "extension_energy",
+        wall_s,
+        {
+            str(n): {
+                "st_mj_per_device": r_st.per_device_mj,
+                "fst_mj_per_device": r_fst.per_device_mj,
+            }
+            for n, r_st, r_fst in rows
+        },
+    )

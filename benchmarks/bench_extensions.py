@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import save_and_print
+from benchmarks.conftest import save_and_print, timed_pedantic, write_bench_json
 from repro.analysis.tables import format_table
 from repro.core.beacon import BeaconDiscovery
 from repro.core.config import PaperConfig
@@ -23,7 +23,7 @@ from repro.spanningtree.boruvka import distributed_boruvka
 from repro.spanningtree.repair import repair_after_failure
 
 
-def test_extension_service_dissemination(benchmark, results_dir):
+def test_extension_service_dissemination(benchmark, results_dir, bench_json_dir):
     """Tree aggregation must beat flooding by ~n/2 in messages."""
     net = D2DNetwork(PaperConfig(seed=31))
     st = STSimulation(net).run()
@@ -36,7 +36,7 @@ def test_extension_service_dissemination(benchmark, results_dir):
             flood_interests(net.adjacency, services),
         )
 
-    tree, flood = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    (tree, flood), wall_s = timed_pedantic(benchmark, run_both)
     rows = [
         ["tree convergecast+broadcast", tree.messages, tree.slots],
         ["mesh flooding", flood.messages, flood.slots],
@@ -50,9 +50,15 @@ def test_extension_service_dissemination(benchmark, results_dir):
     )
     assert tree.service_map == flood.service_map
     assert tree.messages * 5 < flood.messages
+    write_bench_json(
+        bench_json_dir,
+        "extension_dissemination",
+        wall_s,
+        {"tree_messages": tree.messages, "flood_messages": flood.messages},
+    )
 
 
-def test_extension_churn_repair(benchmark, results_dir):
+def test_extension_churn_repair(benchmark, results_dir, bench_json_dir):
     """Repairing after one failure must cost far less than rebuilding."""
     net = D2DNetwork(PaperConfig(seed=32).with_devices(200, keep_density=False))
     tree = distributed_boruvka(net.weights, net.adjacency)
@@ -67,7 +73,7 @@ def test_extension_churn_repair(benchmark, results_dir):
     def run_repair():
         return repair_after_failure(tree.edges, failed, net.weights, net.adjacency)
 
-    repair = benchmark.pedantic(run_repair, rounds=1, iterations=1)
+    repair, wall_s = timed_pedantic(benchmark, run_repair)
     rebuild_messages = tree.counter.total
     rows = [
         ["full rebuild", rebuild_messages, tree.phase_count],
@@ -82,9 +88,18 @@ def test_extension_churn_repair(benchmark, results_dir):
     )
     assert repair.repaired
     assert repair.messages < rebuild_messages
+    write_bench_json(
+        bench_json_dir,
+        "extension_churn_repair",
+        wall_s,
+        {
+            "repair_messages": repair.messages,
+            "rebuild_messages": rebuild_messages,
+        },
+    )
 
 
-def test_extension_duty_cycle_energy_latency(benchmark, results_dir):
+def test_extension_duty_cycle_energy_latency(benchmark, results_dir, bench_json_dir):
     """Power-saving duty cycling (refs [4]-[9]): receive energy falls
     linearly with the duty, discovery latency rises superlinearly."""
     from repro.radio.energy import EnergyModel
@@ -109,7 +124,7 @@ def test_extension_duty_cycle_energy_latency(benchmark, results_dir):
             out[duty] = disc
         return out
 
-    runs = benchmark.pedantic(run_duties, rounds=1, iterations=1)
+    runs, wall_s = timed_pedantic(benchmark, run_duties)
     rows = []
     for duty, r in runs.items():
         rx_mj = model.listen_energy_mj(r.time_ms * duty, net.n)
@@ -127,17 +142,23 @@ def test_extension_duty_cycle_energy_latency(benchmark, results_dir):
     )
     assert all(r.complete for r in runs.values())
     assert runs[0.25].periods > runs[1.0].periods
+    write_bench_json(
+        bench_json_dir,
+        "extension_duty_cycle",
+        wall_s,
+        {str(duty): {"periods": r.periods} for duty, r in runs.items()},
+    )
 
 
-def test_extension_multiservice_trees(benchmark, results_dir):
+def test_extension_multiservice_trees(benchmark, results_dir, bench_json_dir):
     """Per-service trees vs one global tree + interest aggregation."""
     from repro.core.multiservice import run_multiservice
 
     net = D2DNetwork(PaperConfig(seed=37).with_devices(120, keep_density=False))
     services = np.random.default_rng(37).integers(0, 3, net.n)
 
-    result = benchmark.pedantic(
-        lambda: run_multiservice(net, services), rounds=1, iterations=1
+    result, wall_s = timed_pedantic(
+        benchmark, lambda: run_multiservice(net, services)
     )
     rows = [
         [f"service {t.service}", len(t.members), len(t.tree_edges), t.messages]
@@ -154,9 +175,18 @@ def test_extension_multiservice_trees(benchmark, results_dir):
         + f"\ncheaper: {result.cheaper}",
     )
     assert result.all_groups_spanned
+    write_bench_json(
+        bench_json_dir,
+        "extension_multiservice",
+        wall_s,
+        {
+            "per_service_messages": result.per_service_messages,
+            "global_messages": result.global_messages,
+        },
+    )
 
 
-def test_extension_mobility_resync(benchmark, results_dir):
+def test_extension_mobility_resync(benchmark, results_dir, bench_json_dir):
     """Re-sync under motion: ~1 pulse/device per epoch, stable trees at
     pedestrian speed."""
     n, side = 40, 90.0
@@ -179,7 +209,7 @@ def test_extension_mobility_resync(benchmark, results_dir):
             records.append(session.run_epoch())
         return records
 
-    records = benchmark.pedantic(run_epochs, rounds=1, iterations=1)
+    records, wall_s = timed_pedantic(benchmark, run_epochs)
     rows = [
         [r.epoch, f"{r.resync_time_ms:.0f}", r.resync_messages,
          f"{r.tree_stability:.2f}", r.converged]
@@ -196,3 +226,16 @@ def test_extension_mobility_resync(benchmark, results_dir):
     )
     assert all(r.converged for r in records)
     assert all(r.resync_messages <= 5 * n for r in records)
+    write_bench_json(
+        bench_json_dir,
+        "extension_mobility",
+        wall_s,
+        {
+            str(r.epoch): {
+                "resync_ms": r.resync_time_ms,
+                "resync_messages": r.resync_messages,
+                "tree_stability": r.tree_stability,
+            }
+            for r in records
+        },
+    )

@@ -8,15 +8,19 @@ network grows.
 
 from __future__ import annotations
 
-from benchmarks.conftest import SCALING_SEEDS, SCALING_SIZES, save_and_print
+from benchmarks.conftest import (
+    SCALING_SEEDS,
+    SCALING_SIZES,
+    save_and_print,
+    timed_pedantic,
+    write_bench_json,
+)
 from repro.experiments.scaling import run_scaling
 
 
-def test_fig3_convergence_time(benchmark, results_dir):
-    result = benchmark.pedantic(
-        lambda: run_scaling(SCALING_SIZES, SCALING_SEEDS),
-        rounds=1,
-        iterations=1,
+def test_fig3_convergence_time(benchmark, results_dir, bench_json_dir):
+    result, wall_s = timed_pedantic(
+        benchmark, lambda: run_scaling(SCALING_SIZES, SCALING_SEEDS)
     )
     save_and_print(results_dir, "fig3_convergence", result.render_fig3())
 
@@ -30,3 +34,13 @@ def test_fig3_convergence_time(benchmark, results_dir):
     assert st[largest] < fst[largest]
     # every configured run must actually converge
     assert all(p.all_converged for p in result.sweep.points)
+    write_bench_json(
+        bench_json_dir,
+        "fig3_convergence",
+        wall_s,
+        {
+            "sizes": list(SCALING_SIZES),
+            "st_time_ms": {str(n): t for n, t in sorted(st.items())},
+            "fst_time_ms": {str(n): t for n, t in sorted(fst.items())},
+        },
+    )

@@ -7,15 +7,19 @@ paper reads the crossover at roughly 600 devices.
 
 from __future__ import annotations
 
-from benchmarks.conftest import SCALING_SEEDS, SCALING_SIZES, save_and_print
+from benchmarks.conftest import (
+    SCALING_SEEDS,
+    SCALING_SIZES,
+    save_and_print,
+    timed_pedantic,
+    write_bench_json,
+)
 from repro.experiments.scaling import run_scaling
 
 
-def test_fig4_message_exchanges(benchmark, results_dir):
-    result = benchmark.pedantic(
-        lambda: run_scaling(SCALING_SIZES, SCALING_SEEDS),
-        rounds=1,
-        iterations=1,
+def test_fig4_message_exchanges(benchmark, results_dir, bench_json_dir):
+    result, wall_s = timed_pedantic(
+        benchmark, lambda: run_scaling(SCALING_SIZES, SCALING_SEEDS)
     )
     save_and_print(results_dir, "fig4_messages", result.render_fig4())
 
@@ -31,3 +35,13 @@ def test_fig4_message_exchanges(benchmark, results_dir):
     assert all(fst[a] < fst[b] for a, b in zip(sizes, sizes[1:]))
     # the FST/ST ratio must improve toward (or past) the crossover with n
     assert fst[largest] / st[largest] > fst[smallest] / st[smallest]
+    write_bench_json(
+        bench_json_dir,
+        "fig4_messages",
+        wall_s,
+        {
+            "sizes": list(SCALING_SIZES),
+            "st_messages": {str(n): m for n, m in sorted(st.items())},
+            "fst_messages": {str(n): m for n, m in sorted(fst.items())},
+        },
+    )

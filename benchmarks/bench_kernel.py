@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.conftest import benchmark_mean_s, write_bench_json
 from repro.core.beacon import BeaconDiscovery, top_k_required
 from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
@@ -23,7 +24,7 @@ def network() -> D2DNetwork:
     return D2DNetwork(PaperConfig(seed=2).with_devices(150, keep_density=False))
 
 
-def test_bench_pulse_sync_kernel(benchmark, network):
+def test_bench_pulse_sync_kernel(benchmark, network, bench_json_dir):
     cfg = network.config
     kernel = PulseSyncKernel(
         network.link_budget.mean_rx_dbm,
@@ -41,9 +42,19 @@ def test_bench_pulse_sync_kernel(benchmark, network):
 
     result = benchmark(run)
     assert result.converged
+    write_bench_json(
+        bench_json_dir,
+        "kernel_pulse_sync",
+        benchmark_mean_s(benchmark),
+        {
+            "messages": result.messages,
+            "time_ms": result.time_ms,
+            "converged": result.converged,
+        },
+    )
 
 
-def test_bench_beacon_discovery(benchmark, network):
+def test_bench_beacon_discovery(benchmark, network, bench_json_dir):
     cfg = network.config
     disc = BeaconDiscovery(
         network.link_budget.mean_rx_dbm,
@@ -60,11 +71,27 @@ def test_bench_beacon_discovery(benchmark, network):
 
     result = benchmark(run)
     assert result.complete
+    write_bench_json(
+        bench_json_dir,
+        "kernel_beacon_discovery",
+        benchmark_mean_s(benchmark),
+        {
+            "messages": result.messages,
+            "periods": result.periods,
+            "complete": result.complete,
+        },
+    )
 
 
-def test_bench_network_build(benchmark):
+def test_bench_network_build(benchmark, bench_json_dir):
     def build():
         return D2DNetwork(PaperConfig(seed=3).with_devices(200, keep_density=False))
 
     net = benchmark(build)
     assert net.n == 200
+    write_bench_json(
+        bench_json_dir,
+        "kernel_network_build",
+        benchmark_mean_s(benchmark),
+        {"devices": net.n},
+    )

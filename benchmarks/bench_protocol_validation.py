@@ -8,7 +8,7 @@ that the fast model regenerating Figs. 3–4 is faithful to the protocol.
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_and_print
+from benchmarks.conftest import save_and_print, timed_pedantic, write_bench_json
 from repro.analysis.tables import format_table
 from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
@@ -18,7 +18,7 @@ from repro.spanningtree.boruvka import distributed_boruvka
 SIZES = (50, 100, 200)
 
 
-def test_protocol_cross_validation(benchmark, results_dir):
+def test_protocol_cross_validation(benchmark, results_dir, bench_json_dir):
     def run_all():
         rows = []
         for n in SIZES:
@@ -30,8 +30,9 @@ def test_protocol_cross_validation(benchmark, results_dir):
             rows.append((n, net, node_level, aggregate))
         return rows
 
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows, wall_s = timed_pedantic(benchmark, run_all)
     table = []
+    ratios = {}
     for n, _net, node_level, aggregate in rows:
         same_tree = node_level.tree_edges == aggregate.edges
         ratio = node_level.messages / aggregate.counter.total
@@ -47,6 +48,7 @@ def test_protocol_cross_validation(benchmark, results_dir):
         )
         assert same_tree
         assert 0.3 < ratio < 3.0
+        ratios[str(n)] = round(ratio, 3)
     save_and_print(
         results_dir,
         "protocol_validation",
@@ -62,4 +64,10 @@ def test_protocol_cross_validation(benchmark, results_dir):
             ],
             table,
         ),
+    )
+    write_bench_json(
+        bench_json_dir,
+        "protocol_validation",
+        wall_s,
+        {"sizes": list(SIZES), "message_ratio": ratios},
     )

@@ -3,34 +3,42 @@ EXPERIMENTS.md documents (the constants the paper never published)."""
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_and_print
+from benchmarks.conftest import save_and_print, timed_pedantic, write_bench_json
 from repro.experiments.sensitivity import run_sensitivity
 
 
-def test_sensitivity_epsilon(benchmark, results_dir):
+def test_sensitivity_epsilon(benchmark, results_dir, bench_json_dir):
     """Coupling strength ε: stronger pulses synchronize in fewer cycles."""
-    result = benchmark.pedantic(
+    result, wall_s = timed_pedantic(
+        benchmark,
         lambda: run_sensitivity(
             "epsilon", (0.02, 0.08, 0.2), n_devices=100, seeds=(1, 2)
         ),
-        rounds=1,
-        iterations=1,
     )
     save_and_print(results_dir, "sensitivity_epsilon", result.render())
     st = {p.value: p for p in result.for_algorithm("st")}
     assert all(p.converged_runs == p.total_runs for p in result.points)
     # stronger coupling never slows the ST trim down materially
     assert st[0.2].time_ms.mean <= st[0.02].time_ms.mean * 1.5
+    write_bench_json(
+        bench_json_dir,
+        "sensitivity_epsilon",
+        wall_s,
+        {
+            "st_time_ms_mean": {
+                str(v): p.time_ms.mean for v, p in sorted(st.items())
+            }
+        },
+    )
 
 
-def test_sensitivity_beacon_preambles(benchmark, results_dir):
+def test_sensitivity_beacon_preambles(benchmark, results_dir, bench_json_dir):
     """Preamble pool: the knob that slides the Fig. 4 crossover."""
-    result = benchmark.pedantic(
+    result, wall_s = timed_pedantic(
+        benchmark,
         lambda: run_sensitivity(
             "beacon_preambles", (2, 8, 32), n_devices=200, seeds=(1, 2)
         ),
-        rounds=1,
-        iterations=1,
     )
     save_and_print(results_dir, "sensitivity_preambles", result.render())
     fst = {p.value: p for p in result.for_algorithm("fst")}
@@ -42,4 +50,17 @@ def test_sensitivity_beacon_preambles(benchmark, results_dir):
         abs(st[32].messages.mean - st[2].messages.mean)
         / st[2].messages.mean
         < 0.25
+    )
+    write_bench_json(
+        bench_json_dir,
+        "sensitivity_preambles",
+        wall_s,
+        {
+            "fst_messages_mean": {
+                str(v): p.messages.mean for v, p in sorted(fst.items())
+            },
+            "st_messages_mean": {
+                str(v): p.messages.mean for v, p in sorted(st.items())
+            },
+        },
     )

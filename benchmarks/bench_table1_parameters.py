@@ -7,11 +7,17 @@ adjacency, shadowing deviation, slot length, density).
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_and_print
+from benchmarks.conftest import benchmark_mean_s, save_and_print, write_bench_json
 from repro.experiments.table1_parameters import run_table1
 
 
-def test_table1_parameters(benchmark, results_dir):
+def test_table1_parameters(benchmark, results_dir, bench_json_dir):
     result = benchmark(run_table1)
     save_and_print(results_dir, "table1_parameters", result.render())
     assert result.all_checks_pass
+    write_bench_json(
+        bench_json_dir,
+        "table1_parameters",
+        benchmark_mean_s(benchmark),
+        {"all_checks_pass": result.all_checks_pass},
+    )

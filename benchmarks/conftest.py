@@ -2,14 +2,19 @@
 
 Every bench regenerates one of the paper's evaluation artifacts and
 writes the rendered rows/series to ``results/<id>.txt`` next to printing
-them.  Set ``REPRO_BENCH_FULL=1`` to run the paper's full 50–1000-device
-grid; the default grid is a faster subset with the same shape.
+them, plus a machine-readable ``BENCH_<id>.json`` (wall time + headline
+metrics) for trend tracking.  ``--bench-json-dir DIR`` redirects the
+JSON artifacts; the text renders always land in ``results/``.  Set
+``REPRO_BENCH_FULL=1`` to run the paper's full 50–1000-device grid; the
+default grid is a faster subset with the same shape.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
 
@@ -21,13 +26,75 @@ SCALING_SIZES = (50, 100, 200, 400, 600, 800, 1000) if FULL else (50, 100, 200, 
 SCALING_SEEDS = (1, 2, 3) if FULL else (1, 2)
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-json-dir",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the machine-readable BENCH_<name>.json "
+            "artifacts (default: the shared results/ directory)"
+        ),
+    )
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def bench_json_dir(request: pytest.FixtureRequest) -> pathlib.Path:
+    raw = request.config.getoption("--bench-json-dir")
+    path = pathlib.Path(raw) if raw else RESULTS_DIR
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
     """Persist a rendered artifact and echo it to stdout."""
     (results_dir / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n[saved to results/{name}.txt]")
+
+
+def timed_pedantic(benchmark, fn):
+    """Single-shot ``benchmark.pedantic`` run returning ``(result, wall_s)``.
+
+    The figure benches regenerate an artifact exactly once; the wall time
+    around the pedantic call is that one regeneration.
+    """
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    return result, time.perf_counter() - t0
+
+
+def benchmark_mean_s(benchmark) -> float | None:
+    """Mean seconds of a statistical ``benchmark(fn)`` run.
+
+    Returns ``None`` under ``--benchmark-disable``, where no stats exist.
+    """
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        return None
+
+
+def write_bench_json(
+    directory: pathlib.Path,
+    name: str,
+    wall_s: float | None,
+    metrics: dict | None = None,
+) -> pathlib.Path:
+    """Write the ``BENCH_<name>.json`` machine-readable artifact."""
+    payload = {
+        "schema": "repro.bench/1",
+        "bench": name,
+        "wall_time_s": None if wall_s is None else round(float(wall_s), 6),
+        "metrics": metrics or {},
+    }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench json saved to {path}]")
+    return path

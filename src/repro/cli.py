@@ -7,6 +7,11 @@ Commands
     ``fig4``, ``table1``, ``complexity``) and print its rendered output.
 ``simulate``
     Run ST and/or FST on one scenario and print the result summary.
+    ``--trace out.jsonl`` / ``--metrics out.json`` additionally write the
+    machine-readable run artifacts (JSONL event trace, metrics snapshot).
+``profile <id>``
+    Run an experiment under the observability layer and print its nested
+    wall-clock span tree plus the headline counters.
 ``list``
     List the available experiment ids.
 """
@@ -78,6 +83,50 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the run results as CSV",
     )
+    sim.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL event trace (ps_tx, merge, beacon_period, ...)",
+    )
+    sim.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry snapshot (+probes, spans) as JSON",
+    )
+
+    prof = sub.add_parser(
+        "profile",
+        help="run an experiment and print its wall-clock span tree",
+    )
+    prof.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    prof.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="device counts for fig3/fig4 (default: 50 100 — a fast grid)",
+    )
+    prof.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="repetition seeds for fig3/fig4 (default: 1)",
+    )
+    prof.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.0,
+        help="hide spans shorter than this many milliseconds",
+    )
+    prof.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="also write the aggregated metrics snapshot as JSON",
+    )
 
     sub.add_parser("list", help="list experiment ids")
 
@@ -109,6 +158,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.obs import Observability, write_jsonl_trace, write_metrics_json
     from repro.scenarios import get_scenario
 
     try:
@@ -128,11 +178,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"topology [{args.scenario}]: {network.n} devices, "
         f"{config.area_side_m:.0f} m side, mean degree {stats['mean']:.1f}"
     )
+    # one shared bundle: the algorithm label keeps the runs apart
+    obs = Observability(keep_trace=args.trace is not None)
     runs = []
     if args.algorithm in ("st", "both"):
-        runs.append(STSimulation(network).run())
+        runs.append(STSimulation(network, obs=obs).run())
     if args.algorithm in ("fst", "both"):
-        runs.append(FSTSimulation(network).run())
+        runs.append(FSTSimulation(network, obs=obs).run())
     for result in runs:
         print(result.summary())
         if args.breakdown:
@@ -144,6 +196,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         rows = runs_to_csv(runs, args.export_csv)
         print(f"wrote {rows} rows to {args.export_csv}")
+    if args.trace:
+        lines = write_jsonl_trace(obs.trace, args.trace)
+        print(f"wrote {lines} trace events to {args.trace}")
+    if args.metrics:
+        write_metrics_json(
+            obs,
+            args.metrics,
+            extra={
+                "command": "simulate",
+                "scenario": args.scenario,
+                "seed": args.seed,
+            },
+        )
+        print(f"wrote metrics snapshot to {args.metrics}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import Observability, activate, write_metrics_json
+
+    obs = Observability()
+    with activate(obs), obs.span(f"experiment:{args.id}"):
+        if args.id in ("fig3", "fig4"):
+            sizes = tuple(args.sizes) if args.sizes else (50, 100)
+            seeds = tuple(args.seeds) if args.seeds else (1,)
+            run_scaling(sizes=sizes, seeds=seeds)
+        else:
+            EXPERIMENTS[args.id]()
+    print(obs.spans.render_tree(min_ms=args.min_ms))
+    messages = obs.metrics.get("messages_total")
+    if messages is not None:
+        print("\nmessages_total by algorithm:")
+        for algo, total in sorted(messages.breakdown("algorithm").items()):
+            print(f"  {algo:<4} {int(total)}")
+    if args.metrics:
+        write_metrics_json(obs, args.metrics, extra={"command": "profile"})
+        print(f"wrote metrics snapshot to {args.metrics}")
     return 0
 
 
@@ -160,6 +249,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "report":

@@ -21,7 +21,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import Observability
 from repro.radio.fading import NoFading
+
+#: Bucket bounds for per-slot beacon occupancy (transmitters per slot).
+SLOT_OCCUPANCY_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0)
 
 
 @dataclass
@@ -103,6 +107,8 @@ class BeaconDiscovery:
         *,
         max_periods: int = 3_000,
         decoded: np.ndarray | None = None,
+        obs: Observability | None = None,
+        obs_labels: dict[str, str] | None = None,
     ) -> BeaconResult:
         """Beacon until every ``required[i, j]`` pair has been decoded.
 
@@ -112,6 +118,14 @@ class BeaconDiscovery:
             Ordered-pair matrix: receiver ``i`` must decode sender ``j``.
         decoded:
             Optional pre-existing decode state to continue from (mutated).
+        obs:
+            Optional observability bundle: bills ``beacon_tx_total``,
+            observes per-slot occupancy, and records a ``neighbor_fill``
+            probe sample per period (how much of the required
+            neighbour-table is decoded).  ``None`` leaves the loop
+            untouched.
+        obs_labels:
+            Labels attached to the metrics this run records.
         """
         n = self.n
         required = np.asarray(required, dtype=bool).copy()
@@ -121,8 +135,25 @@ class BeaconDiscovery:
         if decoded is None:
             decoded = np.zeros((n, n), dtype=bool)
         remaining = int((required & ~decoded).sum())
+        required_total = max(int(required.sum()), 1)
         messages = 0
         use_fading = not isinstance(self.fading, NoFading)
+        labels = obs_labels or {}
+        if obs is not None:
+            tx_counter = obs.metrics.counter(
+                "beacon_tx_total",
+                help="discovery beacon transmissions",
+                unit="messages",
+            )
+            occ_hist = obs.metrics.histogram(
+                "beacon_slot_occupancy",
+                buckets=SLOT_OCCUPANCY_BUCKETS,
+                help="simultaneous beacons per occupied slot/preamble",
+                unit="transmitters",
+            )
+        else:
+            tx_counter = None
+            occ_hist = None
 
         period = 0
         while remaining > 0 and period < max_periods:
@@ -145,11 +176,37 @@ class BeaconDiscovery:
             for cohort, start in zip(cohorts, starts):
                 slot = int(sorted_chan[start]) // self.preambles
                 awake_row = awake[slot] if awake is not None else None
+                if occ_hist is not None:
+                    occ_hist.observe(cohort.size, **labels)
                 self._decode_cohort(
                     cohort, rng, required, decoded, use_fading, awake_row
                 )
             remaining = int((required & ~decoded).sum())
+            if obs is not None:
+                tx_counter.inc(n, **labels)
+                period_end_ms = period * self.period_slots * self.slot_ms
+                obs.probes.record(
+                    period_end_ms,
+                    "neighbor_fill",
+                    fill_ratio=1.0 - remaining / required_total,
+                    missing_pairs=remaining,
+                    periods=period,
+                )
+                if obs.trace is not None:
+                    obs.trace.emit(
+                        period_end_ms,
+                        "beacon_period",
+                        period=period,
+                        missing_pairs=remaining,
+                        **labels,
+                    )
 
+        if obs is not None:
+            obs.metrics.gauge(
+                "beacon_missing_pairs",
+                help="required (receiver, sender) pairs still undecoded",
+                unit="pairs",
+            ).set(remaining, **labels)
         return BeaconResult(
             complete=remaining == 0,
             periods=period,

@@ -26,6 +26,7 @@ from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
 from repro.core.pulsesync import PulseSyncKernel
 from repro.core.results import RunResult
+from repro.obs import Observability, get_active
 from repro.oscillator.prc import LinearPRC
 from repro.spanningtree.mst import tree_weight
 from repro.spanningtree.unionfind import UnionFind
@@ -83,11 +84,19 @@ def stitch_forest(
 
 
 class FSTSimulation:
-    """Run the FST baseline on a prepared :class:`D2DNetwork`."""
+    """Run the FST baseline on a prepared :class:`D2DNetwork`.
 
-    def __init__(self, network: D2DNetwork) -> None:
+    ``obs`` follows the same convention as
+    :class:`~repro.core.st.STSimulation`: explicit bundle, else the
+    ambient :func:`repro.obs.activate` bundle, else a fresh private one.
+    """
+
+    def __init__(
+        self, network: D2DNetwork, obs: Observability | None = None
+    ) -> None:
         self.network = network
         self.config: PaperConfig = network.config
+        self.obs = obs if obs is not None else (get_active() or Observability())
         self.prc = LinearPRC.from_dissipation(
             self.config.dissipation, self.config.epsilon
         )
@@ -95,6 +104,7 @@ class FSTSimulation:
     def run(self) -> RunResult:
         cfg = self.config
         net = self.network
+        obs = self.obs
         kernel = PulseSyncKernel(
             net.link_budget.mean_rx_dbm,
             net.adjacency,
@@ -114,41 +124,56 @@ class FSTSimulation:
         # random subframe) carries identities.  Convergence is when both
         # finish; whichever finishes first keeps transmitting its
         # per-period traffic until the other catches up.
-        sync = kernel.run(
-            net.streams.stream("fst-sync"),
-            max_time_ms=cfg.max_time_ms,
-            require_sync=True,
-        )
-        beacons = BeaconDiscovery(
-            net.link_budget.mean_rx_dbm,
-            threshold_dbm=cfg.threshold_dbm,
-            period_slots=cfg.period_slots,
-            slot_ms=cfg.slot_ms,
-            preambles=cfg.beacon_preambles,
-            fading=net.link_budget.fading,
-        ).run(
-            net.streams.stream("fst-beacons"),
-            required=net.adjacency
-            & net.link_budget.adjacency(cfg.discovery_margin_db),
-            max_periods=max(1, int(cfg.max_time_ms / cfg.period_ms)),
-        )
+        with obs.span("fst_run", n=cfg.n_devices, seed=cfg.seed):
+            with obs.span("mesh_sync"):
+                sync = kernel.run(
+                    net.streams.stream("fst-sync"),
+                    max_time_ms=cfg.max_time_ms,
+                    require_sync=True,
+                    obs=obs,
+                    obs_labels={"algorithm": "fst", "stage": "sync"},
+                )
+            with obs.span("discovery"):
+                beacons = BeaconDiscovery(
+                    net.link_budget.mean_rx_dbm,
+                    threshold_dbm=cfg.threshold_dbm,
+                    period_slots=cfg.period_slots,
+                    slot_ms=cfg.slot_ms,
+                    preambles=cfg.beacon_preambles,
+                    fading=net.link_budget.fading,
+                ).run(
+                    net.streams.stream("fst-beacons"),
+                    required=net.adjacency
+                    & net.link_budget.adjacency(cfg.discovery_margin_db),
+                    max_periods=max(1, int(cfg.max_time_ms / cfg.period_ms)),
+                    obs=obs,
+                    obs_labels={"algorithm": "fst", "stage": "discovery"},
+                )
 
-        time_ms = max(sync.time_ms, beacons.time_ms)
-        converged = sync.converged and beacons.complete
-        # keep-alive pulses while waiting for the slower of the two goals
-        lag_ms = max(0.0, time_ms - sync.time_ms)
-        keepalive = int(cfg.n_devices * (lag_ms / cfg.period_ms))
+            time_ms = max(sync.time_ms, beacons.time_ms)
+            converged = sync.converged and beacons.complete
+            # keep-alive pulses while waiting for the slower of the two goals
+            lag_ms = max(0.0, time_ms - sync.time_ms)
+            keepalive = int(cfg.n_devices * (lag_ms / cfg.period_ms))
 
-        forest = heavy_edge_forest(net.weights, net.adjacency)
-        tree, stitches = stitch_forest(forest, net.weights, net.adjacency)
-        stitch_messages = 2 * stitches  # one RACH2 handshake per stitch
+            with obs.span("stitch"):
+                forest = heavy_edge_forest(net.weights, net.adjacency)
+                tree, stitches = stitch_forest(
+                    forest, net.weights, net.adjacency
+                )
+            stitch_messages = 2 * stitches  # one RACH2 handshake per stitch
 
-        breakdown = {
-            "sync_pulse": sync.messages,
-            "keep_alive": keepalive,
-            "discovery": beacons.messages,
-            "stitch": stitch_messages,
-        }
+            # single accounting path: registry counters and the breakdown
+            # derive from one bill (see Observability.account_messages)
+            breakdown = obs.account_messages(
+                "fst",
+                {
+                    "sync_pulse": (sync.messages, "rach1"),
+                    "keep_alive": (keepalive, "rach1"),
+                    "discovery": (beacons.messages, "rach1"),
+                    "stitch": (stitch_messages, "rach2"),
+                },
+            )
         return RunResult(
             algorithm="fst",
             n_devices=cfg.n_devices,
@@ -158,6 +183,7 @@ class FSTSimulation:
             messages=sum(breakdown.values()),
             message_breakdown=breakdown,
             tree_edges=tree,
+            metrics=obs.metrics.snapshot(),
             extra={
                 "fires": sync.fires,
                 "instants": sync.instants,

@@ -44,13 +44,25 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import Observability
 from repro.oscillator.prc import LinearPRC
-from repro.oscillator.sync_metrics import count_sync_groups, order_parameter
+from repro.oscillator.sync_metrics import (
+    circular_spread,
+    count_sync_groups,
+    order_parameter,
+)
 from repro.radio.fading import NoFading
 from repro.sim.trace import TraceRecorder
 
 #: Fire times closer than this (ms) are simultaneous (one instant).
 TIE_EPS = 1e-9
+
+#: Bucket bounds (ms) for the sync-error histogram; the paper's sync
+#: window is 2 ms and periods are O(100 ms).
+SYNC_ERROR_BUCKETS_MS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+#: Bucket bounds for avalanche wave sizes (simultaneous transmitters).
+WAVE_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 @dataclass(frozen=True)
@@ -160,6 +172,8 @@ class PulseSyncKernel:
         required_decoding: np.ndarray | None = None,
         trace: TraceRecorder | None = None,
         telemetry_interval_ms: float | None = None,
+        obs: Observability | None = None,
+        obs_labels: dict[str, str] | None = None,
     ) -> PulseSyncResult:
         """Run until the convergence conditions hold (or time runs out).
 
@@ -178,6 +192,17 @@ class PulseSyncKernel:
             When set, a :class:`TelemetrySample` (order parameter, group
             count) is recorded about every this-many ms of simulated time
             — the convergence *trajectory*, not just the endpoint.
+        obs:
+            Optional :class:`~repro.obs.Observability` bundle.  When set,
+            the kernel bills ``ps_tx_total``, observes wave sizes and the
+            sync-error spread, and records periodic ``sync`` probe
+            samples (at the bundle's probe interval unless
+            ``telemetry_interval_ms`` overrides it).  When ``trace`` is
+            unset the bundle's trace recorder (if any) is used.  When
+            ``None`` (the default) the hot loop is untouched.
+        obs_labels:
+            Labels attached to every metric the kernel records (e.g.
+            ``{"algorithm": "st", "stage": "trim"}``).
         """
         n = self.n
         if active is None:
@@ -234,9 +259,32 @@ class PulseSyncKernel:
         samples: list[TelemetrySample] = []
         if telemetry_interval_ms is not None and telemetry_interval_ms <= 0:
             raise ValueError("telemetry_interval_ms must be positive")
+        if trace is None and obs is not None:
+            trace = obs.trace
+        labels = obs_labels or {}
+        if obs is not None:
+            ps_counter = obs.metrics.counter(
+                "ps_tx_total",
+                help="sync pulse (PS) transmissions",
+                unit="messages",
+            )
+            wave_hist = obs.metrics.histogram(
+                "wave_size",
+                buckets=WAVE_SIZE_BUCKETS,
+                help="simultaneous transmitters per avalanche wave",
+                unit="transmitters",
+            )
+        else:
+            ps_counter = None
+            wave_hist = None
+        # sample at the probe cadence when observed, even without an
+        # explicit telemetry request
+        sample_interval = telemetry_interval_ms
+        if sample_interval is None and obs is not None:
+            sample_interval = obs.probes.interval_ms
         next_sample = (
-            start_time_ms + telemetry_interval_ms
-            if telemetry_interval_ms is not None
+            start_time_ms + sample_interval
+            if sample_interval is not None
             else float("inf")
         )
 
@@ -247,7 +295,7 @@ class PulseSyncKernel:
                 return self._finish(
                     False, t, messages, fires, instants, next_fire, active,
                     last_fire, fired_once, sync_time, discovery_time, decoded,
-                    samples,
+                    samples, obs, labels,
                 )
             instants += 1
             fired_now = np.zeros(n, dtype=bool)
@@ -259,9 +307,12 @@ class PulseSyncKernel:
                 k = firers.size
                 fires += k
                 messages += k
+                if ps_counter is not None:
+                    ps_counter.inc(k, **labels)
+                    wave_hist.observe(k, **labels)
                 if trace is not None:
                     for f in firers:
-                        trace.emit(t, "ps_tx", node=int(f))
+                        trace.emit(t, "ps_tx", node=int(f), **labels)
                 fired_now |= wave
 
                 # reception: (k, n) powers with fresh fading per pair
@@ -314,17 +365,36 @@ class PulseSyncKernel:
             if t >= next_sample:
                 phases_now = self._phases_at(t, next_fire, active)
                 vals = np.clip(phases_now[active], 0.0, 1.0)
+                r_now = order_parameter(vals)
+                groups_now = count_sync_groups(vals)
                 samples.append(
                     TelemetrySample(
                         time_ms=t,
-                        order_parameter=order_parameter(vals),
-                        sync_groups=count_sync_groups(vals),
+                        order_parameter=r_now,
+                        sync_groups=groups_now,
                         fires_so_far=fires,
                     )
                 )
+                if obs is not None:
+                    spread_ms = circular_spread(vals) * self.period_ms
+                    obs.metrics.histogram(
+                        "sync_error_ms",
+                        buckets=SYNC_ERROR_BUCKETS_MS,
+                        help="phase spread across active devices",
+                        unit="ms",
+                    ).observe(spread_ms, **labels)
+                    obs.probes.record(
+                        t,
+                        "sync",
+                        force=True,
+                        order_parameter=r_now,
+                        sync_groups=groups_now,
+                        spread_ms=spread_ms,
+                        fires=fires,
+                    )
                 # anchor the next sample from now, so consecutive samples
                 # are always at least one interval apart
-                next_sample = t + telemetry_interval_ms  # type: ignore[operator]
+                next_sample = t + sample_interval  # type: ignore[operator]
 
             sync_ok = True
             if require_sync or np.isnan(sync_time):
@@ -342,7 +412,7 @@ class PulseSyncKernel:
                 return self._finish(
                     True, t, messages, fires, instants, next_fire, active,
                     last_fire, fired_once, sync_time, discovery_time, decoded,
-                    samples,
+                    samples, obs, labels,
                 )
 
     # ------------------------------------------------------------------
@@ -412,12 +482,30 @@ class PulseSyncKernel:
         discovery_time: float,
         decoded: np.ndarray | None,
         telemetry: list[TelemetrySample],
+        obs: Observability | None = None,
+        obs_labels: dict[str, str] | None = None,
     ) -> PulseSyncResult:
         if fired_once[active].all():
             spread = float(last_fire[active].max() - last_fire[active].min())
         else:
             spread = float("inf")
         out = self._phases_at(t, next_fire, active)
+        if obs is not None:
+            labels = obs_labels or {}
+            obs.metrics.counter(
+                "kernel_instants_total",
+                help="avalanche instants processed by the sync kernel",
+            ).inc(instants, **labels)
+            if np.isfinite(spread):
+                obs.metrics.histogram(
+                    "sync_error_ms",
+                    buckets=SYNC_ERROR_BUCKETS_MS,
+                    help="phase spread across active devices",
+                    unit="ms",
+                ).observe(spread, **labels)
+                obs.probes.record(
+                    t, "sync", force=True, spread_ms=spread, fires=fires
+                )
         return PulseSyncResult(
             converged=converged,
             time_ms=t,

@@ -26,6 +26,11 @@ class RunResult:
         The spanning tree the run produced (empty if not applicable).
     extra:
         Algorithm-specific diagnostics (phase count, tree weight, ...).
+    metrics:
+        JSON-safe :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of
+        the run's observability registry (counters/gauges/histograms).
+        ``message_breakdown`` is derived from the same registry, so the
+        two views cannot disagree.
     """
 
     algorithm: str
@@ -37,6 +42,7 @@ class RunResult:
     message_breakdown: dict[str, int] = field(default_factory=dict)
     tree_edges: list[tuple[int, int]] = field(default_factory=list)
     extra: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("st", "fst"):

@@ -38,6 +38,7 @@ from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
 from repro.core.pulsesync import PulseSyncKernel
 from repro.core.results import RunResult
+from repro.obs import Observability, get_active
 from repro.oscillator.prc import LinearPRC
 from repro.spanningtree.boruvka import distributed_boruvka
 from repro.spanningtree.fragment import FragmentSet
@@ -70,12 +71,32 @@ def _tree_diameter(start: int, adj: dict[int, list[int]]) -> int:
     return diameter
 
 
-class STSimulation:
-    """Run the proposed ST algorithm on a prepared :class:`D2DNetwork`."""
+#: Bucket bounds for fragment sizes along the Borůvka growth.
+FRAGMENT_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
 
-    def __init__(self, network: D2DNetwork) -> None:
+
+class STSimulation:
+    """Run the proposed ST algorithm on a prepared :class:`D2DNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The prepared topology/channel.
+    obs:
+        Observability bundle to record into.  Defaults to the ambient
+        bundle installed with :func:`repro.obs.activate` (so ``repro
+        profile`` aggregates across runs), else a fresh private bundle —
+        either way the returned :class:`RunResult` carries a metrics
+        snapshot, and ``message_breakdown`` is derived from the registry
+        (single accounting path).
+    """
+
+    def __init__(
+        self, network: D2DNetwork, obs: Observability | None = None
+    ) -> None:
         self.network = network
         self.config: PaperConfig = network.config
+        self.obs = obs if obs is not None else (get_active() or Observability())
         self.prc = LinearPRC.from_dissipation(
             self.config.dissipation, self.config.epsilon
         )
@@ -85,125 +106,179 @@ class STSimulation:
         cfg = self.config
         net = self.network
         n = cfg.n_devices
+        obs = self.obs
 
-        # ---- 1. discovery window ------------------------------------
-        # ST only needs each device to decode its heaviest detectable
-        # neighbour (the Borůvka seed edge); heavy edges are strong, so
-        # they win the capture race quickly even in dense deployments.
-        # A floor of ``discovery_periods`` beacon periods is always paid.
-        disc = BeaconDiscovery(
-            net.link_budget.mean_rx_dbm,
-            threshold_dbm=cfg.threshold_dbm,
-            period_slots=cfg.period_slots,
-            slot_ms=cfg.slot_ms,
-            preambles=cfg.beacon_preambles,
-            fading=net.link_budget.fading,
-        ).run(
-            net.streams.stream("st-beacons"),
-            required=top_k_required(net.weights, net.adjacency, k=1),
-            max_periods=max(1, int(cfg.max_time_ms / cfg.period_ms)),
-        )
-        discovery_periods = max(disc.periods, cfg.discovery_periods)
-        discovery_ms = discovery_periods * cfg.period_ms
-        discovery_msgs = n * discovery_periods
+        with obs.span("st_run", n=n, seed=cfg.seed):
+            # ---- 1. discovery window ------------------------------------
+            # ST only needs each device to decode its heaviest detectable
+            # neighbour (the Borůvka seed edge); heavy edges are strong, so
+            # they win the capture race quickly even in dense deployments.
+            # A floor of ``discovery_periods`` beacon periods is always paid.
+            with obs.span("discovery"):
+                disc = BeaconDiscovery(
+                    net.link_budget.mean_rx_dbm,
+                    threshold_dbm=cfg.threshold_dbm,
+                    period_slots=cfg.period_slots,
+                    slot_ms=cfg.slot_ms,
+                    preambles=cfg.beacon_preambles,
+                    fading=net.link_budget.fading,
+                ).run(
+                    net.streams.stream("st-beacons"),
+                    required=top_k_required(net.weights, net.adjacency, k=1),
+                    max_periods=max(1, int(cfg.max_time_ms / cfg.period_ms)),
+                    obs=obs,
+                    obs_labels={"algorithm": "st", "stage": "discovery"},
+                )
+            discovery_periods = max(disc.periods, cfg.discovery_periods)
+            discovery_ms = discovery_periods * cfg.period_ms
+            discovery_msgs = n * discovery_periods
 
-        # ---- 2. fragment construction with timing replay --------------
-        # (merge rule per config: plain Borůvka or level-based GHS; both
-        # produce per-phase chosen-edge records the replay consumes)
-        if cfg.merge_rule == "ghs":
-            boruvka = distributed_ghs(net.weights, net.adjacency)
-        else:
-            boruvka = distributed_boruvka(net.weights, net.adjacency)
-        frags = FragmentSet(n)
-        adj: dict[int, list[int]] = {}
-        handshake_msgs = 0
-        align_msgs = 0
-        construction_slots = 0
-        max_wave_depth = 0
+            # ---- 2. fragment construction with timing replay ------------
+            # (merge rule per config: plain Borůvka or level-based GHS; both
+            # produce per-phase chosen-edge records the replay consumes)
+            with obs.span("construction", merge_rule=cfg.merge_rule):
+                with obs.span("merge_schedule"):
+                    if cfg.merge_rule == "ghs":
+                        boruvka = distributed_ghs(net.weights, net.adjacency)
+                    else:
+                        boruvka = distributed_boruvka(net.weights, net.adjacency)
+                frags = FragmentSet(n)
+                adj: dict[int, list[int]] = {}
+                handshake_msgs = 0
+                align_msgs = 0
+                construction_slots = 0
+                max_wave_depth = 0
+                frag_gauge = obs.metrics.gauge(
+                    "fragments_active",
+                    help="live fragments after each Borůvka phase",
+                    unit="fragments",
+                )
+                frag_hist = obs.metrics.histogram(
+                    "fragment_size",
+                    buckets=FRAGMENT_SIZE_BUCKETS,
+                    help="fragment sizes observed after each Borůvka phase",
+                    unit="devices",
+                )
 
-        for phase in boruvka.phases:
-            phase_slots = 0
-            for u, v in phase.chosen_edges:
-                size_u, size_v = frags.size_of(u), frags.size_of(v)
-                diam_u = _tree_diameter(u, adj)
-                diam_v = _tree_diameter(v, adj)
-                # control round: convergecast up + announce down the
-                # larger side, then the RACH2 handshake over (u, v)
-                control = 2 * max(diam_u, diam_v) + HANDSHAKE_SLOTS
-                handshake_msgs += 2
-                # the smaller fragment re-phases to the larger one's clock
-                if size_u >= size_v:
-                    loser_size, loser_diam = size_v, diam_v
-                else:
-                    loser_size, loser_diam = size_u, diam_u
-                align_msgs += loser_size
-                max_wave_depth = max(max_wave_depth, loser_diam + 1)
-                phase_slots = max(phase_slots, control + loser_diam + 1)
+                for k, phase in enumerate(boruvka.phases):
+                    with obs.span(
+                        "boruvka_phase", phase=k, merges=len(phase.chosen_edges)
+                    ):
+                        phase_slots = 0
+                        for u, v in phase.chosen_edges:
+                            size_u, size_v = frags.size_of(u), frags.size_of(v)
+                            diam_u = _tree_diameter(u, adj)
+                            diam_v = _tree_diameter(v, adj)
+                            # control round: convergecast up + announce down
+                            # the larger side, then the RACH2 handshake (u, v)
+                            control = 2 * max(diam_u, diam_v) + HANDSHAKE_SLOTS
+                            handshake_msgs += 2
+                            # the smaller fragment re-phases to the larger
+                            # one's clock
+                            if size_u >= size_v:
+                                loser_size, loser_diam = size_v, diam_v
+                            else:
+                                loser_size, loser_diam = size_u, diam_u
+                            align_msgs += loser_size
+                            max_wave_depth = max(max_wave_depth, loser_diam + 1)
+                            phase_slots = max(
+                                phase_slots, control + loser_diam + 1
+                            )
 
-                frags.merge(u, v)
-                adj.setdefault(u, []).append(v)
-                adj.setdefault(v, []).append(u)
-            construction_slots += phase_slots
+                            frags.merge(u, v)
+                            adj.setdefault(u, []).append(v)
+                            adj.setdefault(v, []).append(u)
+                            if obs.trace is not None:
+                                obs.trace.emit(
+                                    discovery_ms
+                                    + (construction_slots + phase_slots)
+                                    * cfg.slot_ms,
+                                    "merge",
+                                    u=u,
+                                    v=v,
+                                    phase=k,
+                                    algorithm="st",
+                                )
+                        construction_slots += phase_slots
 
-        construction_ms = construction_slots * cfg.slot_ms
-        keepalive_msgs = int(n * (construction_ms / cfg.period_ms))
-        # Algorithm 1 line 5: every phase each fragment runs its FFA
-        # ranking/keep-alive rounds on RACH1 (all fragments together cover
-        # all n devices); these ride alongside the control traffic.
-        ffa_msgs = cfg.ffa_rounds_per_phase * n * boruvka.phase_count
+                        sizes = [f.size for f in frags.fragments()]
+                        frag_gauge.set(len(sizes), algorithm="st")
+                        for size in sizes:
+                            frag_hist.observe(size, algorithm="st", phase=k)
+                        obs.probes.record(
+                            discovery_ms + construction_slots * cfg.slot_ms,
+                            "fragments",
+                            force=True,
+                            phase=k,
+                            count=len(sizes),
+                            largest=max(sizes),
+                        )
 
-        # ---- 3. final trim: PCO run over the tree --------------------
-        tree_edges = frags.all_tree_edges()
-        converged_tree = len(frags.fragments()) == 1
-        tree_adj = np.zeros((n, n), dtype=bool)
-        for u, v in tree_edges:
-            tree_adj[u, v] = tree_adj[v, u] = True
+            construction_ms = construction_slots * cfg.slot_ms
+            keepalive_msgs = int(n * (construction_ms / cfg.period_ms))
+            # Algorithm 1 line 5: every phase each fragment runs its FFA
+            # ranking/keep-alive rounds on RACH1 (all fragments together
+            # cover all n devices); these ride alongside the control traffic.
+            ffa_msgs = cfg.ffa_rounds_per_phase * n * boruvka.phase_count
 
-        # Residual spread after alignment: the RACH2 wave carries the
-        # head's clock and every relay compensates the known 1-slot hop
-        # delay, so the residual is bounded by the per-hop timing jitter
-        # (~1 slot) plus the final merge's handshake slot — independent of
-        # tree depth (MEMFIS-style clock adoption).
-        residual_slots = 2
-        window = min(0.5, residual_slots * cfg.slot_ms / cfg.period_ms)
-        phase_rng = net.streams.stream("st-trim-phases")
-        base = float(phase_rng.uniform(0.0, 1.0 - window))
-        initial_phases = base + phase_rng.uniform(0.0, window, size=n)
+            # ---- 3. final trim: PCO run over the tree -------------------
+            with obs.span("trim"):
+                tree_edges = frags.all_tree_edges()
+                converged_tree = len(frags.fragments()) == 1
+                tree_adj = np.zeros((n, n), dtype=bool)
+                for u, v in tree_edges:
+                    tree_adj[u, v] = tree_adj[v, u] = True
 
-        start_ms = discovery_ms + construction_ms
-        kernel = PulseSyncKernel(
-            net.link_budget.mean_rx_dbm,
-            tree_adj,
-            self.prc,
-            period_ms=cfg.period_ms,
-            threshold_dbm=cfg.threshold_dbm,
-            refractory_ms=cfg.refractory_ms,
-            sync_window_ms=cfg.sync_window_ms,
-            fading=net.link_budget.fading,
-            collision_policy=cfg.collision_policy,
-        )
-        trim = kernel.run(
-            net.streams.stream("st-trim"),
-            initial_phases=np.clip(initial_phases, 0.0, 1.0 - 1e-9),
-            start_time_ms=start_ms,
-            max_time_ms=max(cfg.max_time_ms - start_ms, cfg.period_ms),
-        )
+                # Residual spread after alignment: the RACH2 wave carries the
+                # head's clock and every relay compensates the known 1-slot
+                # hop delay, so the residual is bounded by the per-hop timing
+                # jitter (~1 slot) plus the final merge's handshake slot —
+                # independent of tree depth (MEMFIS-style clock adoption).
+                residual_slots = 2
+                window = min(0.5, residual_slots * cfg.slot_ms / cfg.period_ms)
+                phase_rng = net.streams.stream("st-trim-phases")
+                base = float(phase_rng.uniform(0.0, 1.0 - window))
+                initial_phases = base + phase_rng.uniform(0.0, window, size=n)
 
-        time_ms = trim.time_ms
-        converged = converged_tree and trim.converged
+                start_ms = discovery_ms + construction_ms
+                kernel = PulseSyncKernel(
+                    net.link_budget.mean_rx_dbm,
+                    tree_adj,
+                    self.prc,
+                    period_ms=cfg.period_ms,
+                    threshold_dbm=cfg.threshold_dbm,
+                    refractory_ms=cfg.refractory_ms,
+                    sync_window_ms=cfg.sync_window_ms,
+                    fading=net.link_budget.fading,
+                    collision_policy=cfg.collision_policy,
+                )
+                trim = kernel.run(
+                    net.streams.stream("st-trim"),
+                    initial_phases=np.clip(initial_phases, 0.0, 1.0 - 1e-9),
+                    start_time_ms=start_ms,
+                    max_time_ms=max(cfg.max_time_ms - start_ms, cfg.period_ms),
+                    obs=obs,
+                    obs_labels={"algorithm": "st", "stage": "trim"},
+                )
 
-        breakdown = {
-            "discovery": discovery_msgs,
-            "keep_alive": keepalive_msgs,
-            "ffa_rounds": ffa_msgs,
-            "trim_sync": trim.messages,
-            "handshake": handshake_msgs,
-            "alignment": align_msgs,
-        }
-        breakdown.update(
-            {f"boruvka_{k}": v for k, v in boruvka.counter.as_dict().items()}
-        )
-        messages = sum(breakdown.values())
+            time_ms = trim.time_ms
+            converged = converged_tree and trim.converged
+
+            # message accounting: one bill, recorded into the metrics
+            # registry AND returned as the breakdown — a single source of
+            # truth for Fig. 4 totals and observability counters
+            bill: dict[str, tuple[int, str]] = {
+                "discovery": (discovery_msgs, "rach1"),
+                "keep_alive": (keepalive_msgs, "rach1"),
+                "ffa_rounds": (ffa_msgs, "rach1"),
+                "trim_sync": (trim.messages, "rach1"),
+                "handshake": (handshake_msgs, "rach2"),
+                "alignment": (align_msgs, "rach2"),
+            }
+            for kind, count in boruvka.counter.as_dict().items():
+                bill[f"boruvka_{kind}"] = (count, "rach2")
+            breakdown = obs.account_messages("st", bill)
+            messages = sum(breakdown.values())
 
         return RunResult(
             algorithm="st",
@@ -223,4 +298,5 @@ class STSimulation:
                 "final_spread_ms": trim.final_spread_ms,
                 "max_wave_depth": max_wave_depth,
             },
+            metrics=obs.metrics.snapshot(),
         )

@@ -1,0 +1,138 @@
+"""Machine-readable exporters for run artifacts.
+
+Three formats:
+
+* **JSONL trace** — one JSON object per traced event
+  (``{"time": 12.0, "category": "ps_tx", "node": 3}``), streamable and
+  greppable; round-trips through :func:`read_jsonl_trace`.
+* **metrics JSON** — one document with the registry snapshot plus any
+  probe series and span trees (schema ``repro.obs/1``).
+* **Prometheus text** — the classic exposition format, so a scrape of a
+  long-running service reusing this layer needs no translation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+SCHEMA = "repro.obs/1"
+
+
+# ----------------------------------------------------------------------
+# JSONL trace
+# ----------------------------------------------------------------------
+def trace_to_jsonl(
+    recorder: TraceRecorder, extra: dict[str, Any] | None = None
+) -> list[str]:
+    """Render every retained record as one compact JSON line."""
+    lines = []
+    for rec in recorder.records():
+        doc: dict[str, Any] = {"time": rec.time, "category": rec.category}
+        if extra:
+            doc.update(extra)
+        doc.update(rec.data)
+        lines.append(json.dumps(doc, sort_keys=True, default=str))
+    return lines
+
+def write_jsonl_trace(
+    recorder: TraceRecorder,
+    path: str | pathlib.Path,
+    extra: dict[str, Any] | None = None,
+    append: bool = False,
+) -> int:
+    """Write the trace to ``path``; returns the number of lines written."""
+    lines = trace_to_jsonl(recorder, extra)
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a" if append else "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def read_jsonl_trace(path: str | pathlib.Path) -> list[TraceRecord]:
+    """Parse a JSONL trace back into :class:`TraceRecord` objects."""
+    records = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        time = doc.pop("time")
+        category = doc.pop("category")
+        records.append(TraceRecord(time, category, doc))
+    return records
+
+
+# ----------------------------------------------------------------------
+# metrics JSON
+# ----------------------------------------------------------------------
+def metrics_document(
+    source: Any, extra: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Build the metrics JSON document from a registry or an
+    :class:`~repro.obs.Observability` bundle (duck-typed on ``.metrics``)."""
+    doc: dict[str, Any] = {"schema": SCHEMA}
+    if extra:
+        doc.update(extra)
+    if isinstance(source, MetricsRegistry):
+        doc["metrics"] = source.snapshot()
+    else:
+        doc["metrics"] = source.metrics.snapshot()
+        if getattr(source, "probes", None) is not None and len(source.probes):
+            doc["probes"] = source.probes.to_dicts()
+        spans = getattr(source, "spans", None)
+        if spans is not None and spans.roots:
+            doc["spans"] = spans.to_dicts()
+    return doc
+
+
+def write_metrics_json(
+    source: Any,
+    path: str | pathlib.Path,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write the metrics document to ``path`` and return it."""
+    doc = metrics_document(source, extra)
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _fmt_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    out: list[str] = []
+    for metric in registry:
+        name = prefix + metric.name
+        if metric.help:
+            out.append(f"# HELP {name} {metric.help}")
+        out.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for s in metric.samples():
+                out.append(f"{name}{_fmt_labels(s['labels'])} {s['value']:g}")
+        elif isinstance(metric, Histogram):
+            for s in metric.samples():
+                base = dict(s["labels"])
+                for le, count in s["buckets"]:
+                    out.append(
+                        f"{name}_bucket{_fmt_labels({**base, 'le': le})} "
+                        f"{count:g}"
+                    )
+                out.append(f"{name}_sum{_fmt_labels(base)} {s['sum']:g}")
+                out.append(f"{name}_count{_fmt_labels(base)} {s['count']:g}")
+    return "\n".join(out) + ("\n" if out else "")

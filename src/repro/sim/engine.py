@@ -12,13 +12,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim.errors import (
     ScheduleInPastError,
     SimulationLimitExceeded,
     StopSimulation,
 )
+
+if TYPE_CHECKING:  # imported lazily to avoid a sim <-> obs import cycle
+    from repro.obs import Observability
 
 #: Default hard cap on processed events; generous for all paper workloads.
 DEFAULT_EVENT_BUDGET = 50_000_000
@@ -70,6 +73,12 @@ class Engine:
     event_budget:
         Hard cap on the number of callbacks executed by :meth:`run`.
         Exceeding it raises :class:`SimulationLimitExceeded`.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  The engine
+        publishes ``engine_event_budget``, ``engine_events_processed``,
+        ``engine_heap_depth_max`` and ``engine_pending`` gauges when each
+        :meth:`run` returns (and on demand via :meth:`publish_metrics`);
+        the per-event path is untouched either way.
 
     Examples
     --------
@@ -81,7 +90,11 @@ class Engine:
     [5.0]
     """
 
-    def __init__(self, event_budget: int = DEFAULT_EVENT_BUDGET) -> None:
+    def __init__(
+        self,
+        event_budget: int = DEFAULT_EVENT_BUDGET,
+        obs: "Observability | None" = None,
+    ) -> None:
         if event_budget <= 0:
             raise ValueError("event_budget must be positive")
         self._heap: list[_HeapEntry] = []
@@ -90,6 +103,8 @@ class Engine:
         self._events_processed = 0
         self._event_budget = event_budget
         self._running = False
+        self._max_heap_depth = 0
+        self._obs = obs
 
     # ------------------------------------------------------------------
     # introspection
@@ -108,6 +123,27 @@ class Engine:
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def max_heap_depth(self) -> int:
+        """High-water mark of the event heap (including cancelled entries)."""
+        return self._max_heap_depth
+
+    def publish_metrics(self) -> None:
+        """Write engine gauges into the attached observability bundle."""
+        if self._obs is None:
+            return
+        g = self._obs.metrics.gauge
+        g("engine_event_budget", help="hard cap on processed events").set(
+            self._event_budget
+        )
+        g("engine_events_processed", help="callbacks executed so far").set(
+            self._events_processed
+        )
+        g("engine_heap_depth_max", help="event-heap high-water mark").set(
+            self._max_heap_depth
+        )
+        g("engine_pending", help="live events still queued").set(self.pending)
 
     def peek(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
@@ -139,6 +175,8 @@ class Engine:
             raise ScheduleInPastError(when, self._now)
         entry = _HeapEntry(float(when), priority, next(self._seq), callback)
         heapq.heappush(self._heap, entry)
+        if len(self._heap) > self._max_heap_depth:
+            self._max_heap_depth = len(self._heap)
         return EventHandle(entry)
 
     def call_soon(
@@ -187,6 +225,7 @@ class Engine:
                 self._now = float(until)
         finally:
             self._running = False
+            self.publish_metrics()
 
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:

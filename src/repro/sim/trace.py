@@ -38,6 +38,7 @@ class TraceRecorder:
     def __init__(self, keep_records: bool = True) -> None:
         self.keep_records = keep_records
         self._records: list[TraceRecord] = []
+        self._by_category: dict[str, list[TraceRecord]] = {}
         self._counts: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
@@ -45,7 +46,9 @@ class TraceRecorder:
         """Record one event in ``category`` at ``time``."""
         self._counts[category] += 1
         if self.keep_records:
-            self._records.append(TraceRecord(time, category, data))
+            record = TraceRecord(time, category, data)
+            self._records.append(record)
+            self._by_category.setdefault(category, []).append(record)
 
     def count(self, category: str) -> int:
         """Number of events emitted in ``category``."""
@@ -63,7 +66,11 @@ class TraceRecorder:
 
     # ------------------------------------------------------------------
     def records(self, category: str | None = None) -> list[TraceRecord]:
-        """All retained records, optionally filtered by category."""
+        """All retained records, optionally filtered by category.
+
+        Per-category lookup is O(k) in the matching records (an index is
+        maintained at emit time), not a scan of the full record list.
+        """
         if not self.keep_records:
             raise RuntimeError(
                 "record retention is disabled (keep_records=False); "
@@ -71,16 +78,25 @@ class TraceRecorder:
             )
         if category is None:
             return list(self._records)
-        return [r for r in self._records if r.category == category]
+        return list(self._by_category.get(category, ()))
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records())
+        """Iterate retained records.
+
+        In counters-only mode (``keep_records=False``) there are no
+        records to yield, so iteration is empty — ``len()`` still
+        reports the counter total.
+        """
+        if not self.keep_records:
+            return iter(())
+        return iter(self._records)
 
     def __len__(self) -> int:
         return sum(self._counts.values())
 
     def clear(self) -> None:
         self._records.clear()
+        self._by_category.clear()
         self._counts.clear()
 
     def __repr__(self) -> str:

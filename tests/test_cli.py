@@ -32,6 +32,86 @@ class TestSimulate:
         assert "handshake" in out and "discovery" in out
 
 
+class TestSimulateArtifacts:
+    def test_trace_and_metrics_files(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "run.json"
+        assert main(
+            [
+                "simulate", "-n", "20", "--area", "50", "--seed", "2",
+                "--trace", str(trace), "--metrics", str(metrics),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out and "metrics snapshot" in out
+
+        lines = trace.read_text().splitlines()
+        assert lines
+        docs = [json.loads(line) for line in lines]
+        assert all("time" in d and "category" in d for d in docs)
+
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "repro.obs/1"
+        assert doc["command"] == "simulate"
+        assert "messages_total" in doc["metrics"]
+
+    def test_metrics_totals_match_summary(self, capsys, tmp_path):
+        """The exported counters equal the printed RunResult totals."""
+        import json
+        import re
+
+        metrics = tmp_path / "run.json"
+        assert main(
+            [
+                "simulate", "-n", "20", "--area", "50", "--seed", "2",
+                "--metrics", str(metrics),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        printed = {
+            m.group(1).lower(): int(m.group(2))
+            for m in re.finditer(r"(ST|FST) n=\d+ .*?with (\d+) messages", out)
+        }
+        doc = json.loads(metrics.read_text())
+        samples = doc["metrics"]["messages_total"]["samples"]
+        for algo, total in printed.items():
+            exported = sum(
+                s["value"]
+                for s in samples
+                if s["labels"]["algorithm"] == algo
+            )
+            assert exported == total
+
+
+class TestProfile:
+    def test_profile_prints_span_tree(self, capsys):
+        assert main(
+            ["profile", "fig3", "--sizes", "20", "--seeds", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "experiment:fig3" in out
+        assert "st_run" in out and "fst_run" in out
+        assert "├─" in out or "└─" in out
+        assert "ms" in out
+        assert "messages_total by algorithm" in out
+
+    def test_profile_metrics_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "profile.json"
+        assert main(
+            [
+                "profile", "fig3", "--sizes", "20", "--seeds", "1",
+                "--metrics", str(path),
+            ]
+        ) == 0
+        doc = json.loads(path.read_text())
+        assert doc["command"] == "profile"
+        assert doc["spans"][0]["name"] == "experiment:fig3"
+
+
 class TestExperiment:
     def test_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0

@@ -1,0 +1,120 @@
+"""Tests for the JSONL / JSON / Prometheus exporters."""
+
+import json
+
+from repro.obs import Observability
+from repro.obs.exporters import (
+    SCHEMA,
+    metrics_document,
+    read_jsonl_trace,
+    render_prometheus,
+    trace_to_jsonl,
+    write_jsonl_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class TestJsonlTrace:
+    def test_lines_are_valid_json(self):
+        tr = TraceRecorder()
+        tr.emit(1.0, "ps_tx", node=3)
+        tr.emit(2.0, "merge", u=1, v=2)
+        lines = trace_to_jsonl(tr)
+        docs = [json.loads(line) for line in lines]
+        assert docs[0] == {"time": 1.0, "category": "ps_tx", "node": 3}
+        assert docs[1]["u"] == 1 and docs[1]["v"] == 2
+
+    def test_extra_fields_merged(self):
+        tr = TraceRecorder()
+        tr.emit(1.0, "ps_tx")
+        (line,) = trace_to_jsonl(tr, extra={"seed": 7})
+        assert json.loads(line)["seed"] == 7
+
+    def test_write_and_read_round_trip(self, tmp_path):
+        tr = TraceRecorder()
+        tr.emit(1.0, "ps_tx", node=3)
+        tr.emit(4.5, "beacon_period", period=2, missing_pairs=10)
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl_trace(tr, path) == 2
+        back = read_jsonl_trace(path)
+        assert [(r.time, r.category) for r in back] == [
+            (1.0, "ps_tx"),
+            (4.5, "beacon_period"),
+        ]
+        assert back[0]["node"] == 3
+        assert back[1]["missing_pairs"] == 10
+
+    def test_append_mode(self, tmp_path):
+        tr = TraceRecorder()
+        tr.emit(1.0, "x")
+        path = tmp_path / "trace.jsonl"
+        write_jsonl_trace(tr, path)
+        write_jsonl_trace(tr, path, append=True)
+        assert len(read_jsonl_trace(path)) == 2
+
+
+class TestMetricsDocument:
+    def test_from_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs").inc(3, kind="x")
+        doc = metrics_document(reg, extra={"command": "simulate"})
+        assert doc["schema"] == SCHEMA
+        assert doc["command"] == "simulate"
+        assert doc["metrics"]["msgs"]["samples"][0]["value"] == 3
+
+    def test_from_bundle_includes_probes_and_spans(self):
+        obs = Observability()
+        obs.metrics.counter("msgs").inc(1)
+        obs.probes.record(0.0, "sync", spread_ms=2.0)
+        with obs.span("run"):
+            pass
+        doc = metrics_document(obs)
+        assert doc["probes"][0]["probe"] == "sync"
+        assert doc["spans"][0]["name"] == "run"
+
+    def test_write_metrics_json_file_valid(self, tmp_path):
+        obs = Observability()
+        obs.metrics.gauge("fill").set(0.5, algorithm="st")
+        path = tmp_path / "m.json"
+        doc = write_metrics_json(obs, path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+        assert on_disk["schema"] == SCHEMA
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("messages_total", help="msg bill").inc(
+            5, algorithm="st", kind="discovery"
+        )
+        reg.gauge("fill").set(0.25)
+        text = render_prometheus(reg)
+        assert "# HELP repro_messages_total msg bill" in text
+        assert "# TYPE repro_messages_total counter" in text
+        assert (
+            'repro_messages_total{algorithm="st",kind="discovery"} 5' in text
+        )
+        assert "repro_fill 0.25" in text
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = render_prometheus(reg)
+        assert 'repro_sizes_bucket{le="1.0"} 1' in text
+        assert 'repro_sizes_bucket{le="10.0"} 2' in text
+        assert 'repro_sizes_bucket{le="+inf"} 2' in text
+        assert "repro_sizes_sum 5.5" in text
+        assert "repro_sizes_count 2" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_custom_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        assert "d2d_c 1" in render_prometheus(reg, prefix="d2d_")

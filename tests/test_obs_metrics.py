@@ -1,0 +1,168 @@
+"""Tests for the run-scoped metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("msgs")
+        c.inc(3, algorithm="st")
+        c.inc(2, algorithm="st")
+        c.inc(5, algorithm="fst")
+        assert c.value(algorithm="st") == 5
+        assert c.value(algorithm="fst") == 5
+        assert c.value(algorithm="other") == 0
+
+    def test_negative_increment_raises(self):
+        c = Counter("msgs")
+        with pytest.raises(ValueError, match="monotonic"):
+            c.inc(-1)
+
+    def test_label_order_is_canonical(self):
+        c = Counter("msgs")
+        c.inc(1, a="x", b="y")
+        c.inc(1, b="y", a="x")
+        assert c.value(a="x", b="y") == 2
+
+    def test_label_values_stringified(self):
+        c = Counter("msgs")
+        c.inc(1, phase=3)
+        assert c.value(phase="3") == 1
+        assert c.value(phase=3) == 1
+
+    def test_total_matches_subset(self):
+        c = Counter("msgs")
+        c.inc(10, algorithm="st", kind="discovery")
+        c.inc(4, algorithm="st", kind="handshake")
+        c.inc(7, algorithm="fst", kind="sync_pulse")
+        assert c.total() == 21
+        assert c.total(algorithm="st") == 14
+        assert c.total(kind="handshake") == 4
+
+    def test_breakdown_by_label(self):
+        c = Counter("msgs")
+        c.inc(10, algorithm="st", kind="discovery")
+        c.inc(4, algorithm="st", kind="handshake")
+        c.inc(7, algorithm="fst", kind="discovery")
+        assert c.breakdown("kind", algorithm="st") == {
+            "discovery": 10,
+            "handshake": 4,
+        }
+        assert c.breakdown("algorithm") == {"st": 14, "fst": 7}
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        g = Gauge("pending")
+        g.set(5)
+        g.add(-2)
+        assert g.value() == 3
+
+    def test_set_max_keeps_high_water_mark(self):
+        g = Gauge("depth")
+        g.set_max(3)
+        g.set_max(10)
+        g.set_max(7)
+        assert g.value() == 10
+
+    def test_labelled_samples_independent(self):
+        g = Gauge("fill")
+        g.set(0.5, algorithm="st")
+        g.set(0.9, algorithm="fst")
+        assert g.value(algorithm="st") == 0.5
+        assert g.value(algorithm="fst") == 0.9
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        h = Histogram("sizes", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 3, 7, 100):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum_() == pytest.approx(110.5)
+
+    def test_bucket_counts_are_cumulative(self):
+        h = Histogram("sizes", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 3, 7, 100):
+            h.observe(v)
+        counts = dict(h.bucket_counts())
+        assert counts["1.0"] == 1
+        assert counts["5.0"] == 2
+        assert counts["10.0"] == 3
+        assert counts["+inf"] == 4
+
+    def test_boundary_value_falls_in_le_bucket(self):
+        h = Histogram("sizes", buckets=(5.0, 10.0))
+        h.observe(5.0)
+        counts = dict(h.bucket_counts())
+        assert counts["5.0"] == 1
+
+    def test_invalid_buckets_raise(self):
+        with pytest.raises(ValueError, match="ascend"):
+            Histogram("h", buckets=(5.0, 5.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+    def test_default_buckets(self):
+        h = Histogram("h")
+        assert h.buckets == DEFAULT_BUCKETS
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("messages_total")
+        b = reg.counter("messages_total")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("messages_total")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("messages_total")
+
+    def test_invalid_name_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("bad name!")
+
+    def test_names_sorted_and_iter(self):
+        reg = MetricsRegistry()
+        reg.gauge("zeta")
+        reg.counter("alpha")
+        assert reg.names() == ["alpha", "zeta"]
+        assert [m.name for m in reg] == ["alpha", "zeta"]
+        assert len(reg) == 2
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("msgs", help="h", unit="messages").inc(2, kind="x")
+        reg.gauge("fill").set(0.5)
+        reg.histogram("sizes", buckets=(1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["msgs"]["type"] == "counter"
+        assert snap["msgs"]["samples"] == [
+            {"labels": {"kind": "x"}, "value": 2}
+        ]
+        assert snap["sizes"]["samples"][0]["count"] == 1
+
+    def test_reset_keeps_definitions(self):
+        reg = MetricsRegistry()
+        c = reg.counter("msgs")
+        c.inc(5)
+        reg.reset()
+        assert reg.get("msgs") is c
+        assert c.value() == 0

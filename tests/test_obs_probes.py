@@ -1,0 +1,93 @@
+"""Tests for the periodic protocol probes."""
+
+import pytest
+
+from repro.obs.probes import ProbeSet
+
+
+class TestRecord:
+    def test_record_and_series(self):
+        ps = ProbeSet(interval_ms=100.0)
+        assert ps.record(0.0, "sync", spread_ms=5.0)
+        assert ps.record(150.0, "sync", spread_ms=2.0)
+        assert ps.series("sync", "spread_ms") == [(0.0, 5.0), (150.0, 2.0)]
+
+    def test_interval_throttles(self):
+        ps = ProbeSet(interval_ms=100.0)
+        assert ps.record(0.0, "sync", v=1)
+        assert not ps.record(50.0, "sync", v=2)  # not yet due
+        assert ps.record(100.0, "sync", v=3)
+        assert [t for t, _ in ps.series("sync", "v")] == [0.0, 100.0]
+
+    def test_force_bypasses_interval(self):
+        ps = ProbeSet(interval_ms=100.0)
+        ps.record(0.0, "sync", v=1)
+        assert ps.record(1.0, "sync", force=True, v=2)
+        assert len(ps) == 2
+
+    def test_probes_throttle_independently(self):
+        ps = ProbeSet(interval_ms=100.0)
+        ps.record(0.0, "sync", v=1)
+        assert ps.record(10.0, "fragments", count=4)
+        assert ps.probes() == ["fragments", "sync"]
+
+    def test_per_probe_interval_override(self):
+        ps = ProbeSet(interval_ms=100.0)
+        ps.register("fast", interval_ms=10.0)
+        ps.record(0.0, "fast", v=1)
+        assert ps.record(10.0, "fast", v=2)
+        assert not ps.record(15.0, "fast", v=3)
+
+    def test_values_coerced_to_float(self):
+        ps = ProbeSet()
+        ps.record(0.0, "sync", fires=7)
+        sample = ps.samples[0]
+        assert sample["fires"] == 7.0
+        assert isinstance(sample.values["fires"], float)
+
+
+class TestPullProbes:
+    def test_maybe_sample_invokes_due_probes(self):
+        ps = ProbeSet(interval_ms=100.0)
+        calls = []
+
+        def read():
+            calls.append(1)
+            return {"depth": float(len(calls))}
+
+        ps.register("heap", read)
+        assert ps.maybe_sample(0.0) == 1
+        assert ps.maybe_sample(50.0) == 0  # not due, fn not called
+        assert ps.maybe_sample(100.0) == 1
+        assert len(calls) == 2
+        assert ps.series("heap", "depth") == [(0.0, 1.0), (100.0, 2.0)]
+
+
+class TestValidationAndExport:
+    def test_bad_interval_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProbeSet(interval_ms=0)
+        ps = ProbeSet()
+        with pytest.raises(ValueError, match="positive"):
+            ps.register("x", interval_ms=-1)
+
+    def test_to_dicts_flat_and_json_safe(self):
+        import json
+
+        ps = ProbeSet()
+        ps.record(5.0, "sync", spread_ms=1.5, fires=3)
+        (doc,) = ps.to_dicts()
+        assert doc == {
+            "time_ms": 5.0,
+            "probe": "sync",
+            "spread_ms": 1.5,
+            "fires": 3.0,
+        }
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_clear_resets_schedule(self):
+        ps = ProbeSet(interval_ms=100.0)
+        ps.record(0.0, "sync", v=1)
+        ps.clear()
+        assert len(ps) == 0
+        assert ps.record(0.0, "sync", v=2)  # due again after clear

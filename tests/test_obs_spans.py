@@ -1,0 +1,136 @@
+"""Tests for hierarchical wall-clock spans."""
+
+import pytest
+
+from repro.obs.spans import Span, SpanRecorder, _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_tree(self):
+        rec = SpanRecorder()
+        with rec.span("root"):
+            with rec.span("child_a"):
+                with rec.span("grandchild"):
+                    pass
+            with rec.span("child_b"):
+                pass
+        assert len(rec.roots) == 1
+        root = rec.roots[0]
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert root.children[0].children[0].name == "grandchild"
+        assert rec.depth == 0
+
+    def test_sequential_roots(self):
+        rec = SpanRecorder()
+        with rec.span("first"):
+            pass
+        with rec.span("second"):
+            pass
+        assert [r.name for r in rec.roots] == ["first", "second"]
+
+    def test_durations_recorded_and_contain_children(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        outer, inner = rec.roots[0], rec.roots[0].children[0]
+        assert outer.duration_s is not None and inner.duration_s is not None
+        assert outer.duration_s >= inner.duration_s
+        assert outer.self_time_s() == pytest.approx(
+            outer.duration_s - inner.duration_s
+        )
+
+    def test_attrs_kept(self):
+        rec = SpanRecorder()
+        with rec.span("phase", phase=3, merges=7):
+            pass
+        assert rec.roots[0].attrs == {"phase": 3, "merges": 7}
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_and_marks_failed(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("doomed"):
+                raise RuntimeError("boom")
+        span = rec.roots[0]
+        assert span.failed
+        assert span.duration_s is not None
+        assert rec.depth == 0
+
+    def test_exception_through_nested_spans(self):
+        rec = SpanRecorder()
+        with pytest.raises(ValueError):
+            with rec.span("outer"):
+                with rec.span("inner"):
+                    raise ValueError
+        outer = rec.roots[0]
+        assert outer.failed and outer.children[0].failed
+        # recorder stays usable afterwards
+        with rec.span("next"):
+            pass
+        assert [r.name for r in rec.roots] == ["outer", "next"]
+
+
+class TestDisabledRecorder:
+    def test_disabled_returns_shared_null_span(self):
+        rec = SpanRecorder(enabled=False)
+        cm = rec.span("anything", n=4)
+        assert cm is _NULL_SPAN
+        assert cm is rec.span("other")
+        with cm:
+            pass
+        assert rec.roots == []
+        assert rec.depth == 0
+
+
+class TestRendering:
+    def test_render_tree_shape(self):
+        rec = SpanRecorder()
+        with rec.span("st_run", n=50):
+            with rec.span("discovery"):
+                pass
+            with rec.span("trim"):
+                pass
+        text = rec.render_tree()
+        assert "st_run [n=50]" in text
+        assert "├─ discovery" in text
+        assert "└─ trim" in text
+        assert "ms" in text
+
+    def test_render_empty(self):
+        assert SpanRecorder().render_tree() == "(no spans recorded)"
+
+    def test_min_ms_prunes_children(self):
+        rec = SpanRecorder()
+        with rec.span("root"):
+            with rec.span("tiny"):
+                pass
+        text = rec.render_tree(min_ms=10_000.0)
+        assert "tiny" not in text
+        assert "root" in text
+
+    def test_to_dict_round_trip_shape(self):
+        rec = SpanRecorder()
+        with rec.span("root", n=2):
+            with rec.span("child"):
+                pass
+        (doc,) = rec.to_dicts()
+        assert doc["name"] == "root"
+        assert doc["attrs"] == {"n": 2}
+        assert doc["children"][0]["name"] == "child"
+        assert "failed" not in doc
+
+    def test_clear(self):
+        rec = SpanRecorder()
+        with rec.span("x"):
+            pass
+        rec.clear()
+        assert rec.roots == [] and rec.depth == 0
+
+
+class TestSpanDataclass:
+    def test_duration_ms_of_open_span_is_zero(self):
+        s = Span(name="open")
+        assert s.duration_ms == 0.0
+        assert s.self_time_s() == 0.0

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.protocol",
+    "repro.obs",
 ]
 
 

@@ -52,6 +52,28 @@ class TestTraceRecorder:
         with pytest.raises(RuntimeError, match="retention is disabled"):
             tr.records()
 
+    def test_counter_only_iteration_yields_nothing(self):
+        tr = TraceRecorder(keep_records=False)
+        tr.emit(0.0, "tx")
+        assert list(tr) == []
+        assert len(tr) == 1  # counts still tracked
+
+    def test_category_index_matches_linear_filter(self):
+        tr = TraceRecorder()
+        for i in range(30):
+            tr.emit(float(i), ("tx", "rx", "merge")[i % 3], i=i)
+        for cat in ("tx", "rx", "merge"):
+            assert tr.records(cat) == [r for r in tr if r.category == cat]
+        assert tr.records("absent") == []
+
+    def test_category_index_cleared(self):
+        tr = TraceRecorder()
+        tr.emit(0.0, "tx")
+        tr.clear()
+        assert tr.records("tx") == []
+        tr.emit(1.0, "tx")
+        assert len(tr.records("tx")) == 1
+
     def test_clear_resets_everything(self):
         tr = TraceRecorder()
         tr.emit(0.0, "tx")
