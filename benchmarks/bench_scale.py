@@ -1,0 +1,88 @@
+"""Scale benchmark: the sparse backend's whole point, measured.
+
+Runs the ST pipeline end-to-end on the sparse backend at growing device
+counts under *constant density* (the area grows with n, so E = O(n)),
+recording wall time and the tracemalloc peak — the sparse path must stay
+O(E), never allocating an (n, n) array.  At the smallest size (and the
+largest under ``REPRO_BENCH_FULL=1``) the dense backend runs the same
+seed for a measured speedup.
+
+Artifact: ``BENCH_scale.json`` — consumed by
+``scripts/check_bench_regression.py`` against the committed baseline in
+``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from benchmarks.conftest import FULL, save_and_print, write_bench_json
+from repro.core.config import PaperConfig
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation
+
+SCALE_SIZES = (500, 2000, 5000) if FULL else (300, 800)
+#: Sizes where the dense backend also runs (for the speedup ratio).
+COMPARE_SIZES = (500, 5000) if FULL else (300,)
+SEED = 1
+
+
+def _run_once(n: int, backend: str) -> dict:
+    config = (
+        PaperConfig(seed=SEED)
+        .with_devices(n, keep_density=True)
+        .replace(backend=backend)
+    )
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    network = D2DNetwork(config)
+    result = STSimulation(network).run()
+    wall_s = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "n": n,
+        "backend": backend,
+        "wall_s": round(wall_s, 4),
+        "peak_mb": round(peak / 2**20, 2),
+        "messages": result.messages,
+        "converged": result.converged,
+        "densified": network.densified,
+    }
+
+
+def test_bench_scale_sparse_st(results_dir, bench_json_dir):
+    rows = []
+    speedups = {}
+    for n in SCALE_SIZES:
+        sparse = _run_once(n, "sparse")
+        assert sparse["converged"], f"sparse ST did not converge at n={n}"
+        assert not sparse["densified"], f"sparse path densified at n={n}"
+        rows.append(sparse)
+        if n in COMPARE_SIZES:
+            dense = _run_once(n, "dense")
+            assert dense["messages"] == sparse["messages"], (
+                f"dense/sparse message parity broke at n={n}"
+            )
+            rows.append(dense)
+            speedups[str(n)] = round(dense["wall_s"] / sparse["wall_s"], 2)
+
+    lines = ["scale: sparse ST end-to-end (constant density)"]
+    lines.append(f"{'n':>6} {'backend':>8} {'wall_s':>9} {'peak_mb':>9} {'messages':>10}")
+    for r in rows:
+        lines.append(
+            f"{r['n']:>6} {r['backend']:>8} {r['wall_s']:>9.3f} "
+            f"{r['peak_mb']:>9.2f} {r['messages']:>10}"
+        )
+    for n, s in speedups.items():
+        lines.append(f"speedup dense/sparse at n={n}: {s:.2f}x")
+    save_and_print(results_dir, "scale", "\n".join(lines))
+
+    total_wall = sum(r["wall_s"] for r in rows if r["backend"] == "sparse")
+    write_bench_json(
+        bench_json_dir,
+        "scale",
+        total_wall,
+        {"rows": rows, "speedup": speedups, "full_grid": FULL},
+    )

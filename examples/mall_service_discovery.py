@@ -44,12 +44,12 @@ def main() -> None:
     for round_idx in range(5):
         now = 100.0 * (round_idx + 1)
         for tx in range(network.n):
-            for rx_signal in network.link_budget.broadcast(tx, fade_rng):
-                rx = rx_signal.receiver
-                est = network.ranging.estimate(rx_signal.power_dbm)
-                tables[rx].observe(
+            power, detected = network.link_budget.broadcast_power(tx, fade_rng)
+            for rx in np.nonzero(detected)[0]:
+                est = network.ranging.estimate(float(power[rx]))
+                tables[int(rx)].observe(
                     tx,
-                    rx_signal.power_dbm,
+                    float(power[rx]),
                     now,
                     service=int(interests[tx]),
                     estimated_distance_m=float(est),

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Fail when a benchmark artifact regresses against its committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --current results/BENCH_scale.json \
+        --baseline benchmarks/baselines/BENCH_scale.json \
+        [--tolerance 0.20]
+
+Compares the overall ``wall_time_s`` and, when both artifacts carry
+per-row timings (``metrics.rows[*].wall_s``), each (n, backend) row that
+exists in both.  A measurement is a regression when it exceeds the
+baseline by more than ``tolerance`` (a fraction: 0.20 = +20%).
+
+Exit codes: 0 OK, 1 regression, 2 usage/artifact error.
+
+Wall times are machine-dependent; the committed baseline is from the CI
+runner class.  Use a generous ``--tolerance`` anywhere else, or refresh
+the baseline (copy the new artifact over the old one) when a deliberate
+performance change lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(path: str) -> dict:
+    p = pathlib.Path(path)
+    if not p.is_file():
+        raise FileNotFoundError(f"no artifact at {path}")
+    data = json.loads(p.read_text())
+    if data.get("schema") != "repro.bench/1":
+        raise ValueError(f"{path}: unexpected schema {data.get('schema')!r}")
+    return data
+
+
+def _rows_by_key(data: dict) -> dict[tuple[int, str], float]:
+    rows = data.get("metrics", {}).get("rows", [])
+    return {
+        (int(r["n"]), str(r["backend"])): float(r["wall_s"])
+        for r in rows
+        if "n" in r and "backend" in r and "wall_s" in r
+    }
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return a list of regression descriptions (empty = pass)."""
+    failures: list[str] = []
+
+    def check(label: str, cur: float, base: float) -> None:
+        if base <= 0:
+            return
+        ratio = cur / base
+        verdict = "REGRESSION" if ratio > 1.0 + tolerance else "ok"
+        print(
+            f"{label}: current={cur:.3f}s baseline={base:.3f}s "
+            f"({ratio - 1.0:+.1%} vs baseline) {verdict}"
+        )
+        if verdict == "REGRESSION":
+            failures.append(f"{label}: {cur:.3f}s vs {base:.3f}s (+{ratio - 1:.1%})")
+
+    cur_wall = current.get("wall_time_s")
+    base_wall = baseline.get("wall_time_s")
+    if cur_wall is not None and base_wall is not None:
+        check("wall_time_s", float(cur_wall), float(base_wall))
+
+    cur_rows = _rows_by_key(current)
+    for key, base_s in sorted(_rows_by_key(baseline).items()):
+        if key in cur_rows:
+            check(f"n={key[0]} backend={key[1]}", cur_rows[key], base_s)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, help="fresh BENCH_*.json")
+    parser.add_argument("--baseline", required=True, help="committed baseline")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown before failing (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        print("tolerance must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        current = _load(args.current)
+        baseline = _load(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    failures = compare(current, baseline, args.tolerance)
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond +{args.tolerance:.0%}:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,9 @@ setup implies.
 
 Repetitions can optionally fan out over processes (``workers > 1``) via
 ``multiprocessing``; each worker re-derives its RNG universe from the
-(seed, size) pair so results are identical to the serial path.
+(seed, size) pair, jobs stream through ``imap_unordered`` in small
+chunks, and results are reassembled by job index — so the output is
+identical to the serial path no matter the completion order.
 """
 
 from __future__ import annotations
@@ -80,6 +82,14 @@ def _run_pair(args: tuple[PaperConfig, int, int, bool]) -> list[RunResult]:
     return [STSimulation(network).run(), FSTSimulation(network).run()]
 
 
+def _run_pair_indexed(
+    args: tuple[int, tuple[PaperConfig, int, int, bool]],
+) -> tuple[int, list[RunResult]]:
+    """Top-level (picklable) wrapper tagging each job with its index."""
+    idx, job = args
+    return idx, _run_pair(job)
+
+
 def run_sweep(
     sizes: Iterable[int],
     seeds: Iterable[int],
@@ -111,8 +121,16 @@ def run_sweep(
 
     jobs = [(base, n, seed, keep_density) for n in sizes for seed in seeds]
     if workers > 1:
+        # imap_unordered streams jobs as workers free up (no head-of-line
+        # blocking behind the largest n); indices restore deterministic
+        # order so output is byte-identical to the serial path
+        nested: list[list[RunResult] | None] = [None] * len(jobs)
+        chunksize = max(1, len(jobs) // (4 * workers))
         with multiprocessing.Pool(workers) as pool:
-            nested = pool.map(_run_pair, jobs)
+            for idx, pair in pool.imap_unordered(
+                _run_pair_indexed, list(enumerate(jobs)), chunksize=chunksize
+            ):
+                nested[idx] = pair
     else:
         nested = [_run_pair(job) for job in jobs]
     runs = [r for pair in nested for r in pair]

@@ -75,6 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="both",
     )
     sim.add_argument(
+        "--backend",
+        choices=("auto", "dense", "sparse"),
+        default=None,
+        help="execution backend (auto switches to sparse at "
+        "config.sparse_threshold_devices)",
+    )
+    sim.add_argument(
         "--breakdown", action="store_true", help="print per-kind message bill"
     )
     sim.add_argument(
@@ -171,6 +178,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         overrides["n_devices"] = args.devices
     if args.area is not None:
         overrides["area_side_m"] = args.area
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     config = config.replace(**overrides)
     network = D2DNetwork(config)
     stats = network.degree_stats()

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.obs import Observability
 from repro.radio.fading import NoFading
+from repro.radio.sparse_link import SparseLinkBudget, gather_rows
 
 #: Bucket bounds for per-slot beacon occupancy (transmitters per slot).
 SLOT_OCCUPANCY_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0)
@@ -98,6 +99,8 @@ class BeaconDiscovery:
         self.preambles = int(preambles)
         self.listen_duty = float(listen_duty)
         self.fading = fading if fading is not None else NoFading()
+        self._hashed_fading = hasattr(self.fading, "link_db")
+        self._node_ids = np.arange(self.n, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def run(
@@ -156,6 +159,7 @@ class BeaconDiscovery:
             occ_hist = None
 
         period = 0
+        event = 0  # radio event counter: one per slot-cohort
         while remaining > 0 and period < max_periods:
             period += 1
             # each device picks a random (slot, preamble); only same-slot
@@ -179,8 +183,10 @@ class BeaconDiscovery:
                 if occ_hist is not None:
                     occ_hist.observe(cohort.size, **labels)
                 self._decode_cohort(
-                    cohort, rng, required, decoded, use_fading, awake_row
+                    cohort, rng, required, decoded, use_fading, awake_row,
+                    event,
                 )
+                event += 1
             remaining = int((required & ~decoded).sum())
             if obs is not None:
                 tx_counter.inc(n, **labels)
@@ -225,6 +231,7 @@ class BeaconDiscovery:
         decoded: np.ndarray,
         use_fading: bool,
         awake: np.ndarray | None = None,
+        event: int = 0,
     ) -> None:
         """One slot: cohort members transmit simultaneously; decode."""
         n = self.n
@@ -233,7 +240,11 @@ class BeaconDiscovery:
             # fast path: an uncontested beacon decodes wherever detected
             tx = int(cohort[0])
             power_row = self.mean_rx[tx]
-            if use_fading:
+            if self._hashed_fading:
+                power_row = power_row + self.fading.link_db(
+                    event, np.int64(tx), self._node_ids
+                )
+            elif use_fading:
                 power_row = power_row + self.fading.sample_db(n)
             det_row = power_row >= self.threshold_dbm
             det_row[tx] = False
@@ -242,7 +253,11 @@ class BeaconDiscovery:
             decoded[det_row, tx] = True
             return
         power = self.mean_rx[cohort]
-        if use_fading:
+        if self._hashed_fading:
+            power = power + self.fading.link_db(
+                event, cohort[:, None], self._node_ids[None, :]
+            )
+        elif use_fading:
             power = power + self.fading.sample_db((k, n))
         det = power >= self.threshold_dbm
         counts = det.sum(axis=0)
@@ -269,6 +284,251 @@ class BeaconDiscovery:
         if rx_idx.size:
             tx_idx = cohort[strongest_row[rx_idx]]
             decoded[rx_idx, tx_idx] = True
+
+
+class SparseBeaconDiscovery:
+    """Random-slot beaconing over a CSR radio graph — O(E) per period.
+
+    The sparse counterpart of :class:`BeaconDiscovery`: ``required`` and
+    ``decoded`` are boolean masks over the budget's *radio graph* edges
+    (edge ``tx → rx`` decoded ⇔ receiver ``rx`` identity-decoded sender
+    ``tx``) instead of ``(n, n)`` matrices.  The radio graph includes
+    every link whose mean power is within the fading cap of the
+    threshold, so all possible detections — including the sub-threshold
+    interferers that decide the capture race — are represented.
+
+    Requires counter-based fading; it advances the same slot-cohort event
+    counter as the dense class, so with
+    :class:`~repro.radio.fading.HashedRayleighFading` the two are
+    seed-for-seed identical given the same ``rng``.
+    """
+
+    def __init__(
+        self,
+        budget: SparseLinkBudget,
+        *,
+        threshold_dbm: float,
+        period_slots: int,
+        slot_ms: float = 1.0,
+        capture_margin_db: float = 6.0,
+        preambles: int = 1,
+        listen_duty: float = 1.0,
+        fading=None,
+    ) -> None:
+        if period_slots < 1:
+            raise ValueError("period_slots must be >= 1")
+        if slot_ms <= 0:
+            raise ValueError("slot_ms must be positive")
+        if preambles < 1:
+            raise ValueError("preambles must be >= 1")
+        if not 0.0 < listen_duty <= 1.0:
+            raise ValueError(f"listen_duty must be in (0, 1], got {listen_duty}")
+        self.budget = budget
+        self.n = budget.n
+        self.threshold_dbm = float(threshold_dbm)
+        self.period_slots = int(period_slots)
+        self.slot_ms = float(slot_ms)
+        self.capture_margin_db = float(capture_margin_db)
+        self.preambles = int(preambles)
+        self.listen_duty = float(listen_duty)
+        self.fading = fading if fading is not None else budget.fading
+        self._hashed_fading = hasattr(self.fading, "link_db")
+        if not self._hashed_fading and not isinstance(self.fading, NoFading):
+            raise TypeError(
+                "SparseBeaconDiscovery needs counter-based fading "
+                f"(got {type(self.fading).__name__})"
+            )
+        self._is_tx = np.zeros(self.n, dtype=bool)  # scratch, reused
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        rng: np.random.Generator,
+        required: np.ndarray,
+        *,
+        max_periods: int = 3_000,
+        decoded: np.ndarray | None = None,
+        obs: Observability | None = None,
+        obs_labels: dict[str, str] | None = None,
+    ) -> BeaconResult:
+        """Beacon until every required radio-graph edge has been decoded.
+
+        Mirrors :meth:`BeaconDiscovery.run` — same draws from ``rng`` in
+        the same order, same metrics/probes — with edge-mask state.  The
+        returned :class:`BeaconResult` carries the decoded *edge mask* in
+        its ``decoded`` field.
+        """
+        n = self.n
+        required = np.asarray(required, dtype=bool).copy()
+        if required.shape != self.budget.indices.shape:
+            raise ValueError(
+                "required must be a radio-graph edge mask of length "
+                f"{self.budget.edge_count}"
+            )
+        if decoded is None:
+            decoded = np.zeros(required.size, dtype=bool)
+        remaining = int((required & ~decoded).sum())
+        required_total = max(int(required.sum()), 1)
+        messages = 0
+        labels = obs_labels or {}
+        if obs is not None:
+            tx_counter = obs.metrics.counter(
+                "beacon_tx_total",
+                help="discovery beacon transmissions",
+                unit="messages",
+            )
+            occ_hist = obs.metrics.histogram(
+                "beacon_slot_occupancy",
+                buckets=SLOT_OCCUPANCY_BUCKETS,
+                help="simultaneous beacons per occupied slot/preamble",
+                unit="transmitters",
+            )
+        else:
+            tx_counter = None
+            occ_hist = None
+
+        period = 0
+        event = 0  # radio event counter: one per slot-cohort
+        while remaining > 0 and period < max_periods:
+            period += 1
+            chan = rng.integers(0, self.period_slots * self.preambles, size=n)
+            messages += n
+            if self.listen_duty < 1.0:
+                awake = rng.random((self.period_slots, n)) < self.listen_duty
+            else:
+                awake = None
+            order = np.argsort(chan, kind="stable")
+            sorted_chan = chan[order]
+            boundaries = np.nonzero(np.diff(sorted_chan))[0] + 1
+            cohorts = np.split(order, boundaries)
+            starts = np.concatenate(([0], boundaries))
+            for cohort, start in zip(cohorts, starts):
+                slot = int(sorted_chan[start]) // self.preambles
+                awake_row = awake[slot] if awake is not None else None
+                if occ_hist is not None:
+                    occ_hist.observe(cohort.size, **labels)
+                self._decode_cohort(cohort, decoded, awake_row, event)
+                event += 1
+            remaining = int((required & ~decoded).sum())
+            if obs is not None:
+                tx_counter.inc(n, **labels)
+                period_end_ms = period * self.period_slots * self.slot_ms
+                obs.probes.record(
+                    period_end_ms,
+                    "neighbor_fill",
+                    fill_ratio=1.0 - remaining / required_total,
+                    missing_pairs=remaining,
+                    periods=period,
+                )
+                if obs.trace is not None:
+                    obs.trace.emit(
+                        period_end_ms,
+                        "beacon_period",
+                        period=period,
+                        missing_pairs=remaining,
+                        **labels,
+                    )
+
+        if obs is not None:
+            obs.metrics.gauge(
+                "beacon_missing_pairs",
+                help="required (receiver, sender) pairs still undecoded",
+                unit="pairs",
+            ).set(remaining, **labels)
+        return BeaconResult(
+            complete=remaining == 0,
+            periods=period,
+            time_ms=period * self.period_slots * self.slot_ms,
+            messages=messages,
+            decoded=decoded,
+            missing_pairs=remaining,
+        )
+
+    # ------------------------------------------------------------------
+    def _decode_cohort(
+        self,
+        cohort: np.ndarray,
+        decoded: np.ndarray,
+        awake: np.ndarray | None,
+        event: int,
+    ) -> None:
+        """One slot over CSR edges; same capture semantics as dense."""
+        budget = self.budget
+        if cohort.size == 1:
+            tx = int(cohort[0])
+            lo = budget.indptr[tx]
+            hi = budget.indptr[tx + 1]
+            rx = budget.indices[lo:hi]
+            power = budget.power_dbm[lo:hi]
+            if self._hashed_fading:
+                power = power + self.fading.link_db(event, np.int64(tx), rx)
+            det = power >= self.threshold_dbm
+            if awake is not None:
+                det &= awake[rx]
+            decoded[lo + np.flatnonzero(det)] = True
+            return
+        epos, tx_e = gather_rows(budget.indptr, cohort)
+        rx_e = budget.indices[epos]
+        power_e = budget.power_dbm[epos]
+        if self._hashed_fading:
+            power_e = power_e + self.fading.link_db(event, tx_e, rx_e)
+        det = power_e >= self.threshold_dbm
+        epos = epos[det]
+        tx_e = tx_e[det]
+        rx_e = rx_e[det]
+        power_e = power_e[det]
+        if rx_e.size == 0:
+            return
+        # receiver segments: power descending, lowest tx on ties — the
+        # first edge of a segment is the dense argmax winner
+        order = np.lexsort((tx_e, -power_e, rx_e))
+        rx_s = rx_e[order]
+        pw_s = power_e[order]
+        epos_s = epos[order]
+        seg_starts = np.flatnonzero(
+            np.concatenate(([True], rx_s[1:] != rx_s[:-1]))
+        )
+        seg_rx = rx_s[seg_starts]
+        seg_counts = np.diff(np.concatenate((seg_starts, [rx_s.size])))
+        signal = np.power(10.0, pw_s[seg_starts] / 10.0)
+        total = np.add.reduceat(np.power(10.0, pw_s / 10.0), seg_starts)
+        noise = np.maximum(total - signal, 1e-30)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sir_db = 10.0 * np.log10(np.maximum(signal, 1e-300) / noise)
+        decodable = (seg_counts == 1) | (sir_db >= self.capture_margin_db)
+        # half-duplex: transmitters cannot decode this slot
+        is_tx = self._is_tx
+        is_tx[cohort] = True
+        decodable &= ~is_tx[seg_rx]
+        is_tx[cohort] = False
+        if awake is not None:
+            decodable &= awake[seg_rx]
+        decoded[epos_s[seg_starts[decodable]]] = True
+
+
+def top_k_required_csr(budget: SparseLinkBudget, k: int = 1) -> np.ndarray:
+    """Sparse :func:`top_k_required`: a radio-graph edge mask.
+
+    Each receiver must decode its ``k`` heaviest proximity neighbours;
+    the mask marks the corresponding ``sender → receiver`` radio edges.
+    Tie-break (equal weights → lowest neighbour id) matches the dense
+    stable argsort.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = budget.n
+    rx = budget.link_row_ids  # link graph is symmetric: row = receiver
+    nbr = budget.link_indices
+    w = budget.link_power_dbm
+    order = np.lexsort((nbr, -w, rx))
+    rx_s = rx[order]
+    nbr_s = nbr[order]
+    rank = np.arange(rx_s.size) - budget.link_indptr[rx_s]
+    sel = rank < min(k, max(n - 1, 1))
+    required = np.zeros(budget.edge_count, dtype=bool)
+    pos = budget.edge_position(nbr_s[sel], rx_s[sel])
+    required[pos] = True
+    return required
 
 
 def top_k_required(weights: np.ndarray, adjacency: np.ndarray, k: int = 1) -> np.ndarray:

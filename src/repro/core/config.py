@@ -82,6 +82,16 @@ class PaperConfig:
     #: Fragment merge rule: plain Borůvka (default) or level-based GHS
     #: (the paper cites both: "Keeping in mind GHS and Boruvkas algorithm").
     merge_rule: Literal["boruvka", "ghs"] = "boruvka"
+    #: Execution path: ``"dense"`` (O(n²) matrices), ``"sparse"``
+    #: (grid + CSR, O(n + E)), or ``"auto"`` (sparse from
+    #: ``sparse_threshold_devices`` up).  Both paths are seed-for-seed
+    #: identical (tests/test_sparse_parity.py).
+    backend: Literal["auto", "dense", "sparse"] = "auto"
+    #: ``auto`` switches to the sparse path at this many devices.
+    sparse_threshold_devices: int = 1024
+    #: Two-sided shadowing clip in units of sigma (bounds the candidate
+    #: radius of the sparse path; applied identically on the dense path).
+    shadow_clip_sigma: float = 3.0
     #: Hard cap on simulated time (ms).
     max_time_ms: float = 300_000.0
     seed: int = 1
@@ -117,6 +127,12 @@ class PaperConfig:
             raise ValueError("beacon_preambles must be >= 1")
         if self.ffa_rounds_per_phase < 0:
             raise ValueError("ffa_rounds_per_phase must be >= 0")
+        if self.backend not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.sparse_threshold_devices < 2:
+            raise ValueError("sparse_threshold_devices must be >= 2")
+        if self.shadow_clip_sigma <= 0:
+            raise ValueError("shadow_clip_sigma must be positive")
 
     # ------------------------------------------------------------------
     @property
@@ -135,6 +151,15 @@ class PaperConfig:
     @property
     def density_per_m2(self) -> float:
         return self.n_devices / (self.area_side_m**2)
+
+    @property
+    def resolved_backend(self) -> Literal["dense", "sparse"]:
+        """The execution path ``"auto"`` resolves to for this size."""
+        if self.backend != "auto":
+            return self.backend
+        if self.n_devices >= self.sparse_threshold_devices:
+            return "sparse"
+        return "dense"
 
     def with_devices(self, n: int, *, keep_density: bool = True) -> "PaperConfig":
         """Scale the scenario to ``n`` devices.

@@ -21,15 +21,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.beacon import BeaconDiscovery
+from repro.core.beacon import BeaconDiscovery, SparseBeaconDiscovery
 from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
-from repro.core.pulsesync import PulseSyncKernel
+from repro.core.pulsesync import PulseSyncKernel, SparsePulseSyncKernel
 from repro.core.results import RunResult
 from repro.obs import Observability, get_active
 from repro.oscillator.prc import LinearPRC
+from repro.radio.sparse_link import SparseLinkBudget
 from repro.spanningtree.mst import tree_weight
 from repro.spanningtree.unionfind import UnionFind
+
+
+def _heavy_edges_from_candidates(
+    us: np.ndarray, vs: np.ndarray
+) -> list[tuple[int, int]]:
+    """Deduplicated sorted edge list from per-node (u, heaviest v) pairs."""
+    if us.size == 0:
+        return []
+    a = np.minimum(us, vs).astype(np.int64)
+    b = np.maximum(us, vs).astype(np.int64)
+    codes = np.unique((a << np.int64(32)) | b)
+    return [(int(c >> 32), int(c & 0xFFFFFFFF)) for c in codes]
 
 
 def heavy_edge_forest(
@@ -38,17 +51,50 @@ def heavy_edge_forest(
     """Each node's heaviest incident edge (Fig. 2's "selecting heavy edge").
 
     The union over nodes is a forest (it is a subgraph of the maximum
-    spanning tree on distinct weights).
+    spanning tree on distinct weights).  Fully vectorized: argmax per row
+    (ties → lowest neighbour id), then a unique over packed edge codes.
     """
     w = np.where(adjacency, weights, -np.inf)
     n = w.shape[0]
-    edges: set[tuple[int, int]] = set()
     best = np.argmax(w, axis=1)
     finite = np.isfinite(w[np.arange(n), best])
-    for u in np.nonzero(finite)[0]:
-        v = int(best[u])
-        edges.add((min(int(u), v), max(int(u), v)))
-    return sorted(edges)
+    us = np.nonzero(finite)[0]
+    return _heavy_edges_from_candidates(us, best[us])
+
+
+def heavy_edge_forest_csr(budget: SparseLinkBudget) -> list[tuple[int, int]]:
+    """CSR :func:`heavy_edge_forest` over the proximity graph — O(E)."""
+    rows = budget.link_row_ids
+    nbr = budget.link_indices
+    w = budget.link_power_dbm
+    if rows.size == 0:
+        return []
+    # heaviest edge per row; ties → lowest neighbour id (dense argmax)
+    order = np.lexsort((nbr, -w, rows))
+    r_sorted = rows[order]
+    first = np.concatenate(([True], r_sorted[1:] != r_sorted[:-1]))
+    sel = order[first]
+    return _heavy_edges_from_candidates(rows[sel], nbr[sel])
+
+
+def _kruskal_complete(
+    uf: UnionFind,
+    edges: list[tuple[int, int]],
+    iu: np.ndarray,
+    ju: np.ndarray,
+    w: np.ndarray,
+) -> int:
+    """Greedy union over candidate edges sorted by (weight desc, i, j)."""
+    stitches = 0
+    order = np.lexsort((ju, iu, -w))
+    for k in order:
+        u, v = int(iu[k]), int(ju[k])
+        if uf.union(u, v):
+            edges.append((u, v))
+            stitches += 1
+            if uf.components == 1:
+                break
+    return stitches
 
 
 def stitch_forest(
@@ -60,6 +106,8 @@ def stitch_forest(
 
     Returns ``(tree_edges, stitches)``.  Greedy over all inter-component
     edges by descending weight — i.e. Kruskal completion of the forest.
+    Equal-weight candidates are taken in (i, j) row-major order, same as
+    the historical stable sort over ``triu_indices``.
     """
     n = weights.shape[0]
     uf = UnionFind(n)
@@ -72,15 +120,45 @@ def stitch_forest(
         iu, ju = np.triu_indices(n, k=1)
         usable = np.isfinite(w[iu, ju])
         iu, ju = iu[usable], ju[usable]
-        order = np.argsort(-w[iu, ju], kind="stable")
-        for k in order:
-            u, v = int(iu[k]), int(ju[k])
-            if uf.union(u, v):
-                edges.append((u, v))
-                stitches += 1
-                if uf.components == 1:
-                    break
+        stitches = _kruskal_complete(uf, edges, iu, ju, w[iu, ju])
     return sorted(edges), stitches
+
+
+def stitch_forest_csr(
+    forest: list[tuple[int, int]], budget: SparseLinkBudget
+) -> tuple[list[tuple[int, int]], int]:
+    """CSR :func:`stitch_forest` over the proximity graph — O(E log E)."""
+    uf = UnionFind(budget.n)
+    edges = list(forest)
+    for u, v in forest:
+        uf.union(u, v)
+    stitches = 0
+    if uf.components > 1:
+        upper = budget.link_row_ids < budget.link_indices
+        stitches = _kruskal_complete(
+            uf,
+            edges,
+            budget.link_row_ids[upper],
+            budget.link_indices[upper],
+            budget.link_power_dbm[upper],
+        )
+    return sorted(edges), stitches
+
+
+def _tree_weight_for(net: D2DNetwork, tree: list[tuple[int, int]]) -> float:
+    """Tree weight without densifying a sparse network.
+
+    Weights equal mean link power bitwise (the 0.5·(m + mᵀ)
+    symmetrization is the identity on the hashed channel), and the sum is
+    sequential in the same sorted edge order in both branches.
+    """
+    if net.is_sparse:
+        us = np.fromiter((u for u, _ in tree), dtype=np.int64, count=len(tree))
+        vs = np.fromiter((v for _, v in tree), dtype=np.int64, count=len(tree))
+        if us.size == 0:
+            return 0.0
+        return float(sum(net.sparse_budget.edge_power_lookup(us, vs).tolist()))
+    return tree_weight(net.weights, tree)
 
 
 class FSTSimulation:
@@ -105,17 +183,33 @@ class FSTSimulation:
         cfg = self.config
         net = self.network
         obs = self.obs
-        kernel = PulseSyncKernel(
-            net.link_budget.mean_rx_dbm,
-            net.adjacency,
-            self.prc,
-            period_ms=cfg.period_ms,
-            threshold_dbm=cfg.threshold_dbm,
-            refractory_ms=cfg.refractory_ms,
-            sync_window_ms=cfg.sync_window_ms,
-            fading=net.link_budget.fading,
-            collision_policy=cfg.collision_policy,
-        )
+        sparse = net.is_sparse
+        if sparse:
+            budget = net.sparse_budget
+            kernel = SparsePulseSyncKernel(
+                budget.link_indptr,
+                budget.link_indices,
+                budget.link_power_dbm,
+                self.prc,
+                period_ms=cfg.period_ms,
+                threshold_dbm=cfg.threshold_dbm,
+                refractory_ms=cfg.refractory_ms,
+                sync_window_ms=cfg.sync_window_ms,
+                fading=budget.fading,
+                collision_policy=cfg.collision_policy,
+            )
+        else:
+            kernel = PulseSyncKernel(
+                net.link_budget.mean_rx_dbm,
+                net.adjacency,
+                self.prc,
+                period_ms=cfg.period_ms,
+                threshold_dbm=cfg.threshold_dbm,
+                refractory_ms=cfg.refractory_ms,
+                sync_window_ms=cfg.sync_window_ms,
+                fading=net.link_budget.fading,
+                collision_policy=cfg.collision_policy,
+            )
         # FST's deliverable is simultaneous synchronization AND complete
         # mesh neighbour discovery: every device must identity-decode
         # every proximity neighbour at least once (that is what [17]'s
@@ -134,21 +228,43 @@ class FSTSimulation:
                     obs_labels={"algorithm": "fst", "stage": "sync"},
                 )
             with obs.span("discovery"):
-                beacons = BeaconDiscovery(
-                    net.link_budget.mean_rx_dbm,
-                    threshold_dbm=cfg.threshold_dbm,
-                    period_slots=cfg.period_slots,
-                    slot_ms=cfg.slot_ms,
-                    preambles=cfg.beacon_preambles,
-                    fading=net.link_budget.fading,
-                ).run(
-                    net.streams.stream("fst-beacons"),
-                    required=net.adjacency
-                    & net.link_budget.adjacency(cfg.discovery_margin_db),
-                    max_periods=max(1, int(cfg.max_time_ms / cfg.period_ms)),
-                    obs=obs,
-                    obs_labels={"algorithm": "fst", "stage": "discovery"},
-                )
+                max_periods = max(1, int(cfg.max_time_ms / cfg.period_ms))
+                if sparse:
+                    # same condition as the dense mask below, expressed on
+                    # the radio-edge axis: link edges with margin to spare
+                    required_edges = budget.edge_is_link & (
+                        budget.power_dbm
+                        >= cfg.threshold_dbm + cfg.discovery_margin_db
+                    )
+                    beacons = SparseBeaconDiscovery(
+                        budget,
+                        threshold_dbm=cfg.threshold_dbm,
+                        period_slots=cfg.period_slots,
+                        slot_ms=cfg.slot_ms,
+                        preambles=cfg.beacon_preambles,
+                    ).run(
+                        net.streams.stream("fst-beacons"),
+                        required=required_edges,
+                        max_periods=max_periods,
+                        obs=obs,
+                        obs_labels={"algorithm": "fst", "stage": "discovery"},
+                    )
+                else:
+                    beacons = BeaconDiscovery(
+                        net.link_budget.mean_rx_dbm,
+                        threshold_dbm=cfg.threshold_dbm,
+                        period_slots=cfg.period_slots,
+                        slot_ms=cfg.slot_ms,
+                        preambles=cfg.beacon_preambles,
+                        fading=net.link_budget.fading,
+                    ).run(
+                        net.streams.stream("fst-beacons"),
+                        required=net.adjacency
+                        & net.link_budget.adjacency(cfg.discovery_margin_db),
+                        max_periods=max_periods,
+                        obs=obs,
+                        obs_labels={"algorithm": "fst", "stage": "discovery"},
+                    )
 
             time_ms = max(sync.time_ms, beacons.time_ms)
             converged = sync.converged and beacons.complete
@@ -157,10 +273,14 @@ class FSTSimulation:
             keepalive = int(cfg.n_devices * (lag_ms / cfg.period_ms))
 
             with obs.span("stitch"):
-                forest = heavy_edge_forest(net.weights, net.adjacency)
-                tree, stitches = stitch_forest(
-                    forest, net.weights, net.adjacency
-                )
+                if sparse:
+                    forest = heavy_edge_forest_csr(budget)
+                    tree, stitches = stitch_forest_csr(forest, budget)
+                else:
+                    forest = heavy_edge_forest(net.weights, net.adjacency)
+                    tree, stitches = stitch_forest(
+                        forest, net.weights, net.adjacency
+                    )
             stitch_messages = 2 * stitches  # one RACH2 handshake per stitch
 
             # single accounting path: registry counters and the breakdown
@@ -192,7 +312,7 @@ class FSTSimulation:
                 "discovery_time_ms": beacons.time_ms,
                 "discovery_periods": beacons.periods,
                 "missing_pairs": beacons.missing_pairs,
-                "tree_weight": tree_weight(net.weights, tree),
+                "tree_weight": _tree_weight_for(net, tree),
                 "forest_components_stitched": stitches,
             },
         )

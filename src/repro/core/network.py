@@ -4,11 +4,32 @@
 the concrete simulation inputs:
 
 * uniform device placement in the square area,
-* a :class:`~repro.radio.link.LinkBudget` over the configured channel,
+* a link budget over the configured channel,
 * the proximity graph ``G(V, E)`` (edges where mean PS power clears the
   −95 dBm threshold),
 * the PS-strength edge weights ("weight of edge is directly proportional
   to PS strength observed by nodes", §IV).
+
+Two execution backends share one construction contract
+(``config.backend`` / ``config.resolved_backend``):
+
+dense
+    The original O(n²) pipeline — a full
+    :class:`~repro.radio.link.LinkBudget` matrix, boolean adjacency, and
+    weight matrix.
+sparse
+    The scale path: grid candidate generation plus a CSR
+    :class:`~repro.radio.sparse_link.SparseLinkBudget`; nothing of size
+    n² is allocated.  The dense-matrix views (``link_budget``,
+    ``adjacency``, ``weights``) remain available as *lazy* properties
+    that densify on first touch (``densified`` records that it happened)
+    so legacy analysis code keeps working — hot paths must not touch
+    them.
+
+Channel randomness is counter-based (:mod:`repro.radio.chanhash`) in both
+backends — shadowing a pure function of ``(key, link)``, fading of
+``(key, event, tx, rx)`` — which is what makes the two backends
+seed-for-seed identical (``tests/test_sparse_parity.py``).
 
 Disconnected placements are repaired by re-drawing (documented option) so
 the spanning-tree algorithms always have a spanning tree to find; the
@@ -21,7 +42,7 @@ import networkx as nx
 import numpy as np
 
 from repro.core.config import PaperConfig
-from repro.radio.fading import NoFading, RayleighFading
+from repro.radio.fading import HashedRayleighFading, NoFading
 from repro.radio.link import LinkBudget
 from repro.radio.pathloss import (
     FreeSpacePathLoss,
@@ -29,7 +50,8 @@ from repro.radio.pathloss import (
     PaperPathLoss,
 )
 from repro.radio.rssi import RSSIRanging
-from repro.radio.shadowing import LogNormalShadowing, NoShadowing
+from repro.radio.shadowing import HashedShadowing, NoShadowing
+from repro.radio.sparse_link import SparseLinkBudget
 from repro.sim.random import RandomStreams
 
 #: Give up re-drawing after this many disconnected placements.
@@ -56,7 +78,7 @@ class D2DNetwork:
     Parameters
     ----------
     config:
-        Scenario parameters.
+        Scenario parameters (including the execution backend).
     streams:
         Random-stream universe; derived from ``config.seed`` when omitted.
     require_connected:
@@ -74,22 +96,27 @@ class D2DNetwork:
         self.config = config
         self.streams = streams if streams is not None else RandomStreams(config.seed)
         self.pathloss = _pathloss_for(config)
+        self.backend = config.resolved_backend
         self.placement_attempts = 0
+        #: set when a sparse network materialized a dense view after all
+        #: (legacy analysis fallback) — hot paths must keep this False
+        self.densified = False
 
         placement_rng = self.streams.stream("placement")
         shadow_rng = self.streams.stream("shadowing")
+        # both backends draw the same stream values in the same order —
+        # one fading key up front, then (positions, shadow key) per attempt
+        self.fading_key = int(self.streams.stream("fading").integers(0, 2**63))
+        sparse = self.backend == "sparse"
         for _attempt in range(MAX_PLACEMENT_ATTEMPTS):
             self.placement_attempts += 1
             positions = placement_rng.uniform(
                 0.0, config.area_side_m, size=(config.n_devices, 2)
             )
-            if config.shadowing_sigma_db > 0:
-                shadowing = LogNormalShadowing(
-                    config.shadowing_sigma_db, shadow_rng
-                )
-            else:
-                shadowing = NoShadowing()
-            budget = LinkBudget(
+            shadow_key = int(shadow_rng.integers(0, 2**63))
+            shadowing = self._make_shadowing(shadow_key)
+            budget_cls = SparseLinkBudget if sparse else LinkBudget
+            budget = budget_cls(
                 positions,
                 self.pathloss,
                 tx_power_dbm=config.tx_power_dbm,
@@ -97,8 +124,11 @@ class D2DNetwork:
                 shadowing=shadowing,
                 fading=self._make_fading(),
             )
-            adjacency = budget.adjacency()
-            if not require_connected or self._is_connected(adjacency):
+            if sparse:
+                connected = budget.is_connected()
+            else:
+                connected = self._is_connected(budget.adjacency())
+            if not require_connected or connected:
                 break
         else:
             raise RuntimeError(
@@ -108,12 +138,21 @@ class D2DNetwork:
             )
 
         self.positions = positions
-        self.link_budget = budget
-        self.adjacency = adjacency & adjacency.T  # symmetric detectability
-        np.fill_diagonal(self.adjacency, False)
-        # PS-strength weights: mean of the two directions' rx power, so the
-        # weight matrix is symmetric even though shadowing already is.
-        self.weights = 0.5 * (budget.mean_rx_dbm + budget.mean_rx_dbm.T)
+        self.shadow_key = shadow_key
+        if sparse:
+            self.sparse_budget: SparseLinkBudget | None = budget
+            self._link_budget: LinkBudget | None = None
+            self._adjacency: np.ndarray | None = None
+            self._weights: np.ndarray | None = None
+        else:
+            self.sparse_budget = None
+            self._link_budget = budget
+            adjacency = budget.adjacency()
+            self._adjacency = adjacency & adjacency.T  # symmetric detectability
+            np.fill_diagonal(self._adjacency, False)
+            # PS-strength weights: mean of the two directions' rx power, so
+            # the weight matrix is symmetric even though shadowing already is.
+            self._weights = 0.5 * (budget.mean_rx_dbm + budget.mean_rx_dbm.T)
         self.ranging = RSSIRanging(
             LogDistancePathLoss(
                 exponent=config.rssi_exponent,
@@ -125,9 +164,18 @@ class D2DNetwork:
         )
 
     # ------------------------------------------------------------------
+    def _make_shadowing(self, key: int):
+        if self.config.shadowing_sigma_db > 0:
+            return HashedShadowing(
+                self.config.shadowing_sigma_db,
+                key,
+                clip_sigma=self.config.shadow_clip_sigma,
+            )
+        return NoShadowing()
+
     def _make_fading(self):
         if self.config.fading_model == "rayleigh":
-            return RayleighFading(self.streams.stream("fading"))
+            return HashedRayleighFading(self.fading_key)
         return NoFading()
 
     @staticmethod
@@ -138,6 +186,54 @@ class D2DNetwork:
 
     # ------------------------------------------------------------------
     @property
+    def is_sparse(self) -> bool:
+        return self.sparse_budget is not None
+
+    def _densify(self) -> None:
+        """Materialize the dense matrix views from a sparse network.
+
+        Legacy fallback (O(n²) time and memory): same positions, same
+        hashed channel keys, so the dense views are bitwise what the
+        dense backend would have built.
+        """
+        budget = LinkBudget(
+            self.positions,
+            self.pathloss,
+            tx_power_dbm=self.config.tx_power_dbm,
+            threshold_dbm=self.config.threshold_dbm,
+            shadowing=self._make_shadowing(self.shadow_key),
+            fading=self._make_fading(),
+        )
+        adjacency = budget.adjacency()
+        self._link_budget = budget
+        self._adjacency = adjacency & adjacency.T
+        np.fill_diagonal(self._adjacency, False)
+        self._weights = 0.5 * (budget.mean_rx_dbm + budget.mean_rx_dbm.T)
+        self.densified = True
+
+    @property
+    def link_budget(self) -> LinkBudget:
+        """Dense link budget (lazy densify on a sparse network)."""
+        if self._link_budget is None:
+            self._densify()
+        return self._link_budget
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Dense boolean proximity matrix (lazy densify on sparse)."""
+        if self._adjacency is None:
+            self._densify()
+        return self._adjacency
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Dense PS-strength weight matrix (lazy densify on sparse)."""
+        if self._weights is None:
+            self._densify()
+        return self._weights
+
+    # ------------------------------------------------------------------
+    @property
     def n(self) -> int:
         return self.config.n_devices
 
@@ -145,6 +241,16 @@ class D2DNetwork:
         """The proximity graph with PS-strength edge weights."""
         g = nx.Graph()
         g.add_nodes_from(range(self.n))
+        if self.is_sparse:
+            sb = self.sparse_budget
+            upper = sb.link_row_ids < sb.link_indices
+            for u, v, w in zip(
+                sb.link_row_ids[upper].tolist(),
+                sb.link_indices[upper].tolist(),
+                sb.link_power_dbm[upper].tolist(),
+            ):
+                g.add_edge(u, v, weight=w)
+            return g
         iu, ju = np.nonzero(np.triu(self.adjacency, k=1))
         for u, v in zip(iu.tolist(), ju.tolist()):
             g.add_edge(u, v, weight=float(self.weights[u, v]))
@@ -152,7 +258,10 @@ class D2DNetwork:
 
     def degree_stats(self) -> dict[str, float]:
         """Mean/min/max degree of the proximity graph."""
-        deg = self.adjacency.sum(axis=1)
+        if self.is_sparse:
+            deg = self.sparse_budget.degrees()
+        else:
+            deg = self.adjacency.sum(axis=1)
         return {
             "mean": float(deg.mean()),
             "min": int(deg.min()),
@@ -169,5 +278,5 @@ class D2DNetwork:
     def __repr__(self) -> str:
         return (
             f"D2DNetwork(n={self.n}, side={self.config.area_side_m:.0f} m, "
-            f"attempts={self.placement_attempts})"
+            f"backend={self.backend}, attempts={self.placement_attempts})"
         )

@@ -34,7 +34,19 @@ discovery stalls exactly when synchronization succeeds.  The kernel
 optionally tracks decoding and can require a set of ordered pairs to be
 decoded before declaring convergence (``required_decoding``).
 
-The kernel is pure NumPy per wave (no per-node Python loops), following
+Two interchangeable kernels share one run loop (:class:`_PulseSyncBase`):
+
+* :class:`PulseSyncKernel` — the dense reference, ``(k, n)`` row slices
+  of the mean-power matrix per wave;
+* :class:`SparsePulseSyncKernel` — CSR coupling graph, O(edges-of-wave)
+  per wave via segment reductions, with scratch arrays reused across
+  waves.  Requires counter-based fading; with
+  :class:`~repro.radio.fading.HashedRayleighFading` the two kernels are
+  seed-for-seed identical because every fading value is a pure function
+  of ``(key, event, tx, rx)`` and both kernels advance the same radio
+  event counter (one event per avalanche wave).
+
+The kernels are pure NumPy per wave (no per-node Python loops), following
 the HPC guide's vectorization rule.
 """
 
@@ -52,6 +64,7 @@ from repro.oscillator.sync_metrics import (
     order_parameter,
 )
 from repro.radio.fading import NoFading
+from repro.radio.sparse_link import csr_from_edges, gather_rows
 from repro.sim.trace import TraceRecorder
 
 #: Fire times closer than this (ms) are simultaneous (one instant).
@@ -98,58 +111,33 @@ class PulseSyncResult:
     telemetry: list[TelemetrySample] = field(repr=False, default_factory=list)
 
 
-class PulseSyncKernel:
-    """Reusable synchronization kernel over a fixed radio environment.
+class _PulseSyncBase:
+    """Shared avalanche run loop; subclasses supply :meth:`_wave_reception`.
 
-    Parameters
-    ----------
-    mean_rx_dbm:
-        ``(n, n)`` mean received power matrix (dBm), −inf on the diagonal.
-    adjacency:
-        Boolean coupling mask — mesh for FST, tree edges for ST fragments.
-        A pulse only affects receivers that are (a) adjacent and (b) above
-        threshold after fading.
-    prc:
-        Linear PRC (eq. 5).  ``LinearPRC(1.0, 0.0)`` disables coupling —
-        useful for pure (unsynchronized) discovery beaconing.
-    period_ms, refractory_ms, sync_window_ms, threshold_dbm:
-        Oscillator and convergence parameters (see PaperConfig).
-    fading:
-        Per-transmission fading model; ``NoFading()`` for oracle runs.
-    collision_policy:
-        Pulse-detection rule for superposed same-instant transmissions:
-        ``"tolerant"`` (any detected superposition is one pulse — the
-        paper's assumption and RACH preamble physics), ``"capture"``
-        (strongest must clear the SIR margin) or ``"destructive"``
-        (any collision destroys the pulse).  Identity decoding always
-        uses the capture rule regardless of this policy.
+    The loop advances a radio **event counter** — one event per avalanche
+    wave — and hands it to the reception hook.  Counter-based fading
+    models key their draws on it, which is what keeps the dense and
+    sparse kernels on identical channel realizations.
     """
 
-    def __init__(
+    def _init_common(
         self,
-        mean_rx_dbm: np.ndarray,
-        adjacency: np.ndarray,
+        n: int,
         prc: LinearPRC,
         *,
         period_ms: float,
         threshold_dbm: float,
-        refractory_ms: float = 1.0,
-        sync_window_ms: float = 2.0,
-        fading=None,
-        collision_policy: str = "tolerant",
-        capture_margin_db: float = 6.0,
+        refractory_ms: float,
+        sync_window_ms: float,
+        fading,
+        collision_policy: str,
+        capture_margin_db: float,
     ) -> None:
-        mean_rx_dbm = np.asarray(mean_rx_dbm, dtype=float)
-        adjacency = np.asarray(adjacency, dtype=bool)
-        if mean_rx_dbm.shape != adjacency.shape or mean_rx_dbm.ndim != 2:
-            raise ValueError("mean_rx_dbm and adjacency must be equal square")
         if period_ms <= 0:
             raise ValueError("period_ms must be positive")
         if collision_policy not in ("tolerant", "capture", "destructive"):
             raise ValueError(f"unknown collision policy {collision_policy!r}")
-        self.n = mean_rx_dbm.shape[0]
-        self.mean_rx = mean_rx_dbm
-        self.adjacency = adjacency
+        self.n = int(n)
         self.prc = prc
         self.period_ms = float(period_ms)
         self.threshold_dbm = float(threshold_dbm)
@@ -158,6 +146,23 @@ class PulseSyncKernel:
         self.fading = fading if fading is not None else NoFading()
         self.collision_policy = collision_policy
         self.capture_margin_db = float(capture_margin_db)
+        self._hashed_fading = hasattr(self.fading, "link_db")
+        self._stream_fading = not self._hashed_fading and not isinstance(
+            self.fading, NoFading
+        )
+
+    def _wave_reception(
+        self, firers: np.ndarray, event: int, need_decoding: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve one wave: ``(heard[n], decoded_sender[n])``.
+
+        ``heard`` is the boolean pulse-detection vector under the
+        configured collision policy; ``decoded_sender[i]`` is the sender
+        id receiver ``i`` captured (−1 when nothing decodable — may skip
+        the capture computation entirely when ``need_decoding`` is false
+        and the policy does not depend on it).
+        """
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     def run(
@@ -252,10 +257,10 @@ class PulseSyncKernel:
         messages = 0
         fires = 0
         instants = 0
+        event = 0
         sync_time = float("nan")
         discovery_time = float("nan")
         deadline = start_time_ms + max_time_ms
-        use_fading = not isinstance(self.fading, NoFading)
         samples: list[TelemetrySample] = []
         if telemetry_interval_ms is not None and telemetry_interval_ms <= 0:
             raise ValueError("telemetry_interval_ms must be positive")
@@ -315,12 +320,10 @@ class PulseSyncKernel:
                         trace.emit(t, "ps_tx", node=int(f), **labels)
                 fired_now |= wave
 
-                # reception: (k, n) powers with fresh fading per pair
-                power = self.mean_rx[firers]
-                if use_fading:
-                    power = power + self.fading.sample_db((k, n))
-                det = (power >= self.threshold_dbm) & self.adjacency[firers]
-                heard, dec_sender = self._resolve_wave(det, power, firers)
+                heard, dec_sender = self._wave_reception(
+                    firers, event, track_decoding
+                )
+                event += 1
 
                 if track_decoding:
                     # transmitters are half-duplex: no decoding while firing
@@ -335,7 +338,6 @@ class PulseSyncKernel:
                         decoded[rx_idx, tx_idx] = True
                         if remaining == 0 and np.isnan(discovery_time):
                             discovery_time = t
-
                 eligible = (
                     heard
                     & active
@@ -416,48 +418,6 @@ class PulseSyncKernel:
                 )
 
     # ------------------------------------------------------------------
-    def _resolve_wave(
-        self, det: np.ndarray, power: np.ndarray, firers: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-receiver pulse detection and identity decoding for one wave.
-
-        Returns ``(heard, decoded_sender)``: ``heard`` is the boolean
-        pulse-detection vector under the configured collision policy;
-        ``decoded_sender[i]`` is the sender id receiver ``i`` captured
-        (−1 when nothing decodable).
-        """
-        n = self.n
-        counts = det.sum(axis=0)
-        any_heard = counts >= 1
-
-        # identity decoding (capture rule, always)
-        masked = np.where(det, power, -np.inf)
-        strongest_row = np.argmax(masked, axis=0)
-        strongest_pow = masked[strongest_row, np.arange(n)]
-        linear = np.where(det, np.power(10.0, power / 10.0), 0.0)
-        total = linear.sum(axis=0)
-        signal = np.where(
-            any_heard, np.power(10.0, strongest_pow / 10.0), 0.0
-        )
-        noise = np.maximum(total - signal, 1e-30)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            sir_db = 10.0 * np.log10(np.maximum(signal, 1e-300) / noise)
-        decodable = any_heard & (
-            (counts == 1) | (sir_db >= self.capture_margin_db)
-        )
-        decoded_sender = np.where(
-            decodable, firers[strongest_row], -1
-        ).astype(int)
-
-        # pulse detection per policy
-        if self.collision_policy == "tolerant":
-            heard = any_heard
-        elif self.collision_policy == "destructive":
-            heard = counts == 1
-        else:  # capture
-            heard = decodable
-        return heard, decoded_sender
-
     def _phases_at(
         self, t: float, next_fire: np.ndarray, active: np.ndarray
     ) -> np.ndarray:
@@ -519,3 +479,264 @@ class PulseSyncKernel:
             decoded=decoded,
             telemetry=telemetry,
         )
+
+
+class PulseSyncKernel(_PulseSyncBase):
+    """Dense reference kernel over a fixed radio environment.
+
+    Parameters
+    ----------
+    mean_rx_dbm:
+        ``(n, n)`` mean received power matrix (dBm), −inf on the diagonal.
+    adjacency:
+        Boolean coupling mask — mesh for FST, tree edges for ST fragments.
+        A pulse only affects receivers that are (a) adjacent and (b) above
+        threshold after fading.
+    prc:
+        Linear PRC (eq. 5).  ``LinearPRC(1.0, 0.0)`` disables coupling —
+        useful for pure (unsynchronized) discovery beaconing.
+    period_ms, refractory_ms, sync_window_ms, threshold_dbm:
+        Oscillator and convergence parameters (see PaperConfig).
+    fading:
+        Per-transmission fading model; ``NoFading()`` for oracle runs.
+        Counter-based models (``link_db``) draw per ``(event, tx, rx)``;
+        stream models (``sample_db``) draw a fresh ``(k, n)`` block.
+    collision_policy:
+        Pulse-detection rule for superposed same-instant transmissions:
+        ``"tolerant"`` (any detected superposition is one pulse — the
+        paper's assumption and RACH preamble physics), ``"capture"``
+        (strongest must clear the SIR margin) or ``"destructive"``
+        (any collision destroys the pulse).  Identity decoding always
+        uses the capture rule regardless of this policy.
+    """
+
+    def __init__(
+        self,
+        mean_rx_dbm: np.ndarray,
+        adjacency: np.ndarray,
+        prc: LinearPRC,
+        *,
+        period_ms: float,
+        threshold_dbm: float,
+        refractory_ms: float = 1.0,
+        sync_window_ms: float = 2.0,
+        fading=None,
+        collision_policy: str = "tolerant",
+        capture_margin_db: float = 6.0,
+    ) -> None:
+        mean_rx_dbm = np.asarray(mean_rx_dbm, dtype=float)
+        adjacency = np.asarray(adjacency, dtype=bool)
+        if mean_rx_dbm.shape != adjacency.shape or mean_rx_dbm.ndim != 2:
+            raise ValueError("mean_rx_dbm and adjacency must be equal square")
+        self.mean_rx = mean_rx_dbm
+        self.adjacency = adjacency
+        self._init_common(
+            mean_rx_dbm.shape[0],
+            prc,
+            period_ms=period_ms,
+            threshold_dbm=threshold_dbm,
+            refractory_ms=refractory_ms,
+            sync_window_ms=sync_window_ms,
+            fading=fading,
+            collision_policy=collision_policy,
+            capture_margin_db=capture_margin_db,
+        )
+        self._node_ids = np.arange(self.n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _wave_reception(
+        self, firers: np.ndarray, event: int, need_decoding: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n
+        k = firers.size
+        power = self.mean_rx[firers]
+        if self._hashed_fading:
+            power = power + self.fading.link_db(
+                event, firers[:, None], self._node_ids[None, :]
+            )
+        elif self._stream_fading:
+            power = power + self.fading.sample_db((k, n))
+        det = (power >= self.threshold_dbm) & self.adjacency[firers]
+        return self._resolve_wave(det, power, firers, need_decoding)
+
+    def _resolve_wave(
+        self,
+        det: np.ndarray,
+        power: np.ndarray,
+        firers: np.ndarray,
+        need_decoding: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-receiver pulse detection and identity decoding for one wave."""
+        n = self.n
+        counts = det.sum(axis=0)
+        any_heard = counts >= 1
+
+        if not need_decoding and self.collision_policy != "capture":
+            if self.collision_policy == "tolerant":
+                heard = any_heard
+            else:  # destructive
+                heard = counts == 1
+            return heard, np.full(n, -1, dtype=int)
+
+        # identity decoding (capture rule, always)
+        masked = np.where(det, power, -np.inf)
+        strongest_row = np.argmax(masked, axis=0)
+        strongest_pow = masked[strongest_row, np.arange(n)]
+        linear = np.where(det, np.power(10.0, power / 10.0), 0.0)
+        total = linear.sum(axis=0)
+        signal = np.where(
+            any_heard, np.power(10.0, strongest_pow / 10.0), 0.0
+        )
+        noise = np.maximum(total - signal, 1e-30)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sir_db = 10.0 * np.log10(np.maximum(signal, 1e-300) / noise)
+        decodable = any_heard & (
+            (counts == 1) | (sir_db >= self.capture_margin_db)
+        )
+        decoded_sender = np.where(
+            decodable, firers[strongest_row], -1
+        ).astype(int)
+
+        # pulse detection per policy
+        if self.collision_policy == "tolerant":
+            heard = any_heard
+        elif self.collision_policy == "destructive":
+            heard = counts == 1
+        else:  # capture
+            heard = decodable
+        return heard, decoded_sender
+
+
+class SparsePulseSyncKernel(_PulseSyncBase):
+    """CSR coupling-graph kernel — O(wave edges) per wave.
+
+    The coupling graph (what :class:`PulseSyncKernel` expresses as the
+    boolean ``adjacency`` mask) is given in CSR form with the mean
+    received power per directed edge.  Each wave gathers the firers' edge
+    ranges (:func:`~repro.radio.sparse_link.gather_rows`), applies
+    per-edge counter-based fading, and resolves detection/decoding with
+    segment reductions over the receiver-sorted edge list.  The strongest
+    -copy tie-break (equal powers → lowest transmitter id) matches dense
+    ``np.argmax`` first-occurrence semantics exactly.
+
+    Length-``n`` scratch arrays are preallocated once and reused across
+    waves; nothing of size n² is ever allocated.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        edge_power_dbm: np.ndarray,
+        prc: LinearPRC,
+        *,
+        period_ms: float,
+        threshold_dbm: float,
+        refractory_ms: float = 1.0,
+        sync_window_ms: float = 2.0,
+        fading=None,
+        collision_policy: str = "tolerant",
+        capture_margin_db: float = 6.0,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.edge_power_dbm = np.asarray(edge_power_dbm, dtype=float)
+        if self.indices.shape != self.edge_power_dbm.shape:
+            raise ValueError("indices and edge_power_dbm must align")
+        self._init_common(
+            self.indptr.size - 1,
+            prc,
+            period_ms=period_ms,
+            threshold_dbm=threshold_dbm,
+            refractory_ms=refractory_ms,
+            sync_window_ms=sync_window_ms,
+            fading=fading,
+            collision_policy=collision_policy,
+            capture_margin_db=capture_margin_db,
+        )
+        if self._stream_fading:
+            raise TypeError(
+                "SparsePulseSyncKernel needs counter-based fading "
+                "(HashedRayleighFading or NoFading), got "
+                f"{type(self.fading).__name__}"
+            )
+        # scratch reused across waves (never n²)
+        self._counts = np.zeros(self.n, dtype=np.int64)
+        self._heard = np.zeros(self.n, dtype=bool)
+        self._dec_sender = np.full(self.n, -1, dtype=int)
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        tx: np.ndarray,
+        rx: np.ndarray,
+        power_dbm: np.ndarray,
+        prc: LinearPRC,
+        **kwargs,
+    ) -> "SparsePulseSyncKernel":
+        """Build from a directed edge list (sorted internally)."""
+        indptr, indices, (power,) = csr_from_edges(n, tx, rx, power_dbm)
+        return cls(indptr, indices, power, prc, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _wave_reception(
+        self, firers: np.ndarray, event: int, need_decoding: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        epos, tx_e = gather_rows(self.indptr, firers)
+        rx_e = self.indices[epos]
+        power_e = self.edge_power_dbm[epos]
+        if self._hashed_fading:
+            power_e = power_e + self.fading.link_db(event, tx_e, rx_e)
+        det = power_e >= self.threshold_dbm
+        tx_e = tx_e[det]
+        rx_e = rx_e[det]
+        power_e = power_e[det]
+
+        heard = self._heard
+        heard.fill(False)
+        dec_sender = self._dec_sender
+        dec_sender.fill(-1)
+
+        if not need_decoding and self.collision_policy == "tolerant":
+            heard[rx_e] = True
+            return heard, dec_sender
+        if not need_decoding and self.collision_policy == "destructive":
+            counts = self._counts
+            counts[rx_e] = 0
+            np.add.at(counts, rx_e, 1)
+            heard[rx_e] = counts[rx_e] == 1
+            return heard, dec_sender
+
+        if rx_e.size == 0:
+            return heard, dec_sender
+
+        # receiver-sorted segments: power descending, lowest tx on ties —
+        # the first edge of each segment is the dense argmax winner
+        order = np.lexsort((tx_e, -power_e, rx_e))
+        rx_s = rx_e[order]
+        pw_s = power_e[order]
+        tx_s = tx_e[order]
+        seg_starts = np.flatnonzero(
+            np.concatenate(([True], rx_s[1:] != rx_s[:-1]))
+        )
+        seg_rx = rx_s[seg_starts]
+        seg_counts = np.diff(np.concatenate((seg_starts, [rx_s.size])))
+        strongest_pow = pw_s[seg_starts]
+        strongest_tx = tx_s[seg_starts]
+
+        signal = np.power(10.0, strongest_pow / 10.0)
+        total = np.add.reduceat(np.power(10.0, pw_s / 10.0), seg_starts)
+        noise = np.maximum(total - signal, 1e-30)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sir_db = 10.0 * np.log10(np.maximum(signal, 1e-300) / noise)
+        decodable = (seg_counts == 1) | (sir_db >= self.capture_margin_db)
+        dec_sender[seg_rx[decodable]] = strongest_tx[decodable]
+
+        if self.collision_policy == "tolerant":
+            heard[seg_rx] = True
+        elif self.collision_policy == "destructive":
+            heard[seg_rx] = seg_counts == 1
+        else:  # capture
+            heard[seg_rx] = decodable
+        return heard, dec_sender

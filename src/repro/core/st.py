@@ -33,17 +33,25 @@ from collections import deque
 
 import numpy as np
 
-from repro.core.beacon import BeaconDiscovery, top_k_required
+from repro.core.beacon import (
+    BeaconDiscovery,
+    SparseBeaconDiscovery,
+    top_k_required,
+    top_k_required_csr,
+)
 from repro.core.config import PaperConfig
+from repro.core.fst import _tree_weight_for
 from repro.core.network import D2DNetwork
-from repro.core.pulsesync import PulseSyncKernel
+from repro.core.pulsesync import PulseSyncKernel, SparsePulseSyncKernel
 from repro.core.results import RunResult
 from repro.obs import Observability, get_active
 from repro.oscillator.prc import LinearPRC
-from repro.spanningtree.boruvka import distributed_boruvka
+from repro.spanningtree.boruvka import (
+    distributed_boruvka,
+    distributed_boruvka_csr,
+)
 from repro.spanningtree.fragment import FragmentSet
 from repro.spanningtree.ghs import distributed_ghs
-from repro.spanningtree.mst import tree_weight
 
 #: Slots for one H_Connect RACH2 exchange (broadcast + acknowledgement).
 HANDSHAKE_SLOTS = 2
@@ -114,21 +122,39 @@ class STSimulation:
             # neighbour (the Borůvka seed edge); heavy edges are strong, so
             # they win the capture race quickly even in dense deployments.
             # A floor of ``discovery_periods`` beacon periods is always paid.
+            sparse = net.is_sparse
+            max_periods = max(1, int(cfg.max_time_ms / cfg.period_ms))
             with obs.span("discovery"):
-                disc = BeaconDiscovery(
-                    net.link_budget.mean_rx_dbm,
-                    threshold_dbm=cfg.threshold_dbm,
-                    period_slots=cfg.period_slots,
-                    slot_ms=cfg.slot_ms,
-                    preambles=cfg.beacon_preambles,
-                    fading=net.link_budget.fading,
-                ).run(
-                    net.streams.stream("st-beacons"),
-                    required=top_k_required(net.weights, net.adjacency, k=1),
-                    max_periods=max(1, int(cfg.max_time_ms / cfg.period_ms)),
-                    obs=obs,
-                    obs_labels={"algorithm": "st", "stage": "discovery"},
-                )
+                if sparse:
+                    budget = net.sparse_budget
+                    disc = SparseBeaconDiscovery(
+                        budget,
+                        threshold_dbm=cfg.threshold_dbm,
+                        period_slots=cfg.period_slots,
+                        slot_ms=cfg.slot_ms,
+                        preambles=cfg.beacon_preambles,
+                    ).run(
+                        net.streams.stream("st-beacons"),
+                        required=top_k_required_csr(budget, k=1),
+                        max_periods=max_periods,
+                        obs=obs,
+                        obs_labels={"algorithm": "st", "stage": "discovery"},
+                    )
+                else:
+                    disc = BeaconDiscovery(
+                        net.link_budget.mean_rx_dbm,
+                        threshold_dbm=cfg.threshold_dbm,
+                        period_slots=cfg.period_slots,
+                        slot_ms=cfg.slot_ms,
+                        preambles=cfg.beacon_preambles,
+                        fading=net.link_budget.fading,
+                    ).run(
+                        net.streams.stream("st-beacons"),
+                        required=top_k_required(net.weights, net.adjacency, k=1),
+                        max_periods=max_periods,
+                        obs=obs,
+                        obs_labels={"algorithm": "st", "stage": "discovery"},
+                    )
             discovery_periods = max(disc.periods, cfg.discovery_periods)
             discovery_ms = discovery_periods * cfg.period_ms
             discovery_msgs = n * discovery_periods
@@ -139,7 +165,18 @@ class STSimulation:
             with obs.span("construction", merge_rule=cfg.merge_rule):
                 with obs.span("merge_schedule"):
                     if cfg.merge_rule == "ghs":
+                        # GHS has no CSR port yet — a sparse network pays
+                        # the one-off densify (net.densified records it)
                         boruvka = distributed_ghs(net.weights, net.adjacency)
+                    elif sparse:
+                        # link weights ARE the symmetrized PS weights,
+                        # bitwise (see D2DNetwork docstring)
+                        boruvka = distributed_boruvka_csr(
+                            n,
+                            budget.link_indptr,
+                            budget.link_indices,
+                            budget.link_power_dbm,
+                        )
                     else:
                         boruvka = distributed_boruvka(net.weights, net.adjacency)
                 frags = FragmentSet(n)
@@ -225,9 +262,6 @@ class STSimulation:
             with obs.span("trim"):
                 tree_edges = frags.all_tree_edges()
                 converged_tree = len(frags.fragments()) == 1
-                tree_adj = np.zeros((n, n), dtype=bool)
-                for u, v in tree_edges:
-                    tree_adj[u, v] = tree_adj[v, u] = True
 
                 # Residual spread after alignment: the RACH2 wave carries the
                 # head's clock and every relay compensates the known 1-slot
@@ -241,17 +275,48 @@ class STSimulation:
                 initial_phases = base + phase_rng.uniform(0.0, window, size=n)
 
                 start_ms = discovery_ms + construction_ms
-                kernel = PulseSyncKernel(
-                    net.link_budget.mean_rx_dbm,
-                    tree_adj,
-                    self.prc,
+                kernel_opts = dict(
                     period_ms=cfg.period_ms,
                     threshold_dbm=cfg.threshold_dbm,
                     refractory_ms=cfg.refractory_ms,
                     sync_window_ms=cfg.sync_window_ms,
-                    fading=net.link_budget.fading,
                     collision_policy=cfg.collision_policy,
                 )
+                if sparse:
+                    # both directions of each tree edge, powers looked up
+                    # from the radio CSR — no (n, n) allocation
+                    eu = np.fromiter(
+                        (u for u, _ in tree_edges),
+                        dtype=np.int64,
+                        count=len(tree_edges),
+                    )
+                    ev = np.fromiter(
+                        (v for _, v in tree_edges),
+                        dtype=np.int64,
+                        count=len(tree_edges),
+                    )
+                    tx = np.concatenate((eu, ev))
+                    rx = np.concatenate((ev, eu))
+                    kernel = SparsePulseSyncKernel.from_edges(
+                        n,
+                        tx,
+                        rx,
+                        budget.edge_power_lookup(tx, rx),
+                        self.prc,
+                        fading=budget.fading,
+                        **kernel_opts,
+                    )
+                else:
+                    tree_adj = np.zeros((n, n), dtype=bool)
+                    for u, v in tree_edges:
+                        tree_adj[u, v] = tree_adj[v, u] = True
+                    kernel = PulseSyncKernel(
+                        net.link_budget.mean_rx_dbm,
+                        tree_adj,
+                        self.prc,
+                        fading=net.link_budget.fading,
+                        **kernel_opts,
+                    )
                 trim = kernel.run(
                     net.streams.stream("st-trim"),
                     initial_phases=np.clip(initial_phases, 0.0, 1.0 - 1e-9),
@@ -294,7 +359,7 @@ class STSimulation:
                 "construction_ms": construction_ms,
                 "trim_ms": trim.time_ms - start_ms,
                 "trim_fires": trim.fires,
-                "tree_weight": tree_weight(net.weights, tree_edges),
+                "tree_weight": _tree_weight_for(net, tree_edges),
                 "final_spread_ms": trim.final_spread_ms,
                 "max_wave_depth": max_wave_depth,
             },

@@ -12,6 +12,58 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.radio.chanhash import event_exponential
+
+#: Hashed Rayleigh fading clips the dB gain to this cap.  An Exp(1) power
+#: gain exceeds +6 dB (g ≈ 4) with probability e⁻⁴ ≈ 1.8 %; the cap bounds
+#: the link budget headroom the sparse candidate generator must allow for
+#: beacon decoding on sub-threshold-mean links.  Both the dense and the
+#: sparse path apply the same cap, so they stay seed-for-seed identical.
+FADE_CAP_DB = 6.0
+
+#: Floor matching the legacy ``max(gain, 1e-12)`` clamp (−120 dB).
+FADE_FLOOR_DB = -120.0
+
+
+class HashedRayleighFading:
+    """Counter-based Rayleigh (NLOS) fast fading — layout-independent.
+
+    One draw per ``(event, tx, rx)``: a pure hash of the run key, the
+    radio event counter and the directed pair (see
+    :mod:`repro.radio.chanhash`).  Dense kernels evaluate it on ``(k, n)``
+    grids, sparse kernels on CSR edge lists — same values either way,
+    which is what makes the two execution paths bit-identical.
+
+    The dB offset is clipped to ``[FADE_FLOOR_DB, FADE_CAP_DB]``; see the
+    cap's rationale above.
+    """
+
+    def __init__(self, key: int) -> None:
+        self.key = int(key)
+        self._analysis_rng: np.random.Generator | None = None
+
+    def link_db(self, event: int, tx: np.ndarray, rx: np.ndarray) -> np.ndarray:
+        """dB fading offsets for pairs ``tx → rx`` at ``event`` (broadcasts)."""
+        gain = event_exponential(self.key, event, tx, rx)
+        db = 10.0 * np.log10(np.maximum(gain, 1e-12))
+        return np.minimum(db, FADE_CAP_DB)
+
+    def sample_db(self, size: int | tuple[int, ...] = 1) -> np.ndarray:
+        """Stream-style draws for analysis paths (``LinkBudget.broadcast``).
+
+        Hot kernels never call this — they use :meth:`link_db`.  The
+        private generator is seeded from the key, so analysis runs stay
+        reproducible without perturbing any counter-based draw.
+        """
+        if self._analysis_rng is None:
+            self._analysis_rng = np.random.default_rng(self.key)
+        gain = self._analysis_rng.exponential(1.0, size=size)
+        db = 10.0 * np.log10(np.maximum(gain, 1e-12))
+        return np.minimum(db, FADE_CAP_DB)
+
+    def __repr__(self) -> str:
+        return f"HashedRayleighFading(key={self.key})"
+
 
 class RayleighFading:
     """Rayleigh (NLOS) fast fading expressed as a dB power offset.

@@ -93,6 +93,12 @@ class LinkBudget:
     def broadcast(self, tx: int, rng: np.random.Generator) -> list[ReceivedSignal]:
         """One PS broadcast from ``tx``: per-receiver power with fresh fading.
 
+        .. deprecated::
+            Analysis/example use only — the per-receiver object list is
+            O(n) allocation per call.  Hot paths (kernels, beaconing) use
+            :meth:`broadcast_power` or precomputed matrices/CSR instead;
+            do not add new simulation call sites.
+
         Returns a record per *detecting* receiver, sorted by id.  Fading is
         drawn independently per receiver for this transmission.
         """

@@ -17,14 +17,24 @@ Message accounting per phase (see :mod:`repro.spanningtree.messages`):
 
 Ties are broken by node-id pair so the weight order is total even when
 two physical links produce identical RSSI values.
+
+Two entry points share one fully vectorized phase driver: per-node
+candidate scans and the per-fragment MWOE election are segment reductions
+(no per-node Python loops).  :func:`distributed_boruvka` scans a dense
+``(n, n)`` weight matrix; :func:`distributed_boruvka_csr` scans a CSR
+edge list in O(E) per phase.  Candidate selection is deterministic and
+identical in both (ties: higher weight, then lower ``(min, max)`` pair),
+so they produce the same phases, edges and message bill.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import get_active
 from repro.spanningtree.fragment import Fragment, FragmentSet
 from repro.spanningtree.messages import MessageCounter, MessageKind
 
@@ -69,6 +79,111 @@ def _edge_key(w: float, u: int, v: int, n: int) -> tuple[float, int]:
     return (w, -(a * n + b))
 
 
+def _default_max_phases(n: int) -> int:
+    return 2 * max(1, int(np.ceil(np.log2(max(n, 2))))) + 4
+
+
+def _fragment_mwoe(
+    comp: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    ws: np.ndarray,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Elect each fragment's MWOE from per-node candidates (vectorized).
+
+    The winner per fragment root maximizes ``(weight, -(min·n + max))`` —
+    the same total order :func:`_edge_key` defines.  Returns the winning
+    ``(roots, u, v)`` triple arrays.
+    """
+    roots = comp[us]
+    a = np.minimum(us, vs)
+    b = np.maximum(us, vs)
+    pair_id = a * np.int64(n) + b
+    order = np.lexsort((pair_id, -ws, roots))
+    r_sorted = roots[order]
+    first = np.concatenate(([True], r_sorted[1:] != r_sorted[:-1]))
+    sel = order[first]
+    return roots[sel], us[sel], vs[sel]
+
+
+def _run_phases(
+    n: int,
+    frags: FragmentSet,
+    counter: MessageCounter,
+    max_phases: int,
+    candidate_fn,
+) -> list[PhaseRecord]:
+    """Shared phase driver.
+
+    ``candidate_fn(comp)`` returns per-node candidates ``(us, vs, ws)``:
+    for every node ``u`` with at least one outgoing edge, its heaviest
+    one (ties: lowest neighbour id, matching dense argmax).
+    """
+    obs = get_active()
+    phases: list[PhaseRecord] = []
+    for phase_idx in range(max_phases):
+        if frags.count == 1:
+            break
+        comp = np.fromiter(
+            (frags.fragment_of(i) for i in range(n)), dtype=np.int64, count=n
+        )
+        span = (
+            obs.span("mwoe_scan", phase=phase_idx, nodes=n)
+            if obs is not None
+            else nullcontext()
+        )
+        with span:
+            us, vs, ws = candidate_fn(comp)
+        if us.size == 0:
+            break  # disconnected: remaining fragments can never merge
+
+        phase_counter = MessageCounter()
+        phase_counter.add(MessageKind.TEST, int(us.size))
+        fragments_before = frags.count
+        roots_sel, u_sel, v_sel = _fragment_mwoe(comp, us, vs, ws, n)
+        mwoe_roots = set(int(r) for r in roots_sel)
+
+        # convergecast + broadcast + connect accounting; fragments with no
+        # outgoing edge (done, or isolated/dead nodes) stay silent
+        for frag in frags.fragments():
+            root = frags.fragment_of(frag.head)
+            if root in mwoe_roots:
+                phase_counter.add(MessageKind.REPORT, frag.size)
+                phase_counter.add(MessageKind.MERGE_ANNOUNCE, frag.size - 1)
+                phase_counter.add(MessageKind.CONNECT, 1)
+
+        chosen: list[tuple[int, int]] = []
+        for u, v in zip(u_sel.tolist(), v_sel.tolist()):
+            if frags.merge(u, v):
+                chosen.append((min(u, v), max(u, v)))
+        counter.merge(phase_counter)
+        phases.append(
+            PhaseRecord(
+                phase=phase_idx,
+                fragments_before=fragments_before,
+                fragments_after=frags.count,
+                chosen_edges=tuple(sorted(chosen)),
+                messages=phase_counter.as_dict(),
+            )
+        )
+    return phases
+
+
+def _seed_fragments(
+    frags: FragmentSet,
+    initial_edges: list[tuple[int, int]] | None,
+    edge_exists,
+) -> None:
+    if not initial_edges:
+        return
+    for u, v in initial_edges:
+        if not edge_exists(u, v):
+            raise ValueError(f"initial edge ({u}, {v}) is not a usable link")
+        if not frags.merge(u, v):
+            raise ValueError(f"initial edges contain a cycle at ({u}, {v})")
+
+
 def distributed_boruvka(
     weights: np.ndarray,
     adjacency: np.ndarray,
@@ -105,79 +220,94 @@ def distributed_boruvka(
     if n == 0:
         raise ValueError("graph must have at least one node")
     if max_phases is None:
-        max_phases = 2 * max(1, int(np.ceil(np.log2(max(n, 2))))) + 4
+        max_phases = _default_max_phases(n)
 
     # masked weights: -inf where no usable edge
     base = np.where(adj, w, -np.inf)
     np.fill_diagonal(base, -np.inf)
 
     frags = FragmentSet(n)
-    if initial_edges:
-        for u, v in initial_edges:
-            if not adj[u, v]:
-                raise ValueError(
-                    f"initial edge ({u}, {v}) is not a usable link"
-                )
-            if not frags.merge(u, v):
-                raise ValueError(
-                    f"initial edges contain a cycle at ({u}, {v})"
-                )
+    _seed_fragments(frags, initial_edges, lambda u, v: bool(adj[u, v]))
     counter = MessageCounter()
-    phases: list[PhaseRecord] = []
+    node_ids = np.arange(n)
 
-    for phase_idx in range(max_phases):
-        if frags.count == 1:
-            break
-        comp = np.fromiter(
-            (frags.fragment_of(i) for i in range(n)), dtype=int, count=n
-        )
+    def candidates(comp: np.ndarray):
         # outgoing = usable edges whose endpoints are in different fragments
         outgoing = np.where(comp[:, None] != comp[None, :], base, -np.inf)
         best_nbr = np.argmax(outgoing, axis=1)
-        best_w = outgoing[np.arange(n), best_nbr]
+        best_w = outgoing[node_ids, best_nbr]
         has_out = np.isfinite(best_w)
-        if not has_out.any():
-            break  # disconnected: remaining fragments can never merge
+        us = np.nonzero(has_out)[0]
+        return us, best_nbr[us], best_w[us]
 
-        phase_counter = MessageCounter()
-        phase_counter.add(MessageKind.TEST, int(has_out.sum()))
+    phases = _run_phases(n, frags, counter, max_phases, candidates)
+    return BoruvkaResult(
+        edges=frags.all_tree_edges(),
+        phases=phases,
+        counter=counter,
+        fragments=frags.fragments(),
+    )
 
-        # per-fragment MWOE via the nodes' local candidates
-        fragments_before = frags.count
-        mwoe: dict[int, tuple[tuple[float, int], int, int]] = {}
-        for u in np.nonzero(has_out)[0]:
-            u = int(u)
-            v = int(best_nbr[u])
-            key = _edge_key(float(best_w[u]), u, v, n)
-            root = int(comp[u])
-            cur = mwoe.get(root)
-            if cur is None or key > cur[0]:
-                mwoe[root] = (key, u, v)
 
-        # convergecast + broadcast + connect accounting; fragments with no
-        # outgoing edge (done, or isolated/dead nodes) stay silent
-        for frag in frags.fragments():
-            root = frags.fragment_of(frag.head)
-            if root in mwoe:
-                phase_counter.add(MessageKind.REPORT, frag.size)
-                phase_counter.add(MessageKind.MERGE_ANNOUNCE, frag.size - 1)
-                phase_counter.add(MessageKind.CONNECT, 1)
+def distributed_boruvka_csr(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    edge_weight: np.ndarray,
+    *,
+    max_phases: int | None = None,
+    initial_edges: list[tuple[int, int]] | None = None,
+) -> BoruvkaResult:
+    """CSR :func:`distributed_boruvka`: O(E) per phase, no (n, n) arrays.
 
-        chosen: list[tuple[int, int]] = []
-        for _key, u, v in mwoe.values():
-            if frags.merge(u, v):
-                chosen.append((min(u, v), max(u, v)))
-        counter.merge(phase_counter)
-        phases.append(
-            PhaseRecord(
-                phase=phase_idx,
-                fragments_before=fragments_before,
-                fragments_after=frags.count,
-                chosen_edges=tuple(sorted(chosen)),
-                messages=phase_counter.as_dict(),
-            )
-        )
+    The graph must be symmetric (every edge present in both directions,
+    as the :class:`~repro.radio.sparse_link.SparseLinkBudget` proximity
+    CSR is) with direction-symmetric weights.  Produces the same phases,
+    chosen edges and message bill as the dense function on the
+    equivalent matrix inputs.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    edge_weight = np.asarray(edge_weight, dtype=float)
+    if n <= 0:
+        raise ValueError("graph must have at least one node")
+    if max_phases is None:
+        max_phases = _default_max_phases(n)
+    tx = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
 
+    # sorted directed codes for the initial-edge membership check
+    codes = (tx.astype(np.uint64) << np.uint64(32)) | indices.astype(np.uint64)
+
+    def edge_exists(u: int, v: int) -> bool:
+        code = (np.uint64(u) << np.uint64(32)) | np.uint64(v)
+        pos = int(np.searchsorted(codes, code))
+        return pos < codes.size and codes[pos] == code
+
+    frags = FragmentSet(n)
+    _seed_fragments(frags, initial_edges, edge_exists)
+    counter = MessageCounter()
+
+    # one up-front sort by (tx, weight desc, neighbour id asc): each
+    # phase then just takes the first still-outgoing edge per node —
+    # O(E) per phase instead of an O(E log E) lexsort per phase
+    order0 = np.lexsort((indices, -edge_weight, tx))
+    t_s = tx[order0]
+    r_s = indices[order0]
+    w_s = edge_weight[order0]
+
+    def candidates(comp: np.ndarray):
+        idx = np.flatnonzero(comp[t_s] != comp[r_s])
+        if idx.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0, dtype=float)
+        t = t_s[idx]
+        # first surviving edge per node = its heaviest outgoing edge
+        # (ties → lowest neighbour id, matching dense argmax semantics)
+        first = np.concatenate(([True], t[1:] != t[:-1]))
+        sel = idx[first]
+        return t_s[sel], r_s[sel], w_s[sel]
+
+    phases = _run_phases(n, frags, counter, max_phases, candidates)
     return BoruvkaResult(
         edges=frags.all_tree_edges(),
         phases=phases,

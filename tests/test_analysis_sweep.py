@@ -67,3 +67,28 @@ class TestValidation:
             (20, 20), (1, 1), base_config=PaperConfig(max_time_ms=120_000.0)
         )
         assert len(result.runs) == 2  # one size, one seed, two algorithms
+
+
+class TestParallelDeterminism:
+    def test_parallel_equals_serial(self):
+        """imap_unordered + index reassembly must reproduce the serial run."""
+        base = PaperConfig(max_time_ms=120_000.0)
+        serial = run_sweep((16, 24), (1, 2, 3), base_config=base, workers=1)
+        parallel = run_sweep((16, 24), (1, 2, 3), base_config=base, workers=2)
+        assert len(serial.runs) == len(parallel.runs)
+        for a, b in zip(serial.runs, parallel.runs):
+            assert (a.algorithm, a.n_devices, a.seed) == (
+                b.algorithm,
+                b.n_devices,
+                b.seed,
+            )
+            assert a.time_ms == b.time_ms
+            assert a.messages == b.messages
+            assert a.tree_edges == b.tree_edges
+        assert [
+            (p.algorithm, p.n_devices, p.time_ms.mean, p.messages.mean)
+            for p in serial.points
+        ] == [
+            (p.algorithm, p.n_devices, p.time_ms.mean, p.messages.mean)
+            for p in parallel.points
+        ]

@@ -1,0 +1,129 @@
+"""Counter-based channel randomness: determinism, symmetry, distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio.chanhash import (
+    derive_key,
+    directed_code,
+    event_exponential,
+    link_normal,
+    pair_code,
+    splitmix64,
+)
+
+
+class TestSplitMix64:
+    def test_deterministic_and_uint64(self):
+        x = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        a = splitmix64(x)
+        b = splitmix64(x)
+        assert a.dtype == np.uint64
+        assert np.array_equal(a, b)
+
+    def test_avalanche(self):
+        # neighbouring inputs map to wildly different outputs
+        x = splitmix64(np.arange(10_000, dtype=np.uint64))
+        assert np.unique(x).size == 10_000
+        bits = np.unpackbits(x.view(np.uint8))
+        assert abs(bits.mean() - 0.5) < 0.01
+
+    def test_derive_key_separates_streams(self):
+        k = 12345
+        assert derive_key(k, 1) != derive_key(k, 2)
+        assert derive_key(k, 1) == derive_key(k, 1)
+
+
+class TestPairCodes:
+    def test_pair_code_symmetric(self):
+        i = np.array([3, 7, 100])
+        j = np.array([9, 2, 100_000])
+        assert np.array_equal(pair_code(i, j), pair_code(j, i))
+
+    def test_directed_code_asymmetric(self):
+        assert directed_code(np.int64(3), np.int64(9)) != directed_code(
+            np.int64(9), np.int64(3)
+        )
+
+    def test_codes_unique_over_grid(self):
+        n = 200
+        i, j = np.triu_indices(n, k=1)
+        codes = pair_code(i, j)
+        assert np.unique(codes).size == codes.size
+
+
+class TestLinkNormal:
+    def test_symmetric_in_link(self):
+        key = 42
+        i = np.arange(50)
+        j = (i * 7 + 3) % 50
+        assert np.array_equal(link_normal(key, i, j), link_normal(key, j, i))
+
+    def test_key_changes_values(self):
+        i, j = np.triu_indices(40, k=1)
+        assert not np.array_equal(link_normal(1, i, j), link_normal(2, i, j))
+
+    def test_standard_normal_moments(self):
+        n = 600
+        i, j = np.triu_indices(n, k=1)
+        z = link_normal(7, i, j)
+        assert abs(z.mean()) < 0.02
+        assert abs(z.std() - 1.0) < 0.02
+
+
+class TestEventExponential:
+    def test_deterministic_per_counter(self):
+        tx = np.arange(100)
+        rx = (tx + 1) % 100
+        a = event_exponential(9, 5, tx, rx)
+        assert np.array_equal(a, event_exponential(9, 5, tx, rx))
+        assert not np.array_equal(a, event_exponential(9, 6, tx, rx))
+
+    def test_direction_matters(self):
+        tx = np.arange(100)
+        rx = (tx + 1) % 100
+        assert not np.array_equal(
+            event_exponential(9, 5, tx, rx), event_exponential(9, 5, rx, tx)
+        )
+
+    def test_unit_mean(self):
+        tx = np.repeat(np.arange(300), 3)
+        rx = np.tile(np.arange(3), 300) + 1000
+        samples = np.concatenate(
+            [event_exponential(11, e, tx, rx) for e in range(20)]
+        )
+        assert samples.min() > 0.0
+        assert abs(samples.mean() - 1.0) < 0.03
+
+
+class TestHashedModels:
+    def test_hashed_shadowing_matrix_matches_pointwise(self):
+        from repro.radio.shadowing import HashedShadowing
+
+        sh = HashedShadowing(8.0, key=77, clip_sigma=3.0)
+        n = 60
+        mat = sh.link_matrix(n)
+        assert np.array_equal(mat, mat.T)
+        assert np.all(np.diag(mat) == 0.0)
+        assert np.abs(mat).max() <= sh.max_gain_db
+        i, j = np.triu_indices(n, k=1)
+        assert np.array_equal(mat[i, j], sh.link_db(i, j))
+
+    def test_hashed_fading_capped(self):
+        from repro.radio.fading import FADE_CAP_DB, HashedRayleighFading
+
+        fad = HashedRayleighFading(5)
+        tx = np.arange(500)
+        rx = (tx + 3) % 500
+        db = fad.link_db(0, tx, rx)
+        assert db.max() <= FADE_CAP_DB
+        assert np.array_equal(db, fad.link_db(0, tx, rx))
+        assert not np.array_equal(db, fad.link_db(1, tx, rx))
+
+
+@pytest.mark.parametrize("bad", [-1, 2**64])
+def test_derive_key_validates_range(bad):
+    with pytest.raises((ValueError, OverflowError)):
+        derive_key(bad, 0)

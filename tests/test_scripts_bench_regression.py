@@ -1,0 +1,129 @@
+"""The bench-regression gate script, unit-tested."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+check_bench_regression = importlib.util.module_from_spec(_spec)
+sys.modules["check_bench_regression"] = check_bench_regression
+_spec.loader.exec_module(check_bench_regression)
+
+
+def _artifact(path: pathlib.Path, wall: float, rows=None) -> str:
+    payload = {
+        "schema": "repro.bench/1",
+        "bench": "scale",
+        "wall_time_s": wall,
+        "metrics": {"rows": rows or []},
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _row(n, backend, wall):
+    return {"n": n, "backend": backend, "wall_s": wall}
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self, tmp_path):
+        cur = _artifact(tmp_path / "cur.json", 1.1, [_row(300, "sparse", 1.1)])
+        base = _artifact(tmp_path / "base.json", 1.0, [_row(300, "sparse", 1.0)])
+        assert (
+            check_bench_regression.main(
+                ["--current", cur, "--baseline", base, "--tolerance", "0.2"]
+            )
+            == 0
+        )
+
+    def test_overall_regression_fails(self, tmp_path):
+        cur = _artifact(tmp_path / "cur.json", 2.0)
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base]) == 1
+        )
+
+    def test_per_row_regression_fails_even_if_total_ok(self, tmp_path):
+        cur = _artifact(
+            tmp_path / "cur.json",
+            1.0,
+            [_row(300, "sparse", 0.9), _row(800, "sparse", 0.5)],
+        )
+        base = _artifact(
+            tmp_path / "base.json",
+            1.0,
+            [_row(300, "sparse", 0.3), _row(800, "sparse", 0.7)],
+        )
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base]) == 1
+        )
+
+    def test_speedup_never_fails(self, tmp_path):
+        cur = _artifact(tmp_path / "cur.json", 0.1, [_row(300, "sparse", 0.1)])
+        base = _artifact(tmp_path / "base.json", 5.0, [_row(300, "sparse", 5.0)])
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base]) == 0
+        )
+
+    def test_rows_only_in_one_side_ignored(self, tmp_path):
+        cur = _artifact(tmp_path / "cur.json", 1.0, [_row(2000, "sparse", 9.0)])
+        base = _artifact(tmp_path / "base.json", 1.0, [_row(300, "sparse", 0.1)])
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base]) == 0
+        )
+
+
+class TestArtifactErrors:
+    def test_missing_file(self, tmp_path):
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(
+                ["--current", str(tmp_path / "nope.json"), "--baseline", base]
+            )
+            == 2
+        )
+
+    def test_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/9"}))
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(
+                ["--current", str(bad), "--baseline", base]
+            )
+            == 2
+        )
+
+    def test_negative_tolerance(self, tmp_path):
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(
+                ["--current", base, "--baseline", base, "--tolerance", "-1"]
+            )
+            == 2
+        )
+
+
+def test_committed_baseline_is_valid():
+    baseline = (
+        pathlib.Path(__file__).resolve().parent.parent
+        / "benchmarks"
+        / "baselines"
+        / "BENCH_scale.json"
+    )
+    data = json.loads(baseline.read_text())
+    assert data["schema"] == "repro.bench/1"
+    rows = data["metrics"]["rows"]
+    assert any(r["backend"] == "sparse" for r in rows)
+    with pytest.raises(SystemExit):
+        check_bench_regression.main([])  # usage error without args

@@ -1,0 +1,146 @@
+"""Seed-for-seed parity: the sparse scale path vs the dense reference.
+
+The whole sparse design rests on counter-based channel randomness making
+layout irrelevant — so dense and sparse backends must agree *bitwise* on
+adjacency, weights, tree edges, convergence times and message totals for
+the same (config, seed).  These tests are the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import PaperConfig
+from repro.core.fst import FSTSimulation, heavy_edge_forest, heavy_edge_forest_csr
+from repro.core.fst import stitch_forest, stitch_forest_csr
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation
+from repro.spanningtree.boruvka import distributed_boruvka, distributed_boruvka_csr
+
+
+def _pair(n: int, seed: int) -> tuple[D2DNetwork, D2DNetwork]:
+    cfg = PaperConfig(n_devices=n, seed=seed, backend="dense")
+    return D2DNetwork(cfg), D2DNetwork(replace(cfg, backend="sparse"))
+
+
+class TestBackendSelection:
+    def test_resolved_backend_auto_threshold(self):
+        assert PaperConfig(n_devices=100).resolved_backend == "dense"
+        assert PaperConfig(n_devices=2000).resolved_backend == "sparse"
+        assert (
+            PaperConfig(n_devices=100, sparse_threshold_devices=50).resolved_backend
+            == "sparse"
+        )
+        assert PaperConfig(n_devices=2000, backend="dense").resolved_backend == "dense"
+        assert PaperConfig(n_devices=10, backend="sparse").resolved_backend == "sparse"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PaperConfig(backend="cuda")
+        with pytest.raises(ValueError):
+            PaperConfig(sparse_threshold_devices=0)
+        with pytest.raises(ValueError):
+            PaperConfig(shadow_clip_sigma=-1.0)
+
+
+class TestNetworkParity:
+    @pytest.mark.parametrize("n", [32, 128, 512])
+    def test_graph_and_weights_bitwise(self, n):
+        dense, sparse = _pair(n, seed=3)
+        assert sparse.is_sparse and not dense.is_sparse
+        assert sparse.placement_attempts == dense.placement_attempts
+        assert np.array_equal(sparse.positions, dense.positions)
+
+        sb = sparse.sparse_budget
+        iu, ju = np.nonzero(dense.adjacency)
+        assert set(zip(sb.link_row_ids.tolist(), sb.link_indices.tolist())) == set(
+            zip(iu.tolist(), ju.tolist())
+        )
+        assert np.array_equal(
+            sb.link_power_dbm,
+            dense.weights[sb.link_row_ids, sb.link_indices],
+        ), "CSR link powers must BE the symmetrized weights, bitwise"
+        assert np.array_equal(sb.degrees(), dense.adjacency.sum(axis=1))
+        assert not sparse.densified, "parity checks must not densify"
+
+    def test_lazy_densify_matches_dense_backend(self):
+        dense, sparse = _pair(64, seed=5)
+        assert np.array_equal(sparse.adjacency, dense.adjacency)
+        assert np.array_equal(sparse.weights, dense.weights)
+        assert np.array_equal(
+            sparse.link_budget.mean_rx_dbm, dense.link_budget.mean_rx_dbm
+        )
+        assert sparse.densified  # and it is recorded
+
+
+class TestAlgorithmParity:
+    def test_boruvka_csr_matches_dense(self):
+        dense, sparse = _pair(128, seed=2)
+        sb = sparse.sparse_budget
+        rd = distributed_boruvka(dense.weights, dense.adjacency)
+        rs = distributed_boruvka_csr(
+            128, sb.link_indptr, sb.link_indices, sb.link_power_dbm
+        )
+        assert rd.edges == rs.edges
+        assert rd.counter.as_dict() == rs.counter.as_dict()
+        assert [p.chosen_edges for p in rd.phases] == [
+            p.chosen_edges for p in rs.phases
+        ]
+
+    def test_heavy_edge_and_stitch_csr_match_dense(self):
+        dense, sparse = _pair(128, seed=4)
+        sb = sparse.sparse_budget
+        forest_d = heavy_edge_forest(dense.weights, dense.adjacency)
+        forest_s = heavy_edge_forest_csr(sb)
+        assert forest_d == forest_s
+        tree_d, st_d = stitch_forest(forest_d, dense.weights, dense.adjacency)
+        tree_s, st_s = stitch_forest_csr(forest_s, sb)
+        assert tree_d == tree_s and st_d == st_s
+
+    @pytest.mark.parametrize("n", [32, 128])
+    @pytest.mark.parametrize("seed", [1, 9])
+    def test_st_end_to_end(self, n, seed):
+        dense, sparse = _pair(n, seed)
+        rd = STSimulation(dense).run()
+        rs = STSimulation(sparse).run()
+        assert rd.converged == rs.converged
+        assert rd.time_ms == rs.time_ms
+        assert rd.messages == rs.messages
+        assert rd.message_breakdown == rs.message_breakdown
+        assert rd.tree_edges == rs.tree_edges
+        assert rd.extra["tree_weight"] == rs.extra["tree_weight"]
+        assert rd.extra["phases"] == rs.extra["phases"]
+        assert not sparse.densified, "sparse ST must never touch dense views"
+
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_fst_end_to_end(self, n):
+        dense, sparse = _pair(n, seed=7)
+        rd = FSTSimulation(dense).run()
+        rs = FSTSimulation(sparse).run()
+        assert rd.converged == rs.converged
+        assert rd.time_ms == rs.time_ms
+        assert rd.messages == rs.messages
+        assert rd.message_breakdown == rs.message_breakdown
+        assert rd.tree_edges == rs.tree_edges
+        assert rd.extra["tree_weight"] == rs.extra["tree_weight"]
+        assert rd.extra["discovery_time_ms"] == rs.extra["discovery_time_ms"]
+        assert not sparse.densified, "sparse FST must never touch dense views"
+
+    def test_ghs_merge_rule_falls_back_to_densify(self):
+        cfg = PaperConfig(n_devices=32, seed=1, backend="sparse", merge_rule="ghs")
+        net = D2DNetwork(cfg)
+        result = STSimulation(net).run()
+        assert result.converged
+        assert net.densified  # documented GHS fallback
+
+    def test_collision_policies_parity(self):
+        for policy in ("capture", "destructive", "tolerant"):
+            cfg = PaperConfig(
+                n_devices=48, seed=11, backend="dense", collision_policy=policy
+            )
+            rd = STSimulation(D2DNetwork(cfg)).run()
+            rs = STSimulation(D2DNetwork(replace(cfg, backend="sparse"))).run()
+            assert (rd.time_ms, rd.messages) == (rs.time_ms, rs.messages), policy
