@@ -54,6 +54,12 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
 
     def check(label: str, cur: float, base: float) -> None:
         if base <= 0:
+            # a zero/negative baseline makes the ratio meaningless; say so
+            # instead of silently passing
+            print(
+                f"{label}: skipped (baseline {base:.3f}s is not positive; "
+                f"refresh the baseline artifact)"
+            )
             return
         ratio = cur / base
         verdict = "REGRESSION" if ratio > 1.0 + tolerance else "ok"
@@ -68,11 +74,19 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
     base_wall = baseline.get("wall_time_s")
     if cur_wall is not None and base_wall is not None:
         check("wall_time_s", float(cur_wall), float(base_wall))
+    else:
+        missing = "current" if cur_wall is None else "baseline"
+        print(f"wall_time_s: skipped (missing from the {missing} artifact)")
 
     cur_rows = _rows_by_key(current)
     for key, base_s in sorted(_rows_by_key(baseline).items()):
+        label = f"n={key[0]} backend={key[1]}"
         if key in cur_rows:
-            check(f"n={key[0]} backend={key[1]}", cur_rows[key], base_s)
+            check(label, cur_rows[key], base_s)
+        else:
+            # baseline-only rows (grid shrank, backend dropped) are visible
+            # skips, never silent passes
+            print(f"{label}: skipped (no matching row in the current artifact)")
     return failures
 
 

@@ -82,6 +82,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "config.sparse_threshold_devices)",
     )
     sim.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault plan, e.g. "
+        "'beacon_loss=0.05,crash=0.1,collision=0.2,drift=0.001' "
+        "(see repro.faults.FaultConfig.from_spec)",
+    )
+    sim.add_argument(
         "--breakdown", action="store_true", help="print per-kind message bill"
     )
     sim.add_argument(
@@ -180,6 +188,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         overrides["area_side_m"] = args.area
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.faults is not None:
+        from repro.faults import FaultConfig
+
+        try:
+            overrides["faults"] = FaultConfig.from_spec(args.faults)
+        except ValueError as exc:
+            print(f"invalid --faults spec: {exc}", file=sys.stderr)
+            return 2
     config = config.replace(**overrides)
     network = D2DNetwork(config)
     stats = network.degree_stats()
@@ -194,8 +210,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         runs.append(STSimulation(network, obs=obs).run())
     if args.algorithm in ("fst", "both"):
         runs.append(FSTSimulation(network, obs=obs).run())
+    if config.faults is not None and config.faults.active:
+        print(f"faults: {args.faults}")
     for result in runs:
         print(result.summary())
+        if "faults_injected" in result.extra:
+            print(
+                f"  faults injected {result.extra['faults_injected']}, "
+                f"crashed {result.extra.get('crashed', 0)}, "
+                f"repairs {result.extra.get('repairs', 0)}, "
+                f"discovery retries {result.extra.get('discovery_retries', 0)}"
+            )
         if args.breakdown:
             for kind, count in sorted(result.message_breakdown.items()):
                 if count:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.plan import FaultPlan
 from repro.obs import Observability
 from repro.radio.fading import NoFading
 from repro.radio.sparse_link import SparseLinkBudget, gather_rows
@@ -41,6 +42,89 @@ class BeaconResult:
     decoded: np.ndarray = field(repr=False, default=None)
     #: ordered pairs still missing when the run ended
     missing_pairs: int = 0
+    #: post-collision re-beacon transmissions (0 without a FaultPlan)
+    retries: int = 0
+    #: fault events injected (beacon losses + preamble collisions)
+    faults_injected: int = 0
+
+
+class _BeaconFaultState:
+    """Mutable per-run fault bookkeeping shared by both discovery classes.
+
+    Driven purely by the (period index, period start time) pair and the
+    deterministic :class:`~repro.faults.plan.FaultPlan`, so a dense and a
+    sparse run over the same plan evolve bit-identically.  Collided
+    transmitters back off exponentially (``2^streak − 1`` silent periods,
+    bounded by ``max_backoff_periods``); their next transmission counts
+    as a retry.  Crashed devices fall permanently silent; stalled devices
+    neither transmit nor receive while inside their stall window.
+    """
+
+    def __init__(self, plan: FaultPlan, n: int) -> None:
+        self.plan = plan
+        self.backoff_until = np.zeros(n, dtype=np.int64)
+        self.streak = np.zeros(n, dtype=np.int64)
+        self.pending_retry = np.zeros(n, dtype=bool)
+        self.retries = 0
+        self.beacon_losses = 0
+        self.collisions = 0
+        self._ids = np.arange(n, dtype=np.int64)
+
+    def begin_period(
+        self, period: int, period_start_ms: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Returns ``(transmitters, surviving beacons, receiving)`` masks."""
+        plan = self.plan
+        receiving = ~plan.dead_by(period_start_ms) & ~plan.stalled_at(
+            period_start_ms
+        )
+        tx_mask = receiving & (self.backoff_until <= period)
+        self.retries += int((tx_mask & self.pending_retry).sum())
+        self.pending_retry &= ~tx_mask
+        collided = tx_mask & plan.rach_collided(period, self._ids)
+        ok = tx_mask & ~collided
+        self.streak[ok] = 0
+        if collided.any():
+            self.collisions += int(collided.sum())
+            self.streak[collided] += 1
+            backoff = np.minimum(
+                2 ** np.minimum(self.streak[collided], 16) - 1,
+                plan.config.max_backoff_periods,
+            )
+            self.backoff_until[collided] = period + 1 + backoff
+            self.pending_retry |= collided
+        return tx_mask, ok, receiving
+
+    def lose_beacons(
+        self, event: int, tx: np.ndarray, rx: np.ndarray
+    ) -> np.ndarray:
+        """Per-pair decode-erasure mask for this slot's winners (counted)."""
+        lost = self.plan.beacon_lost(event, tx, rx)
+        self.beacon_losses += int(np.count_nonzero(lost))
+        return lost
+
+    @property
+    def injected(self) -> int:
+        return self.beacon_losses + self.collisions
+
+    def record(self, obs: Observability | None, labels: dict) -> None:
+        if obs is None:
+            return
+        counter = obs.metrics.counter(
+            "faults_injected_total",
+            help="fault events injected by the active FaultPlan",
+            unit="events",
+        )
+        if self.beacon_losses:
+            counter.inc(self.beacon_losses, kind="beacon_loss", **labels)
+        if self.collisions:
+            counter.inc(self.collisions, kind="rach_collision", **labels)
+        if self.retries:
+            obs.metrics.counter(
+                "retries_total",
+                help="post-collision re-beacon transmissions",
+                unit="messages",
+            ).inc(self.retries, **labels)
 
 
 class BeaconDiscovery:
@@ -112,6 +196,7 @@ class BeaconDiscovery:
         decoded: np.ndarray | None = None,
         obs: Observability | None = None,
         obs_labels: dict[str, str] | None = None,
+        faults: FaultPlan | None = None,
     ) -> BeaconResult:
         """Beacon until every ``required[i, j]`` pair has been decoded.
 
@@ -129,6 +214,13 @@ class BeaconDiscovery:
             untouched.
         obs_labels:
             Labels attached to the metrics this run records.
+        faults:
+            Optional :class:`~repro.faults.plan.FaultPlan`.  Injects
+            beacon-decode loss, bursty RACH preamble collisions (with
+            bounded exponential backoff and retry accounting), and
+            crash/stall silence; required pairs touching crashed devices
+            are dropped so the loop cannot spin on the unreachable.
+            ``None`` (default) leaves the loop byte-identical to before.
         """
         n = self.n
         required = np.asarray(required, dtype=bool).copy()
@@ -158,35 +250,61 @@ class BeaconDiscovery:
             tx_counter = None
             occ_hist = None
 
+        fstate = _BeaconFaultState(faults, n) if faults is not None else None
         period = 0
         event = 0  # radio event counter: one per slot-cohort
         while remaining > 0 and period < max_periods:
             period += 1
             # each device picks a random (slot, preamble); only same-slot
-            # same-preamble beacons superpose (OFDMA orthogonality)
+            # same-preamble beacons superpose (OFDMA orthogonality).  The
+            # draw covers all n devices even under faults so the stream
+            # stays aligned with fault-free runs.
             chan = rng.integers(0, self.period_slots * self.preambles, size=n)
-            messages += n
             if self.listen_duty < 1.0:
                 # per-slot sleep schedule: a sleeping receiver misses every
                 # preamble of that slot
                 awake = rng.random((self.period_slots, n)) < self.listen_duty
             else:
                 awake = None
-            order = np.argsort(chan, kind="stable")
-            sorted_chan = chan[order]
-            boundaries = np.nonzero(np.diff(sorted_chan))[0] + 1
-            cohorts = np.split(order, boundaries)
-            starts = np.concatenate(([0], boundaries))
-            for cohort, start in zip(cohorts, starts):
-                slot = int(sorted_chan[start]) // self.preambles
-                awake_row = awake[slot] if awake is not None else None
-                if occ_hist is not None:
-                    occ_hist.observe(cohort.size, **labels)
-                self._decode_cohort(
-                    cohort, rng, required, decoded, use_fading, awake_row,
-                    event,
+            if fstate is None:
+                messages += n
+                receiving = None
+                order = np.argsort(chan, kind="stable")
+            else:
+                period_start_ms = (period - 1) * self.period_slots * self.slot_ms
+                tx_mask, ok_mask, receiving = fstate.begin_period(
+                    period, period_start_ms
                 )
-                event += 1
+                messages += int(tx_mask.sum())
+                dead = faults.dead_by(period_start_ms)
+                if dead.any():
+                    # timeout discipline: crashed devices can never satisfy
+                    # a required pair — drop them instead of spinning
+                    required[dead, :] = False
+                    required[:, dead] = False
+                live = np.flatnonzero(ok_mask)
+                order = live[np.argsort(chan[live], kind="stable")]
+            if order.size:
+                sorted_chan = chan[order]
+                boundaries = np.nonzero(np.diff(sorted_chan))[0] + 1
+                cohorts = np.split(order, boundaries)
+                starts = np.concatenate(([0], boundaries))
+                for cohort, start in zip(cohorts, starts):
+                    slot = int(sorted_chan[start]) // self.preambles
+                    awake_row = awake[slot] if awake is not None else None
+                    if receiving is not None:
+                        awake_row = (
+                            receiving
+                            if awake_row is None
+                            else awake_row & receiving
+                        )
+                    if occ_hist is not None:
+                        occ_hist.observe(cohort.size, **labels)
+                    self._decode_cohort(
+                        cohort, rng, required, decoded, use_fading, awake_row,
+                        event, fstate,
+                    )
+                    event += 1
             remaining = int((required & ~decoded).sum())
             if obs is not None:
                 tx_counter.inc(n, **labels)
@@ -213,6 +331,8 @@ class BeaconDiscovery:
                 help="required (receiver, sender) pairs still undecoded",
                 unit="pairs",
             ).set(remaining, **labels)
+        if fstate is not None:
+            fstate.record(obs, labels)
         return BeaconResult(
             complete=remaining == 0,
             periods=period,
@@ -220,6 +340,8 @@ class BeaconDiscovery:
             messages=messages,
             decoded=decoded,
             missing_pairs=remaining,
+            retries=fstate.retries if fstate is not None else 0,
+            faults_injected=fstate.injected if fstate is not None else 0,
         )
 
     # ------------------------------------------------------------------
@@ -232,6 +354,7 @@ class BeaconDiscovery:
         use_fading: bool,
         awake: np.ndarray | None = None,
         event: int = 0,
+        fstate: _BeaconFaultState | None = None,
     ) -> None:
         """One slot: cohort members transmit simultaneously; decode."""
         n = self.n
@@ -250,7 +373,13 @@ class BeaconDiscovery:
             det_row[tx] = False
             if awake is not None:
                 det_row &= awake
-            decoded[det_row, tx] = True
+            if fstate is None:
+                decoded[det_row, tx] = True
+            else:
+                rx_idx = np.nonzero(det_row)[0]
+                if rx_idx.size:
+                    lost = fstate.lose_beacons(event, np.int64(tx), rx_idx)
+                    decoded[rx_idx[~lost], tx] = True
             return
         power = self.mean_rx[cohort]
         if self._hashed_fading:
@@ -283,6 +412,10 @@ class BeaconDiscovery:
         rx_idx = np.nonzero(decodable)[0]
         if rx_idx.size:
             tx_idx = cohort[strongest_row[rx_idx]]
+            if fstate is not None:
+                lost = fstate.lose_beacons(event, tx_idx, rx_idx)
+                rx_idx = rx_idx[~lost]
+                tx_idx = tx_idx[~lost]
             decoded[rx_idx, tx_idx] = True
 
 
@@ -350,13 +483,14 @@ class SparseBeaconDiscovery:
         decoded: np.ndarray | None = None,
         obs: Observability | None = None,
         obs_labels: dict[str, str] | None = None,
+        faults: FaultPlan | None = None,
     ) -> BeaconResult:
         """Beacon until every required radio-graph edge has been decoded.
 
         Mirrors :meth:`BeaconDiscovery.run` — same draws from ``rng`` in
-        the same order, same metrics/probes — with edge-mask state.  The
-        returned :class:`BeaconResult` carries the decoded *edge mask* in
-        its ``decoded`` field.
+        the same order, same metrics/probes, same fault injection — with
+        edge-mask state.  The returned :class:`BeaconResult` carries the
+        decoded *edge mask* in its ``decoded`` field.
         """
         n = self.n
         required = np.asarray(required, dtype=bool).copy()
@@ -387,28 +521,54 @@ class SparseBeaconDiscovery:
             tx_counter = None
             occ_hist = None
 
+        fstate = _BeaconFaultState(faults, n) if faults is not None else None
         period = 0
         event = 0  # radio event counter: one per slot-cohort
         while remaining > 0 and period < max_periods:
             period += 1
+            # draw covers all n devices even under faults so the stream
+            # stays aligned with fault-free (and dense) runs
             chan = rng.integers(0, self.period_slots * self.preambles, size=n)
-            messages += n
             if self.listen_duty < 1.0:
                 awake = rng.random((self.period_slots, n)) < self.listen_duty
             else:
                 awake = None
-            order = np.argsort(chan, kind="stable")
-            sorted_chan = chan[order]
-            boundaries = np.nonzero(np.diff(sorted_chan))[0] + 1
-            cohorts = np.split(order, boundaries)
-            starts = np.concatenate(([0], boundaries))
-            for cohort, start in zip(cohorts, starts):
-                slot = int(sorted_chan[start]) // self.preambles
-                awake_row = awake[slot] if awake is not None else None
-                if occ_hist is not None:
-                    occ_hist.observe(cohort.size, **labels)
-                self._decode_cohort(cohort, decoded, awake_row, event)
-                event += 1
+            if fstate is None:
+                messages += n
+                receiving = None
+                order = np.argsort(chan, kind="stable")
+            else:
+                period_start_ms = (period - 1) * self.period_slots * self.slot_ms
+                tx_mask, ok_mask, receiving = fstate.begin_period(
+                    period, period_start_ms
+                )
+                messages += int(tx_mask.sum())
+                dead = faults.dead_by(period_start_ms)
+                if dead.any():
+                    # timeout discipline: crashed devices can never satisfy
+                    # a required pair — drop them instead of spinning
+                    budget = self.budget
+                    required &= ~(dead[budget.row_ids] | dead[budget.indices])
+                live = np.flatnonzero(ok_mask)
+                order = live[np.argsort(chan[live], kind="stable")]
+            if order.size:
+                sorted_chan = chan[order]
+                boundaries = np.nonzero(np.diff(sorted_chan))[0] + 1
+                cohorts = np.split(order, boundaries)
+                starts = np.concatenate(([0], boundaries))
+                for cohort, start in zip(cohorts, starts):
+                    slot = int(sorted_chan[start]) // self.preambles
+                    awake_row = awake[slot] if awake is not None else None
+                    if receiving is not None:
+                        awake_row = (
+                            receiving
+                            if awake_row is None
+                            else awake_row & receiving
+                        )
+                    if occ_hist is not None:
+                        occ_hist.observe(cohort.size, **labels)
+                    self._decode_cohort(cohort, decoded, awake_row, event, fstate)
+                    event += 1
             remaining = int((required & ~decoded).sum())
             if obs is not None:
                 tx_counter.inc(n, **labels)
@@ -435,6 +595,8 @@ class SparseBeaconDiscovery:
                 help="required (receiver, sender) pairs still undecoded",
                 unit="pairs",
             ).set(remaining, **labels)
+        if fstate is not None:
+            fstate.record(obs, labels)
         return BeaconResult(
             complete=remaining == 0,
             periods=period,
@@ -442,6 +604,8 @@ class SparseBeaconDiscovery:
             messages=messages,
             decoded=decoded,
             missing_pairs=remaining,
+            retries=fstate.retries if fstate is not None else 0,
+            faults_injected=fstate.injected if fstate is not None else 0,
         )
 
     # ------------------------------------------------------------------
@@ -451,6 +615,7 @@ class SparseBeaconDiscovery:
         decoded: np.ndarray,
         awake: np.ndarray | None,
         event: int,
+        fstate: _BeaconFaultState | None = None,
     ) -> None:
         """One slot over CSR edges; same capture semantics as dense."""
         budget = self.budget
@@ -465,7 +630,13 @@ class SparseBeaconDiscovery:
             det = power >= self.threshold_dbm
             if awake is not None:
                 det &= awake[rx]
-            decoded[lo + np.flatnonzero(det)] = True
+            if fstate is None:
+                decoded[lo + np.flatnonzero(det)] = True
+            else:
+                pos = np.flatnonzero(det)
+                if pos.size:
+                    lost = fstate.lose_beacons(event, np.int64(tx), rx[pos])
+                    decoded[lo + pos[~lost]] = True
             return
         epos, tx_e = gather_rows(budget.indptr, cohort)
         rx_e = budget.indices[epos]
@@ -503,7 +674,14 @@ class SparseBeaconDiscovery:
         is_tx[cohort] = False
         if awake is not None:
             decodable &= awake[seg_rx]
-        decoded[epos_s[seg_starts[decodable]]] = True
+        if fstate is None:
+            decoded[epos_s[seg_starts[decodable]]] = True
+        else:
+            win = seg_starts[decodable]
+            if win.size:
+                tx_s = tx_e[order]
+                lost = fstate.lose_beacons(event, tx_s[win], rx_s[win])
+                decoded[epos_s[win[~lost]]] = True
 
 
 def top_k_required_csr(budget: SparseLinkBudget, k: int = 1) -> np.ndarray:

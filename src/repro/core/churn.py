@@ -15,6 +15,12 @@ heavy-edge tree of the *active* population incrementally:
 * **rebuild** — on demand, a full Borůvka run restores optimality; the
   session reports the message bill either way, so the repair-vs-rebuild
   trade-off is measurable.
+
+Both backends are first-class: a sparse network's session works entirely
+on the link CSR (filtered per the active set, never densified), with the
+maximum-spanning-tree oracle computed by seeded Borůvka — on distinct
+weights the Borůvka tree *is* the maximum spanning tree, so the oracle
+matches the dense Kruskal result edge for edge.
 """
 
 from __future__ import annotations
@@ -23,10 +29,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.fst import _tree_weight_for
 from repro.core.network import D2DNetwork
-from repro.spanningtree.boruvka import distributed_boruvka
+from repro.radio.sparse_link import csr_from_edges
+from repro.spanningtree.boruvka import (
+    distributed_boruvka,
+    distributed_boruvka_csr,
+)
 from repro.spanningtree.mst import maximum_spanning_tree, tree_weight
-from repro.spanningtree.repair import repair_after_failure
+from repro.spanningtree.repair import (
+    repair_after_failure,
+    repair_after_failure_csr,
+)
 
 #: Messages a join costs: one discovery beacon round + RACH2 handshake.
 JOIN_HANDSHAKE_MSGS = 2
@@ -86,13 +100,39 @@ class ChurnSession:
             adj[:, inactive] = False
         return adj
 
+    def _active_array(self) -> np.ndarray:
+        mask = np.zeros(self.network.n, dtype=bool)
+        mask[list(self.active)] = True
+        return mask
+
+    def _filtered_link_csr(self):
+        """Active-subgraph link CSR (sparse backend; never densifies)."""
+        budget = self.network.sparse_budget
+        act = self._active_array()
+        rows = budget.link_row_ids
+        nbr = budget.link_indices
+        keep = act[rows] & act[nbr]
+        return csr_from_edges(
+            self.network.n, rows[keep], nbr[keep], budget.link_power_dbm[keep]
+        )
+
     def _optimality_ratio(self) -> float:
         if len(self.active) < 2:
             return 1.0
-        w = self.network.weights
-        oracle = maximum_spanning_tree(w, self._masked_adjacency())
-        oracle_w = tree_weight(w, oracle)
-        mine = tree_weight(w, self.tree_edges)
+        if self.network.is_sparse:
+            # On distinct weights the Borůvka tree is the maximum spanning
+            # tree, so a seeded CSR run serves as the sparse oracle.
+            indptr, indices, (w_e,) = self._filtered_link_csr()
+            oracle = distributed_boruvka_csr(
+                self.network.n, indptr, indices, w_e
+            )
+            oracle_w = _tree_weight_for(self.network, oracle.edges)
+            mine = _tree_weight_for(self.network, self.tree_edges)
+        else:
+            w = self.network.weights
+            oracle_edges = maximum_spanning_tree(w, self._masked_adjacency())
+            oracle_w = tree_weight(w, oracle_edges)
+            mine = tree_weight(w, self.tree_edges)
         if oracle_w == 0.0:
             return 1.0
         # weights are negative (dBm sums): mine/oracle >= 1 means heavier
@@ -118,15 +158,33 @@ class ChurnSession:
             raise ValueError(f"device {device} is already active")
         if not 0 <= device < self.network.n:
             raise ValueError(f"device {device} out of range")
-        w = np.where(
-            self.network.adjacency[device], self.network.weights[device], -np.inf
-        )
-        # only links to currently active devices count
-        mask = np.zeros(self.network.n, dtype=bool)
-        mask[list(self.active)] = True
-        w = np.where(mask, w, -np.inf)
-        best = int(np.argmax(w))
-        ok = bool(np.isfinite(w[best]))
+        if self.network.is_sparse:
+            budget = self.network.sparse_budget
+            lo = int(budget.link_indptr[device])
+            hi = int(budget.link_indptr[device + 1])
+            nbr = budget.link_indices[lo:hi]
+            # only links to currently active devices count; neighbours are
+            # sorted by id, so argmax ties break to the lowest id exactly
+            # as the dense full-row argmax does
+            act = self._active_array()
+            w = np.where(act[nbr], budget.link_power_dbm[lo:hi], -np.inf)
+            if w.size:
+                pos = int(np.argmax(w))
+                best = int(nbr[pos])
+                ok = bool(np.isfinite(w[pos]))
+            else:
+                best = -1
+                ok = False
+        else:
+            w = np.where(
+                self.network.adjacency[device],
+                self.network.weights[device],
+                -np.inf,
+            )
+            # only links to currently active devices count
+            w = np.where(self._active_array(), w, -np.inf)
+            best = int(np.argmax(w))
+            ok = bool(np.isfinite(w[best]))
         messages = self.network.config.discovery_periods + JOIN_HANDSHAKE_MSGS
         self.active.add(device)
         if ok:
@@ -139,12 +197,19 @@ class ChurnSession:
             raise ValueError(f"device {device} is not active")
         self.active.discard(device)
         inactive = {i for i in range(self.network.n) if i not in self.active}
-        result = repair_after_failure(
-            self.tree_edges,
-            inactive | {device},
-            self.network.weights,
-            self.network.adjacency,
-        )
+        if self.network.is_sparse:
+            result = repair_after_failure_csr(
+                self.tree_edges,
+                inactive | {device},
+                self.network.sparse_budget,
+            )
+        else:
+            result = repair_after_failure(
+                self.tree_edges,
+                inactive | {device},
+                self.network.weights,
+                self.network.adjacency,
+            )
         self.tree_edges = result.tree_edges
         return self._record("fail", device, result.messages, result.repaired)
 
@@ -154,9 +219,15 @@ class ChurnSession:
         return self._record("rebuild", -1, messages, True)
 
     def _rebuild(self, *, initial: bool) -> int:
-        result = distributed_boruvka(
-            self.network.weights, self._masked_adjacency()
-        )
+        if self.network.is_sparse:
+            indptr, indices, (w_e,) = self._filtered_link_csr()
+            result = distributed_boruvka_csr(
+                self.network.n, indptr, indices, w_e
+            )
+        else:
+            result = distributed_boruvka(
+                self.network.weights, self._masked_adjacency()
+            )
         # keep only edges among active devices (inactive are isolated)
         self.tree_edges = [
             e for e in result.edges if e[0] in self.active and e[1] in self.active

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass, replace
 from typing import Literal
 
+from repro.faults.plan import FaultConfig
+
 #: Table I device density: 50 devices per 100 m × 100 m.
 PAPER_DENSITY_PER_M2 = 50.0 / (100.0 * 100.0)
 
@@ -94,6 +96,10 @@ class PaperConfig:
     shadow_clip_sigma: float = 3.0
     #: Hard cap on simulated time (ms).
     max_time_ms: float = 300_000.0
+    #: Optional deterministic fault model (:mod:`repro.faults`); accepts
+    #: a :class:`~repro.faults.plan.FaultConfig` or a spec string like
+    #: ``"beacon_loss=0.1,crash=0.2"``.  ``None`` = perfect radio.
+    faults: FaultConfig | None = None
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -133,6 +139,13 @@ class PaperConfig:
             raise ValueError("sparse_threshold_devices must be >= 2")
         if self.shadow_clip_sigma <= 0:
             raise ValueError("shadow_clip_sigma must be positive")
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultConfig.from_spec(self.faults))
+        elif self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise ValueError(
+                "faults must be a FaultConfig, a spec string, or None; "
+                f"got {type(self.faults).__name__}"
+            )
 
     # ------------------------------------------------------------------
     @property

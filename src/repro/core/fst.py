@@ -26,6 +26,8 @@ from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
 from repro.core.pulsesync import PulseSyncKernel, SparsePulseSyncKernel
 from repro.core.results import RunResult
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
 from repro.obs import Observability, get_active
 from repro.oscillator.prc import LinearPRC
 from repro.radio.sparse_link import SparseLinkBudget
@@ -46,15 +48,22 @@ def _heavy_edges_from_candidates(
 
 
 def heavy_edge_forest(
-    weights: np.ndarray, adjacency: np.ndarray
+    weights: np.ndarray,
+    adjacency: np.ndarray,
+    node_mask: np.ndarray | None = None,
 ) -> list[tuple[int, int]]:
     """Each node's heaviest incident edge (Fig. 2's "selecting heavy edge").
 
     The union over nodes is a forest (it is a subgraph of the maximum
     spanning tree on distinct weights).  Fully vectorized: argmax per row
     (ties → lowest neighbour id), then a unique over packed edge codes.
+    ``node_mask`` restricts the forest to the surviving devices (edges
+    touching a masked-out node are ignored).
     """
     w = np.where(adjacency, weights, -np.inf)
+    if node_mask is not None:
+        node_mask = np.asarray(node_mask, dtype=bool)
+        w = np.where(node_mask[:, None] & node_mask[None, :], w, -np.inf)
     n = w.shape[0]
     best = np.argmax(w, axis=1)
     finite = np.isfinite(w[np.arange(n), best])
@@ -62,11 +71,17 @@ def heavy_edge_forest(
     return _heavy_edges_from_candidates(us, best[us])
 
 
-def heavy_edge_forest_csr(budget: SparseLinkBudget) -> list[tuple[int, int]]:
+def heavy_edge_forest_csr(
+    budget: SparseLinkBudget, node_mask: np.ndarray | None = None
+) -> list[tuple[int, int]]:
     """CSR :func:`heavy_edge_forest` over the proximity graph — O(E)."""
     rows = budget.link_row_ids
     nbr = budget.link_indices
     w = budget.link_power_dbm
+    if node_mask is not None:
+        node_mask = np.asarray(node_mask, dtype=bool)
+        keep = node_mask[rows] & node_mask[nbr]
+        rows, nbr, w = rows[keep], nbr[keep], w[keep]
     if rows.size == 0:
         return []
     # heaviest edge per row; ties → lowest neighbour id (dense argmax)
@@ -101,13 +116,16 @@ def stitch_forest(
     forest: list[tuple[int, int]],
     weights: np.ndarray,
     adjacency: np.ndarray,
+    node_mask: np.ndarray | None = None,
 ) -> tuple[list[tuple[int, int]], int]:
     """Connect forest components over heaviest available links.
 
     Returns ``(tree_edges, stitches)``.  Greedy over all inter-component
     edges by descending weight — i.e. Kruskal completion of the forest.
     Equal-weight candidates are taken in (i, j) row-major order, same as
-    the historical stable sort over ``triu_indices``.
+    the historical stable sort over ``triu_indices``.  ``node_mask``
+    restricts stitching to the surviving devices (masked-out nodes stay
+    isolated singletons).
     """
     n = weights.shape[0]
     uf = UnionFind(n)
@@ -117,6 +135,9 @@ def stitch_forest(
     stitches = 0
     if uf.components > 1:
         w = np.where(adjacency, weights, -np.inf)
+        if node_mask is not None:
+            node_mask = np.asarray(node_mask, dtype=bool)
+            w = np.where(node_mask[:, None] & node_mask[None, :], w, -np.inf)
         iu, ju = np.triu_indices(n, k=1)
         usable = np.isfinite(w[iu, ju])
         iu, ju = iu[usable], ju[usable]
@@ -125,7 +146,9 @@ def stitch_forest(
 
 
 def stitch_forest_csr(
-    forest: list[tuple[int, int]], budget: SparseLinkBudget
+    forest: list[tuple[int, int]],
+    budget: SparseLinkBudget,
+    node_mask: np.ndarray | None = None,
 ) -> tuple[list[tuple[int, int]], int]:
     """CSR :func:`stitch_forest` over the proximity graph — O(E log E)."""
     uf = UnionFind(budget.n)
@@ -135,13 +158,14 @@ def stitch_forest_csr(
     stitches = 0
     if uf.components > 1:
         upper = budget.link_row_ids < budget.link_indices
-        stitches = _kruskal_complete(
-            uf,
-            edges,
-            budget.link_row_ids[upper],
-            budget.link_indices[upper],
-            budget.link_power_dbm[upper],
-        )
+        iu = budget.link_row_ids[upper]
+        ju = budget.link_indices[upper]
+        w = budget.link_power_dbm[upper]
+        if node_mask is not None:
+            node_mask = np.asarray(node_mask, dtype=bool)
+            keep = node_mask[iu] & node_mask[ju]
+            iu, ju, w = iu[keep], ju[keep], w[keep]
+        stitches = _kruskal_complete(uf, edges, iu, ju, w)
     return sorted(edges), stitches
 
 
@@ -170,11 +194,16 @@ class FSTSimulation:
     """
 
     def __init__(
-        self, network: D2DNetwork, obs: Observability | None = None
+        self,
+        network: D2DNetwork,
+        obs: Observability | None = None,
+        *,
+        invariants: InvariantChecker | None = None,
     ) -> None:
         self.network = network
         self.config: PaperConfig = network.config
         self.obs = obs if obs is not None else (get_active() or Observability())
+        self.invariants = invariants
         self.prc = LinearPRC.from_dissipation(
             self.config.dissipation, self.config.epsilon
         )
@@ -184,6 +213,7 @@ class FSTSimulation:
         net = self.network
         obs = self.obs
         sparse = net.is_sparse
+        plan = FaultPlan.from_config(cfg)
         if sparse:
             budget = net.sparse_budget
             kernel = SparsePulseSyncKernel(
@@ -226,6 +256,8 @@ class FSTSimulation:
                     require_sync=True,
                     obs=obs,
                     obs_labels={"algorithm": "fst", "stage": "sync"},
+                    faults=plan,
+                    invariants=self.invariants,
                 )
             with obs.span("discovery"):
                 max_periods = max(1, int(cfg.max_time_ms / cfg.period_ms))
@@ -248,6 +280,7 @@ class FSTSimulation:
                         max_periods=max_periods,
                         obs=obs,
                         obs_labels={"algorithm": "fst", "stage": "discovery"},
+                        faults=plan,
                     )
                 else:
                     beacons = BeaconDiscovery(
@@ -264,6 +297,7 @@ class FSTSimulation:
                         max_periods=max_periods,
                         obs=obs,
                         obs_labels={"algorithm": "fst", "stage": "discovery"},
+                        faults=plan,
                     )
 
             time_ms = max(sync.time_ms, beacons.time_ms)
@@ -273,13 +307,24 @@ class FSTSimulation:
             keepalive = int(cfg.n_devices * (lag_ms / cfg.period_ms))
 
             with obs.span("stitch"):
+                # graceful degradation: the basic firefly tree is
+                # assembled over the survivors only
+                alive = None
+                if plan is not None:
+                    dead_final = plan.dead_by(time_ms)
+                    if dead_final.any():
+                        alive = ~dead_final
                 if sparse:
-                    forest = heavy_edge_forest_csr(budget)
-                    tree, stitches = stitch_forest_csr(forest, budget)
+                    forest = heavy_edge_forest_csr(budget, node_mask=alive)
+                    tree, stitches = stitch_forest_csr(
+                        forest, budget, node_mask=alive
+                    )
                 else:
-                    forest = heavy_edge_forest(net.weights, net.adjacency)
+                    forest = heavy_edge_forest(
+                        net.weights, net.adjacency, node_mask=alive
+                    )
                     tree, stitches = stitch_forest(
-                        forest, net.weights, net.adjacency
+                        forest, net.weights, net.adjacency, node_mask=alive
                     )
             stitch_messages = 2 * stitches  # one RACH2 handshake per stitch
 
@@ -314,5 +359,16 @@ class FSTSimulation:
                 "missing_pairs": beacons.missing_pairs,
                 "tree_weight": _tree_weight_for(net, tree),
                 "forest_components_stitched": stitches,
+                **(
+                    {
+                        "crashed": int(dead_final.sum())
+                        if plan is not None and alive is not None
+                        else 0,
+                        "discovery_retries": beacons.retries,
+                        "faults_injected": beacons.faults_injected,
+                    }
+                    if plan is not None
+                    else {}
+                ),
             },
         )

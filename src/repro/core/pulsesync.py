@@ -56,6 +56,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
 from repro.obs import Observability
 from repro.oscillator.prc import LinearPRC
 from repro.oscillator.sync_metrics import (
@@ -179,6 +181,8 @@ class _PulseSyncBase:
         telemetry_interval_ms: float | None = None,
         obs: Observability | None = None,
         obs_labels: dict[str, str] | None = None,
+        faults: FaultPlan | None = None,
+        invariants: InvariantChecker | None = None,
     ) -> PulseSyncResult:
         """Run until the convergence conditions hold (or time runs out).
 
@@ -208,6 +212,18 @@ class _PulseSyncBase:
         obs_labels:
             Labels attached to every metric the kernel records (e.g.
             ``{"algorithm": "st", "stage": "trim"}``).
+        faults:
+            Optional :class:`~repro.faults.plan.FaultPlan`.  Applies
+            per-device clock drift (individual free-running periods),
+            crash schedules (a crashed oscillator falls permanently
+            silent and leaves the active set), stall windows (the clock
+            freezes for the stall duration and the device is deaf while
+            frozen) and per-(event, receiver) PS loss.  ``None`` leaves
+            the loop byte-identical to before.
+        invariants:
+            Optional :class:`~repro.faults.invariants.InvariantChecker`;
+            when set, raw phases are validated against ``[0, 1)`` after
+            every avalanche instant (stall-frozen clocks excluded).
         """
         n = self.n
         if active is None:
@@ -216,6 +232,8 @@ class _PulseSyncBase:
             active = np.asarray(active, dtype=bool)
             if active.shape != (n,):
                 raise ValueError(f"active must have shape ({n},)")
+        if faults is not None:
+            active = active.copy()  # crash handling deactivates in place
         n_active = int(active.sum())
         if n_active == 0:
             raise ValueError("at least one node must be active")
@@ -247,8 +265,15 @@ class _PulseSyncBase:
             decoded = None
             remaining = 0
 
+        # per-device free-running period; the no-drift broadcast view is
+        # bitwise identical to the scalar arithmetic it replaces
+        if faults is not None and faults.has_drift:
+            period_of = self.period_ms * faults.period_factor
+        else:
+            period_of = np.broadcast_to(np.float64(self.period_ms), (n,))
+
         inactive = ~active
-        next_fire = start_time_ms + (1.0 - phases) * self.period_ms
+        next_fire = start_time_ms + (1.0 - phases) * period_of
         next_fire[inactive] = np.inf
         last_fire = np.full(n, -np.inf)
         refractory_until = np.full(n, -np.inf)
@@ -267,6 +292,31 @@ class _PulseSyncBase:
         if trace is None and obs is not None:
             trace = obs.trace
         labels = obs_labels or {}
+        crash_count = 0
+        stall_count = 0
+        ps_loss_count = 0
+        if faults is not None:
+            crash_time = faults.crash_time_ms
+            stall_start = faults.stall_start_ms
+            stall_end = faults.stall_end_ms
+            stall_applied = np.zeros(n, dtype=bool)
+            ids_u64 = np.arange(n, dtype=np.uint64)
+
+        def _record_faults() -> None:
+            if obs is None or faults is None:
+                return
+            counter = obs.metrics.counter(
+                "faults_injected_total",
+                help="fault events injected by the active FaultPlan",
+                unit="events",
+            )
+            if crash_count:
+                counter.inc(crash_count, kind="crash", **labels)
+            if stall_count:
+                counter.inc(stall_count, kind="stall", **labels)
+            if ps_loss_count:
+                counter.inc(ps_loss_count, kind="ps_loss", **labels)
+
         if obs is not None:
             ps_counter = obs.metrics.counter(
                 "ps_tx_total",
@@ -294,9 +344,48 @@ class _PulseSyncBase:
         )
 
         while True:
+            if faults is not None:
+                # devices whose crash time precedes the next instant die
+                # silently; re-check because each removal can move the min
+                while True:
+                    t_peek = min(float(next_fire.min()), deadline)
+                    dying = active & (crash_time <= t_peek + TIE_EPS)
+                    if not dying.any():
+                        break
+                    crash_count += int(dying.sum())
+                    if trace is not None:
+                        for f in np.nonzero(dying)[0]:
+                            trace.emit(
+                                float(crash_time[f]), "crash", node=int(f),
+                                **labels,
+                            )
+                    active[dying] = False
+                    next_fire[dying] = np.inf
+                if not active.any():
+                    _record_faults()
+                    return self._finish(
+                        False, deadline, messages, fires, instants, next_fire,
+                        active, last_fire, fired_once, sync_time,
+                        discovery_time, decoded, samples, obs, labels,
+                    )
+                # a fire instant inside a stall window: the clock freezes
+                # for the stall duration (applied once per device)
+                stall_hit = (
+                    active
+                    & ~stall_applied
+                    & (next_fire >= stall_start)
+                    & (next_fire < stall_end)
+                )
+                if stall_hit.any():
+                    stall_count += int(stall_hit.sum())
+                    stall_applied |= stall_hit
+                    next_fire[stall_hit] += (
+                        stall_end[stall_hit] - stall_start[stall_hit]
+                    )
             t = float(next_fire.min())
             if not np.isfinite(t) or t > deadline:
                 t = min(t, deadline)
+                _record_faults()
                 return self._finish(
                     False, t, messages, fires, instants, next_fire, active,
                     last_fire, fired_once, sync_time, discovery_time, decoded,
@@ -323,6 +412,16 @@ class _PulseSyncBase:
                 heard, dec_sender = self._wave_reception(
                     firers, event, track_decoding
                 )
+                if faults is not None:
+                    # stall deafness + per-(event, rx) PS erasure; both are
+                    # functions of identity, so dense/sparse agree exactly
+                    lost_ps = faults.ps_lost(event, ids_u64)
+                    ps_loss_count += int(np.count_nonzero(heard & lost_ps))
+                    deaf = (stall_start <= t) & (t < stall_end)
+                    drop = lost_ps | deaf
+                    if drop.any():
+                        heard = heard & ~drop
+                        dec_sender = np.where(drop, -1, dec_sender)
                 event += 1
 
                 if track_decoding:
@@ -349,20 +448,27 @@ class _PulseSyncBase:
                     wave = np.zeros(n, dtype=bool)
                     continue
                 prc_done |= eligible
-                theta = 1.0 - (next_fire - t) / self.period_ms
+                theta = 1.0 - (next_fire - t) / period_of
                 theta = np.clip(theta, 0.0, 1.0)
                 new_theta = np.minimum(
                     self.prc.alpha * theta + self.prc.beta, 1.0
                 )
                 to_fire = eligible & (new_theta >= 1.0)
                 adjust = eligible & ~to_fire
-                next_fire[adjust] = t + (1.0 - new_theta[adjust]) * self.period_ms
+                next_fire[adjust] = t + (1.0 - new_theta[adjust]) * period_of[adjust]
                 wave = to_fire
 
             last_fire[fired_now] = t
             fired_once |= fired_now
-            next_fire[fired_now] = t + self.period_ms
+            next_fire[fired_now] = t + period_of[fired_now]
             refractory_until[fired_now] = t + self.refractory_ms
+
+            if invariants is not None:
+                # raw (unclipped) phases; stall-frozen clocks sit beyond
+                # one full period ahead and are excluded while frozen
+                checkable = active & (next_fire <= t + period_of)
+                raw = 1.0 - (next_fire - t) / period_of
+                invariants.check_phases(t, raw, active=checkable, atol=1e-9)
 
             if t >= next_sample:
                 phases_now = self._phases_at(t, next_fire, active)
@@ -411,6 +517,7 @@ class _PulseSyncBase:
                     sync_time = t
             decode_ok = (not track_decoding) or remaining == 0
             if (sync_ok or not require_sync) and decode_ok:
+                _record_faults()
                 return self._finish(
                     True, t, messages, fires, instants, next_fire, active,
                     last_fire, fired_once, sync_time, discovery_time, decoded,
@@ -445,7 +552,7 @@ class _PulseSyncBase:
         obs: Observability | None = None,
         obs_labels: dict[str, str] | None = None,
     ) -> PulseSyncResult:
-        if fired_once[active].all():
+        if active.any() and fired_once[active].all():
             spread = float(last_fire[active].max() - last_fire[active].min())
         else:
             spread = float("inf")

@@ -42,8 +42,14 @@ from repro.core.beacon import (
 from repro.core.config import PaperConfig
 from repro.core.fst import _tree_weight_for
 from repro.core.network import D2DNetwork
-from repro.core.pulsesync import PulseSyncKernel, SparsePulseSyncKernel
+from repro.core.pulsesync import (
+    PulseSyncKernel,
+    PulseSyncResult,
+    SparsePulseSyncKernel,
+)
 from repro.core.results import RunResult
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
 from repro.obs import Observability, get_active
 from repro.oscillator.prc import LinearPRC
 from repro.spanningtree.boruvka import (
@@ -52,6 +58,10 @@ from repro.spanningtree.boruvka import (
 )
 from repro.spanningtree.fragment import FragmentSet
 from repro.spanningtree.ghs import distributed_ghs
+from repro.spanningtree.repair import (
+    repair_after_failure,
+    repair_after_failure_csr,
+)
 
 #: Slots for one H_Connect RACH2 exchange (broadcast + acknowledgement).
 HANDSHAKE_SLOTS = 2
@@ -100,14 +110,36 @@ class STSimulation:
     """
 
     def __init__(
-        self, network: D2DNetwork, obs: Observability | None = None
+        self,
+        network: D2DNetwork,
+        obs: Observability | None = None,
+        *,
+        invariants: InvariantChecker | None = None,
     ) -> None:
         self.network = network
         self.config: PaperConfig = network.config
         self.obs = obs if obs is not None else (get_active() or Observability())
+        self.invariants = invariants
         self.prc = LinearPRC.from_dissipation(
             self.config.dissipation, self.config.epsilon
         )
+
+    # ------------------------------------------------------------------
+    def _repair_tree(
+        self, tree_edges: list[tuple[int, int]], dead_mask: np.ndarray
+    ) -> tuple[list[tuple[int, int]], bool, int]:
+        """Repair the tree around crashed devices; ``(edges, ok, msgs)``."""
+        net = self.network
+        failed = np.flatnonzero(dead_mask)
+        if net.is_sparse:
+            rep = repair_after_failure_csr(
+                tree_edges, failed, net.sparse_budget
+            )
+        else:
+            rep = repair_after_failure(
+                tree_edges, failed, net.weights, net.adjacency
+            )
+        return rep.tree_edges, rep.repaired, rep.messages
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -123,6 +155,7 @@ class STSimulation:
             # they win the capture race quickly even in dense deployments.
             # A floor of ``discovery_periods`` beacon periods is always paid.
             sparse = net.is_sparse
+            plan = FaultPlan.from_config(cfg)
             max_periods = max(1, int(cfg.max_time_ms / cfg.period_ms))
             with obs.span("discovery"):
                 if sparse:
@@ -139,6 +172,7 @@ class STSimulation:
                         max_periods=max_periods,
                         obs=obs,
                         obs_labels={"algorithm": "st", "stage": "discovery"},
+                        faults=plan,
                     )
                 else:
                     disc = BeaconDiscovery(
@@ -154,10 +188,16 @@ class STSimulation:
                         max_periods=max_periods,
                         obs=obs,
                         obs_labels={"algorithm": "st", "stage": "discovery"},
+                        faults=plan,
                     )
             discovery_periods = max(disc.periods, cfg.discovery_periods)
             discovery_ms = discovery_periods * cfg.period_ms
-            discovery_msgs = n * discovery_periods
+            # actual beacon transmissions (backoff/crash silence included)
+            # plus the always-paid floor; without faults this equals the
+            # historical n * discovery_periods exactly
+            discovery_msgs = disc.messages + n * max(
+                0, cfg.discovery_periods - disc.periods
+            )
 
             # ---- 2. fragment construction with timing replay ------------
             # (merge rule per config: plain Borůvka or level-based GHS; both
@@ -262,6 +302,28 @@ class STSimulation:
             with obs.span("trim"):
                 tree_edges = frags.all_tree_edges()
                 converged_tree = len(frags.fragments()) == 1
+                start_ms = discovery_ms + construction_ms
+
+                # graceful degradation: devices that crashed before the
+                # trim are cut out of the tree and the survivors re-merge
+                # via the seeded repair protocol instead of aborting
+                repair_msgs = 0
+                repairs_done = 0
+                crashed_before = 0
+                active_mask = None
+                if plan is not None:
+                    dead_now = plan.dead_by(start_ms)
+                    crashed_before = int(dead_now.sum())
+                    active_mask = ~dead_now
+                    if dead_now.any() and active_mask.any():
+                        with obs.span("repair", crashed=crashed_before):
+                            tree_edges, converged_tree, msgs = (
+                                self._repair_tree(tree_edges, dead_now)
+                            )
+                            repair_msgs += msgs
+                            repairs_done += 1
+                    elif dead_now.any():
+                        converged_tree = False
 
                 # Residual spread after alignment: the RACH2 wave carries the
                 # head's clock and every relay compensates the known 1-slot
@@ -274,7 +336,6 @@ class STSimulation:
                 base = float(phase_rng.uniform(0.0, 1.0 - window))
                 initial_phases = base + phase_rng.uniform(0.0, window, size=n)
 
-                start_ms = discovery_ms + construction_ms
                 kernel_opts = dict(
                     period_ms=cfg.period_ms,
                     threshold_dbm=cfg.threshold_dbm,
@@ -317,17 +378,60 @@ class STSimulation:
                         fading=net.link_budget.fading,
                         **kernel_opts,
                     )
-                trim = kernel.run(
-                    net.streams.stream("st-trim"),
-                    initial_phases=np.clip(initial_phases, 0.0, 1.0 - 1e-9),
-                    start_time_ms=start_ms,
-                    max_time_ms=max(cfg.max_time_ms - start_ms, cfg.period_ms),
-                    obs=obs,
-                    obs_labels={"algorithm": "st", "stage": "trim"},
-                )
+                if active_mask is not None and not active_mask.any():
+                    # total extinction before the trim: nothing to sync
+                    trim = PulseSyncResult(
+                        converged=False,
+                        time_ms=start_ms,
+                        messages=0,
+                        fires=0,
+                        instants=0,
+                        final_spread_ms=float("inf"),
+                    )
+                else:
+                    trim = kernel.run(
+                        net.streams.stream("st-trim"),
+                        initial_phases=np.clip(initial_phases, 0.0, 1.0 - 1e-9),
+                        start_time_ms=start_ms,
+                        max_time_ms=max(cfg.max_time_ms - start_ms, cfg.period_ms),
+                        active=active_mask,
+                        obs=obs,
+                        obs_labels={"algorithm": "st", "stage": "trim"},
+                        faults=plan,
+                        invariants=self.invariants,
+                    )
+
+                # devices that crashed *during* the trim also get cut out
+                # and the survivors' tree repaired (late repair pass)
+                dead_final = None
+                if plan is not None:
+                    dead_final = plan.dead_by(trim.time_ms)
+                    late = dead_final & ~dead_now
+                    if late.any() and not dead_final.all():
+                        with obs.span("repair", crashed=int(late.sum())):
+                            tree_edges, converged_tree, msgs = (
+                                self._repair_tree(tree_edges, dead_final)
+                            )
+                            repair_msgs += msgs
+                            repairs_done += 1
+                    elif late.any():
+                        converged_tree = False
 
             time_ms = trim.time_ms
             converged = converged_tree and trim.converged
+            if plan is not None:
+                if crashed_before:
+                    obs.metrics.counter(
+                        "faults_injected_total",
+                        help="fault events injected by the active FaultPlan",
+                        unit="events",
+                    ).inc(crashed_before, kind="crash", algorithm="st")
+                if repairs_done:
+                    obs.metrics.counter(
+                        "repairs_total",
+                        help="spanning-tree repair passes after crashes",
+                        unit="repairs",
+                    ).inc(repairs_done, algorithm="st")
 
             # message accounting: one bill, recorded into the metrics
             # registry AND returned as the breakdown — a single source of
@@ -340,6 +444,8 @@ class STSimulation:
                 "handshake": (handshake_msgs, "rach2"),
                 "alignment": (align_msgs, "rach2"),
             }
+            if plan is not None:
+                bill["repair"] = (repair_msgs, "rach2")
             for kind, count in boruvka.counter.as_dict().items():
                 bill[f"boruvka_{kind}"] = (count, "rach2")
             breakdown = obs.account_messages("st", bill)
@@ -362,6 +468,16 @@ class STSimulation:
                 "tree_weight": _tree_weight_for(net, tree_edges),
                 "final_spread_ms": trim.final_spread_ms,
                 "max_wave_depth": max_wave_depth,
+                **(
+                    {
+                        "repairs": repairs_done,
+                        "crashed": int(dead_final.sum()),
+                        "discovery_retries": disc.retries,
+                        "faults_injected": disc.faults_injected,
+                    }
+                    if plan is not None
+                    else {}
+                ),
             },
             metrics=obs.metrics.snapshot(),
         )

@@ -62,10 +62,21 @@ def derive_key(key: int, salt: np.uint64) -> np.uint64:
     return splitmix64(_U64(key) ^ salt ^ _GAMMA)
 
 
-def _uniform(codes: np.ndarray, subkey: np.uint64) -> np.ndarray:
-    """Open-interval uniforms in (0, 1) from pair codes and a subkey."""
+def hashed_uniform(codes: np.ndarray, subkey: np.uint64) -> np.ndarray:
+    """Open-interval uniforms in (0, 1) from pair codes and a subkey.
+
+    The primitive behind every counter-based draw in the repo — channel
+    randomness here and the fault decisions of
+    :mod:`repro.faults.plan` — so all of them share the layout-
+    independence property that makes dense and sparse backends
+    seed-for-seed identical.
+    """
     h = splitmix64(codes ^ subkey)
     return ((h >> _U64(11)).astype(np.float64) + 0.5) * _INV_2_53
+
+
+#: Backwards-compatible private alias (pre-existing internal callers).
+_uniform = hashed_uniform
 
 
 def pair_code(i: np.ndarray, j: np.ndarray) -> np.ndarray:

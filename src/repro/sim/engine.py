@@ -79,6 +79,13 @@ class Engine:
         ``engine_heap_depth_max`` and ``engine_pending`` gauges when each
         :meth:`run` returns (and on demand via :meth:`publish_metrics`);
         the per-event path is untouched either way.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  Each executed
+        event consults :meth:`~repro.faults.plan.FaultPlan.event_dropped`
+        with the event's sequence number; dropped events advance the
+        clock and count against the budget but their callback never runs
+        (a lost timer/control message).  Decisions hash the sequence
+        number, so a rerun of the same schedule drops the same events.
 
     Examples
     --------
@@ -94,6 +101,7 @@ class Engine:
         self,
         event_budget: int = DEFAULT_EVENT_BUDGET,
         obs: "Observability | None" = None,
+        faults=None,
     ) -> None:
         if event_budget <= 0:
             raise ValueError("event_budget must be positive")
@@ -105,6 +113,8 @@ class Engine:
         self._running = False
         self._max_heap_depth = 0
         self._obs = obs
+        self._faults = faults
+        self._events_dropped = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -118,6 +128,11 @@ class Engine:
     def events_processed(self) -> int:
         """Number of callbacks executed so far."""
         return self._events_processed
+
+    @property
+    def events_dropped(self) -> int:
+        """Number of callbacks suppressed by the fault plan."""
+        return self._events_dropped
 
     @property
     def pending(self) -> int:
@@ -144,6 +159,11 @@ class Engine:
             self._max_heap_depth
         )
         g("engine_pending", help="live events still queued").set(self.pending)
+        if self._faults is not None:
+            g(
+                "engine_events_dropped",
+                help="callbacks suppressed by the fault plan",
+            ).set(self._events_dropped)
 
     def peek(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
@@ -198,6 +218,15 @@ class Engine:
         self._events_processed += 1
         if self._events_processed > self._event_budget:
             raise SimulationLimitExceeded(self._event_budget)
+        if self._faults is not None and self._faults.event_dropped(entry.seq):
+            self._events_dropped += 1
+            if self._obs is not None:
+                self._obs.metrics.counter(
+                    "faults_injected_total",
+                    help="fault events injected by the active FaultPlan",
+                    unit="events",
+                ).inc(1, kind="event_drop")
+            return True
         entry.callback()
         return True
 

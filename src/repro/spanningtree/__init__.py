@@ -25,7 +25,11 @@ from repro.spanningtree.mst import (
     maximum_spanning_tree,
     tree_weight,
 )
-from repro.spanningtree.repair import RepairResult, repair_after_failure
+from repro.spanningtree.repair import (
+    RepairResult,
+    repair_after_failure,
+    repair_after_failure_csr,
+)
 from repro.spanningtree.unionfind import UnionFind
 
 __all__ = [
@@ -39,6 +43,7 @@ __all__ = [
     "RepairResult",
     "UnionFind",
     "repair_after_failure",
+    "repair_after_failure_csr",
     "distributed_boruvka",
     "distributed_ghs",
     "is_spanning_tree",

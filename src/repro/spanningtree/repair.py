@@ -20,7 +20,11 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.spanningtree.boruvka import distributed_boruvka
+from repro.radio.sparse_link import csr_from_edges
+from repro.spanningtree.boruvka import (
+    distributed_boruvka,
+    distributed_boruvka_csr,
+)
 from repro.spanningtree.messages import MessageCounter
 from repro.spanningtree.unionfind import UnionFind
 
@@ -42,6 +46,71 @@ class RepairResult:
     #: True when the surviving devices are spanned again
     repaired: bool
     counter: MessageCounter
+
+
+def _normalize_failed(
+    failed: int | Iterable[int], n: int
+) -> tuple[set[int], list[int]]:
+    """Validated ``(failed ids, survivor ids)`` for an n-device network."""
+    failed_set = {int(failed)} if isinstance(failed, (int, np.integer)) else set(
+        int(f) for f in failed
+    )
+    for f in failed_set:
+        if not 0 <= f < n:
+            raise ValueError(f"failed id {f} out of range [0, {n})")
+    survivors = [i for i in range(n) if i not in failed_set]
+    if not survivors:
+        raise ValueError("all devices failed; nothing to repair")
+    return failed_set, survivors
+
+
+def _split_tree(
+    tree_edges: Iterable[tuple[int, int]],
+    failed_set: set[int],
+    survivors: list[int],
+    n: int,
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]], int]:
+    """Surviving/removed edge split + fragment count after the failure."""
+    tree_edges = [tuple(sorted(e)) for e in tree_edges]
+    surviving_edges = [
+        e for e in tree_edges if e[0] not in failed_set and e[1] not in failed_set
+    ]
+    removed_edges = [e for e in tree_edges if e not in surviving_edges]
+    # how many pieces did the failure leave? (failed ids excluded)
+    uf = UnionFind(n)
+    for u, v in surviving_edges:
+        uf.union(u, v)
+    fragments = len({uf.find(i) for i in survivors})
+    return surviving_edges, removed_edges, fragments
+
+
+def _repair_result(
+    result,
+    surviving_edges: list[tuple[int, int]],
+    removed_edges: list[tuple[int, int]],
+    fragments: int,
+    failed_set: set[int],
+) -> RepairResult:
+    """Package a seeded Borůvka run as a :class:`RepairResult`."""
+    # repaired iff all survivors ended in one fragment (failed ids remain
+    # isolated singleton fragments by construction)
+    survivor_fragments = {
+        frag.head
+        for frag in result.fragments
+        if not frag.members <= failed_set
+    }
+    repaired = len(survivor_fragments) == 1
+    new_edges = sorted(set(result.edges) - set(surviving_edges))
+    return RepairResult(
+        tree_edges=result.edges,
+        new_edges=new_edges,
+        removed_edges=sorted(removed_edges),
+        fragments_after_failure=fragments,
+        messages=result.counter.total,
+        phases=result.phase_count,
+        repaired=repaired,
+        counter=result.counter,
+    )
 
 
 def repair_after_failure(
@@ -70,27 +139,10 @@ def repair_after_failure(
     weights = np.asarray(weights, dtype=float)
     adjacency = np.asarray(adjacency, dtype=bool)
     n = weights.shape[0]
-    failed_set = {failed} if isinstance(failed, (int, np.integer)) else set(
-        int(f) for f in failed
+    failed_set, survivors = _normalize_failed(failed, n)
+    surviving_edges, removed_edges, fragments = _split_tree(
+        tree_edges, failed_set, survivors, n
     )
-    for f in failed_set:
-        if not 0 <= f < n:
-            raise ValueError(f"failed id {f} out of range [0, {n})")
-    survivors = [i for i in range(n) if i not in failed_set]
-    if not survivors:
-        raise ValueError("all devices failed; nothing to repair")
-
-    tree_edges = [tuple(sorted(e)) for e in tree_edges]
-    surviving_edges = [
-        e for e in tree_edges if e[0] not in failed_set and e[1] not in failed_set
-    ]
-    removed_edges = [e for e in tree_edges if e not in surviving_edges]
-
-    # how many pieces did the failure leave? (failed ids excluded)
-    uf = UnionFind(n)
-    for u, v in surviving_edges:
-        uf.union(u, v)
-    fragments = len({uf.find(i) for i in survivors})
 
     # mask out the failed devices and re-run Borůvka from the survivors'
     # fragments; the pre-existing fragments are free
@@ -100,24 +152,41 @@ def repair_after_failure(
     result = distributed_boruvka(
         weights, adj, initial_edges=surviving_edges
     )
+    return _repair_result(
+        result, surviving_edges, removed_edges, fragments, failed_set
+    )
 
-    # repaired iff all survivors ended in one fragment (failed ids remain
-    # isolated singleton fragments by construction)
-    survivor_fragments = {
-        frag.head
-        for frag in result.fragments
-        if not frag.members <= failed_set
-    }
-    repaired = len(survivor_fragments) == 1
 
-    new_edges = sorted(set(result.edges) - set(surviving_edges))
-    return RepairResult(
-        tree_edges=result.edges,
-        new_edges=new_edges,
-        removed_edges=sorted(removed_edges),
-        fragments_after_failure=fragments,
-        messages=result.counter.total,
-        phases=result.phase_count,
-        repaired=repaired,
-        counter=result.counter,
+def repair_after_failure_csr(
+    tree_edges: Iterable[tuple[int, int]],
+    failed: int | Iterable[int],
+    budget,
+) -> RepairResult:
+    """Sparse :func:`repair_after_failure` over a link CSR — O(E) work.
+
+    ``budget`` is a :class:`~repro.radio.sparse_link.SparseLinkBudget`;
+    the survivors' link graph is filtered in CSR form (no dense mask is
+    materialized) and Borůvka re-runs seeded with the surviving
+    fragments.  Produces the same tree, bill and phase count as the
+    dense function on the equivalent matrix inputs.
+    """
+    n = budget.n
+    failed_set, survivors = _normalize_failed(failed, n)
+    surviving_edges, removed_edges, fragments = _split_tree(
+        tree_edges, failed_set, survivors, n
+    )
+
+    alive = np.ones(n, dtype=bool)
+    alive[list(failed_set)] = False
+    rows = budget.link_row_ids
+    nbr = budget.link_indices
+    keep = alive[rows] & alive[nbr]
+    indptr, indices, (weight,) = csr_from_edges(
+        n, rows[keep], nbr[keep], budget.link_power_dbm[keep]
+    )
+    result = distributed_boruvka_csr(
+        n, indptr, indices, weight, initial_edges=surviving_edges
+    )
+    return _repair_result(
+        result, surviving_edges, removed_edges, fragments, failed_set
     )

@@ -32,6 +32,67 @@ class TestSimulate:
         assert "handshake" in out and "discovery" in out
 
 
+class TestSimulateFaults:
+    def test_faults_flag_reports_injection(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "-n",
+                    "32",
+                    "--seed",
+                    "3",
+                    "--algorithm",
+                    "st",
+                    "--faults",
+                    "crash=0.2,beacon_loss=0.05,crash_window_ms=2000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "faults: crash=0.2" in out
+        assert "faults injected" in out
+
+    def test_faults_flag_identical_across_backends(self, capsys):
+        argv = [
+            "simulate",
+            "-n",
+            "32",
+            "--seed",
+            "3",
+            "--algorithm",
+            "st",
+            "--faults",
+            "crash=0.2,collision=0.1,crash_window_ms=2000",
+        ]
+        assert main(argv + ["--backend", "dense"]) == 0
+        dense_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "sparse"]) == 0
+        sparse_out = capsys.readouterr().out
+        assert dense_out == sparse_out
+
+    def test_zero_fault_spec_matches_plain_run(self, capsys):
+        argv = ["simulate", "-n", "20", "--area", "50", "--algorithm", "st"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--faults", "crash=0"]) == 0
+        inert = capsys.readouterr().out
+        assert plain == inert  # inactive plan prints no fault lines either
+
+    def test_invalid_spec_is_a_usage_error(self, capsys):
+        assert (
+            main(["simulate", "-n", "20", "--faults", "warp_core_breach=1"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "invalid --faults spec" in err
+        assert "warp_core_breach" in err
+
+    def test_non_numeric_value_is_a_usage_error(self, capsys):
+        assert main(["simulate", "-n", "20", "--faults", "crash=lots"]) == 2
+        assert "invalid --faults spec" in capsys.readouterr().err
+
+
 class TestSimulateArtifacts:
     def test_trace_and_metrics_files(self, capsys, tmp_path):
         import json

@@ -110,3 +110,93 @@ class TestRebuild:
         session.rebuild()
         assert [e.kind for e in session.events] == ["join", "fail", "rebuild"]
         assert [e.active_count for e in session.events] == [31, 30, 30]
+
+
+class TestSparseBackend:
+    """Churn runs entirely on the link CSR: parity with dense, no densify."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        cfg = PaperConfig(n_devices=48, seed=11, backend="dense")
+        return (
+            D2DNetwork(cfg),
+            D2DNetwork(cfg.replace(backend="sparse")),
+        )
+
+    def _sessions(self, pair):
+        dense, sparse = pair
+        active = set(range(40))
+        return (
+            ChurnSession(dense, initially_active=set(active)),
+            ChurnSession(sparse, initially_active=set(active)),
+        )
+
+    def test_initial_tree_and_ratio_match(self, pair):
+        sd, ss = self._sessions(pair)
+        assert sorted(sd.tree_edges) == sorted(ss.tree_edges)
+        assert ss._optimality_ratio() == pytest.approx(
+            sd._optimality_ratio(), rel=1e-12
+        )
+        assert ss.is_spanning
+        assert not pair[1].densified
+
+    def test_join_parity(self, pair):
+        sd, ss = self._sessions(pair)
+        for device in (40, 41, 42):
+            ed, es = sd.join(device), ss.join(device)
+            assert (ed.messages, ed.succeeded) == (es.messages, es.succeeded)
+            assert sorted(sd.tree_edges) == sorted(ss.tree_edges)
+            assert es.optimality_ratio == pytest.approx(
+                ed.optimality_ratio, rel=1e-12
+            )
+        assert not pair[1].densified
+
+    def test_fail_parity_repairs_via_csr(self, pair):
+        sd, ss = self._sessions(pair)
+        for device in (3, 17, 21):
+            ed, es = sd.fail(device), ss.fail(device)
+            assert (ed.messages, ed.succeeded) == (es.messages, es.succeeded)
+            assert sorted(sd.tree_edges) == sorted(ss.tree_edges)
+        assert ss.is_spanning
+        assert not pair[1].densified
+
+    def test_rebuild_parity_and_optimality(self, pair):
+        sd, ss = self._sessions(pair)
+        for device in (40, 41, 42, 43):
+            sd.join(device)
+            ss.join(device)
+        ed, es = sd.rebuild(), ss.rebuild()
+        assert ed.messages == es.messages
+        assert sorted(sd.tree_edges) == sorted(ss.tree_edges)
+        assert ss._optimality_ratio() == pytest.approx(1.0)
+        assert not pair[1].densified
+
+    def test_mixed_workload_event_log_parity(self, pair):
+        sd, ss = self._sessions(pair)
+        workload = [
+            ("join", 44),
+            ("fail", 7),
+            ("join", 45),
+            ("fail", 44),
+            ("rebuild", None),
+        ]
+        for kind, device in workload:
+            if kind == "join":
+                sd.join(device), ss.join(device)
+            elif kind == "fail":
+                sd.fail(device), ss.fail(device)
+            else:
+                sd.rebuild(), ss.rebuild()
+        assert [
+            (e.kind, e.device, e.messages, e.succeeded, e.active_count)
+            for e in sd.events
+        ] == [
+            (e.kind, e.device, e.messages, e.succeeded, e.active_count)
+            for e in ss.events
+        ]
+        assert np.allclose(
+            [e.optimality_ratio for e in sd.events],
+            [e.optimality_ratio for e in ss.events],
+        )
+        assert ss.is_spanning
+        assert not pair[1].densified, "churn must never densify a sparse net"

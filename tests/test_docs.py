@@ -16,6 +16,7 @@ class TestDocsExist:
             "docs/paper_mapping.md",
             "docs/api.md",
             "docs/walkthrough.md",
+            "docs/robustness.md",
         ):
             assert (ROOT / name).exists(), name
             assert (ROOT / name).stat().st_size > 200, f"{name} is stubby"

@@ -1,0 +1,253 @@
+"""End-to-end fault injection: degraded runs, reproducibility, invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PaperConfig
+from repro.core.fst import FSTSimulation
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation
+from repro.faults import FaultConfig, FaultPlan, InvariantChecker, InvariantViolation
+from repro.sim.engine import Engine
+from repro.spanningtree.unionfind import UnionFind
+
+HEAVY_SPEC = (
+    "beacon_loss=0.05,collision=0.1,crash=0.15,stall=0.05,"
+    "ps_loss=0.01,drift=0.001,crash_window_ms=3000,stall_window_ms=3000"
+)
+
+
+def _result_fingerprint(result):
+    return (
+        result.converged,
+        result.time_ms,
+        result.messages,
+        sorted(result.tree_edges),
+        dict(result.message_breakdown),
+        result.extra.get("repairs"),
+        result.extra.get("crashed"),
+        result.extra.get("discovery_retries"),
+        result.extra.get("faults_injected"),
+    )
+
+
+def _counter_total(result, name, **labels):
+    metric = result.metrics.get(name)
+    if metric is None:
+        return 0.0
+    total = 0.0
+    for sample in metric["samples"]:
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            total += sample["value"]
+    return total
+
+
+class TestReproducibility:
+    """A seeded FaultPlan run is bitwise reproducible across repeats."""
+
+    @pytest.mark.parametrize("sim_cls", [STSimulation, FSTSimulation])
+    def test_repeat_runs_identical(self, sim_cls):
+        cfg = PaperConfig(n_devices=48, seed=6, faults=HEAVY_SPEC)
+        a = sim_cls(D2DNetwork(cfg)).run()
+        b = sim_cls(D2DNetwork(cfg)).run()
+        assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    @pytest.mark.parametrize("sim_cls", [STSimulation, FSTSimulation])
+    def test_inactive_plan_is_a_no_op(self, sim_cls):
+        """All-zero fault probabilities must not perturb the run at all."""
+        plain = PaperConfig(n_devices=40, seed=3)
+        inert = plain.replace(faults=FaultConfig())
+        a = sim_cls(D2DNetwork(plain)).run()
+        b = sim_cls(D2DNetwork(inert)).run()
+        assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    def test_faults_change_the_run(self):
+        plain = PaperConfig(n_devices=48, seed=6)
+        faulty = plain.replace(faults=HEAVY_SPEC)
+        a = STSimulation(D2DNetwork(plain)).run()
+        b = STSimulation(D2DNetwork(faulty)).run()
+        assert a.messages != b.messages or a.time_ms != b.time_ms
+
+
+class TestCrashDegradation:
+    """≤20% crashes mid-run: the tree is repaired, not the run aborted."""
+
+    @pytest.mark.parametrize("seed", [1, 3, 4])
+    def test_st_survives_crashes_with_valid_tree(self, seed):
+        cfg = PaperConfig(
+            n_devices=64,
+            seed=seed,
+            faults="crash=0.2,crash_window_ms=3000",
+        )
+        net = D2DNetwork(cfg)
+        result = STSimulation(net).run()
+        plan = FaultPlan.from_config(cfg)
+        dead = plan.dead_by(result.time_ms)
+        assert 0 < int(dead.sum()) <= 0.2 * net.n
+        assert result.extra["crashed"] == int(dead.sum())
+        # the tree never touches a crashed device ...
+        assert not any(dead[u] or dead[v] for u, v in result.tree_edges)
+        # ... and spans the survivors in one component
+        uf = UnionFind(net.n)
+        for u, v in result.tree_edges:
+            uf.union(u, v)
+        roots = {uf.find(d) for d in range(net.n) if not dead[d]}
+        assert len(roots) == 1
+        InvariantChecker().check_result(result, net)
+
+    def test_repair_is_billed_via_obs(self):
+        cfg = PaperConfig(
+            n_devices=64, seed=4, faults="crash=0.2,crash_window_ms=3000"
+        )
+        result = STSimulation(D2DNetwork(cfg)).run()
+        assert result.extra["repairs"] >= 1
+        assert "repair" in result.message_breakdown
+        assert _counter_total(
+            result, "repairs_total", algorithm="st"
+        ) == result.extra["repairs"]
+        assert (
+            _counter_total(result, "faults_injected_total", kind="crash") > 0
+        )
+
+    def test_fst_survives_crashes(self):
+        cfg = PaperConfig(
+            n_devices=64, seed=2, faults="crash=0.15,crash_window_ms=3000"
+        )
+        net = D2DNetwork(cfg)
+        result = FSTSimulation(net).run()
+        plan = FaultPlan.from_config(cfg)
+        dead = plan.dead_by(result.time_ms)
+        assert dead.any()
+        assert not any(dead[u] or dead[v] for u, v in result.tree_edges)
+        InvariantChecker().check_result(result, net)
+
+    def test_total_extinction_does_not_crash(self):
+        cfg = PaperConfig(
+            n_devices=16, seed=1, faults="crash=1.0,crash_window_ms=100"
+        )
+        result = STSimulation(D2DNetwork(cfg)).run()
+        assert not result.converged
+        assert result.extra["crashed"] == 16
+
+
+class TestRetryBackoff:
+    def test_collision_bursts_cause_retries(self):
+        cfg = PaperConfig(
+            n_devices=48, seed=2, faults="collision=0.2,burst=2,backoff=4"
+        )
+        result = STSimulation(D2DNetwork(cfg)).run()
+        assert result.extra["discovery_retries"] > 0
+        assert _counter_total(result, "retries_total") > 0
+        assert result.converged
+
+    def test_beacon_loss_still_discovers(self):
+        cfg = PaperConfig(n_devices=48, seed=2, faults="beacon_loss=0.1")
+        result = STSimulation(D2DNetwork(cfg)).run()
+        assert result.converged
+        assert (
+            _counter_total(result, "faults_injected_total", kind="beacon_loss")
+            > 0
+        )
+
+
+class TestStallAndDrift:
+    def test_stall_run_completes(self):
+        cfg = PaperConfig(
+            n_devices=48,
+            seed=5,
+            faults="stall=0.2,stall_window_ms=2000,stall_duration_ms=200",
+        )
+        net = D2DNetwork(cfg)
+        result = STSimulation(net, invariants=InvariantChecker()).run()
+        assert result.converged
+        InvariantChecker().check_result(result, net)
+
+    def test_drift_run_completes(self):
+        cfg = PaperConfig(n_devices=48, seed=5, faults="drift=0.002")
+        net = D2DNetwork(cfg)
+        result = STSimulation(net, invariants=InvariantChecker()).run()
+        assert result.converged
+        InvariantChecker().check_result(result, net)
+
+
+class TestInvariantEnforcement:
+    @pytest.mark.parametrize("sim_cls", [STSimulation, FSTSimulation])
+    def test_checker_does_not_perturb_clean_runs(self, sim_cls):
+        cfg = PaperConfig(n_devices=40, seed=3)
+        plain = sim_cls(D2DNetwork(cfg)).run()
+        checked = sim_cls(D2DNetwork(cfg), invariants=InvariantChecker()).run()
+        assert _result_fingerprint(plain) == _result_fingerprint(checked)
+
+    def test_checker_passes_under_heavy_faults(self):
+        cfg = PaperConfig(n_devices=48, seed=6, faults=HEAVY_SPEC)
+        chk = InvariantChecker()
+        result = STSimulation(D2DNetwork(cfg), invariants=chk).run()
+        assert chk.rounds_checked > 0
+        assert result.messages > 0
+
+    @pytest.mark.parametrize(
+        ("sim_cls", "round_index"), [(STSimulation, 0), (FSTSimulation, 3)]
+    )
+    def test_corrupted_round_raises_and_names_it(self, sim_cls, round_index):
+        """The test-only corruption hook proves violations are caught."""
+        cfg = PaperConfig(n_devices=40, seed=3)
+        chk = InvariantChecker(corrupt_phase_round=round_index)
+        with pytest.raises(InvariantViolation) as exc:
+            sim_cls(D2DNetwork(cfg), invariants=chk).run()
+        assert exc.value.invariant == "phase_in_unit_interval"
+        assert exc.value.round_index == round_index
+        assert f"at round {round_index}" in str(exc.value)
+
+
+class TestEngineEventDrop:
+    def _plan(self, p=0.3):
+        return FaultPlan(0xABCD, FaultConfig(event_drop=p), 4)
+
+    def test_dropped_events_never_run_but_advance_clock(self):
+        plan = self._plan()
+        eng = Engine(faults=plan)
+        fired = []
+        for i in range(200):
+            eng.schedule(float(i + 1), lambda i=i: fired.append(i))
+        eng.run()
+        assert eng.events_dropped > 0
+        assert len(fired) + eng.events_dropped == 200
+        assert eng.events_processed == 200  # drops count against the budget
+        assert eng.now == 200.0
+
+    def test_drop_pattern_is_deterministic(self):
+        def run_once():
+            eng = Engine(faults=self._plan())
+            fired = []
+            for i in range(100):
+                eng.schedule(float(i + 1), lambda i=i: fired.append(i))
+            eng.run()
+            return fired
+
+        assert run_once() == run_once()
+
+    def test_no_plan_means_no_drops(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.events_dropped == 0
+
+    def test_drop_counter_reaches_obs(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        eng = Engine(obs=obs, faults=self._plan())
+        for i in range(100):
+            eng.schedule(float(i + 1), lambda: None)
+        eng.run()
+        metric = obs.metrics.get("faults_injected_total")
+        assert metric is not None
+        snap = obs.metrics.snapshot()["faults_injected_total"]
+        dropped = sum(
+            s["value"]
+            for s in snap["samples"]
+            if s["labels"].get("kind") == "event_drop"
+        )
+        assert dropped == eng.events_dropped > 0

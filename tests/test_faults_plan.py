@@ -1,0 +1,192 @@
+"""Unit tests for the deterministic fault plan (config + decisions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PaperConfig
+from repro.faults import FaultConfig, FaultPlan
+from repro.faults.plan import SALT_FAULT_KEY
+from repro.radio.chanhash import splitmix64
+
+
+class TestFaultConfig:
+    def test_defaults_are_inactive(self):
+        assert not FaultConfig().active
+
+    @pytest.mark.parametrize(
+        "field",
+        ["beacon_loss", "ps_loss", "rach_collision", "crash", "stall", "event_drop"],
+    )
+    def test_any_probability_activates(self, field):
+        assert FaultConfig(**{field: 0.1}).active
+
+    def test_drift_activates(self):
+        assert FaultConfig(drift_std=1e-4).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beacon_loss": -0.1},
+            {"crash": 1.5},
+            {"event_drop": 2.0},
+            {"collision_burst_periods": 0},
+            {"max_backoff_periods": -1},
+            {"crash_window_ms": 0.0},
+            {"stall_window_ms": -5.0},
+            {"stall_duration_ms": 0.0},
+            {"drift_std": 0.34},
+            {"drift_std": -0.001},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+    def test_from_spec_round_trip(self):
+        fc = FaultConfig.from_spec(
+            "beacon_loss=0.05, crash=0.1, collision=0.2, drift=1e-3, "
+            "burst=2, backoff=6, stall_duration_ms=250"
+        )
+        assert fc.beacon_loss == 0.05
+        assert fc.crash == 0.1
+        assert fc.rach_collision == 0.2
+        assert fc.drift_std == 1e-3
+        assert fc.collision_burst_periods == 2
+        assert fc.max_backoff_periods == 6
+        assert fc.stall_duration_ms == 250.0
+
+    def test_from_spec_empty_entries_ignored(self):
+        assert FaultConfig.from_spec("crash=0.2,,") == FaultConfig(crash=0.2)
+
+    @pytest.mark.parametrize(
+        "spec", ["nonsense", "bogus=1", "crash=high", "crash"]
+    )
+    def test_from_spec_rejects(self, spec):
+        with pytest.raises(ValueError):
+            FaultConfig.from_spec(spec)
+
+    def test_paper_config_coerces_spec_string(self):
+        cfg = PaperConfig(n_devices=10, faults="crash=0.25")
+        assert isinstance(cfg.faults, FaultConfig)
+        assert cfg.faults.crash == 0.25
+
+    def test_paper_config_rejects_non_spec_types(self):
+        with pytest.raises(ValueError):
+            PaperConfig(n_devices=10, faults=123)
+
+
+class TestFaultPlan:
+    def _plan(self, **kwargs) -> FaultPlan:
+        return FaultPlan(
+            0xDEADBEEF, FaultConfig(**kwargs), kwargs.pop("n", None) or 64
+        )
+
+    def test_from_config_none_without_faults(self):
+        assert FaultPlan.from_config(PaperConfig(n_devices=10)) is None
+
+    def test_from_config_none_when_inactive(self):
+        cfg = PaperConfig(n_devices=10, faults=FaultConfig())
+        assert FaultPlan.from_config(cfg) is None
+
+    def test_key_is_pure_function_of_seed(self):
+        cfg = PaperConfig(n_devices=16, faults=FaultConfig(crash=0.5), seed=42)
+        plan_a = FaultPlan.from_config(cfg)
+        plan_b = FaultPlan.from_config(cfg)
+        assert plan_a.key == plan_b.key
+        assert plan_a.key == int(splitmix64(np.uint64(42) ^ SALT_FAULT_KEY))
+        assert np.array_equal(plan_a.crash_time_ms, plan_b.crash_time_ms)
+
+    def test_different_seeds_differ(self):
+        base = PaperConfig(n_devices=64, faults=FaultConfig(crash=0.5))
+        a = FaultPlan.from_config(base)
+        b = FaultPlan.from_config(base.replace(seed=base.seed + 1))
+        assert not np.array_equal(a.crash_time_ms, b.crash_time_ms)
+
+    def test_crash_schedule_within_window(self):
+        plan = self._plan(crash=0.5, crash_window_ms=1000.0)
+        finite = plan.crash_time_ms[np.isfinite(plan.crash_time_ms)]
+        assert finite.size > 0
+        assert ((finite >= 0) & (finite < 1000.0)).all()
+
+    def test_dead_by_is_monotone(self):
+        plan = self._plan(crash=0.5)
+        earlier = plan.dead_by(100.0)
+        later = plan.dead_by(10_000.0)
+        assert (later | ~earlier).all()  # earlier implies later
+        assert not plan.dead_by(-1.0).any()
+
+    def test_stall_window_semantics(self):
+        plan = self._plan(stall=0.6, stall_window_ms=500.0, stall_duration_ms=50.0)
+        idx = np.flatnonzero(np.isfinite(plan.stall_start_ms))
+        assert idx.size > 0
+        d = int(idx[0])
+        start = float(plan.stall_start_ms[d])
+        assert plan.stalled_at(start)[d]
+        assert plan.stalled_at(start + 49.0)[d]
+        assert not plan.stalled_at(start + 50.0)[d]
+        assert not plan.stalled_at(start - 1e-9)[d]
+
+    def test_drift_factors_clipped_and_positive(self):
+        plan = self._plan(drift_std=0.01)
+        assert plan.has_drift
+        assert ((plan.period_factor >= 1 - 0.03) & (plan.period_factor <= 1 + 0.03)).all()
+        assert (plan.period_factor > 0).all()
+        assert plan.period_factor.std() > 0
+
+    def test_no_drift_is_exact_ones(self):
+        plan = self._plan(crash=0.1)
+        assert not plan.has_drift
+        assert np.array_equal(plan.period_factor, np.ones(plan.n))
+
+    def test_beacon_loss_deterministic_and_key_separated(self):
+        plan = self._plan(beacon_loss=0.3)
+        tx = np.arange(32, dtype=np.uint64)
+        rx = (tx + 1) % 32
+        a = plan.beacon_lost(7, tx, rx)
+        assert np.array_equal(a, plan.beacon_lost(7, tx, rx))
+        assert not np.array_equal(a, plan.beacon_lost(8, tx, rx))
+        assert a.any() and not a.all()
+
+    def test_beacon_loss_order_independent(self):
+        plan = self._plan(beacon_loss=0.3)
+        tx = np.arange(32, dtype=np.uint64)
+        rx = (tx + 3) % 32
+        full = plan.beacon_lost(5, tx, rx)
+        perm = np.random.default_rng(0).permutation(32)
+        assert np.array_equal(plan.beacon_lost(5, tx[perm], rx[perm]), full[perm])
+
+    def test_zero_probability_channels_never_fire(self):
+        plan = self._plan(crash=0.5)  # active plan, other channels at 0
+        ids = np.arange(64, dtype=np.uint64)
+        assert not plan.beacon_lost(1, ids, (ids + 1) % 64).any()
+        assert not plan.ps_lost(1, ids).any()
+        assert not plan.rach_collided(1, ids).any()
+        assert not plan.event_dropped(123)
+
+    def test_rach_collision_bursts(self):
+        plan = self._plan(rach_collision=0.4, collision_burst_periods=3)
+        devices = np.arange(64, dtype=np.uint64)
+        p0 = plan.rach_collided(0, devices)
+        # periods in the same burst share the decision
+        assert np.array_equal(plan.rach_collided(1, devices), p0)
+        assert np.array_equal(plan.rach_collided(2, devices), p0)
+        # the next burst redraws
+        assert not np.array_equal(plan.rach_collided(3, devices), p0)
+
+    def test_event_drop_rate_and_determinism(self):
+        plan = self._plan(event_drop=0.2)
+        drops = [plan.event_dropped(s) for s in range(2000)]
+        assert drops == [plan.event_dropped(s) for s in range(2000)]
+        rate = sum(drops) / len(drops)
+        assert 0.1 < rate < 0.3
+
+    def test_repr_mentions_counts(self):
+        plan = self._plan(crash=0.5, stall=0.5)
+        text = repr(plan)
+        assert "crashes=" in text and "stalls=" in text
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            FaultPlan(1, FaultConfig(crash=0.5), 0)

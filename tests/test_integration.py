@@ -1,4 +1,9 @@
-"""End-to-end integration tests across subsystems."""
+"""End-to-end integration tests across subsystems.
+
+Every simulation here runs with an :class:`InvariantChecker` attached,
+and every result is validated with ``check_result`` — integration
+coverage doubles as a protocol-invariant regression net.
+"""
 
 import numpy as np
 import pytest
@@ -10,6 +15,7 @@ from repro import (
     STSimulation,
 )
 from repro.core.pulsesync import PulseSyncKernel
+from repro.faults import InvariantChecker
 from repro.oscillator.integrate_fire import IntegrateFireNetwork
 from repro.oscillator.coupling import all_to_all_coupling
 from repro.oscillator.prc import LinearPRC
@@ -20,13 +26,24 @@ from repro.spanningtree.mst import (
 )
 
 
+def _run_checked(sim_cls, net):
+    """Run a simulation under the invariant checker and validate the result."""
+    result = sim_cls(net, invariants=InvariantChecker()).run()
+    InvariantChecker().check_result(result, net)
+    return result
+
+
 class TestPairedComparison:
     """The headline experiment on one shared topology."""
 
     @pytest.fixture(scope="class")
     def runs(self):
         net = D2DNetwork(PaperConfig(seed=21))
-        return net, STSimulation(net).run(), FSTSimulation(net).run()
+        return (
+            net,
+            _run_checked(STSimulation, net),
+            _run_checked(FSTSimulation, net),
+        )
 
     def test_both_converge(self, runs):
         _, st, fst = runs
@@ -82,7 +99,7 @@ class TestChannelToTreePipeline:
         """Stronger channel ⇒ heavier edge ⇒ in the tree: the paper's chain
         from RSSI (§III) through Algorithm 1."""
         net = D2DNetwork(PaperConfig(seed=22))
-        st = STSimulation(net).run()
+        st = _run_checked(STSimulation, net)
         w = net.weights
         in_tree = np.mean([w[u, v] for u, v in st.tree_edges])
         iu, ju = np.nonzero(np.triu(net.adjacency, k=1))
@@ -91,7 +108,7 @@ class TestChannelToTreePipeline:
 
     def test_tree_weight_equals_oracle(self):
         net = D2DNetwork(PaperConfig(seed=23))
-        st = STSimulation(net).run()
+        st = _run_checked(STSimulation, net)
         oracle = maximum_spanning_tree(net.weights, net.adjacency)
         assert tree_weight(net.weights, st.tree_edges) == pytest.approx(
             tree_weight(net.weights, oracle)
@@ -102,24 +119,24 @@ class TestConfigVariants:
     def test_no_fading_oracle_channel(self):
         cfg = PaperConfig(seed=24, fading_model="none", shadowing_sigma_db=0.0)
         net = D2DNetwork(cfg)
-        st = STSimulation(net).run()
+        st = _run_checked(STSimulation, net)
         assert st.converged
 
     def test_logdistance_model(self):
         cfg = PaperConfig(seed=25, pathloss_model="logdistance")
-        st = STSimulation(D2DNetwork(cfg)).run()
+        st = _run_checked(STSimulation, D2DNetwork(cfg))
         assert st.converged
 
     def test_destructive_policy_st_still_builds_tree(self):
         cfg = PaperConfig(seed=26, collision_policy="destructive")
-        st = STSimulation(D2DNetwork(cfg)).run()
+        st = _run_checked(STSimulation, D2DNetwork(cfg))
         assert is_spanning_tree(st.tree_edges, cfg.n_devices)
 
     def test_dense_scenario(self):
         cfg = PaperConfig(n_devices=80, area_side_m=40.0, seed=27)
         net = D2DNetwork(cfg)
-        st = STSimulation(net).run()
-        fst = FSTSimulation(net).run()
+        st = _run_checked(STSimulation, net)
+        fst = _run_checked(FSTSimulation, net)
         assert st.converged and fst.converged
 
 
@@ -128,8 +145,8 @@ class TestReproducibility:
         """Same seed ⇒ identical results across completely fresh objects."""
         def run_once():
             net = D2DNetwork(PaperConfig(seed=31))
-            st = STSimulation(net).run()
-            fst = FSTSimulation(net).run()
+            st = _run_checked(STSimulation, net)
+            fst = _run_checked(FSTSimulation, net)
             return (st.time_ms, st.messages, fst.time_ms, fst.messages)
 
         assert run_once() == run_once()

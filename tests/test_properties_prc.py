@@ -1,0 +1,74 @@
+"""Property-based tests: phase-response-curve laws (paper §III, eq. 5)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oscillator.prc import LinearPRC, MirolloStrogatzPRC
+
+dissipations = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+epsilons = st.floats(min_value=1e-3, max_value=0.9, allow_nan=False)
+phases = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@settings(deadline=None, max_examples=40)
+@given(dissipations, epsilons, phases, phases)
+def test_apply_is_monotone(b, eps, th1, th2):
+    prc = LinearPRC.from_dissipation(b, eps)
+    lo, hi = sorted((th1, th2))
+    assert prc.apply(lo) <= prc.apply(hi)
+
+
+@settings(deadline=None, max_examples=40)
+@given(dissipations, epsilons, phases)
+def test_apply_is_excitatory_and_bounded(b, eps, theta):
+    """A pulse never rewinds the clock and never exceeds threshold."""
+    prc = LinearPRC.from_dissipation(b, eps)
+    out = prc.apply(theta)
+    assert theta <= out <= 1.0
+
+
+@settings(deadline=None, max_examples=40)
+@given(dissipations, epsilons, phases)
+def test_threshold_is_absorbing(b, eps, theta):
+    """Once at threshold, further pulses are idempotent (stay at 1.0)."""
+    prc = LinearPRC.from_dissipation(b, eps)
+    out = prc.apply(theta)
+    if prc.fires(theta):
+        assert out == 1.0
+        assert prc.apply(out) == 1.0  # idempotent at the fixed point
+    assert prc.apply(1.0) == 1.0
+
+
+@settings(deadline=None, max_examples=40)
+@given(dissipations, epsilons, phases)
+def test_absorption_phase_separates_firing(b, eps, theta):
+    prc = LinearPRC.from_dissipation(b, eps)
+    cut = prc.absorption_phase()
+    assert 0.0 <= cut <= 1.0
+    if theta < cut - 1e-12:
+        assert not prc.fires(theta)
+    if theta > cut + 1e-12:
+        assert prc.fires(theta)
+
+
+@settings(deadline=None, max_examples=40)
+@given(dissipations, epsilons)
+def test_paper_parameters_guarantee_convergence(b, eps):
+    prc = LinearPRC.from_dissipation(b, eps)
+    assert prc.alpha > 1.0 and prc.beta > 0.0
+    assert prc.guarantees_convergence
+
+
+@settings(deadline=None, max_examples=40)
+@given(dissipations, epsilons, phases)
+def test_linearization_matches_exact_map(b, eps, theta):
+    """eq. (5) is the exact Mirollo–Strogatz return map, not an estimate."""
+    linear = LinearPRC.from_dissipation(b, eps)
+    exact = MirolloStrogatzPRC(b, eps)
+    assert math.isclose(
+        linear.apply(theta), exact.apply(theta), rel_tol=1e-9, abs_tol=1e-9
+    )

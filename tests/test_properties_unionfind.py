@@ -1,0 +1,77 @@
+"""Property-based tests: UnionFind algebraic laws under random workloads."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spanningtree.unionfind import UnionFind
+
+
+@st.composite
+def union_workloads(draw, max_n=24, max_ops=40):
+    """A population size and a random sequence of union operations."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    ids = st.integers(min_value=0, max_value=n - 1)
+    ops = draw(st.lists(st.tuples(ids, ids), max_size=max_ops))
+    return n, ops
+
+
+def _apply(n, ops):
+    uf = UnionFind(n)
+    merges = sum(uf.union(a, b) for a, b in ops)
+    return uf, merges
+
+
+@settings(deadline=None, max_examples=40)
+@given(union_workloads())
+def test_component_count_bookkeeping(workload):
+    """components == n − successful merges, always."""
+    n, ops = workload
+    uf, merges = _apply(n, ops)
+    assert len(uf) == n
+    assert uf.components == n - merges
+    assert len(uf.groups()) == uf.components
+
+
+@settings(deadline=None, max_examples=40)
+@given(union_workloads())
+def test_connected_is_an_equivalence_relation(workload):
+    n, ops = workload
+    uf, _ = _apply(n, ops)
+    for x in range(n):
+        assert uf.connected(x, x)  # reflexive
+    for a, b in ops:
+        assert uf.connected(a, b)  # everything united stays united
+        assert uf.connected(b, a)  # symmetric
+    # transitive via the canonical representative
+    for x in range(n):
+        assert uf.find(x) == uf.find(uf.find(x))
+
+
+@settings(deadline=None, max_examples=40)
+@given(union_workloads())
+def test_union_is_idempotent_and_commutative(workload):
+    n, ops = workload
+    uf_ab, _ = _apply(n, ops)
+    uf_ba, _ = _apply(n, [(b, a) for a, b in ops])
+    # the partition (not the representatives) must agree
+    for x in range(n):
+        for y in range(n):
+            assert uf_ab.connected(x, y) == uf_ba.connected(x, y)
+    # replaying the same unions merges nothing new
+    assert all(not uf_ab.union(a, b) for a, b in ops)
+
+
+@settings(deadline=None, max_examples=40)
+@given(union_workloads())
+def test_groups_partition_the_population(workload):
+    n, ops = workload
+    uf, _ = _apply(n, ops)
+    groups = uf.groups()
+    seen = sorted(x for members in groups.values() for x in members)
+    assert seen == list(range(n))  # exactly one group per element
+    for root, members in groups.items():
+        assert uf.find(root) == root
+        assert all(uf.find(m) == root for m in members)
+        assert all(uf.size_of(m) == len(members) for m in members)

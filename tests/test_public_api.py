@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.protocol",
     "repro.obs",
+    "repro.faults",
 ]
 
 

@@ -83,6 +83,69 @@ class TestCompare:
         )
 
 
+class TestEdgeCases:
+    """Degenerate baselines must be loud skips, never silent passes."""
+
+    def test_zero_baseline_wall_is_skipped_explicitly(self, tmp_path, capsys):
+        cur = _artifact(tmp_path / "cur.json", 99.0)
+        base = _artifact(tmp_path / "base.json", 0.0)
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "wall_time_s: skipped" in out
+        assert "not positive" in out
+
+    def test_negative_baseline_row_is_skipped_explicitly(self, tmp_path, capsys):
+        cur = _artifact(tmp_path / "cur.json", 1.0, [_row(300, "sparse", 5.0)])
+        base = _artifact(tmp_path / "base.json", 1.0, [_row(300, "sparse", -0.5)])
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "n=300 backend=sparse: skipped" in out
+
+    def test_missing_wall_key_is_reported(self, tmp_path, capsys):
+        cur = tmp_path / "cur.json"
+        cur.write_text(
+            json.dumps({"schema": "repro.bench/1", "metrics": {"rows": []}})
+        )
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(
+                ["--current", str(cur), "--baseline", base]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "skipped (missing from the current artifact)" in out
+
+    def test_baseline_only_row_is_reported(self, tmp_path, capsys):
+        cur = _artifact(tmp_path / "cur.json", 1.0, [])
+        base = _artifact(tmp_path / "base.json", 1.0, [_row(800, "dense", 2.0)])
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "n=800 backend=dense: skipped (no matching row" in out
+
+    def test_zero_baseline_does_not_mask_real_row_regression(
+        self, tmp_path, capsys
+    ):
+        cur = _artifact(
+            tmp_path / "cur.json", 9.0, [_row(300, "sparse", 9.0)]
+        )
+        base = _artifact(
+            tmp_path / "base.json", 0.0, [_row(300, "sparse", 1.0)]
+        )
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "wall_time_s: skipped" in out
+        assert "REGRESSION" in out
+
+
 class TestArtifactErrors:
     def test_missing_file(self, tmp_path):
         base = _artifact(tmp_path / "base.json", 1.0)

@@ -144,3 +144,68 @@ class TestAlgorithmParity:
             rd = STSimulation(D2DNetwork(cfg)).run()
             rs = STSimulation(D2DNetwork(replace(cfg, backend="sparse"))).run()
             assert (rd.time_ms, rd.messages) == (rs.time_ms, rs.messages), policy
+
+
+class TestFaultParity:
+    """An active FaultPlan draws identical faults on both backends.
+
+    Every fault decision is a counter hash of the event's identity, so
+    the dense and sparse layouts must agree bitwise on the entire
+    degraded run: tree edges, message bills, retry and fault counts.
+    """
+
+    FAULTS = (
+        "beacon_loss=0.05,collision=0.1,crash=0.15,stall=0.05,"
+        "ps_loss=0.01,drift=0.001,crash_window_ms=3000,stall_window_ms=3000"
+    )
+
+    def _faulty_pair(self, n: int, seed: int):
+        cfg = PaperConfig(
+            n_devices=n, seed=seed, backend="dense", faults=self.FAULTS
+        )
+        return D2DNetwork(cfg), D2DNetwork(replace(cfg, backend="sparse"))
+
+    @pytest.mark.parametrize("n", [32, 128])
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_st_faulty_end_to_end(self, n, seed):
+        dense, sparse = self._faulty_pair(n, seed)
+        rd = STSimulation(dense).run()
+        rs = STSimulation(sparse).run()
+        assert rd.converged == rs.converged
+        assert rd.time_ms == rs.time_ms
+        assert rd.messages == rs.messages
+        assert rd.message_breakdown == rs.message_breakdown
+        assert rd.tree_edges == rs.tree_edges
+        assert rd.extra["repairs"] == rs.extra["repairs"]
+        assert rd.extra["crashed"] == rs.extra["crashed"]
+        assert rd.extra["discovery_retries"] == rs.extra["discovery_retries"]
+        assert rd.extra["faults_injected"] == rs.extra["faults_injected"]
+        assert not sparse.densified, "faulty sparse ST must never densify"
+
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_fst_faulty_end_to_end(self, n):
+        dense, sparse = self._faulty_pair(n, seed=7)
+        rd = FSTSimulation(dense).run()
+        rs = FSTSimulation(sparse).run()
+        assert rd.converged == rs.converged
+        assert rd.time_ms == rs.time_ms
+        assert rd.messages == rs.messages
+        assert rd.message_breakdown == rs.message_breakdown
+        assert rd.tree_edges == rs.tree_edges
+        assert rd.extra["crashed"] == rs.extra["crashed"]
+        assert rd.extra["discovery_retries"] == rs.extra["discovery_retries"]
+        assert rd.extra["faults_injected"] == rs.extra["faults_injected"]
+        assert not sparse.densified, "faulty sparse FST must never densify"
+
+    def test_faulty_run_is_repeatable_per_backend(self):
+        for backend in ("dense", "sparse"):
+            cfg = PaperConfig(
+                n_devices=32, seed=5, backend=backend, faults=self.FAULTS
+            )
+            a = STSimulation(D2DNetwork(cfg)).run()
+            b = STSimulation(D2DNetwork(cfg)).run()
+            assert (a.time_ms, a.messages, a.tree_edges) == (
+                b.time_ms,
+                b.messages,
+                b.tree_edges,
+            ), backend
