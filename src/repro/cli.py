@@ -12,6 +12,13 @@ Commands
 ``profile <id>``
     Run an experiment under the observability layer and print its nested
     wall-clock span tree plus the headline counters.
+``conformance``
+    Golden-trace conformance gate: ``record`` (re)writes the corpus
+    under ``tests/goldens/``, ``run`` replays every committed golden
+    (optionally forcing a backend) plus the metamorphic relation
+    registry, ``diff`` executes one differential pair (dense/sparse,
+    clean/noop faults, Borůvka/oracle, sorted/naive FFA).  Any
+    divergence prints a first-diverging-round report and exits 1.
 ``list``
     List the available experiment ids.
 """
@@ -74,12 +81,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("st", "fst", "both"),
         default="both",
     )
+    # no argparse choices: the value flows into PaperConfig validation so
+    # an invalid backend/faults combination exits 2 with a clean message
     sim.add_argument(
         "--backend",
-        choices=("auto", "dense", "sparse"),
         default=None,
-        help="execution backend (auto switches to sparse at "
-        "config.sparse_threshold_devices)",
+        help="execution backend: auto, dense or sparse (auto switches to "
+        "sparse at config.sparse_threshold_devices)",
     )
     sim.add_argument(
         "--faults",
@@ -143,6 +151,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the aggregated metrics snapshot as JSON",
     )
 
+    conf = sub.add_parser(
+        "conformance",
+        help="golden-trace conformance gate (record / run / diff)",
+    )
+    conf_sub = conf.add_subparsers(dest="conformance_command", required=True)
+
+    conf_run = conf_sub.add_parser(
+        "run", help="replay the committed golden corpus (+relations)"
+    )
+    conf_run.add_argument(
+        "--goldens", default="tests/goldens", help="corpus directory"
+    )
+    conf_run.add_argument(
+        "--backend",
+        choices=("dense", "sparse"),
+        default=None,
+        help="force every replay onto this backend (cross-backend gate)",
+    )
+    conf_run.add_argument(
+        "--skip-relations",
+        action="store_true",
+        help="replay goldens only; skip the metamorphic relation registry",
+    )
+
+    conf_rec = conf_sub.add_parser(
+        "record", help="(re)record the golden corpus and bill fixture"
+    )
+    conf_rec.add_argument(
+        "--goldens", default="tests/goldens", help="corpus directory"
+    )
+
+    conf_diff = conf_sub.add_parser(
+        "diff", help="run one differential pair on an ad-hoc config"
+    )
+    conf_diff.add_argument(
+        "pair",
+        help="backends | faults | boruvka | ffa | all",
+    )
+    conf_diff.add_argument("--devices", "-n", type=int, default=32)
+    conf_diff.add_argument("--seed", type=int, default=1)
+
     sub.add_parser("list", help="list experiment ids")
 
     report = sub.add_parser(
@@ -196,8 +245,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"invalid --faults spec: {exc}", file=sys.stderr)
             return 2
-    config = config.replace(**overrides)
-    network = D2DNetwork(config)
+    try:
+        config = config.replace(**overrides)
+        network = D2DNetwork(config)
+    except ValueError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
     stats = network.degree_stats()
     print(
         f"topology [{args.scenario}]: {network.n} devices, "
@@ -270,6 +323,56 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import (
+        record_corpus,
+        render_summary,
+        run_pairs,
+        run_relations,
+        verify_corpus,
+    )
+    from repro.core.config import PaperConfig
+
+    if args.conformance_command == "record":
+        paths = record_corpus(args.goldens)
+        print(f"recorded {len(paths)} files under {args.goldens}")
+        return 0
+
+    if args.conformance_command == "run":
+        checks = [
+            (name, div)
+            for name, div in verify_corpus(args.goldens, backend=args.backend)
+        ]
+        if not args.skip_relations:
+            checks += [
+                (f"relation:{name}", div)
+                for name, div in run_relations(
+                    PaperConfig(n_devices=16, seed=1)
+                )
+            ]
+        backend = args.backend or "as recorded"
+        print(render_summary(checks, title=f"conformance run [{backend}]"))
+        return 1 if any(div is not None for _, div in checks) else 0
+
+    if args.conformance_command == "diff":
+        config = PaperConfig(n_devices=args.devices, seed=args.seed)
+        try:
+            names = None if args.pair == "all" else (args.pair,)
+            outcomes = run_pairs(config, names)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        checks = [(o.pair, o.divergence) for o in outcomes]
+        print(render_summary(checks, title="conformance diff"))
+        for o in outcomes:
+            print(f"  [{o.pair}] {o.detail}")
+        return 1 if any(not o.ok for o in outcomes) else 0
+
+    raise AssertionError(
+        f"unhandled conformance command {args.conformance_command!r}"
+    )
+
+
 def _cmd_list() -> int:
     for exp_id in sorted(EXPERIMENTS):
         print(exp_id)
@@ -285,6 +388,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "conformance":
+        return _cmd_conformance(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "report":

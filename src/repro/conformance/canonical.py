@@ -1,0 +1,113 @@
+"""Canonical serialization and stable content hashing.
+
+Every conformance artifact — golden traces, differential captures,
+divergence reports — goes through one canonical form so that two runs
+are "the same" iff their canonical bytes are the same:
+
+* **JSON canonicalization**: sorted keys, minimal separators, and
+  Python's shortest round-trip ``repr`` for floats (deterministic for
+  IEEE-754 doubles across platforms).  Non-finite floats are encoded as
+  the tagged strings ``"__inf__"`` / ``"__-inf__"`` / ``"__nan__"`` so
+  the output is strict JSON.
+* **Content hash**: SHA-256 over the canonical UTF-8 bytes.  Golden
+  files commit the hash next to the payload; replay recomputes both.
+* **Array hashing**: phase vectors are hashed from their raw float64
+  bytes (the kernels produce canonical quiet NaNs for inactive nodes),
+  giving a bitwise-sensitive per-round digest without storing the
+  vectors themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+#: Length of truncated per-round digests (hex chars); the combined
+#: stream hash stays full-length, so truncation only bounds file size.
+ROUND_DIGEST_LEN = 16
+
+_NONFINITE = {
+    math.inf: "__inf__",
+    -math.inf: "__-inf__",
+}
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into strict-JSON-safe builtins.
+
+    NumPy scalars and arrays become Python scalars and lists, tuples
+    become lists, dict keys are coerced to ``str``, and non-finite
+    floats become tagged strings (see :func:`from_jsonable`).
+    """
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        obj = float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "__nan__"
+        if math.isinf(obj):
+            return _NONFINITE[obj]
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Inverse of the non-finite-float tagging of :func:`to_jsonable`."""
+    if isinstance(obj, str):
+        if obj == "__nan__":
+            return math.nan
+        if obj == "__inf__":
+            return math.inf
+        if obj == "__-inf__":
+            return -math.inf
+        return obj
+    if isinstance(obj, list):
+        return [from_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: from_jsonable(v) for k, v in obj.items()}
+    return obj
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON text: sorted keys, no whitespace, tagged floats."""
+    return json.dumps(
+        to_jsonable(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def content_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def hash_array(values: np.ndarray, *, length: int = ROUND_DIGEST_LEN) -> str:
+    """Truncated SHA-256 of a float64 array's raw bytes (C order)."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    return hashlib.sha256(arr.tobytes()).hexdigest()[:length]
+
+
+def combine_hashes(digests: list[str]) -> str:
+    """One full-length digest summarizing an ordered digest sequence."""
+    h = hashlib.sha256()
+    for d in digests:
+        h.update(d.encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()

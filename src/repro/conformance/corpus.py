@@ -1,0 +1,161 @@
+"""The committed golden corpus: enumeration, recording, verification.
+
+The corpus spans the full conformance matrix —
+``{st, fst, pulsesync} × {dense, sparse} × {clean, faulted}`` at
+``n ∈ {8, 32, 128}`` — 36 goldens, every one converging in well under a
+second so the whole corpus replays inside a CI job.
+
+The faulted half uses one fixed plan (:data:`CORPUS_FAULT_SPEC`): lossy
+beacons and PS pulses, a crash window wide enough to exercise repair,
+and collision arbitration — each decision a pure function of event
+identity, so faulted goldens replay bitwise on either backend.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterator
+
+from repro.conformance.golden import (
+    GoldenTrace,
+    capture_run,
+    default_name,
+    replay,
+)
+from repro.conformance.report import Divergence
+from repro.core.config import PaperConfig
+from repro.faults.plan import FaultConfig
+
+#: Default location of the committed corpus, relative to the repo root.
+GOLDENS_DIRNAME = "tests/goldens"
+
+#: Fault plan shared by every faulted golden (see module docstring).
+CORPUS_FAULT_SPEC = (
+    "beacon_loss=0.05,ps_loss=0.02,crash=0.1,collision=0.1,crash_window_ms=3000"
+)
+
+#: Deployment seed shared by the whole corpus.
+CORPUS_SEED = 1
+
+CORPUS_SIZES = (8, 32, 128)
+CORPUS_ALGORITHMS = ("st", "fst", "pulsesync")
+CORPUS_BACKENDS = ("dense", "sparse")
+
+#: Sizes whose ST/FST message bills are additionally pinned in
+#: ``message_bills.json`` (the satellite regression fixture).
+BILL_SIZES = (8, 32)
+BILLS_FILENAME = "message_bills.json"
+
+
+def corpus_specs() -> Iterator[tuple[str, PaperConfig, str]]:
+    """Yield ``(name, config, algorithm)`` for every corpus golden."""
+    for n in CORPUS_SIZES:
+        for backend in CORPUS_BACKENDS:
+            for faulted in (False, True):
+                config = PaperConfig(
+                    n_devices=n,
+                    seed=CORPUS_SEED,
+                    backend=backend,
+                    faults=(
+                        FaultConfig.from_spec(CORPUS_FAULT_SPEC)
+                        if faulted
+                        else None
+                    ),
+                )
+                for algorithm in CORPUS_ALGORITHMS:
+                    yield default_name(config, algorithm), config, algorithm
+
+
+def golden_path(root: str | pathlib.Path, name: str) -> pathlib.Path:
+    return pathlib.Path(root) / f"{name}.json"
+
+
+def record_corpus(root: str | pathlib.Path) -> list[pathlib.Path]:
+    """(Re)record every corpus golden plus the message-bill fixture.
+
+    Returns the written paths.  Recording is the only sanctioned way to
+    update goldens — hand-editing breaks the content hash and is flagged
+    as corruption by :func:`verify_corpus`.
+    """
+    root = pathlib.Path(root)
+    written: list[pathlib.Path] = []
+    bills: dict[str, dict[str, int]] = {}
+    for name, config, algorithm in corpus_specs():
+        golden = capture_run(config, algorithm, name=name)
+        written.append(golden.save(golden_path(root, name)))
+        if algorithm in ("st", "fst") and config.n_devices in BILL_SIZES:
+            bills[name] = dict(sorted(golden.bill.items()))
+    bills_path = root / BILLS_FILENAME
+    bills_path.write_text(json.dumps(bills, sort_keys=True, indent=1) + "\n")
+    written.append(bills_path)
+    return written
+
+
+def load_corpus(root: str | pathlib.Path) -> list[GoldenTrace]:
+    """Load every committed corpus golden, in spec order."""
+    return [
+        GoldenTrace.load(golden_path(root, name))
+        for name, _, _ in corpus_specs()
+    ]
+
+
+def verify_corpus(
+    root: str | pathlib.Path, *, backend: str | None = None
+) -> list[tuple[str, Divergence | None]]:
+    """Replay every committed golden; return per-golden outcomes.
+
+    ``backend`` overrides the stamped execution backend for every
+    replay — running the corpus once per backend is the CI
+    cross-backend gate.  A golden whose stored content hash no longer
+    matches its payload (hand-edited / corrupted file) is still
+    replayed, so the outcome names the first diverging round/event
+    rather than a bare checksum failure; the corruption is recorded in
+    the divergence context.
+    """
+    outcomes: list[tuple[str, Divergence | None]] = []
+    for name, _, _ in corpus_specs():
+        path = golden_path(root, name)
+        if not path.exists():
+            outcomes.append(
+                (
+                    name,
+                    Divergence(
+                        pair=f"golden-vs-run:{name}",
+                        kind="content",
+                        location=str(path),
+                        expected="golden file",
+                        actual="<missing>",
+                    ),
+                )
+            )
+            continue
+        golden = GoldenTrace.load(path)
+        corrupted = not golden.integrity_ok()
+        _, div = replay(golden, backend=backend)
+        if div is None and corrupted:
+            div = Divergence(
+                pair=f"golden-vs-run:{name}",
+                kind="content",
+                location="content_hash",
+                expected=golden.content_hash,
+                actual="<recomputed hash differs: golden file edited>",
+            )
+        elif div is not None and corrupted:
+            div = Divergence(
+                pair=div.pair,
+                kind=div.kind,
+                location=div.location,
+                round=div.round,
+                time_ms=div.time_ms,
+                expected=div.expected,
+                actual=div.actual,
+                context={**div.context, "golden_integrity": "FAILED"},
+            )
+        outcomes.append((name, div))
+    return outcomes
+
+
+def load_bills(root: str | pathlib.Path) -> dict[str, dict[str, int]]:
+    """The committed per-kind message-bill fixture."""
+    return json.loads((pathlib.Path(root) / BILLS_FILENAME).read_text())

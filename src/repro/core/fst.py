@@ -24,7 +24,11 @@ import numpy as np
 from repro.core.beacon import BeaconDiscovery, SparseBeaconDiscovery
 from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
-from repro.core.pulsesync import PulseSyncKernel, SparsePulseSyncKernel
+from repro.core.pulsesync import (
+    PhaseHook,
+    PulseSyncKernel,
+    SparsePulseSyncKernel,
+)
 from repro.core.results import RunResult
 from repro.faults.invariants import InvariantChecker
 from repro.faults.plan import FaultPlan
@@ -199,11 +203,14 @@ class FSTSimulation:
         obs: Observability | None = None,
         *,
         invariants: InvariantChecker | None = None,
+        phase_hook: PhaseHook | None = None,
     ) -> None:
         self.network = network
         self.config: PaperConfig = network.config
         self.obs = obs if obs is not None else (get_active() or Observability())
         self.invariants = invariants
+        #: forwarded to the mesh-sync kernel (conformance capture)
+        self.phase_hook = phase_hook
         self.prc = LinearPRC.from_dissipation(
             self.config.dissipation, self.config.epsilon
         )
@@ -258,6 +265,7 @@ class FSTSimulation:
                     obs_labels={"algorithm": "fst", "stage": "sync"},
                     faults=plan,
                     invariants=self.invariants,
+                    phase_hook=self.phase_hook,
                 )
             with obs.span("discovery"):
                 max_periods = max(1, int(cfg.max_time_ms / cfg.period_ms))

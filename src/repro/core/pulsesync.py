@@ -53,6 +53,7 @@ the HPC guide's vectorization rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -71,6 +72,9 @@ from repro.sim.trace import TraceRecorder
 
 #: Fire times closer than this (ms) are simultaneous (one instant).
 TIE_EPS = 1e-9
+
+#: Per-instant observer signature: ``(instant_index, time_ms, phases)``.
+PhaseHook = Callable[[int, float, np.ndarray], None]
 
 #: Bucket bounds (ms) for the sync-error histogram; the paper's sync
 #: window is 2 ms and periods are O(100 ms).
@@ -183,6 +187,7 @@ class _PulseSyncBase:
         obs_labels: dict[str, str] | None = None,
         faults: FaultPlan | None = None,
         invariants: InvariantChecker | None = None,
+        phase_hook: "PhaseHook | None" = None,
     ) -> PulseSyncResult:
         """Run until the convergence conditions hold (or time runs out).
 
@@ -224,6 +229,14 @@ class _PulseSyncBase:
             Optional :class:`~repro.faults.invariants.InvariantChecker`;
             when set, raw phases are validated against ``[0, 1)`` after
             every avalanche instant (stall-frozen clocks excluded).
+        phase_hook:
+            Optional ``(instant_index, time_ms, phases)`` observer called
+            after every avalanche instant with the full-length phase
+            vector (NaN at inactive nodes).  Pure observation — the hook
+            sees copies derived from loop state and the loop draws no
+            randomness for it, so enabling it cannot perturb the run.
+            The conformance layer uses it to record per-round phase
+            digests for golden traces.
         """
         n = self.n
         if active is None:
@@ -469,6 +482,9 @@ class _PulseSyncBase:
                 checkable = active & (next_fire <= t + period_of)
                 raw = 1.0 - (next_fire - t) / period_of
                 invariants.check_phases(t, raw, active=checkable, atol=1e-9)
+
+            if phase_hook is not None:
+                phase_hook(instants - 1, t, self._phases_at(t, next_fire, active))
 
             if t >= next_sample:
                 phases_now = self._phases_at(t, next_fire, active)

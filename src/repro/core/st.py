@@ -43,6 +43,7 @@ from repro.core.config import PaperConfig
 from repro.core.fst import _tree_weight_for
 from repro.core.network import D2DNetwork
 from repro.core.pulsesync import (
+    PhaseHook,
     PulseSyncKernel,
     PulseSyncResult,
     SparsePulseSyncKernel,
@@ -115,11 +116,14 @@ class STSimulation:
         obs: Observability | None = None,
         *,
         invariants: InvariantChecker | None = None,
+        phase_hook: PhaseHook | None = None,
     ) -> None:
         self.network = network
         self.config: PaperConfig = network.config
         self.obs = obs if obs is not None else (get_active() or Observability())
         self.invariants = invariants
+        #: forwarded to the trim kernel (conformance phase-round capture)
+        self.phase_hook = phase_hook
         self.prc = LinearPRC.from_dissipation(
             self.config.dissipation, self.config.epsilon
         )
@@ -399,6 +403,7 @@ class STSimulation:
                         obs_labels={"algorithm": "st", "stage": "trim"},
                         faults=plan,
                         invariants=self.invariants,
+                        phase_hook=self.phase_hook,
                     )
 
                 # devices that crashed *during* the trim also get cut out

@@ -160,6 +160,20 @@ class FaultConfig:
                 ) from exc
         return cls(**kwargs)
 
+    def to_spec(self) -> str:
+        """Render the non-default fields as a :meth:`from_spec` string.
+
+        Round-trips: ``FaultConfig.from_spec(cfg.to_spec()) == cfg``.
+        Used by the conformance layer to stamp golden traces with the
+        exact fault model they were recorded under.
+        """
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{f.name}={value}")
+        return ",".join(parts)
+
 
 class FaultPlan:
     """Materialized fault schedule for one ``(key, config, n)`` triple.

@@ -24,6 +24,19 @@ class TraceRecord:
     def __getitem__(self, key: str) -> Any:
         return self.data[key]
 
+    def canonical(self) -> tuple[float, str, tuple[tuple[str, Any], ...]]:
+        """Order-stable tuple form used for conformance comparison.
+
+        Two records are conformance-equal iff their canonical tuples are
+        equal; the data dict is flattened in sorted-key order so insert
+        order cannot leak into golden-trace hashes.
+        """
+        return (
+            self.time,
+            self.category,
+            tuple(sorted(self.data.items())),
+        )
+
 
 class TraceRecorder:
     """Collects :class:`TraceRecord` objects and per-category counters.

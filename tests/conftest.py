@@ -1,0 +1,37 @@
+"""Shared pytest configuration.
+
+Adds the ``--update-goldens`` flag: golden-corpus tests re-record the
+committed corpus under ``tests/goldens/`` instead of asserting against
+it.  Run after an intentional behaviour change, then commit the diff:
+
+    PYTHONPATH=src python -m pytest tests/test_conformance_golden.py \
+        --update-goldens
+"""
+
+import pathlib
+
+import pytest
+
+GOLDENS_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="re-record the conformance golden corpus instead of "
+        "asserting against it",
+    )
+
+
+@pytest.fixture(scope="session")
+def goldens_dir() -> pathlib.Path:
+    """Location of the committed golden corpus."""
+    return GOLDENS_DIR
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    """True when the run should re-record goldens rather than assert."""
+    return request.config.getoption("--update-goldens")

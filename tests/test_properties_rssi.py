@@ -1,0 +1,111 @@
+"""Hypothesis property tests for RSSI ranging (paper eqs. 11–12).
+
+The estimator promises, for true distance r, shadowing draw x (dB) and
+path-loss exponent n:
+
+    r̂ = r · 10^{x/10n}        ε = 10^{x/10n} − 1
+
+so r̂ = r·(1+ε) identically, r̂ > 0 always, and ε → 0 as the shadowing
+perturbation (and the shadowing variance feeding it) goes to zero.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.radio.rssi import RSSIRanging, expected_ranging_error
+
+distances = st.floats(min_value=1.0, max_value=1e4)
+shadowing = st.floats(min_value=-40.0, max_value=40.0)
+exponents = st.floats(min_value=1.5, max_value=8.0)
+sigmas = st.floats(min_value=0.0, max_value=20.0)
+
+
+def _ranging(n: float) -> RSSIRanging:
+    return RSSIRanging(LogDistancePathLoss(exponent=n))
+
+
+@given(r=distances, x=shadowing, n=exponents)
+@settings(max_examples=200)
+def test_estimate_equals_r_times_one_plus_eps(r, x, n):
+    """r̂ = r·(1+ε) with ε = 10^{x/10n} − 1 (eqs. 11 and 12 agree)."""
+    ranging = _ranging(n)
+    true_rx = ranging.tx_power_dbm - ranging.model.loss_db(r)
+    # positive shadowing x makes the link *look* longer: measured power
+    # drops by x, inflating the estimate by 10^{x/10n}
+    r_hat = ranging.estimate(true_rx - x)
+    eps = ranging.relative_error(x)
+    assert r_hat == pytest.approx(r * (1.0 + eps), rel=1e-9)
+    assert r_hat == pytest.approx(r * 10.0 ** (x / (10.0 * n)), rel=1e-9)
+
+
+@given(r=distances, x=shadowing, n=exponents)
+@settings(max_examples=200)
+def test_estimate_is_strictly_positive(r, x, n):
+    ranging = _ranging(n)
+    true_rx = ranging.tx_power_dbm - ranging.model.loss_db(r)
+    assert ranging.estimate(true_rx - x) > 0.0
+
+
+@given(r=distances, n=exponents)
+@settings(max_examples=100)
+def test_zero_shadowing_recovers_true_distance(r, n):
+    ranging = _ranging(n)
+    true_rx = ranging.tx_power_dbm - ranging.model.loss_db(r)
+    assert ranging.estimate(true_rx) == pytest.approx(r, rel=1e-9)
+    assert ranging.relative_error(0.0) == 0.0
+
+
+@given(x=st.floats(min_value=1e-6, max_value=40.0), n=exponents)
+@settings(max_examples=100)
+def test_error_shrinks_with_the_perturbation(x, n):
+    """|ε(x/2)| < |ε(x)| and ε(x) → 0 as x → 0 (continuity at 0)."""
+    ranging = _ranging(n)
+    assert abs(ranging.relative_error(x / 2)) < abs(ranging.relative_error(x))
+    assert abs(ranging.relative_error(x / 1024)) < 1e-2 + abs(
+        ranging.relative_error(x)
+    )
+
+
+@given(sigma=sigmas, n=exponents)
+@settings(max_examples=100)
+def test_expected_error_vanishes_with_variance(sigma, n):
+    """E[ε] ≥ 0 (log-normal bias) and halving σ shrinks it toward 0."""
+    full = expected_ranging_error(sigma, n)
+    half = expected_ranging_error(sigma / 2, n)
+    assert full["mean_relative_error"] >= 0.0
+    assert half["mean_relative_error"] <= full["mean_relative_error"]
+    assert half["std_ratio"] <= full["std_ratio"]
+    # the estimator is median-unbiased at every variance
+    assert full["median_ratio"] == 1.0
+
+
+def test_expected_error_at_zero_variance_is_exactly_zero():
+    out = expected_ranging_error(0.0, 4.0)
+    assert out["mean_relative_error"] == 0.0
+    assert out["std_ratio"] == 0.0
+    assert out["mean_ratio"] == 1.0
+
+
+@given(sigma=st.floats(min_value=1e-3, max_value=20.0))
+@settings(max_examples=50)
+def test_sigma_factor_matches_closed_form(sigma):
+    n = 4.0
+    ranging = RSSIRanging(LogDistancePathLoss(exponent=n), sigma_db=sigma)
+    assert ranging.sigma_factor == pytest.approx(
+        10.0 ** (sigma / (10.0 * n)), rel=1e-12
+    )
+    # one-sigma factor is exactly 1+ε evaluated at x=σ
+    assert ranging.sigma_factor == pytest.approx(
+        1.0 + ranging.relative_error(sigma), rel=1e-12
+    )
+
+
+def test_invalid_moment_arguments_rejected():
+    with pytest.raises(ValueError):
+        expected_ranging_error(-1.0, 4.0)
+    with pytest.raises(ValueError):
+        expected_ranging_error(1.0, 0.0)

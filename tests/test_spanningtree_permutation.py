@@ -1,0 +1,81 @@
+"""Permutation equivariance of the distributed tree constructions.
+
+Relabeling the nodes of the weight matrix must relabel the tree:
+π(tree(W)) == tree(π(W)), with identical total weight.  Borůvka's
+message bill is additionally per-kind label-invariant (probe/report
+counts depend only on degrees and fragment sizes); GHS's is not — which
+fragment initiates a connect is a label-order choice — so for GHS the
+test pins the tree and weight only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spanningtree.boruvka import distributed_boruvka
+from repro.spanningtree.ghs import distributed_ghs
+from repro.spanningtree.mst import tree_weight
+
+
+def _random_instance(n: int, seed: int):
+    """Symmetric distinct weights over a connected random graph."""
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(0.0, 100.0, size=(n, n))
+    w = (w + w.T) / 2.0
+    np.fill_diagonal(w, 0.0)
+    adj = rng.random((n, n)) < 0.6
+    adj |= adj.T
+    np.fill_diagonal(adj, False)
+    # ring for guaranteed connectivity
+    for i in range(n):
+        adj[i, (i + 1) % n] = adj[(i + 1) % n, i] = True
+    return w, adj
+
+
+def _edges(result) -> list[tuple[int, int]]:
+    return sorted((min(u, v), max(u, v)) for u, v in result.edges)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("n", [12, 24])
+class TestPermutationEquivariance:
+    def _permuted(self, w, adj, seed):
+        perm = np.random.default_rng(seed + 100).permutation(w.shape[0])
+        return perm, w[np.ix_(perm, perm)], adj[np.ix_(perm, perm)]
+
+    def test_boruvka(self, n, seed):
+        w, adj = _random_instance(n, seed)
+        perm, w_p, adj_p = self._permuted(w, adj, seed)
+        base = distributed_boruvka(w, adj)
+        rel = distributed_boruvka(w_p, adj_p)
+        mapped = sorted(
+            (min(perm[u], perm[v]), max(perm[u], perm[v]))
+            for u, v in rel.edges
+        )
+        assert mapped == _edges(base)
+        assert tree_weight(w_p, rel.edges) == pytest.approx(
+            tree_weight(w, base.edges), rel=1e-12
+        )
+        # identical per-kind message count, not merely the same total
+        assert rel.counter.as_dict() == base.counter.as_dict()
+
+    def test_ghs(self, n, seed):
+        w, adj = _random_instance(n, seed)
+        perm, w_p, adj_p = self._permuted(w, adj, seed)
+        base = distributed_ghs(w, adj)
+        rel = distributed_ghs(w_p, adj_p)
+        mapped = sorted(
+            (min(perm[u], perm[v]), max(perm[u], perm[v]))
+            for u, v in rel.edges
+        )
+        assert mapped == _edges(base)
+        assert tree_weight(w_p, rel.edges) == pytest.approx(
+            tree_weight(w, base.edges), rel=1e-12
+        )
+        assert base.converged and rel.converged
+
+    def test_boruvka_and_ghs_agree_on_the_tree(self, n, seed):
+        """Both constructions find the same (unique) maximum tree."""
+        w, adj = _random_instance(n, seed)
+        assert _edges(distributed_boruvka(w, adj)) == _edges(
+            distributed_ghs(w, adj)
+        )
