@@ -13,7 +13,13 @@ per-row timings (``metrics.rows[*].wall_s``), each (n, backend) row that
 exists in both.  A measurement is a regression when it exceeds the
 baseline by more than ``tolerance`` (a fraction: 0.20 = +20%).
 
-Exit codes: 0 OK, 1 regression, 2 usage/artifact error.
+Budgets are machine-independent hard ceilings carried by the *current*
+artifact itself (``metrics.budgets[*]`` entries of the form
+``{"name": ..., "value": ..., "limit": ...}``): a value above its limit
+fails regardless of tolerance.  The obs-overhead benchmark uses this to
+enforce the ≤5% streaming-telemetry budget.
+
+Exit codes: 0 OK, 1 regression/budget violation, 2 usage/artifact error.
 
 Wall times are machine-dependent; the committed baseline is from the CI
 runner class.  Use a generous ``--tolerance`` anywhere else, or refresh
@@ -90,6 +96,28 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_budgets(current: dict) -> list[str]:
+    """Enforce the artifact's own budgets; returns violation descriptions.
+
+    Budgets are ratios or fractions, not wall seconds, so they hold on
+    any machine — no tolerance applies.
+    """
+    failures: list[str] = []
+    for budget in current.get("metrics", {}).get("budgets", []):
+        name = budget.get("name", "<unnamed>")
+        try:
+            value = float(budget["value"])
+            limit = float(budget["limit"])
+        except (KeyError, TypeError, ValueError):
+            failures.append(f"budget {name}: malformed entry {budget!r}")
+            continue
+        verdict = "BUDGET EXCEEDED" if value > limit else "ok"
+        print(f"budget {name}: value={value:.4f} limit={limit:.4f} {verdict}")
+        if verdict != "ok":
+            failures.append(f"budget {name}: {value:.4f} > limit {limit:.4f}")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True, help="fresh BENCH_*.json")
@@ -111,10 +139,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     failures = compare(current, baseline, args.tolerance)
-    if failures:
-        print(f"\n{len(failures)} regression(s) beyond +{args.tolerance:.0%}:")
-        for f in failures:
-            print(f"  - {f}")
+    budget_failures = check_budgets(current)
+    if failures or budget_failures:
+        if failures:
+            print(
+                f"\n{len(failures)} regression(s) beyond +{args.tolerance:.0%}:"
+            )
+            for f in failures:
+                print(f"  - {f}")
+        if budget_failures:
+            print(f"\n{len(budget_failures)} budget violation(s):")
+            for f in budget_failures:
+                print(f"  - {f}")
         return 1
     print("\nno regressions")
     return 0

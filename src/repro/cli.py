@@ -8,10 +8,13 @@ Commands
 ``simulate``
     Run ST and/or FST on one scenario and print the result summary.
     ``--trace out.jsonl`` / ``--metrics out.json`` additionally write the
-    machine-readable run artifacts (JSONL event trace, metrics snapshot).
+    machine-readable run artifacts (JSONL event trace with per-device
+    Lamport clocks, metrics snapshot + analyzer alerts); ``--live``
+    streams one-line progress updates from the telemetry bus.
 ``profile <id>``
     Run an experiment under the observability layer and print its nested
-    wall-clock span tree plus the headline counters.
+    wall-clock span tree plus the headline counters; ``--json`` exports
+    the span tree machine-readably.
 ``conformance``
     Golden-trace conformance gate: ``record`` (re)writes the corpus
     under ``tests/goldens/``, ``run`` replays every committed golden
@@ -116,7 +119,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics",
         default=None,
         metavar="PATH",
-        help="write the metrics registry snapshot (+probes, spans) as JSON",
+        help="write the metrics registry snapshot (+probes, spans, "
+        "alerts) as JSON",
+    )
+    sim.add_argument(
+        "--live",
+        action="store_true",
+        help="print one-line progress updates from the telemetry bus "
+        "(sync spread, fragment counts, analyzer alerts) as the run "
+        "advances",
     )
 
     prof = sub.add_parser(
@@ -149,6 +160,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write the aggregated metrics snapshot as JSON",
+    )
+    prof.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="export the span tree (plus headline counters) as JSON",
     )
 
     conf = sub.add_parser(
@@ -195,13 +213,36 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list experiment ids")
 
     report = sub.add_parser(
-        "report", help="run every experiment and write a markdown report"
+        "report",
+        help="write a markdown experiment report, or — with --metrics — "
+        "a self-contained HTML run report from run artifacts",
     )
     report.add_argument(
-        "--output", "-o", default="results/REPORT.md", help="output path"
+        "--output",
+        "-o",
+        default=None,
+        help="output path (default: results/REPORT.md, or "
+        "results/run_report.html in the --metrics run-report mode)",
     )
     report.add_argument(
         "--full", action="store_true", help="use the paper's full grid"
+    )
+    report.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="metrics JSON written by `repro simulate --metrics`; renders "
+        "a single-file HTML run report instead of the markdown report",
+    )
+    report.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="JSONL trace to fold into the HTML run report "
+        "(requires --metrics)",
+    )
+    report.add_argument(
+        "--title", default=None, help="HTML run report title"
     )
     return parser
 
@@ -256,13 +297,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"topology [{args.scenario}]: {network.n} devices, "
         f"{config.area_side_m:.0f} m side, mean degree {stats['mean']:.1f}"
     )
-    # one shared bundle: the algorithm label keeps the runs apart
-    obs = Observability(keep_trace=args.trace is not None)
+    # one shared bundle: the algorithm label keeps the runs apart; the
+    # telemetry bus is always on so alerts land in the metrics artifact
+    obs = Observability(keep_trace=args.trace is not None, stream=True)
+    if args.live:
+        from repro.obs.analyzers import LiveProgress
+
+        obs.bus.subscribe(LiveProgress())
     runs = []
     if args.algorithm in ("st", "both"):
         runs.append(STSimulation(network, obs=obs).run())
     if args.algorithm in ("fst", "both"):
         runs.append(FSTSimulation(network, obs=obs).run())
+    obs.bus.finalize()
     if config.faults is not None and config.faults.active:
         print(f"faults: {args.faults}")
     for result in runs:
@@ -278,24 +325,38 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             for kind, count in sorted(result.message_breakdown.items()):
                 if count:
                     print(f"  {kind:<24} {count:>8}")
+    alerts = obs.bus.alerts
+    if alerts:
+        critical = sum(1 for a in alerts if a.severity == "critical")
+        print(f"alerts: {len(alerts)} fired ({critical} critical)")
     if args.export_csv:
         from repro.analysis.export import runs_to_csv
 
         rows = runs_to_csv(runs, args.export_csv)
         print(f"wrote {rows} rows to {args.export_csv}")
     if args.trace:
-        lines = write_jsonl_trace(obs.trace, args.trace)
+        try:
+            lines = write_jsonl_trace(obs.trace, args.trace, causal=True)
+        except OSError as exc:
+            print(f"cannot write trace {args.trace}: {exc}", file=sys.stderr)
+            return 2
         print(f"wrote {lines} trace events to {args.trace}")
     if args.metrics:
-        write_metrics_json(
-            obs,
-            args.metrics,
-            extra={
-                "command": "simulate",
-                "scenario": args.scenario,
-                "seed": args.seed,
-            },
-        )
+        try:
+            write_metrics_json(
+                obs,
+                args.metrics,
+                extra={
+                    "command": "simulate",
+                    "scenario": args.scenario,
+                    "seed": args.seed,
+                },
+            )
+        except OSError as exc:
+            print(
+                f"cannot write metrics {args.metrics}: {exc}", file=sys.stderr
+            )
+            return 2
         print(f"wrote metrics snapshot to {args.metrics}")
     return 0
 
@@ -318,8 +379,42 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         for algo, total in sorted(messages.breakdown("algorithm").items()):
             print(f"  {algo:<4} {int(total)}")
     if args.metrics:
-        write_metrics_json(obs, args.metrics, extra={"command": "profile"})
+        try:
+            write_metrics_json(obs, args.metrics, extra={"command": "profile"})
+        except OSError as exc:
+            print(
+                f"cannot write metrics {args.metrics}: {exc}", file=sys.stderr
+            )
+            return 2
         print(f"wrote metrics snapshot to {args.metrics}")
+    if args.json_path:
+        import json
+        import pathlib
+
+        doc = {
+            "schema": "repro.obs/1",
+            "command": "profile",
+            "experiment": args.id,
+            "spans": obs.spans.to_dicts(),
+        }
+        if messages is not None:
+            doc["messages_total"] = {
+                algo: int(total)
+                for algo, total in sorted(
+                    messages.breakdown("algorithm").items()
+                )
+            }
+        try:
+            path = pathlib.Path(args.json_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        except OSError as exc:
+            print(
+                f"cannot write span tree {args.json_path}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"wrote span tree to {args.json_path}")
     return 0
 
 
@@ -373,6 +468,43 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_run_report(args: argparse.Namespace) -> int:
+    """HTML run-report mode of ``repro report`` (from run artifacts)."""
+    import json
+
+    from repro.obs import read_jsonl_trace
+    from repro.obs.report import load_metrics_document, write_run_report
+
+    try:
+        doc = load_metrics_document(args.metrics)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(
+            f"cannot read metrics document {args.metrics}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    records = None
+    if args.trace:
+        try:
+            records = read_jsonl_trace(args.trace)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
+            return 2
+    output = args.output or "results/run_report.html"
+    title = args.title or (
+        f"repro run report — {doc.get('scenario', 'run')} "
+        f"(seed {doc.get('seed', '?')})"
+    )
+    try:
+        path = write_run_report(doc, output, records, title=title)
+    except OSError as exc:
+        print(f"cannot write report {output}: {exc}", file=sys.stderr)
+        return 2
+    alerts = doc.get("alerts", [])
+    print(f"wrote run report to {path} ({len(alerts)} alerts)")
+    return 0
+
+
 def _cmd_list() -> int:
     for exp_id in sorted(EXPERIMENTS):
         print(exp_id)
@@ -393,10 +525,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "report":
+        if args.metrics is not None:
+            return _cmd_run_report(args)
+        if args.trace is not None:
+            print("--trace requires --metrics", file=sys.stderr)
+            return 2
         from repro.experiments.report import generate_report
 
         report = generate_report(fast=not args.full)
-        path = report.save(args.output)
+        path = report.save(args.output or "results/REPORT.md")
         print(f"report written to {path}")
         print(
             f"checks: {'all pass' if report.all_checks_pass else 'FAILURES'}; "

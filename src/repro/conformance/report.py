@@ -177,6 +177,7 @@ def _diff_events(a: dict, b: dict, pair: str) -> Divergence | None:
                 time_ms=_event_time(ea),
                 expected=ea,
                 actual=eb,
+                context=_causal_context(ca, i),
             )
     if len(ca) != len(cb):
         i = min(len(ca), len(cb))
@@ -189,8 +190,21 @@ def _diff_events(a: dict, b: dict, pair: str) -> Divergence | None:
             time_ms=_event_time(longer[i]),
             expected=ca[i] if i < len(ca) else "<end of stream>",
             actual=cb[i] if i < len(cb) else "<end of stream>",
+            context=_causal_context(longer, i),
         )
     return None
+
+
+def _causal_context(events: list, index: int) -> dict[str, Any]:
+    """Lamport clock + participants of the diverging event (cold path:
+    computed only once a divergence already exists, so the comparison
+    fast path and the golden capture format stay untouched)."""
+    from repro.obs.causal import lamport_context
+
+    try:
+        return lamport_context(events, index)
+    except Exception:  # never let diagnostics mask the divergence itself
+        return {}
 
 
 def _diff_phase_rounds(a: dict, b: dict, pair: str) -> Divergence | None:

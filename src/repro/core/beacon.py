@@ -234,24 +234,29 @@ class BeaconDiscovery:
         messages = 0
         use_fading = not isinstance(self.fading, NoFading)
         labels = obs_labels or {}
+        bus = obs.bus if obs is not None else None
         if obs is not None:
             tx_counter = obs.metrics.counter(
                 "beacon_tx_total",
                 help="discovery beacon transmissions",
                 unit="messages",
             )
+            # bound view: label key resolved once, not per cohort
             occ_hist = obs.metrics.histogram(
                 "beacon_slot_occupancy",
                 buckets=SLOT_OCCUPANCY_BUCKETS,
                 help="simultaneous beacons per occupied slot/preamble",
                 unit="transmitters",
-            )
+            ).bound(**labels)
         else:
             tx_counter = None
             occ_hist = None
 
         fstate = _BeaconFaultState(faults, n) if faults is not None else None
         period = 0
+        period_tx = n
+        prev_collisions = 0
+        prev_retries = 0
         event = 0  # radio event counter: one per slot-cohort
         while remaining > 0 and period < max_periods:
             period += 1
@@ -275,7 +280,8 @@ class BeaconDiscovery:
                 tx_mask, ok_mask, receiving = fstate.begin_period(
                     period, period_start_ms
                 )
-                messages += int(tx_mask.sum())
+                period_tx = int(tx_mask.sum())
+                messages += period_tx
                 dead = faults.dead_by(period_start_ms)
                 if dead.any():
                     # timeout discipline: crashed devices can never satisfy
@@ -299,7 +305,7 @@ class BeaconDiscovery:
                             else awake_row & receiving
                         )
                     if occ_hist is not None:
-                        occ_hist.observe(cohort.size, **labels)
+                        occ_hist.observe(cohort.size)
                     self._decode_cohort(
                         cohort, rng, required, decoded, use_fading, awake_row,
                         event, fstate,
@@ -324,6 +330,26 @@ class BeaconDiscovery:
                         missing_pairs=remaining,
                         **labels,
                     )
+                if bus is not None:
+                    bus.publish(
+                        "beacon",
+                        period_end_ms,
+                        labels,
+                        period=period,
+                        missing_pairs=remaining,
+                        fill_ratio=1.0 - remaining / required_total,
+                    )
+                    if fstate is not None:
+                        bus.publish(
+                            "rach",
+                            period_end_ms,
+                            labels,
+                            collisions=fstate.collisions - prev_collisions,
+                            retries=fstate.retries - prev_retries,
+                            transmitters=period_tx,
+                        )
+                        prev_collisions = fstate.collisions
+                        prev_retries = fstate.retries
 
         if obs is not None:
             obs.metrics.gauge(
@@ -505,24 +531,29 @@ class SparseBeaconDiscovery:
         required_total = max(int(required.sum()), 1)
         messages = 0
         labels = obs_labels or {}
+        bus = obs.bus if obs is not None else None
         if obs is not None:
             tx_counter = obs.metrics.counter(
                 "beacon_tx_total",
                 help="discovery beacon transmissions",
                 unit="messages",
             )
+            # bound view: label key resolved once, not per cohort
             occ_hist = obs.metrics.histogram(
                 "beacon_slot_occupancy",
                 buckets=SLOT_OCCUPANCY_BUCKETS,
                 help="simultaneous beacons per occupied slot/preamble",
                 unit="transmitters",
-            )
+            ).bound(**labels)
         else:
             tx_counter = None
             occ_hist = None
 
         fstate = _BeaconFaultState(faults, n) if faults is not None else None
         period = 0
+        period_tx = n
+        prev_collisions = 0
+        prev_retries = 0
         event = 0  # radio event counter: one per slot-cohort
         while remaining > 0 and period < max_periods:
             period += 1
@@ -542,7 +573,8 @@ class SparseBeaconDiscovery:
                 tx_mask, ok_mask, receiving = fstate.begin_period(
                     period, period_start_ms
                 )
-                messages += int(tx_mask.sum())
+                period_tx = int(tx_mask.sum())
+                messages += period_tx
                 dead = faults.dead_by(period_start_ms)
                 if dead.any():
                     # timeout discipline: crashed devices can never satisfy
@@ -566,7 +598,7 @@ class SparseBeaconDiscovery:
                             else awake_row & receiving
                         )
                     if occ_hist is not None:
-                        occ_hist.observe(cohort.size, **labels)
+                        occ_hist.observe(cohort.size)
                     self._decode_cohort(cohort, decoded, awake_row, event, fstate)
                     event += 1
             remaining = int((required & ~decoded).sum())
@@ -588,6 +620,26 @@ class SparseBeaconDiscovery:
                         missing_pairs=remaining,
                         **labels,
                     )
+                if bus is not None:
+                    bus.publish(
+                        "beacon",
+                        period_end_ms,
+                        labels,
+                        period=period,
+                        missing_pairs=remaining,
+                        fill_ratio=1.0 - remaining / required_total,
+                    )
+                    if fstate is not None:
+                        bus.publish(
+                            "rach",
+                            period_end_ms,
+                            labels,
+                            collisions=fstate.collisions - prev_collisions,
+                            retries=fstate.retries - prev_retries,
+                            transmitters=period_tx,
+                        )
+                        prev_collisions = fstate.collisions
+                        prev_retries = fstate.retries
 
         if obs is not None:
             obs.metrics.gauge(

@@ -219,6 +219,10 @@ class FSTSimulation:
         cfg = self.config
         net = self.network
         obs = self.obs
+        # same contract as STSimulation: a disabled bundle hands the
+        # kernels obs=None so the hot loops skip instrumentation entirely
+        kobs = obs if obs.enabled else None
+        bus = obs.bus
         sparse = net.is_sparse
         plan = FaultPlan.from_config(cfg)
         if sparse:
@@ -261,7 +265,7 @@ class FSTSimulation:
                     net.streams.stream("fst-sync"),
                     max_time_ms=cfg.max_time_ms,
                     require_sync=True,
-                    obs=obs,
+                    obs=kobs,
                     obs_labels={"algorithm": "fst", "stage": "sync"},
                     faults=plan,
                     invariants=self.invariants,
@@ -286,7 +290,7 @@ class FSTSimulation:
                         net.streams.stream("fst-beacons"),
                         required=required_edges,
                         max_periods=max_periods,
-                        obs=obs,
+                        obs=kobs,
                         obs_labels={"algorithm": "fst", "stage": "discovery"},
                         faults=plan,
                     )
@@ -303,7 +307,7 @@ class FSTSimulation:
                         required=net.adjacency
                         & net.link_budget.adjacency(cfg.discovery_margin_db),
                         max_periods=max_periods,
-                        obs=obs,
+                        obs=kobs,
                         obs_labels={"algorithm": "fst", "stage": "discovery"},
                         faults=plan,
                     )
@@ -335,6 +339,19 @@ class FSTSimulation:
                         forest, net.weights, net.adjacency, node_mask=alive
                     )
             stitch_messages = 2 * stitches  # one RACH2 handshake per stitch
+            if bus is not None:
+                alive_n = (
+                    int(alive.sum()) if alive is not None else cfg.n_devices
+                )
+                bus.publish(
+                    "fragments",
+                    time_ms,
+                    {"algorithm": "fst"},
+                    # components of a forest: nodes minus edges
+                    count=max(1, alive_n - len(tree)),
+                    largest=alive_n,
+                    stitches=stitches,
+                )
 
             # single accounting path: registry counters and the breakdown
             # derive from one bill (see Observability.account_messages)

@@ -304,6 +304,7 @@ class _PulseSyncBase:
             raise ValueError("telemetry_interval_ms must be positive")
         if trace is None and obs is not None:
             trace = obs.trace
+        bus = obs.bus if obs is not None else None
         labels = obs_labels or {}
         crash_count = 0
         stall_count = 0
@@ -331,17 +332,18 @@ class _PulseSyncBase:
                 counter.inc(ps_loss_count, kind="ps_loss", **labels)
 
         if obs is not None:
+            # bound views resolve the label key once, outside the wave loop
             ps_counter = obs.metrics.counter(
                 "ps_tx_total",
                 help="sync pulse (PS) transmissions",
                 unit="messages",
-            )
+            ).bound(**labels)
             wave_hist = obs.metrics.histogram(
                 "wave_size",
                 buckets=WAVE_SIZE_BUCKETS,
                 help="simultaneous transmitters per avalanche wave",
                 unit="transmitters",
-            )
+            ).bound(**labels)
         else:
             ps_counter = None
             wave_hist = None
@@ -372,6 +374,14 @@ class _PulseSyncBase:
                                 float(crash_time[f]), "crash", node=int(f),
                                 **labels,
                             )
+                    if bus is not None:
+                        bus.publish(
+                            "faults",
+                            t_peek,
+                            labels,
+                            crashed=int(dying.sum()),
+                            active=int(active.sum()) - int(dying.sum()),
+                        )
                     active[dying] = False
                     next_fire[dying] = np.inf
                 if not active.any():
@@ -415,8 +425,8 @@ class _PulseSyncBase:
                 fires += k
                 messages += k
                 if ps_counter is not None:
-                    ps_counter.inc(k, **labels)
-                    wave_hist.observe(k, **labels)
+                    ps_counter.inc(k)
+                    wave_hist.observe(k)
                 if trace is not None:
                     for f in firers:
                         trace.emit(t, "ps_tx", node=int(f), **labels)
@@ -516,6 +526,17 @@ class _PulseSyncBase:
                         spread_ms=spread_ms,
                         fires=fires,
                     )
+                    if bus is not None:
+                        bus.publish(
+                            "sync",
+                            t,
+                            labels,
+                            spread_ms=spread_ms,
+                            order_parameter=r_now,
+                            sync_groups=groups_now,
+                            fires=fires,
+                            active=int(active.sum()),
+                        )
                 # anchor the next sample from now, so consecutive samples
                 # are always at least one interval apart
                 next_sample = t + sample_interval  # type: ignore[operator]

@@ -151,6 +151,11 @@ class STSimulation:
         net = self.network
         n = cfg.n_devices
         obs = self.obs
+        # a disabled bundle passes no obs down to the radio loops at all,
+        # so they run their true zero-instrumentation path; driver-level
+        # accounting (bills, fragment gauges) stays live either way
+        kobs = obs if obs.enabled else None
+        bus = obs.bus
 
         with obs.span("st_run", n=n, seed=cfg.seed):
             # ---- 1. discovery window ------------------------------------
@@ -174,7 +179,7 @@ class STSimulation:
                         net.streams.stream("st-beacons"),
                         required=top_k_required_csr(budget, k=1),
                         max_periods=max_periods,
-                        obs=obs,
+                        obs=kobs,
                         obs_labels={"algorithm": "st", "stage": "discovery"},
                         faults=plan,
                     )
@@ -190,7 +195,7 @@ class STSimulation:
                         net.streams.stream("st-beacons"),
                         required=top_k_required(net.weights, net.adjacency, k=1),
                         max_periods=max_periods,
-                        obs=obs,
+                        obs=kobs,
                         obs_labels={"algorithm": "st", "stage": "discovery"},
                         faults=plan,
                     )
@@ -294,6 +299,16 @@ class STSimulation:
                             count=len(sizes),
                             largest=max(sizes),
                         )
+                        if bus is not None:
+                            bus.publish(
+                                "fragments",
+                                discovery_ms + construction_slots * cfg.slot_ms,
+                                {"algorithm": "st"},
+                                phase=k,
+                                count=len(sizes),
+                                largest=max(sizes),
+                                merges=len(phase.chosen_edges),
+                            )
 
             construction_ms = construction_slots * cfg.slot_ms
             keepalive_msgs = int(n * (construction_ms / cfg.period_ms))
@@ -399,7 +414,7 @@ class STSimulation:
                         start_time_ms=start_ms,
                         max_time_ms=max(cfg.max_time_ms - start_ms, cfg.period_ms),
                         active=active_mask,
-                        obs=obs,
+                        obs=kobs,
                         obs_labels={"algorithm": "st", "stage": "trim"},
                         faults=plan,
                         invariants=self.invariants,

@@ -48,18 +48,33 @@ from repro.obs.metrics import (
 )
 from repro.obs.probes import ProbeSample, ProbeSet
 from repro.obs.spans import Span, SpanRecorder
+from repro.obs.stream import (
+    DEFAULT_CAPACITY,
+    EveryK,
+    KeepAll,
+    ReservoirSample,
+    SamplingPolicy,
+    TelemetryBus,
+    TelemetryEvent,
+)
 from repro.sim.trace import TraceRecorder
 
 __all__ = [
     "Counter",
+    "EveryK",
     "Gauge",
     "Histogram",
+    "KeepAll",
     "MetricsRegistry",
     "Observability",
     "ProbeSample",
     "ProbeSet",
+    "ReservoirSample",
+    "SamplingPolicy",
     "Span",
     "SpanRecorder",
+    "TelemetryBus",
+    "TelemetryEvent",
     "activate",
     "get_active",
     "metrics_document",
@@ -85,6 +100,14 @@ class Observability:
         This is the only per-transmission cost, so it is opt-in.
     probe_interval_ms:
         Default spacing (simulated ms) between samples of each probe.
+    stream:
+        Attach a :class:`~repro.obs.stream.TelemetryBus` as ``self.bus``
+        with the default analyzer set from
+        :func:`repro.obs.analyzers.default_analyzers` subscribed.  Off
+        by default; kernels guard every publish behind
+        ``bus is not None``, so a bundle without a bus pays nothing.
+    stream_capacity:
+        Ring capacity of the attached bus (ignored without ``stream``).
     """
 
     def __init__(
@@ -93,6 +116,8 @@ class Observability:
         enabled: bool = True,
         keep_trace: bool = False,
         probe_interval_ms: float = 1_000.0,
+        stream: bool = False,
+        stream_capacity: int | None = None,
     ) -> None:
         self.enabled = enabled
         self.metrics = MetricsRegistry()
@@ -101,6 +126,22 @@ class Observability:
             TraceRecorder(keep_records=True) if keep_trace and enabled else None
         )
         self.probes = ProbeSet(interval_ms=probe_interval_ms)
+        self.bus: TelemetryBus | None = None
+        if stream and enabled:
+            from repro.obs.analyzers import default_analyzers
+
+            self.bus = TelemetryBus(
+                capacity=(
+                    stream_capacity
+                    if stream_capacity is not None
+                    else DEFAULT_CAPACITY
+                ),
+                metrics=self.metrics,
+            )
+            # deterministic distribution sample of the convergence signal
+            self.bus.add_reservoir("sync", "spread_ms", capacity=256, seed=0)
+            for analyzer in default_analyzers():
+                self.bus.subscribe(analyzer)
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs: Any):
@@ -136,6 +177,8 @@ class Observability:
         self.probes.clear()
         if self.trace is not None:
             self.trace.clear()
+        if self.bus is not None:
+            self.bus.clear()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,383 @@
+"""Online telemetry analyzers: convergence health while the run happens.
+
+Each analyzer is a :class:`~repro.obs.stream.TelemetryBus` subscriber
+maintaining O(1) state per event.  Findings surface two ways:
+
+* **gauges** in the metrics registry updated in place (Welford mean/std
+  of sync spread, fragment merge rate), so snapshots taken mid-run show
+  the current estimate;
+* structured :class:`Alert` records raised through ``bus.alert(...)``
+  when something looks pathological — a stalled convergence signal, a
+  RACH collision storm.  Alerts land in ``bus.alerts`` (for the HTML
+  run report) and in the ``alerts_total`` counter (for exports).
+
+Analyzers are pure observers: they never touch protocol state and never
+draw randomness, so attaching them cannot change a run's outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.stream import TelemetryBus, TelemetryEvent
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured finding from an online analyzer."""
+
+    time_ms: float
+    analyzer: str
+    severity: str  # "warning" | "critical"
+    message: str
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time_ms": self.time_ms,
+            "analyzer": self.analyzer,
+            "severity": self.severity,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+
+class Analyzer:
+    """Base subscriber: topic dispatch plus alert plumbing."""
+
+    #: analyzer name used in alerts and metric labels
+    name = "analyzer"
+    #: topics this analyzer consumes (empty = all)
+    topics: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.bus: TelemetryBus | None = None
+        self.alerts: list[Alert] = []
+
+    def bind(self, bus: TelemetryBus) -> None:
+        self.bus = bus
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        if self.topics and event.topic not in self.topics:
+            return
+        self.observe(event)
+
+    def observe(self, event: TelemetryEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def fire(
+        self, time_ms: float, severity: str, message: str, **context: Any
+    ) -> Alert:
+        alert = Alert(
+            time_ms=float(time_ms),
+            analyzer=self.name,
+            severity=severity,
+            message=message,
+            context=context,
+        )
+        self.alerts.append(alert)
+        if self.bus is not None:
+            self.bus.alert(alert)
+        return alert
+
+
+class WelfordSyncSpread(Analyzer):
+    """Online mean/variance of the sync spread (Welford's algorithm).
+
+    Consumes ``sync`` samples' ``spread_ms`` and keeps numerically
+    stable running moments without retaining the series.  Exposed as
+    ``sync_spread_mean_ms`` / ``sync_spread_std_ms`` gauges and via
+    :attr:`mean` / :attr:`std`.
+    """
+
+    name = "welford_sync_spread"
+    topics = ("sync",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.last = 0.0
+
+    def observe(self, event: TelemetryEvent) -> None:
+        spread = event.values.get("spread_ms")
+        if spread is None:
+            return
+        self.last = spread
+        self.count += 1
+        delta = spread - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (spread - self.mean)
+        if self.bus is not None and self.bus.metrics is not None:
+            labels = event.labels
+            self.bus.metrics.gauge(
+                "sync_spread_mean_ms",
+                help="running mean of observed sync spread",
+                unit="ms",
+            ).set(self.mean, **labels)
+            self.bus.metrics.gauge(
+                "sync_spread_std_ms",
+                help="running std-dev of observed sync spread",
+                unit="ms",
+            ).set(self.std, **labels)
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return self.variance**0.5
+
+
+class FragmentMergeRate(Analyzer):
+    """Fragment-count decay rate across Borůvka phases.
+
+    Consumes ``fragments`` samples (``count`` per phase) and tracks the
+    merge rate — fragments absorbed per millisecond of simulated time —
+    as the ``fragment_merge_rate`` gauge.
+    """
+
+    name = "fragment_merge_rate"
+    topics = ("fragments",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.last_count: float | None = None
+        self.last_time: float | None = None
+        self.rate = 0.0
+
+    def observe(self, event: TelemetryEvent) -> None:
+        count = event.values.get("count")
+        if count is None:
+            return
+        if self.last_count is not None and self.last_time is not None:
+            dt = event.time_ms - self.last_time
+            if dt > 0:
+                self.rate = max(0.0, self.last_count - count) / dt
+                if self.bus is not None and self.bus.metrics is not None:
+                    self.bus.metrics.gauge(
+                        "fragment_merge_rate",
+                        help="fragments absorbed per ms of simulated time",
+                        unit="fragments/ms",
+                    ).set(self.rate, **event.labels)
+        self.last_count = count
+        self.last_time = event.time_ms
+
+
+class StallDetector(Analyzer):
+    """Fire when a watched signal stops making progress for K samples.
+
+    ``direction="down"`` expects the value to keep decreasing (sync
+    spread, missing beacon pairs, fragment count); ``"up"`` expects
+    growth.  A sample counts as progress when it improves on the best
+    value seen so far by more than ``min_delta``.  After ``patience``
+    consecutive samples without progress a single ``critical`` alert
+    fires; the detector re-arms only after progress resumes, so one
+    stall episode yields one alert.
+    """
+
+    name = "stall"
+
+    def __init__(
+        self,
+        topic: str,
+        key: str,
+        *,
+        patience: int = 8,
+        min_delta: float = 0.0,
+        direction: str = "down",
+        done_value: float | None = None,
+    ) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if direction not in ("down", "up"):
+            raise ValueError("direction must be 'down' or 'up'")
+        super().__init__()
+        self.topics = (topic,)
+        self.topic = topic
+        self.key = key
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.direction = direction
+        self.done_value = done_value
+        self.best: float | None = None
+        self.stalled_for = 0
+        self._armed = True
+
+    def observe(self, event: TelemetryEvent) -> None:
+        value = event.values.get(self.key)
+        if value is None:
+            return
+        # a signal that reached its terminal value cannot stall
+        if self.done_value is not None and value <= self.done_value:
+            self.best = value
+            self.stalled_for = 0
+            self._armed = True
+            return
+        if self.best is None:
+            self.best = value
+            return
+        if self.direction == "down":
+            improved = value < self.best - self.min_delta
+        else:
+            improved = value > self.best + self.min_delta
+        if improved:
+            self.best = value
+            self.stalled_for = 0
+            self._armed = True
+            return
+        self.stalled_for += 1
+        if self._armed and self.stalled_for >= self.patience:
+            self._armed = False
+            self.fire(
+                event.time_ms,
+                "critical",
+                f"no progress on {self.topic}/{self.key} for "
+                f"{self.stalled_for} samples",
+                topic=self.topic,
+                key=self.key,
+                best=self.best,
+                current=value,
+                samples=self.stalled_for,
+            )
+
+
+class CollisionStormDetector(Analyzer):
+    """RACH collision-storm detection over a sliding period window.
+
+    Consumes ``rach`` samples (``collisions`` and ``transmitters`` per
+    beacon period).  When the collision rate — colliding transmissions
+    over total transmissions — inside the last ``window`` periods
+    exceeds ``threshold`` (with a minimum activity floor), a single
+    ``warning`` alert fires per storm episode.
+    """
+
+    name = "collision_storm"
+    topics = ("rach",)
+
+    def __init__(
+        self,
+        *,
+        window: int = 8,
+        threshold: float = 0.3,
+        min_transmitters: int = 8,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        super().__init__()
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self.min_transmitters = int(min_transmitters)
+        self._samples: list[tuple[float, float]] = []  # (collisions, tx)
+        self._armed = True
+
+    def observe(self, event: TelemetryEvent) -> None:
+        collisions = event.values.get("collisions", 0.0)
+        transmitters = event.values.get("transmitters", 0.0)
+        self._samples.append((collisions, transmitters))
+        if len(self._samples) > self.window:
+            self._samples.pop(0)
+        total_tx = sum(tx for _, tx in self._samples)
+        total_col = sum(c for c, _ in self._samples)
+        if total_tx < self.min_transmitters:
+            return
+        rate = total_col / total_tx
+        if rate > self.threshold:
+            if self._armed:
+                self._armed = False
+                self.fire(
+                    event.time_ms,
+                    "warning",
+                    f"RACH collision storm: {rate:.0%} of transmissions "
+                    f"collided over the last {len(self._samples)} periods",
+                    rate=rate,
+                    collisions=total_col,
+                    transmitters=total_tx,
+                    window=len(self._samples),
+                )
+        else:
+            self._armed = True
+
+
+class LiveProgress:
+    """``--live`` subscriber: one-line progress prints at a bounded rate.
+
+    Not an analyzer (no alerts of its own); it renders ``sync``,
+    ``fragments`` and ``beacon`` samples plus any alert raised by the
+    real analyzers.  ``min_interval_ms`` throttles output by simulated
+    time so large runs do not flood the terminal.
+    """
+
+    def __init__(
+        self,
+        print_fn: Callable[[str], None] = print,
+        *,
+        min_interval_ms: float = 0.0,
+    ) -> None:
+        self._print = print_fn
+        self.min_interval_ms = float(min_interval_ms)
+        self._last_print_ms: dict[str, float] = {}
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        line = self._format(event)
+        if line is None:
+            return
+        last = self._last_print_ms.get(event.topic)
+        if last is not None and event.time_ms - last < self.min_interval_ms:
+            return
+        self._last_print_ms[event.topic] = event.time_ms
+        self._print(line)
+
+    def on_alert(self, alert: Alert) -> None:
+        self._print(
+            f"[live] t={alert.time_ms:9.1f}ms ALERT {alert.severity} "
+            f"({alert.analyzer}) {alert.message}"
+        )
+
+    def _format(self, event: TelemetryEvent) -> str | None:
+        v = event.values
+        if event.topic == "sync":
+            return (
+                f"[live] t={event.time_ms:9.1f}ms sync "
+                f"spread={v.get('spread_ms', 0.0):8.3f}ms "
+                f"r={v.get('order_parameter', 0.0):.3f} "
+                f"groups={int(v.get('sync_groups', 0))}"
+            )
+        if event.topic == "fragments":
+            return (
+                f"[live] t={event.time_ms:9.1f}ms fragments "
+                f"count={int(v.get('count', 0))} "
+                f"largest={int(v.get('largest', 0))} "
+                f"phase={int(v.get('phase', 0))}"
+            )
+        if event.topic == "beacon":
+            return (
+                f"[live] t={event.time_ms:9.1f}ms beacon "
+                f"period={int(v.get('period', 0))} "
+                f"missing_pairs={int(v.get('missing_pairs', 0))}"
+            )
+        return None
+
+
+def default_analyzers() -> list[Analyzer]:
+    """The standard analyzer set attached by ``Observability(stream=True)``.
+
+    Stall patience values are sized against the default probe cadence
+    (one ``sync`` sample per simulated second) and beacon periods: a
+    healthy run converges well before 12 idle sync samples or 20 idle
+    discovery periods accumulate.
+    """
+    return [
+        WelfordSyncSpread(),
+        FragmentMergeRate(),
+        StallDetector(
+            "sync", "spread_ms", patience=12, min_delta=1e-6, done_value=1e-3
+        ),
+        StallDetector(
+            "beacon", "missing_pairs", patience=20, min_delta=0.0, done_value=0.0
+        ),
+        CollisionStormDetector(),
+    ]

@@ -1,0 +1,153 @@
+"""Lamport-clock tagging for trace events: causal order per device.
+
+Wall-of-time JSONL traces interleave every device's events by simulated
+timestamp, which hides causality: two ``ps_tx`` events at the same
+instant may be unrelated, while a fragment merge *happens-after* every
+pulse that built the fragments it joins.  This module assigns Lamport
+clocks as **pure post-processing** over an already-captured event
+stream — protocol code and the golden-trace capture format are
+untouched, so conformance hashes stay byte-identical.
+
+The causal model mirrors the paper's message structure:
+
+* ``ps_tx`` / ``crash`` involve one device (``node``);
+* ``merge`` is the H_Connect handshake between two fragments, so it
+  involves both endpoints (``u``, ``v``) and synchronises their clocks;
+* network-wide observations (``beacon_period``, engine snapshots) are
+  emitted by the observer, not a device: they receive a clock one past
+  every device seen so far but advance no device clock.
+
+Clock rule (Lamport): an event touching devices *P* gets
+``lc = 1 + max(clock[p] for p in P)`` and sets every participant's
+clock to ``lc`` — per-device sequences are strictly increasing, and a
+merge's clock exceeds every earlier event on either side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.sim.trace import TraceRecord
+
+#: data keys that identify participating devices, per category; a
+#: category absent here falls back to scanning _DEVICE_KEYS.
+PARTICIPANT_KEYS: dict[str, tuple[str, ...]] = {
+    "ps_tx": ("node",),
+    "crash": ("node",),
+    "merge": ("u", "v"),
+    "beacon_period": (),
+}
+
+_DEVICE_KEYS = ("node", "u", "v", "device", "sender", "receiver")
+
+
+def participants(category: str, data: dict[str, Any]) -> tuple[int, ...]:
+    """Device ids participating in one event (empty = network-wide)."""
+    keys = PARTICIPANT_KEYS.get(category)
+    if keys is None:
+        keys = tuple(k for k in _DEVICE_KEYS if k in data)
+    out = []
+    for key in keys:
+        value = data.get(key)
+        if isinstance(value, bool) or not isinstance(value, int):
+            continue
+        out.append(value)
+    return tuple(out)
+
+
+class LamportTagger:
+    """Incremental Lamport-clock assignment over an event stream."""
+
+    def __init__(self) -> None:
+        self.clocks: dict[int, int] = {}
+        self._max_clock = 0
+
+    def tick(self, category: str, data: dict[str, Any]) -> int:
+        """Assign and return the Lamport clock for one event."""
+        parts = participants(category, data)
+        if parts:
+            lc = 1 + max(self.clocks.get(p, 0) for p in parts)
+            for p in parts:
+                self.clocks[p] = lc
+            self._max_clock = max(self._max_clock, lc)
+        else:
+            # observer events order after everything seen so far but do
+            # not advance any device clock
+            lc = self._max_clock + 1
+        return lc
+
+
+def annotate_lamport(records: Iterable[TraceRecord]) -> list[TraceRecord]:
+    """Return records with a Lamport clock added as ``data["lc"]``.
+
+    Input order is the emit order (non-decreasing simulated time), which
+    any valid Lamport assignment must respect.  The originals are not
+    modified; the result preserves stream order.
+    """
+    tagger = LamportTagger()
+    out = []
+    for rec in records:
+        lc = tagger.tick(rec.category, rec.data)
+        out.append(
+            TraceRecord(
+                time=rec.time,
+                category=rec.category,
+                data={**rec.data, "lc": lc},
+            )
+        )
+    return out
+
+
+def causal_sort_key(record: TraceRecord) -> tuple[float, int]:
+    """Sort key ordering annotated records by (time, Lamport clock)."""
+    return (record.time, int(record.data.get("lc", 0)))
+
+
+def verify_causal_order(records: Sequence[TraceRecord]) -> bool:
+    """Check per-device Lamport clocks are strictly increasing.
+
+    Useful as a test oracle: any correct assignment over a valid stream
+    satisfies this; a violation means the stream (or the tagger) is
+    broken.
+    """
+    last: dict[int, int] = {}
+    for rec in records:
+        lc = rec.data.get("lc")
+        if lc is None:
+            return False
+        for p in participants(rec.category, rec.data):
+            if lc <= last.get(p, 0):
+                return False
+            last[p] = lc
+    return True
+
+
+# ----------------------------------------------------------------------
+# conformance integration: clocks for golden capture event lists
+# ----------------------------------------------------------------------
+def lamport_context(
+    events: Sequence[Sequence[Any]], index: int
+) -> dict[str, Any]:
+    """Causal context for ``events[index]`` of a golden capture stream.
+
+    ``events`` uses the golden capture shape ``[time, category, data]``.
+    Returns the diverging event's Lamport clock and participants so a
+    ``first_divergence`` report can say *where in causal order* the runs
+    split, not just at which stream index.
+    """
+    tagger = LamportTagger()
+    lc = 0
+    for i, event in enumerate(events[: index + 1]):
+        try:
+            _, category, data = event
+        except (TypeError, ValueError):
+            continue
+        if not isinstance(data, dict):
+            continue
+        lc = tagger.tick(category, data)
+        if i == index:
+            return {
+                "lamport": lc,
+                "participants": list(participants(category, data)),
+            }
+    return {"lamport": lc, "participants": []}

@@ -23,20 +23,50 @@ from repro.sim.trace import TraceRecord, TraceRecorder
 SCHEMA = "repro.obs/1"
 
 
+def _canonical_codecs():
+    # imported lazily: repro.conformance imports repro.obs at package
+    # load, so a module-level import here would be circular
+    from repro.conformance.canonical import from_jsonable, to_jsonable
+
+    return to_jsonable, from_jsonable
+
+
 # ----------------------------------------------------------------------
 # JSONL trace
 # ----------------------------------------------------------------------
 def trace_to_jsonl(
-    recorder: TraceRecorder, extra: dict[str, Any] | None = None
+    recorder: TraceRecorder,
+    extra: dict[str, Any] | None = None,
+    *,
+    causal: bool = False,
 ) -> list[str]:
-    """Render every retained record as one compact JSON line."""
+    """Render every retained record as one compact JSON line.
+
+    Non-finite floats use the tagged encoding from
+    :mod:`repro.conformance.canonical` (``"__nan__"``/``"__inf__"``/
+    ``"__-inf__"``) so every emitted line is strict JSON and
+    :func:`read_jsonl_trace` restores the original values.  With
+    ``causal=True`` each line additionally carries a per-device Lamport
+    clock (``"lc"``) assigned by :mod:`repro.obs.causal`.
+    """
+    to_jsonable, _ = _canonical_codecs()
+    records = recorder.records()
+    if causal:
+        from repro.obs.causal import annotate_lamport
+
+        records = annotate_lamport(records)
     lines = []
-    for rec in recorder.records():
+    for rec in records:
         doc: dict[str, Any] = {"time": rec.time, "category": rec.category}
         if extra:
             doc.update(extra)
         doc.update(rec.data)
-        lines.append(json.dumps(doc, sort_keys=True, default=str))
+        try:
+            doc = to_jsonable(doc)
+        except TypeError:
+            # tolerate exotic payload types the canonical codec rejects
+            doc = json.loads(json.dumps(doc, sort_keys=True, default=str))
+        lines.append(json.dumps(doc, sort_keys=True))
     return lines
 
 def write_jsonl_trace(
@@ -44,9 +74,11 @@ def write_jsonl_trace(
     path: str | pathlib.Path,
     extra: dict[str, Any] | None = None,
     append: bool = False,
+    *,
+    causal: bool = False,
 ) -> int:
     """Write the trace to ``path``; returns the number of lines written."""
-    lines = trace_to_jsonl(recorder, extra)
+    lines = trace_to_jsonl(recorder, extra, causal=causal)
     p = pathlib.Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
     with p.open("a" if append else "w") as fh:
@@ -57,11 +89,12 @@ def write_jsonl_trace(
 
 def read_jsonl_trace(path: str | pathlib.Path) -> list[TraceRecord]:
     """Parse a JSONL trace back into :class:`TraceRecord` objects."""
+    _, from_jsonable = _canonical_codecs()
     records = []
     for line in pathlib.Path(path).read_text().splitlines():
         if not line.strip():
             continue
-        doc = json.loads(line)
+        doc = from_jsonable(json.loads(line))
         time = doc.pop("time")
         category = doc.pop("category")
         records.append(TraceRecord(time, category, doc))
@@ -88,6 +121,11 @@ def metrics_document(
         spans = getattr(source, "spans", None)
         if spans is not None and spans.roots:
             doc["spans"] = spans.to_dicts()
+        bus = getattr(source, "bus", None)
+        if bus is not None:
+            doc["telemetry"] = bus.stats()
+            if bus.alerts:
+                doc["alerts"] = [a.to_dict() for a in bus.alerts]
     return doc
 
 
@@ -107,10 +145,26 @@ def write_metrics_json(
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus exposition format: ``\\``, ``"``, ``\\n``."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _fmt_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 
@@ -120,7 +174,7 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
     for metric in registry:
         name = prefix + metric.name
         if metric.help:
-            out.append(f"# HELP {name} {metric.help}")
+            out.append(f"# HELP {name} {_escape_help(metric.help)}")
         out.append(f"# TYPE {name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             for s in metric.samples():

@@ -66,6 +66,24 @@ class Metric:
         }
 
 
+class _BoundCounter:
+    """One pre-resolved counter sample; see :meth:`Counter.bound`."""
+
+    __slots__ = ("_values", "_key", "_name")
+
+    def __init__(self, counter: "Counter", key: tuple) -> None:
+        self._values = counter._values
+        self._key = key
+        self._name = counter.name
+
+    def inc(self, value: float = 1) -> None:
+        if value < 0:
+            raise ValueError(
+                f"counter {self._name!r} is monotonic; got inc({value})"
+            )
+        self._values[self._key] = self._values.get(self._key, 0) + value
+
+
 class Counter(Metric):
     """Monotonically increasing labelled counter."""
 
@@ -83,6 +101,11 @@ class Counter(Metric):
             )
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0) + value
+
+    def bound(self, **labels: Any) -> _BoundCounter:
+        """Fast-path view for hot loops: the label key is resolved once
+        here instead of on every ``inc`` call."""
+        return _BoundCounter(self, _label_key(labels))
 
     def value(self, **labels: Any) -> float:
         """Current value of one label set (0 if never incremented)."""
@@ -165,6 +188,27 @@ class _HistSample:
         self.count = 0
 
 
+class _BoundHistogram:
+    """One pre-resolved histogram sample; see :meth:`Histogram.bound`."""
+
+    __slots__ = ("_buckets", "_sample")
+
+    def __init__(self, buckets: tuple[float, ...], sample: _HistSample) -> None:
+        self._buckets = buckets
+        self._sample = sample
+
+    def observe(self, value: float) -> None:
+        s = self._sample
+        for i, bound in enumerate(self._buckets):
+            if value <= bound:
+                s.counts[i] += 1
+                break
+        else:
+            s.counts[-1] += 1
+        s.sum += value
+        s.count += 1
+
+
 class Histogram(Metric):
     """Fixed-bucket labelled histogram.
 
@@ -207,6 +251,15 @@ class Histogram(Metric):
             s.counts[-1] += 1
         s.sum += value
         s.count += 1
+
+    def bound(self, **labels: Any) -> _BoundHistogram:
+        """Fast-path view for hot loops: the label key is resolved once
+        here instead of on every ``observe`` call."""
+        key = _label_key(labels)
+        s = self._samples.get(key)
+        if s is None:
+            s = self._samples[key] = _HistSample(len(self.buckets) + 1)
+        return _BoundHistogram(self.buckets, s)
 
     def count(self, **labels: Any) -> int:
         s = self._samples.get(_label_key(labels))

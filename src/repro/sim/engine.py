@@ -164,6 +164,16 @@ class Engine:
                 "engine_events_dropped",
                 help="callbacks suppressed by the fault plan",
             ).set(self._events_dropped)
+        bus = getattr(self._obs, "bus", None)
+        if bus is not None:
+            bus.publish(
+                "engine",
+                self._now,
+                events_processed=self._events_processed,
+                pending=self.pending,
+                heap_depth_max=self._max_heap_depth,
+                events_dropped=self._events_dropped,
+            )
 
     def peek(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""

@@ -146,6 +146,56 @@ class TestSimulateArtifacts:
             assert exported == total
 
 
+class TestSimulateLive:
+    def test_live_prints_progress_lines(self, capsys):
+        assert main(
+            ["simulate", "-n", "20", "--area", "50", "--seed", "2", "--live"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[live]" in out
+
+    def test_faulted_run_reports_alerts(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "m.json"
+        assert main(
+            [
+                "simulate", "-n", "48", "--seed", "2",
+                "--algorithm", "fst",
+                "--faults",
+                "collision=0.6,beacon_loss=0.3,crash=0.1,crash_window_ms=4000",
+                "--metrics", str(metrics),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "alerts:" in out and "critical" in out
+        doc = json.loads(metrics.read_text())
+        assert doc["alerts"]  # structured alert records in the artifact
+        assert doc["telemetry"]["published"]
+
+    def test_trace_write_failure_is_artifact_error(self, capsys, tmp_path):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        assert main(
+            [
+                "simulate", "-n", "20", "--area", "50",
+                "--trace", str(target),
+            ]
+        ) == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_metrics_write_failure_is_artifact_error(self, capsys, tmp_path):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        assert main(
+            [
+                "simulate", "-n", "20", "--area", "50",
+                "--metrics", str(target),
+            ]
+        ) == 2
+        assert "cannot write metrics" in capsys.readouterr().err
+
+
 class TestProfile:
     def test_profile_prints_span_tree(self, capsys):
         assert main(
@@ -171,6 +221,36 @@ class TestProfile:
         doc = json.loads(path.read_text())
         assert doc["command"] == "profile"
         assert doc["spans"][0]["name"] == "experiment:fig3"
+
+    def test_profile_json_span_tree_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "nested" / "spans.json"
+        assert main(
+            [
+                "profile", "fig3", "--sizes", "20", "--seeds", "1",
+                "--json", str(path),
+            ]
+        ) == 0
+        assert "wrote span tree" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.obs/1"
+        assert doc["command"] == "profile"
+        assert doc["spans"][0]["name"] == "experiment:fig3"
+        assert "messages_total" in doc
+
+    def test_profile_json_unwritable_is_artifact_error(
+        self, capsys, tmp_path
+    ):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        assert main(
+            [
+                "profile", "fig3", "--sizes", "20", "--seeds", "1",
+                "--json", str(target),
+            ]
+        ) == 2
+        assert "cannot write span tree" in capsys.readouterr().err
 
 
 class TestExperiment:
@@ -217,6 +297,70 @@ class TestExportAndReport:
         assert out.exists()
         assert "Reproduction report" in out.read_text()
         assert "all pass" in capsys.readouterr().out
+
+
+class TestRunReportHtml:
+    """``repro report --metrics ...`` renders the HTML run report."""
+
+    def _artifacts(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            [
+                "simulate", "-n", "20", "--area", "50", "--seed", "2",
+                "--algorithm", "st",
+                "--metrics", str(metrics), "--trace", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        return metrics, trace
+
+    def test_renders_html_from_artifacts(self, capsys, tmp_path):
+        metrics, trace = self._artifacts(tmp_path, capsys)
+        out = tmp_path / "report.html"
+        assert main(
+            [
+                "report", "--metrics", str(metrics),
+                "--trace", str(trace), "-o", str(out),
+            ]
+        ) == 0
+        assert "wrote run report" in capsys.readouterr().out
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Message bills" in html and "<svg" in html
+        assert "http://" not in html and "https://" not in html
+
+    def test_metrics_only_is_enough(self, capsys, tmp_path):
+        metrics, _ = self._artifacts(tmp_path, capsys)
+        out = tmp_path / "report.html"
+        assert main(["report", "--metrics", str(metrics),
+                     "-o", str(out)]) == 0
+        assert out.exists()
+
+    def test_unreadable_metrics_is_artifact_error(self, capsys, tmp_path):
+        assert main(
+            ["report", "--metrics", str(tmp_path / "missing.json")]
+        ) == 2
+        assert "cannot read metrics document" in capsys.readouterr().err
+
+    def test_invalid_metrics_json_is_artifact_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["report", "--metrics", str(bad)]) == 2
+        assert "cannot read metrics document" in capsys.readouterr().err
+
+    def test_unwritable_output_is_artifact_error(self, capsys, tmp_path):
+        metrics, _ = self._artifacts(tmp_path, capsys)
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        assert main(
+            ["report", "--metrics", str(metrics), "-o", str(target)]
+        ) == 2
+        assert "cannot write report" in capsys.readouterr().err
+
+    def test_trace_without_metrics_is_usage_error(self, capsys, tmp_path):
+        assert main(["report", "--trace", str(tmp_path / "t.jsonl")]) == 2
+        assert "--trace requires --metrics" in capsys.readouterr().err
 
 
 class TestParsing:

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import Observability
 from repro.obs.exporters import (
     SCHEMA,
@@ -53,6 +55,36 @@ class TestJsonlTrace:
         write_jsonl_trace(tr, path)
         write_jsonl_trace(tr, path, append=True)
         assert len(read_jsonl_trace(path)) == 2
+
+    def test_non_finite_floats_round_trip(self, tmp_path):
+        import math
+
+        tr = TraceRecorder()
+        tr.emit(1.0, "probe", spread=float("nan"), bound=float("inf"),
+                floor=float("-inf"), fine=2.5)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl_trace(tr, path)
+        # every line is strict JSON (json.loads must not need allow_nan)
+        for line in path.read_text().splitlines():
+            json.loads(line, parse_constant=lambda c: pytest.fail(
+                f"bare JSON constant {c} in line"))
+        (rec,) = read_jsonl_trace(path)
+        assert math.isnan(rec["spread"])
+        assert rec["bound"] == float("inf")
+        assert rec["floor"] == float("-inf")
+        assert rec["fine"] == 2.5
+
+    def test_causal_flag_adds_lamport_clocks(self, tmp_path):
+        tr = TraceRecorder()
+        tr.emit(1.0, "ps_tx", node=0)
+        tr.emit(2.0, "ps_tx", node=0)
+        tr.emit(3.0, "merge", u=0, v=1)
+        path = tmp_path / "trace.jsonl"
+        write_jsonl_trace(tr, path, causal=True)
+        lcs = [r["lc"] for r in read_jsonl_trace(path)]
+        assert lcs == [1, 2, 3]
+        # original recorder untouched
+        assert all("lc" not in r.data for r in tr.records())
 
 
 class TestMetricsDocument:
@@ -118,3 +150,25 @@ class TestPrometheus:
         reg = MetricsRegistry()
         reg.counter("c").inc(1)
         assert "d2d_c 1" in render_prometheus(reg, prefix="d2d_")
+
+    def test_hostile_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(
+            1, path='C:\\tmp\\"run"', note="line1\nline2"
+        )
+        text = render_prometheus(reg)
+        # exposition-format escapes: \\ then \" then \n — and the raw
+        # newline must not split the sample line
+        assert '\\\\tmp\\\\\\"run\\"' in text
+        assert "line1\\nline2" in text
+        sample_lines = [
+            ln for ln in text.splitlines() if ln.startswith("repro_c{")
+        ]
+        assert len(sample_lines) == 1
+        assert sample_lines[0].endswith("} 1")
+
+    def test_hostile_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="first\nsecond \\ slash").inc(1)
+        text = render_prometheus(reg)
+        assert "# HELP repro_c first\\nsecond \\\\ slash" in text

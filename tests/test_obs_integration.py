@@ -7,7 +7,6 @@ truth*.  ``Observability.account_messages`` records the bill into the
 exactly equal, per kind, for every run.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.config import PaperConfig

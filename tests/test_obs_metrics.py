@@ -166,3 +166,49 @@ class TestMetricsRegistry:
         reg.reset()
         assert reg.get("msgs") is c
         assert c.value() == 0
+
+
+class TestBoundViews:
+    """Hot-loop fast paths: label key resolved once, semantics unchanged."""
+
+    def test_bound_counter_matches_labelled_inc(self):
+        from repro.obs.metrics import Counter
+
+        a, b = Counter("a"), Counter("b")
+        bound = a.bound(algorithm="st", kind="ps")
+        for k in (1, 2, 3):
+            bound.inc(k)
+            b.inc(k, algorithm="st", kind="ps")
+        assert a.samples() == b.samples()
+        assert a.value(algorithm="st", kind="ps") == 6
+
+    def test_bound_counter_stays_monotonic(self):
+        from repro.obs.metrics import Counter
+
+        bound = Counter("c").bound()
+        with pytest.raises(ValueError):
+            bound.inc(-1)
+
+    def test_bound_histogram_matches_labelled_observe(self):
+        from repro.obs.metrics import Histogram
+
+        a = Histogram("a", buckets=(1.0, 5.0))
+        b = Histogram("b", buckets=(1.0, 5.0))
+        bound = a.bound(algorithm="st")
+        for v in (0.5, 3.0, 99.0):
+            bound.observe(v)
+            b.observe(v, algorithm="st")
+        assert a.samples() == b.samples()
+        assert a.bucket_counts(algorithm="st") == [
+            ("1.0", 1), ("5.0", 2), ("+inf", 3),
+        ]
+
+    def test_bound_histogram_shares_sample_with_labelled_path(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("h", buckets=(10.0,))
+        bound = h.bound(kind="wave")
+        bound.observe(1.0)
+        h.observe(2.0, kind="wave")
+        assert h.count(kind="wave") == 2
+        assert h.sum_(kind="wave") == 3.0

@@ -146,6 +146,84 @@ class TestEdgeCases:
         assert "REGRESSION" in out
 
 
+class TestBudgets:
+    """Artifact-carried budgets are hard ceilings, tolerance-free."""
+
+    def _with_budgets(self, path, budgets):
+        payload = {
+            "schema": "repro.bench/1",
+            "bench": "obs_overhead",
+            "wall_time_s": 1.0,
+            "metrics": {"rows": [], "budgets": budgets},
+        }
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_budget_within_limit_passes(self, tmp_path, capsys):
+        cur = self._with_budgets(
+            tmp_path / "cur.json",
+            [{"name": "obs_overhead_fraction", "value": 0.02, "limit": 0.05}],
+        )
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base])
+            == 0
+        )
+        assert "budget obs_overhead_fraction" in capsys.readouterr().out
+
+    def test_budget_violation_fails_despite_tolerance(self, tmp_path, capsys):
+        cur = self._with_budgets(
+            tmp_path / "cur.json",
+            [{"name": "obs_overhead_fraction", "value": 0.07, "limit": 0.05}],
+        )
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(
+                # huge tolerance must NOT excuse a budget breach
+                ["--current", cur, "--baseline", base, "--tolerance", "9.0"]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "BUDGET EXCEEDED" in out
+        assert "budget violation" in out
+
+    def test_malformed_budget_entry_fails(self, tmp_path):
+        cur = self._with_budgets(
+            tmp_path / "cur.json",
+            [{"name": "broken", "value": "not-a-number", "limit": 0.05}],
+        )
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base])
+            == 1
+        )
+
+    def test_budget_exactly_at_limit_passes(self, tmp_path):
+        cur = self._with_budgets(
+            tmp_path / "cur.json",
+            [{"name": "x", "value": 0.05, "limit": 0.05}],
+        )
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base])
+            == 0
+        )
+
+    def test_baseline_budgets_are_not_enforced(self, tmp_path):
+        # budgets ride the *current* artifact; a stale baseline breach
+        # must not fail a healthy run
+        cur = _artifact(tmp_path / "cur.json", 1.0)
+        base = self._with_budgets(
+            tmp_path / "base.json",
+            [{"name": "x", "value": 9.0, "limit": 0.05}],
+        )
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base])
+            == 0
+        )
+
+
 class TestArtifactErrors:
     def test_missing_file(self, tmp_path):
         base = _artifact(tmp_path / "base.json", 1.0)
@@ -190,3 +268,19 @@ def test_committed_baseline_is_valid():
     assert any(r["backend"] == "sparse" for r in rows)
     with pytest.raises(SystemExit):
         check_bench_regression.main([])  # usage error without args
+
+
+def test_committed_obs_overhead_baseline_is_valid():
+    baseline = (
+        pathlib.Path(__file__).resolve().parent.parent
+        / "benchmarks"
+        / "baselines"
+        / "BENCH_obs_overhead.json"
+    )
+    data = json.loads(baseline.read_text())
+    assert data["schema"] == "repro.bench/1"
+    budgets = data["metrics"]["budgets"]
+    assert budgets[0]["name"] == "obs_overhead_fraction"
+    assert budgets[0]["value"] <= budgets[0]["limit"] == 0.05
+    backends = {r["backend"] for r in data["metrics"]["rows"]}
+    assert backends == {"sparse-obs-off", "sparse-obs-on"}
