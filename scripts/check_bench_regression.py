@@ -16,8 +16,15 @@ baseline by more than ``tolerance`` (a fraction: 0.20 = +20%).
 Budgets are machine-independent hard ceilings carried by the *current*
 artifact itself (``metrics.budgets[*]`` entries of the form
 ``{"name": ..., "value": ..., "limit": ...}``): a value above its limit
-fails regardless of tolerance.  The obs-overhead benchmark uses this to
-enforce the ≤5% streaming-telemetry budget.
+fails regardless of tolerance.  Every budget line prints its **headroom**
+(``limit - value``, the distance to failure; negative = exceeded), so a
+BUDGET EXCEEDED failure carries the margin it missed by.
+
+``--history PATH`` reads the bench-history JSONL (schema
+``repro.bench.history/1``, written by ``repro trend --record``) and
+prints the recent wall-time and headroom trail for the current bench;
+``--append-history`` records the current artifact into that file after
+the checks, so CI runs accumulate the series ``repro trend`` renders.
 
 Exit codes: 0 OK, 1 regression/budget violation, 2 usage/artifact error.
 
@@ -100,7 +107,8 @@ def check_budgets(current: dict) -> list[str]:
     """Enforce the artifact's own budgets; returns violation descriptions.
 
     Budgets are ratios or fractions, not wall seconds, so they hold on
-    any machine — no tolerance applies.
+    any machine — no tolerance applies.  Each line prints the headroom
+    (``limit - value``): the distance to a BUDGET EXCEEDED failure.
     """
     failures: list[str] = []
     for budget in current.get("metrics", {}).get("budgets", []):
@@ -111,11 +119,100 @@ def check_budgets(current: dict) -> list[str]:
         except (KeyError, TypeError, ValueError):
             failures.append(f"budget {name}: malformed entry {budget!r}")
             continue
+        headroom = limit - value
         verdict = "BUDGET EXCEEDED" if value > limit else "ok"
-        print(f"budget {name}: value={value:.4f} limit={limit:.4f} {verdict}")
+        print(
+            f"budget {name}: value={value:.4f} limit={limit:.4f} "
+            f"headroom={headroom:+.4f} {verdict}"
+        )
         if verdict != "ok":
-            failures.append(f"budget {name}: {value:.4f} > limit {limit:.4f}")
+            failures.append(
+                f"budget {name}: {value:.4f} > limit {limit:.4f} "
+                f"(headroom {headroom:+.4f})"
+            )
     return failures
+
+
+HISTORY_SCHEMA = "repro.bench.history/1"
+
+
+def _load_history(path: str) -> list[dict]:
+    """Parse the bench-history JSONL; a missing file is an empty history."""
+    p = pathlib.Path(path)
+    if not p.is_file():
+        return []
+    entries = []
+    for lineno, line in enumerate(p.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        entry = json.loads(line)
+        if entry.get("schema") != HISTORY_SCHEMA:
+            raise ValueError(
+                f"{path}:{lineno}: expected schema {HISTORY_SCHEMA!r}, "
+                f"got {entry.get('schema')!r}"
+            )
+        entries.append(entry)
+    return entries
+
+
+def _min_headroom(budgets: list) -> tuple[str, float] | None:
+    best = None
+    for budget in budgets or []:
+        try:
+            headroom = float(budget["limit"]) - float(budget["value"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if best is None or headroom < best[1]:
+            best = (str(budget.get("name", "<unnamed>")), headroom)
+    return best
+
+
+def print_history(current: dict, entries: list[dict], tail: int = 5) -> None:
+    """Show the recorded wall-time / headroom trail for this bench."""
+    bench = current.get("bench", "?")
+    matching = [e for e in entries if e.get("bench") == bench]
+    if not matching:
+        print(f"history: no recorded entries for bench {bench!r}")
+        return
+    matching.sort(key=lambda e: int(e.get("seq", 0)))
+    print(f"history for {bench} (last {min(tail, len(matching))} of "
+          f"{len(matching)} recorded):")
+    for entry in matching[-tail:]:
+        wall = entry.get("wall_time_s")
+        wall_txt = "wall=n/a" if wall is None else f"wall={float(wall):.3f}s"
+        head = _min_headroom(entry.get("budgets", []))
+        head_txt = (
+            "" if head is None else f" headroom={head[1]:+.4f} ({head[0]})"
+        )
+        print(
+            f"  seq {int(entry.get('seq', 0)):>3} "
+            f"[{entry.get('label', '')}]: {wall_txt}{head_txt}"
+        )
+
+
+def append_history(path: str, current: dict, label: str) -> None:
+    """Record the current artifact as the next history entry."""
+    entries = _load_history(path)
+    bench = current.get("bench", "?")
+    seq = 1 + max(
+        (int(e.get("seq", 0)) for e in entries if e.get("bench") == bench),
+        default=0,
+    )
+    metrics = current.get("metrics", {}) or {}
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "bench": bench,
+        "seq": seq,
+        "label": label or f"run-{seq}",
+        "wall_time_s": current.get("wall_time_s"),
+        "rows": metrics.get("rows", []),
+        "budgets": metrics.get("budgets", []),
+    }
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"history: recorded {bench} seq {seq} into {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -128,9 +225,29 @@ def main(argv: list[str] | None = None) -> int:
         default=0.20,
         help="allowed fractional slowdown before failing (default 0.20)",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="bench-history JSONL (repro.bench.history/1); prints the "
+        "recorded wall-time/headroom trail for this bench",
+    )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help="record the current artifact into --history after the checks",
+    )
+    parser.add_argument(
+        "--history-label",
+        default="",
+        help="label for the --append-history entry (default: run-<seq>)",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         print("tolerance must be >= 0", file=sys.stderr)
+        return 2
+    if args.append_history and not args.history:
+        print("--append-history requires --history", file=sys.stderr)
         return 2
     try:
         current = _load(args.current)
@@ -140,6 +257,15 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     failures = compare(current, baseline, args.tolerance)
     budget_failures = check_budgets(current)
+    if args.history:
+        try:
+            entries = _load_history(args.history)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print_history(current, entries)
+        if args.append_history:
+            append_history(args.history, current, args.history_label)
     if failures or budget_failures:
         if failures:
             print(

@@ -12,13 +12,22 @@ Repetitions can optionally fan out over processes (``workers > 1``) via
 (seed, size) pair, jobs stream through ``imap_unordered`` in small
 chunks, and results are reassembled by job index — so the output is
 identical to the serial path no matter the completion order.
+
+With ``collect_obs=True`` every job additionally runs under its own
+:class:`~repro.obs.Observability` bundle and ships back a mergeable
+snapshot (:func:`repro.obs.aggregate.worker_snapshot`, keyed by the
+deterministic job index).  The parent merges them into one fleet-wide
+registry — the same deterministic-reassembly pattern, extended from
+results to observability, that multi-cell sharding reuses.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pathlib
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Literal
+from typing import Any, Iterable, Literal
 
 from repro.analysis.stats import SeriesStats, summarize
 from repro.core.config import PaperConfig
@@ -46,10 +55,34 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """Full sweep output with per-run detail retained."""
+    """Full sweep output with per-run detail retained.
+
+    When the sweep ran with ``collect_obs=True``, ``worker_snapshots``
+    holds one mergeable observability snapshot per job (indexed by the
+    deterministic job id) and ``merged_obs`` their merge — a pure
+    function of the snapshot set, independent of completion order.
+    """
 
     points: list[SweepPoint]
     runs: list[RunResult] = field(repr=False, default_factory=list)
+    worker_snapshots: list[dict[str, Any]] = field(
+        repr=False, default_factory=list
+    )
+    merged_obs: dict[str, Any] | None = field(repr=False, default=None)
+
+    def merged_registry(self):
+        """Live :class:`~repro.obs.metrics.MetricsRegistry` of the merge.
+
+        Raises :class:`ValueError` when the sweep did not collect
+        observability snapshots.
+        """
+        if self.merged_obs is None:
+            raise ValueError(
+                "sweep ran without collect_obs=True; no merged registry"
+            )
+        from repro.obs.aggregate import to_registry
+
+        return to_registry(self.merged_obs)
 
     def series(
         self, algorithm: str, metric: Literal["time_ms", "messages"]
@@ -75,19 +108,66 @@ class SweepResult:
         return None
 
 
-def _run_pair(args: tuple[PaperConfig, int, int, bool]) -> list[RunResult]:
+def _run_pair(
+    args: tuple[PaperConfig, int, int, bool],
+) -> list[RunResult]:
     base, n, seed, keep_density = args
     config = base.with_devices(n, keep_density=keep_density).with_seed(seed)
     network = D2DNetwork(config)
     return [STSimulation(network).run(), FSTSimulation(network).run()]
 
 
+def _run_pair_obs(
+    args: tuple[PaperConfig, int, int, bool], worker_id: int
+) -> tuple[list[RunResult], dict[str, Any]]:
+    """One job under a private obs bundle; returns (runs, snapshot).
+
+    Next to the protocol's own metrics the worker bills three sweep
+    throughput counters — simulated ms covered, wall seconds spent and
+    runs completed — so the merged registry answers "simulated slots per
+    wall second" for the whole fleet
+    (:func:`repro.obs.profile.rate_from_registry`).
+    """
+    from repro.obs import Observability
+    from repro.obs.aggregate import worker_snapshot
+
+    base, n, seed, keep_density = args
+    config = base.with_devices(n, keep_density=keep_density).with_seed(seed)
+    network = D2DNetwork(config)
+    obs = Observability()
+    t0 = time.perf_counter()
+    runs = [
+        STSimulation(network, obs=obs).run(),
+        FSTSimulation(network, obs=obs).run(),
+    ]
+    wall_s = time.perf_counter() - t0
+    sim_time = obs.metrics.counter(
+        "sweep_sim_time_ms_total",
+        help="simulated milliseconds covered by sweep runs",
+        unit="ms",
+    )
+    for r in runs:
+        sim_time.inc(r.time_ms, algorithm=r.algorithm)
+    obs.metrics.counter(
+        "sweep_runs_total", help="sweep runs completed", unit="runs"
+    ).inc(len(runs))
+    obs.metrics.counter(
+        "sweep_wall_seconds_total",
+        help="wall-clock seconds spent executing sweep runs",
+        unit="s",
+    ).inc(wall_s)
+    return runs, worker_snapshot(obs, worker_id=worker_id)
+
+
 def _run_pair_indexed(
-    args: tuple[int, tuple[PaperConfig, int, int, bool]],
-) -> tuple[int, list[RunResult]]:
+    args: tuple[int, tuple[PaperConfig, int, int, bool], bool],
+) -> tuple[int, list[RunResult], dict[str, Any] | None]:
     """Top-level (picklable) wrapper tagging each job with its index."""
-    idx, job = args
-    return idx, _run_pair(job)
+    idx, job, collect_obs = args
+    if collect_obs:
+        runs, snapshot = _run_pair_obs(job, worker_id=idx)
+        return idx, runs, snapshot
+    return idx, _run_pair(job), None
 
 
 def run_sweep(
@@ -97,6 +177,8 @@ def run_sweep(
     base_config: PaperConfig | None = None,
     keep_density: bool = False,
     workers: int = 1,
+    collect_obs: bool = False,
+    obs_dir: str | pathlib.Path | None = None,
 ) -> SweepResult:
     """Run ST and FST over ``sizes`` × ``seeds``.
 
@@ -112,28 +194,62 @@ def run_sweep(
         ``True`` grows the area to hold density constant instead.
     workers:
         Process count for parallel repetitions (1 = serial).
+    collect_obs:
+        Run every job under a private observability bundle and return
+        per-worker snapshots plus their merge on the result.  The merge
+        is order-independent: the same snapshot set collapses to
+        byte-identical canonical JSON no matter the completion order.
+        (Serial and parallel runs agree on all protocol-determined
+        content; wall-clock measurements naturally differ.)
+    obs_dir:
+        When set (implies ``collect_obs``), write each worker snapshot
+        as ``worker_<idx>.json`` plus the merge as ``merged.json``
+        (canonical JSON) into this directory — the per-worker-artifacts-
+        on-disk layout a resumable campaign runner replays from.
     """
     base = base_config if base_config is not None else PaperConfig()
     sizes = sorted(set(int(s) for s in sizes))
     seeds = sorted(set(int(s) for s in seeds))
     if not sizes or not seeds:
         raise ValueError("sizes and seeds must be non-empty")
+    collect_obs = collect_obs or obs_dir is not None
 
     jobs = [(base, n, seed, keep_density) for n in sizes for seed in seeds]
+    indexed = [(i, job, collect_obs) for i, job in enumerate(jobs)]
+    nested: list[list[RunResult] | None] = [None] * len(jobs)
+    snapshots: list[dict[str, Any] | None] = [None] * len(jobs)
     if workers > 1:
         # imap_unordered streams jobs as workers free up (no head-of-line
         # blocking behind the largest n); indices restore deterministic
         # order so output is byte-identical to the serial path
-        nested: list[list[RunResult] | None] = [None] * len(jobs)
         chunksize = max(1, len(jobs) // (4 * workers))
         with multiprocessing.Pool(workers) as pool:
-            for idx, pair in pool.imap_unordered(
-                _run_pair_indexed, list(enumerate(jobs)), chunksize=chunksize
+            for idx, pair, snapshot in pool.imap_unordered(
+                _run_pair_indexed, indexed, chunksize=chunksize
             ):
                 nested[idx] = pair
+                snapshots[idx] = snapshot
     else:
-        nested = [_run_pair(job) for job in jobs]
+        for item in indexed:
+            idx, pair, snapshot = _run_pair_indexed(item)
+            nested[idx] = pair
+            snapshots[idx] = snapshot
     runs = [r for pair in nested for r in pair]
+
+    worker_snapshots = [s for s in snapshots if s is not None]
+    merged_obs = None
+    if collect_obs:
+        from repro.obs.aggregate import merge_snapshots, write_snapshot
+
+        merged_obs = merge_snapshots(worker_snapshots)
+        if obs_dir is not None:
+            directory = pathlib.Path(obs_dir)
+            for snap in worker_snapshots:
+                (worker_id,) = snap["workers"]
+                write_snapshot(
+                    snap, directory / f"worker_{worker_id:04d}.json"
+                )
+            write_snapshot(merged_obs, directory / "merged.json")
 
     points: list[SweepPoint] = []
     for algorithm in ("st", "fst"):
@@ -151,4 +267,9 @@ def run_sweep(
                     total_runs=len(selected),
                 )
             )
-    return SweepResult(points=points, runs=runs)
+    return SweepResult(
+        points=points,
+        runs=runs,
+        worker_snapshots=worker_snapshots,
+        merged_obs=merged_obs,
+    )

@@ -13,8 +13,15 @@ Commands
     streams one-line progress updates from the telemetry bus.
 ``profile <id>``
     Run an experiment under the observability layer and print its nested
-    wall-clock span tree plus the headline counters; ``--json`` exports
-    the span tree machine-readably.
+    wall-clock span tree, the per-span self-time/call-count profile
+    table and the headline counters; ``--json`` exports the span tree
+    machine-readably and ``--folded`` writes folded stacks for
+    ``flamegraph.pl`` / speedscope.
+``trend``
+    Render per-benchmark wall-time and budget-headroom trends (inline
+    SVG sparklines) from the committed baselines, the bench-history
+    JSONL and the freshest ``results/`` artifacts; ``--record`` appends
+    the current artifacts to the history first.
 ``conformance``
     Golden-trace conformance gate: ``record`` (re)writes the corpus
     under ``tests/goldens/``, ``run`` replays every committed golden
@@ -168,6 +175,19 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         help="export the span tree (plus headline counters) as JSON",
     )
+    prof.add_argument(
+        "--folded",
+        default=None,
+        metavar="PATH",
+        help="export folded stacks (self-time µs per call path) for "
+        "flamegraph.pl / speedscope",
+    )
+    prof.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="rows in the printed per-span profile table (default 15)",
+    )
 
     conf = sub.add_parser(
         "conformance",
@@ -243,6 +263,56 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--title", default=None, help="HTML run report title"
+    )
+    report.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="bench-history JSONL; appends the benchmark-trend sparkline "
+        "section to the HTML run report (requires --metrics)",
+    )
+
+    trend = sub.add_parser(
+        "trend",
+        help="render benchmark wall-time / budget-headroom trends "
+        "(sparklines) from committed baselines, the bench history file "
+        "and fresh results",
+    )
+    trend.add_argument(
+        "--baselines",
+        default="benchmarks/baselines",
+        metavar="DIR",
+        help="committed baseline artifacts (default: benchmarks/baselines)",
+    )
+    trend.add_argument(
+        "--results",
+        default="results",
+        metavar="DIR",
+        help="fresh BENCH_*.json artifacts (default: results)",
+    )
+    trend.add_argument(
+        "--history",
+        default="results/bench_history.jsonl",
+        metavar="PATH",
+        help="bench-history JSONL (default: results/bench_history.jsonl)",
+    )
+    trend.add_argument(
+        "--record",
+        action="store_true",
+        help="append the current results artifacts to the history file "
+        "before rendering",
+    )
+    trend.add_argument(
+        "--label",
+        default="",
+        help="label for --record entries (default: run-<seq>)",
+    )
+    trend.add_argument(
+        "--output",
+        "-o",
+        default="results/trend_report.html",
+        metavar="PATH",
+        help="output HTML path (default: results/trend_report.html)",
     )
     return parser
 
@@ -372,12 +442,33 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             run_scaling(sizes=sizes, seeds=seeds)
         else:
             EXPERIMENTS[args.id]()
+    from repro.obs.profile import profile_table, render_folded, render_profile_table
+
     print(obs.spans.render_tree(min_ms=args.min_ms))
+    rows = profile_table(obs.spans)
+    if rows:
+        print(f"\nper-span profile (top {args.top} by self time):")
+        print(render_profile_table(rows, top=args.top))
     messages = obs.metrics.get("messages_total")
     if messages is not None:
         print("\nmessages_total by algorithm:")
         for algo, total in sorted(messages.breakdown("algorithm").items()):
             print(f"  {algo:<4} {int(total)}")
+    if args.folded:
+        import pathlib
+
+        try:
+            path = pathlib.Path(args.folded)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(render_folded(obs.spans) + "\n")
+        except OSError as exc:
+            print(
+                f"cannot write folded stacks {args.folded}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"wrote folded stacks to {args.folded} "
+              "(flamegraph.pl / speedscope)")
     if args.metrics:
         try:
             write_metrics_json(obs, args.metrics, extra={"command": "profile"})
@@ -490,18 +581,96 @@ def _cmd_run_report(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
             print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
             return 2
+    history_series = None
+    if args.history:
+        from repro.obs.history import bench_series
+
+        try:
+            history_series = bench_series(history_path=args.history)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(
+                f"cannot read history {args.history}: {exc}", file=sys.stderr
+            )
+            return 2
     output = args.output or "results/run_report.html"
     title = args.title or (
         f"repro run report — {doc.get('scenario', 'run')} "
         f"(seed {doc.get('seed', '?')})"
     )
     try:
-        path = write_run_report(doc, output, records, title=title)
+        path = write_run_report(
+            doc, output, records, title=title, history_series=history_series
+        )
     except OSError as exc:
         print(f"cannot write report {output}: {exc}", file=sys.stderr)
         return 2
     alerts = doc.get("alerts", [])
     print(f"wrote run report to {path} ({len(alerts)} alerts)")
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    """Render the benchmark trend report (``repro trend``)."""
+    import json
+
+    from repro.obs.history import (
+        append_history,
+        bench_series,
+        trend_rows,
+        write_trend_report,
+    )
+
+    try:
+        if args.record:
+            import pathlib
+
+            recorded = 0
+            results = pathlib.Path(args.results)
+            for path in sorted(results.glob("BENCH_*.json")):
+                artifact = json.loads(path.read_text())
+                if artifact.get("schema") != "repro.bench/1":
+                    continue
+                point = append_history(args.history, artifact, args.label)
+                print(
+                    f"recorded {point.bench} seq {point.seq} "
+                    f"({point.label}) into {args.history}"
+                )
+                recorded += 1
+            if not recorded:
+                print(f"no bench artifacts found under {args.results}")
+        series = bench_series(
+            baseline_dir=args.baselines,
+            history_path=args.history,
+            results_dir=args.results,
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot assemble bench history: {exc}", file=sys.stderr)
+        return 2
+    if not series:
+        print(
+            "no benchmark artifacts in any source "
+            f"({args.baselines}, {args.history}, {args.results})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        path = write_trend_report(series, args.output)
+    except OSError as exc:
+        print(f"cannot write trend report {args.output}: {exc}", file=sys.stderr)
+        return 2
+    for row in trend_rows(series):
+        delta = (
+            f"{row.delta_prev:+.1%} vs prev"
+            if row.delta_prev is not None
+            else "single point"
+        )
+        headroom = (
+            f", headroom {row.headroom:+.4f} ({row.headroom_name})"
+            if row.headroom is not None
+            else ""
+        )
+        print(f"  {row.bench:<28} {row.points} point(s), {delta}{headroom}")
+    print(f"wrote trend report to {path}")
     return 0
 
 
@@ -524,11 +693,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_conformance(args)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "trend":
+        return _cmd_trend(args)
     if args.command == "report":
         if args.metrics is not None:
             return _cmd_run_report(args)
         if args.trace is not None:
             print("--trace requires --metrics", file=sys.stderr)
+            return 2
+        if args.history is not None:
+            print("--history requires --metrics", file=sys.stderr)
             return 2
         from repro.experiments.report import generate_report
 

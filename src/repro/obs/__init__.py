@@ -32,6 +32,16 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.aggregate import (
+    canonical_snapshot,
+    empty_snapshot,
+    merge_snapshots,
+    read_snapshot,
+    stitched_spans,
+    to_registry,
+    worker_snapshot,
+    write_snapshot,
+)
 from repro.obs.exporters import (
     metrics_document,
     read_jsonl_trace,
@@ -76,13 +86,21 @@ __all__ = [
     "TelemetryBus",
     "TelemetryEvent",
     "activate",
+    "canonical_snapshot",
+    "empty_snapshot",
     "get_active",
+    "merge_snapshots",
     "metrics_document",
     "read_jsonl_trace",
+    "read_snapshot",
     "render_prometheus",
+    "stitched_spans",
+    "to_registry",
     "trace_to_jsonl",
+    "worker_snapshot",
     "write_jsonl_trace",
     "write_metrics_json",
+    "write_snapshot",
 ]
 
 

@@ -168,8 +168,29 @@ def _fmt_labels(labels: dict[str, str]) -> str:
     return "{" + inner + "}"
 
 
+def _fmt_value(value: float) -> str:
+    """Exact sample-value text: integers bare, floats at full precision.
+
+    ``%g`` keeps only 6 significant digits, which silently corrupts
+    large aggregated counters (a merged fleet-wide message bill of
+    19 948 123 would export as ``1.99481e+07``).  ``repr`` is the
+    shortest exact round-trip for IEEE-754 doubles.
+    """
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
 def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
-    """Render every metric in the Prometheus text exposition format."""
+    """Render every metric in the Prometheus text exposition format.
+
+    Output is byte-stable: metric families in name order, samples in
+    canonical label order (both already sorted by the registry), and
+    values at full precision via :func:`_fmt_value` — so the exposition
+    of a merged cross-process registry is identical no matter the order
+    the per-worker snapshots were merged in.
+    """
     out: list[str] = []
     for metric in registry:
         name = prefix + metric.name
@@ -178,15 +199,21 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
         out.append(f"# TYPE {name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             for s in metric.samples():
-                out.append(f"{name}{_fmt_labels(s['labels'])} {s['value']:g}")
+                out.append(
+                    f"{name}{_fmt_labels(s['labels'])} {_fmt_value(s['value'])}"
+                )
         elif isinstance(metric, Histogram):
             for s in metric.samples():
                 base = dict(s["labels"])
                 for le, count in s["buckets"]:
                     out.append(
                         f"{name}_bucket{_fmt_labels({**base, 'le': le})} "
-                        f"{count:g}"
+                        f"{_fmt_value(count)}"
                     )
-                out.append(f"{name}_sum{_fmt_labels(base)} {s['sum']:g}")
-                out.append(f"{name}_count{_fmt_labels(base)} {s['count']:g}")
+                out.append(
+                    f"{name}_sum{_fmt_labels(base)} {_fmt_value(s['sum'])}"
+                )
+                out.append(
+                    f"{name}_count{_fmt_labels(base)} {_fmt_value(s['count'])}"
+                )
     return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,416 @@
+"""Bench-history trend tracking: deltas, budget headroom, sparklines.
+
+Every benchmark already writes a machine-readable ``BENCH_<id>.json``
+artifact (schema ``repro.bench/1``) and CI compares the newest one
+against a committed baseline.  That is a two-point view; this module
+keeps the whole series:
+
+* a **history file** (JSONL, schema ``repro.bench.history/1``) holds one
+  entry per recorded artifact — bench name, sequence number, label,
+  wall time, per-row timings and budgets — appended by ``repro trend
+  --record`` or ``scripts/check_bench_regression.py --append-history``;
+* :func:`bench_series` assembles per-benchmark series from the three
+  sources in play (committed baselines, the history file, the freshest
+  ``results/`` artifacts);
+* :func:`trend_rows` computes per-benchmark deltas (vs the previous
+  point and vs the first) and **budget headroom** (``limit - value``,
+  the distance to a BUDGET EXCEEDED failure) over time;
+* :func:`render_trend_section` renders the trend table with an inline
+  SVG sparkline per benchmark — embeddable in the PR 5 HTML run report
+  — and :func:`write_trend_report` wraps it into a standalone page for
+  ``repro trend``.
+
+Entries are ordered by ``seq`` (baseline 0, recorded history next,
+current artifacts last), so the sparkline x-axis is the recording order,
+never a wall-clock timestamp — reproducible from the committed files
+alone.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+HISTORY_SCHEMA = "repro.bench.history/1"
+BENCH_SCHEMA = "repro.bench/1"
+
+#: House chart hue (matches the run-report CSS) and status inks.
+_LINE = "#2a6edb"
+_GOOD = "#188554"
+_BAD = "#b3261e"
+_MUTED = "#6b7a8c"
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 960px; color: #1c2733;
+       background: #fcfdfe; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #2a6edb;
+     padding-bottom: .3rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; color: #2a6edb; }
+table { border-collapse: collapse; margin: .5rem 0; font-size: .85rem; }
+th, td { border: 1px solid #d4dde8; padding: .25rem .6rem;
+         text-align: right; }
+th { background: #eef3fa; }
+td.l, th.l { text-align: left; }
+.up { color: #b3261e; font-weight: 600; }
+.down { color: #188554; font-weight: 600; }
+.muted { color: #6b7a8c; font-size: .8rem; }
+svg { vertical-align: middle; }
+"""
+
+
+# ----------------------------------------------------------------------
+# history points
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HistoryPoint:
+    """One recorded benchmark artifact in a per-bench series."""
+
+    bench: str
+    seq: int
+    label: str
+    wall_time_s: float | None
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    budgets: list[dict[str, Any]] = field(default_factory=list)
+
+    def headroom(self) -> dict[str, float]:
+        """Per-budget distance to failure: ``limit - value``."""
+        out: dict[str, float] = {}
+        for b in self.budgets:
+            try:
+                out[str(b["name"])] = float(b["limit"]) - float(b["value"])
+            except (KeyError, TypeError, ValueError):
+                continue
+        return out
+
+
+def point_from_artifact(
+    artifact: dict[str, Any], *, seq: int, label: str
+) -> HistoryPoint:
+    """Build a history point from a ``repro.bench/1`` artifact dict."""
+    if artifact.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"expected schema {BENCH_SCHEMA!r}, got {artifact.get('schema')!r}"
+        )
+    metrics = artifact.get("metrics", {}) or {}
+    wall = artifact.get("wall_time_s")
+    return HistoryPoint(
+        bench=str(artifact.get("bench", "?")),
+        seq=int(seq),
+        label=str(label),
+        wall_time_s=None if wall is None else float(wall),
+        rows=list(metrics.get("rows", [])),
+        budgets=list(metrics.get("budgets", [])),
+    )
+
+
+def _point_to_entry(point: HistoryPoint) -> dict[str, Any]:
+    return {
+        "schema": HISTORY_SCHEMA,
+        "bench": point.bench,
+        "seq": point.seq,
+        "label": point.label,
+        "wall_time_s": point.wall_time_s,
+        "rows": point.rows,
+        "budgets": point.budgets,
+    }
+
+
+def load_history(path: str | pathlib.Path) -> list[HistoryPoint]:
+    """Parse a history JSONL file; a missing file is an empty history."""
+    p = pathlib.Path(path)
+    if not p.is_file():
+        return []
+    points = []
+    for lineno, line in enumerate(p.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        entry = json.loads(line)
+        if entry.get("schema") != HISTORY_SCHEMA:
+            raise ValueError(
+                f"{path}:{lineno}: expected schema {HISTORY_SCHEMA!r}, "
+                f"got {entry.get('schema')!r}"
+            )
+        points.append(
+            HistoryPoint(
+                bench=str(entry["bench"]),
+                seq=int(entry["seq"]),
+                label=str(entry.get("label", "")),
+                wall_time_s=(
+                    None
+                    if entry.get("wall_time_s") is None
+                    else float(entry["wall_time_s"])
+                ),
+                rows=list(entry.get("rows", [])),
+                budgets=list(entry.get("budgets", [])),
+            )
+        )
+    return points
+
+
+def append_history(
+    path: str | pathlib.Path, artifact: dict[str, Any], label: str = ""
+) -> HistoryPoint:
+    """Append one artifact to the history file; returns the new point.
+
+    The sequence number is one past the largest recorded for the same
+    bench (starting at 1 — seq 0 is reserved for committed baselines).
+    """
+    existing = load_history(path)
+    bench = str(artifact.get("bench", "?"))
+    seq = 1 + max(
+        (pt.seq for pt in existing if pt.bench == bench), default=0
+    )
+    point = point_from_artifact(artifact, seq=seq, label=label or f"run-{seq}")
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a") as fh:
+        fh.write(json.dumps(_point_to_entry(point), sort_keys=True) + "\n")
+    return point
+
+
+def collect_artifacts(
+    directory: str | pathlib.Path, *, seq: int, label: str
+) -> list[HistoryPoint]:
+    """Load every ``BENCH_*.json`` in ``directory`` as one history point.
+
+    Files that are not ``repro.bench/1`` artifacts are skipped silently
+    (the results directory mixes artifacts with rendered text output).
+    """
+    points = []
+    d = pathlib.Path(directory)
+    if not d.is_dir():
+        return []
+    for path in sorted(d.glob("BENCH_*.json")):
+        try:
+            artifact = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if artifact.get("schema") != BENCH_SCHEMA:
+            continue
+        points.append(point_from_artifact(artifact, seq=seq, label=label))
+    return points
+
+
+def bench_series(
+    *,
+    baseline_dir: str | pathlib.Path | None = None,
+    history_path: str | pathlib.Path | None = None,
+    results_dir: str | pathlib.Path | None = None,
+    extra_points: Iterable[HistoryPoint] = (),
+) -> dict[str, list[HistoryPoint]]:
+    """Assemble per-benchmark series from every available source.
+
+    Order within a series: committed baseline (seq 0), recorded history
+    (seq 1..k), then the freshest ``results_dir`` artifacts (seq k+1).
+    A bench appearing in only one source still gets a (short) series.
+    """
+    points: list[HistoryPoint] = []
+    if baseline_dir is not None:
+        points += collect_artifacts(baseline_dir, seq=0, label="baseline")
+    recorded = load_history(history_path) if history_path is not None else []
+    points += recorded
+    if results_dir is not None:
+        next_seq: dict[str, int] = {}
+        for pt in points:
+            next_seq[pt.bench] = max(next_seq.get(pt.bench, 0), pt.seq)
+        for pt in collect_artifacts(results_dir, seq=0, label="current"):
+            points.append(
+                HistoryPoint(
+                    bench=pt.bench,
+                    seq=next_seq.get(pt.bench, 0) + 1,
+                    label="current",
+                    wall_time_s=pt.wall_time_s,
+                    rows=pt.rows,
+                    budgets=pt.budgets,
+                )
+            )
+    points += list(extra_points)
+    series: dict[str, list[HistoryPoint]] = {}
+    for pt in points:
+        series.setdefault(pt.bench, []).append(pt)
+    for bench in series:
+        series[bench].sort(key=lambda p: (p.seq, p.label))
+    return series
+
+
+# ----------------------------------------------------------------------
+# trend computation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrendRow:
+    """Per-benchmark trend summary over its history series."""
+
+    bench: str
+    points: int
+    walls: list[float]
+    latest_wall_s: float | None
+    delta_prev: float | None  # fractional change vs previous point
+    delta_first: float | None  # fractional change vs first point
+    #: tightest budget headroom at the latest point (None: no budgets)
+    headroom: float | None
+    headroom_name: str | None
+    headroom_series: list[float] = field(default_factory=list)
+
+
+def trend_rows(series: dict[str, list[HistoryPoint]]) -> list[TrendRow]:
+    """Deltas and budget headroom per benchmark, name-sorted."""
+    rows = []
+    for bench in sorted(series):
+        pts = series[bench]
+        walls = [p.wall_time_s for p in pts if p.wall_time_s is not None]
+        latest = walls[-1] if walls else None
+        delta_prev = delta_first = None
+        if len(walls) >= 2 and walls[-2] > 0:
+            delta_prev = walls[-1] / walls[-2] - 1.0
+        if len(walls) >= 2 and walls[0] > 0:
+            delta_first = walls[-1] / walls[0] - 1.0
+        headroom = headroom_name = None
+        headroom_series: list[float] = []
+        budgeted = [p for p in pts if p.headroom()]
+        if budgeted:
+            last = budgeted[-1].headroom()
+            headroom_name, headroom = min(last.items(), key=lambda kv: kv[1])
+            headroom_series = [
+                min(p.headroom().values()) for p in budgeted
+            ]
+        rows.append(
+            TrendRow(
+                bench=bench,
+                points=len(pts),
+                walls=walls,
+                latest_wall_s=latest,
+                delta_prev=delta_prev,
+                delta_first=delta_first,
+                headroom=headroom,
+                headroom_name=headroom_name,
+                headroom_series=headroom_series,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def sparkline_svg(
+    values: list[float],
+    *,
+    width: int = 140,
+    height: int = 28,
+    color: str = _LINE,
+) -> str:
+    """A single-series inline-SVG sparkline (axis-free, dot on latest)."""
+    pts = [float(v) for v in values if v == v]  # drop NaNs
+    if len(pts) < 2:
+        return f'<span class="muted">{len(pts)} point(s)</span>'
+    lo, hi = min(pts), max(pts)
+    span = (hi - lo) or 1.0
+    pad = 3.0
+    step = (width - 2 * pad) / (len(pts) - 1)
+
+    def sx(i: int) -> float:
+        return pad + i * step
+
+    def sy(v: float) -> float:
+        return pad + (1.0 - (v - lo) / span) * (height - 2 * pad)
+
+    coords = " ".join(f"{sx(i):.1f},{sy(v):.1f}" for i, v in enumerate(pts))
+    cx, cy = sx(len(pts) - 1), sy(pts[-1])
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="trend of '
+        f'{len(pts)} points">'
+        f'<polyline points="{coords}" fill="none" stroke="{color}" '
+        f'stroke-width="2" stroke-linejoin="round"/>'
+        f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="2.5" fill="{color}"/>'
+        "</svg>"
+    )
+
+
+def _fmt_delta(delta: float | None) -> str:
+    if delta is None:
+        return '<span class="muted">–</span>'
+    cls = "up" if delta > 0 else "down" if delta < 0 else "muted"
+    return f'<span class="{cls}">{delta:+.1%}</span>'
+
+
+def render_trend_section(series: dict[str, list[HistoryPoint]]) -> str:
+    """The trend table as an HTML fragment (embeddable in the run report)."""
+    rows = trend_rows(series)
+    if not rows:
+        return (
+            "<h2>Benchmark trends</h2>"
+            '<p class="muted">no benchmark history found</p>'
+        )
+    cells = [
+        '<tr><th class="l">benchmark</th><th class="l">wall-time trend</th>'
+        "<th>points</th><th>latest (s)</th><th>&Delta; prev</th>"
+        "<th>&Delta; first</th><th class=l>budget headroom</th></tr>"
+    ]
+    for row in rows:
+        if row.headroom is None:
+            headroom = '<span class="muted">no budgets</span>'
+        else:
+            cls = "down" if row.headroom >= 0 else "up"
+            headroom = (
+                f'<span class="{cls}">{row.headroom:+.4f}</span> '
+                f'<span class="muted">({html.escape(row.headroom_name)})</span>'
+            )
+            if len(row.headroom_series) >= 2:
+                headroom += " " + sparkline_svg(
+                    row.headroom_series, width=80, color=_GOOD
+                )
+        latest = (
+            f"{row.latest_wall_s:.3f}"
+            if row.latest_wall_s is not None
+            else '<span class="muted">–</span>'
+        )
+        cells.append(
+            f'<tr><td class="l">{html.escape(row.bench)}</td>'
+            f'<td class="l">{sparkline_svg(row.walls)}</td>'
+            f"<td>{row.points}</td><td>{latest}</td>"
+            f"<td>{_fmt_delta(row.delta_prev)}</td>"
+            f"<td>{_fmt_delta(row.delta_first)}</td>"
+            f'<td class="l">{headroom}</td></tr>'
+        )
+    note = (
+        '<p class="muted">wall times are machine-dependent; the trend is '
+        "recording order (baseline &rarr; history &rarr; current), not "
+        "wall-clock time. Budget headroom is limit &minus; value: "
+        "negative means BUDGET EXCEEDED.</p>"
+    )
+    return "<h2>Benchmark trends</h2>" + "".join(
+        ["<table>"] + cells + ["</table>", note]
+    )
+
+
+def render_trend_page(
+    series: dict[str, list[HistoryPoint]],
+    *,
+    title: str = "repro benchmark trends",
+) -> str:
+    """A standalone self-contained HTML page around the trend section."""
+    return (
+        '<!DOCTYPE html><html lang="en"><head><meta charset="utf-8">'
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head>"
+        f"<body><h1>{html.escape(title)}</h1>"
+        + render_trend_section(series)
+        + "</body></html>\n"
+    )
+
+
+def write_trend_report(
+    series: dict[str, list[HistoryPoint]],
+    path: str | pathlib.Path,
+    *,
+    title: str = "repro benchmark trends",
+) -> pathlib.Path:
+    """Render and write the standalone trend page; returns the path."""
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(render_trend_page(series, title=title))
+    return p

@@ -293,6 +293,61 @@ class Histogram(Metric):
             for k, s in sorted(self._samples.items())
         ]
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram, bucket-wise.
+
+        Bucket boundaries must be *identical* — a mismatch (including a
+        different bucket count) raises :class:`ValueError` instead of
+        silently misaligning counts.  Merging an empty histogram is a
+        no-op; label sets only present in ``other`` are adopted.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError(
+                f"can only merge Histogram into Histogram, got "
+                f"{type(other).__name__}"
+            )
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket boundaries differ "
+                f"({self.buckets} vs {other.buckets}); refusing to merge "
+                "misaligned buckets"
+            )
+        for key, theirs in other._samples.items():
+            mine = self._samples.get(key)
+            if mine is None:
+                mine = self._samples[key] = _HistSample(len(self.buckets) + 1)
+            for i, c in enumerate(theirs.counts):
+                mine.counts[i] += c
+            mine.sum += theirs.sum
+            mine.count += theirs.count
+
+    def load_samples(
+        self,
+        entries: "list[tuple[dict[str, Any], list[int], float, int]]",
+    ) -> None:
+        """Install raw (non-cumulative) per-bucket counts for label sets.
+
+        Each entry is ``(labels, counts, sum, count)`` with
+        ``len(counts) == len(buckets) + 1`` (the trailing slot is the
+        implicit ``+inf`` bucket).  Used to rebuild a registry from a
+        merged cross-process snapshot; existing samples for the same
+        label set are added to, mirroring :meth:`merge`.
+        """
+        for labels, counts, total, n in entries:
+            if len(counts) != len(self.buckets) + 1:
+                raise ValueError(
+                    f"histogram {self.name!r}: {len(counts)} counts for "
+                    f"{len(self.buckets) + 1} buckets"
+                )
+            key = _label_key(labels)
+            s = self._samples.get(key)
+            if s is None:
+                s = self._samples[key] = _HistSample(len(self.buckets) + 1)
+            for i, c in enumerate(counts):
+                s.counts[i] += int(c)
+            s.sum += float(total)
+            s.count += int(n)
+
     def reset(self) -> None:
         self._samples.clear()
 

@@ -1,0 +1,193 @@
+"""Deterministic span profiler: self-time tables and flame-graph export.
+
+Built on the existing span layer: a :class:`~repro.obs.spans.SpanRecorder`
+(or the span dicts inside a metrics document / merged cross-process
+snapshot) already carries the full call tree with wall-clock durations.
+This module is pure post-processing — aggregation is a deterministic
+function of the span forest, so the profiler adds *zero* runtime cost on
+top of the spans the kernels already record.
+
+Three views:
+
+* :func:`profile_table` — per-span-name totals: call count, total time,
+  self time (total minus children), share of the forest's root time.
+  This is the per-kernel/per-phase table ``repro profile`` prints.
+* :func:`folded_stacks` / :func:`render_folded` — the classic *folded
+  stack* format (``root;child;leaf <microseconds>``), one line per
+  distinct call path, consumable directly by ``flamegraph.pl`` and
+  speedscope's "Brendan Gregg collapsed stacks" importer.  Exported by
+  ``repro profile --folded``.
+* :func:`hot_paths` — the top-N call paths by self time, rendered as a
+  table in the HTML run report.
+
+Plus :func:`simulated_rate`: simulated-slots-per-wall-second, the
+throughput figure of merit for kernel work (slots default to 1 simulated
+ms, the engine's slot width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+
+def _as_dicts(spans: Any) -> list[dict[str, Any]]:
+    """Normalize a SpanRecorder / Span list / dict list to span dicts."""
+    if hasattr(spans, "to_dicts"):
+        return spans.to_dicts()
+    out = []
+    for s in spans:
+        out.append(s.to_dict() if hasattr(s, "to_dict") else s)
+    return out
+
+
+def _self_ms(span: dict[str, Any]) -> float:
+    total = float(span.get("duration_ms", 0.0))
+    children = span.get("children", [])
+    return total - sum(float(c.get("duration_ms", 0.0)) for c in children)
+
+
+def walk_stacks(
+    spans: Any, _prefix: tuple[str, ...] = ()
+) -> Iterator[tuple[tuple[str, ...], dict[str, Any]]]:
+    """Depth-first ``(call path, span dict)`` pairs over a span forest."""
+    for span in _as_dicts(spans):
+        path = _prefix + (str(span.get("name", "?")),)
+        yield path, span
+        for pair in walk_stacks(span.get("children", []), path):
+            yield pair
+
+
+# ----------------------------------------------------------------------
+# per-name aggregation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProfileRow:
+    """Aggregated timing for one span name."""
+
+    name: str
+    calls: int
+    total_ms: float
+    self_ms: float
+    #: self time as a fraction of the forest's summed root durations
+    share: float
+
+
+def profile_table(spans: Any) -> list[ProfileRow]:
+    """Per-span-name call counts and total/self times, hottest first.
+
+    Deterministic: rows sort by descending self time with the name as
+    tiebreak, so two identical span forests produce identical tables.
+    """
+    roots = _as_dicts(spans)
+    wall = sum(float(r.get("duration_ms", 0.0)) for r in roots)
+    calls: dict[str, int] = {}
+    total: dict[str, float] = {}
+    self_t: dict[str, float] = {}
+    for _path, span in walk_stacks(roots):
+        name = str(span.get("name", "?"))
+        calls[name] = calls.get(name, 0) + 1
+        total[name] = total.get(name, 0.0) + float(span.get("duration_ms", 0.0))
+        self_t[name] = self_t.get(name, 0.0) + _self_ms(span)
+    rows = [
+        ProfileRow(
+            name=name,
+            calls=calls[name],
+            total_ms=total[name],
+            self_ms=self_t[name],
+            share=(self_t[name] / wall) if wall > 0 else 0.0,
+        )
+        for name in calls
+    ]
+    return sorted(rows, key=lambda r: (-r.self_ms, r.name))
+
+
+def render_profile_table(rows: Sequence[ProfileRow], top: int = 0) -> str:
+    """ASCII profile table (``top`` > 0 keeps only the hottest rows)."""
+    shown = list(rows[:top] if top else rows)
+    if not shown:
+        return "(no spans recorded)"
+    name_w = max(len(r.name) for r in shown)
+    lines = [
+        f"{'span':<{name_w}}  {'calls':>7}  {'total ms':>10}  "
+        f"{'self ms':>10}  {'self %':>7}"
+    ]
+    for r in shown:
+        lines.append(
+            f"{r.name:<{name_w}}  {r.calls:>7}  {r.total_ms:>10.2f}  "
+            f"{r.self_ms:>10.2f}  {r.share:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# folded stacks (flamegraph.pl / speedscope)
+# ----------------------------------------------------------------------
+def folded_stacks(spans: Any) -> dict[str, int]:
+    """Self time in integer microseconds per distinct call path.
+
+    Keys are semicolon-joined paths (``st_run;construction;mwoe_scan``),
+    exactly the folded format flame-graph tools fold back into a flame.
+    Frame names have ``;`` replaced by ``,`` so paths stay unambiguous.
+    Zero-µs paths are kept only if they carry calls (their count still
+    shapes the flame when a parent is hot).
+    """
+    folded: dict[str, int] = {}
+    for path, span in walk_stacks(spans):
+        key = ";".join(p.replace(";", ",") for p in path)
+        micros = int(round(_self_ms(span) * 1000.0))
+        folded[key] = folded.get(key, 0) + max(micros, 0)
+    return folded
+
+
+def render_folded(spans: Any) -> str:
+    """Folded-stack lines, sorted by path for deterministic output."""
+    folded = folded_stacks(spans)
+    return "\n".join(f"{path} {count}" for path, count in sorted(folded.items()))
+
+
+def hot_paths(spans: Any, top: int = 10) -> list[tuple[str, float, int]]:
+    """Top-N call paths by self time: ``(path, self_ms, calls)`` rows."""
+    acc: dict[str, tuple[float, int]] = {}
+    for path, span in walk_stacks(spans):
+        key = " > ".join(path)
+        ms, calls = acc.get(key, (0.0, 0))
+        acc[key] = (ms + _self_ms(span), calls + 1)
+    rows = [(path, ms, calls) for path, (ms, calls) in acc.items()]
+    rows.sort(key=lambda r: (-r[1], r[0]))
+    return rows[:top]
+
+
+# ----------------------------------------------------------------------
+# throughput
+# ----------------------------------------------------------------------
+def simulated_rate(
+    sim_time_ms: float, wall_s: float, slot_ms: float = 1.0
+) -> float:
+    """Simulated slots advanced per wall-clock second.
+
+    The figure of merit for kernel throughput: a run covering 60 000
+    simulated ms in 0.5 wall seconds at 1 ms slots advances 120 000
+    slots/s.  Returns 0.0 when the wall time is not positive.
+    """
+    if wall_s <= 0 or slot_ms <= 0:
+        return 0.0
+    return (sim_time_ms / slot_ms) / wall_s
+
+
+def rate_from_registry(registry: Any) -> float | None:
+    """Slots-per-wall-second from a (merged) sweep registry, if billed.
+
+    The sweep runner bills ``sweep_sim_time_ms_total`` and
+    ``sweep_wall_seconds_total`` per worker; after a merge the counters
+    are fleet totals and the ratio is the fleet's aggregate throughput.
+    Returns ``None`` when either counter is absent.
+    """
+    sim = registry.get("sweep_sim_time_ms_total")
+    wall = registry.get("sweep_wall_seconds_total")
+    if sim is None or wall is None:
+        return None
+    wall_s = wall.total()
+    if wall_s <= 0:
+        return None
+    return simulated_rate(sim.total(), wall_s)

@@ -43,6 +43,8 @@ th { background: #eef3fa; }
 td.l, th.l { text-align: left; }
 .alert-critical { color: #b3261e; font-weight: 600; }
 .alert-warning { color: #9a6700; font-weight: 600; }
+.up { color: #b3261e; font-weight: 600; }
+.down { color: #188554; font-weight: 600; }
 .muted { color: #6b7a8c; font-size: .8rem; }
 svg { background: #fff; border: 1px solid #d4dde8; }
 pre { background: #f4f7fb; border: 1px solid #d4dde8; padding: .6rem;
@@ -266,6 +268,40 @@ def _section_drops(doc: dict[str, Any]) -> str:
     )
 
 
+def _section_hot_paths(doc: dict[str, Any], top: int = 10) -> str:
+    """Top-N hot call paths by self time, from the document's span trees."""
+    spans = doc.get("spans")
+    if not spans:
+        return ""
+    from repro.obs.profile import hot_paths
+
+    rows = [
+        '<tr><th class="l">call path</th><th>self (ms)</th><th>calls</th></tr>'
+    ]
+    for path, self_ms, calls in hot_paths(spans, top=top):
+        rows.append(
+            f'<tr><td class="l">{_esc(path)}</td>'
+            f"<td>{self_ms:,.2f}</td><td>{_fmt(calls)}</td></tr>"
+        )
+    return (
+        f"<h2>Hot paths (top {top} by self time)</h2><table>"
+        + "".join(rows)
+        + "</table>"
+        '<p class="muted">self time = span duration minus child spans; '
+        "export the full flame graph with <code>repro profile "
+        "--folded</code>.</p>"
+    )
+
+
+def _section_trends(history_series: Any) -> str:
+    """Bench-history trend table (sparklines); empty without a series."""
+    if not history_series:
+        return ""
+    from repro.obs.history import render_trend_section
+
+    return render_trend_section(history_series)
+
+
 def _section_trace(records: Sequence[TraceRecord] | None) -> str:
     if not records:
         return ""
@@ -293,8 +329,13 @@ def render_run_report(
     trace_records: Sequence[TraceRecord] | None = None,
     *,
     title: str = "repro run report",
+    history_series: Any = None,
 ) -> str:
-    """Render one self-contained HTML document from a metrics document."""
+    """Render one self-contained HTML document from a metrics document.
+
+    ``history_series`` (a ``repro.obs.history.bench_series`` mapping)
+    appends the benchmark-trend sparkline section.
+    """
     sync_curve = _probe_series(doc, "sync", "spread_ms")
     frag_curve = _probe_series(doc, "fragments", "count")
     body = [
@@ -307,8 +348,10 @@ def render_run_report(
                     step=True),
         _section_alerts(doc),
         _section_bills(doc),
+        _section_hot_paths(doc),
         _section_drops(doc),
         _section_trace(trace_records),
+        _section_trends(history_series),
     ]
     return (
         "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">"
@@ -324,11 +367,16 @@ def write_run_report(
     trace_records: Sequence[TraceRecord] | None = None,
     *,
     title: str = "repro run report",
+    history_series: Any = None,
 ) -> pathlib.Path:
     """Render and write the HTML report; returns the output path."""
     p = pathlib.Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
-    p.write_text(render_run_report(doc, trace_records, title=title))
+    p.write_text(
+        render_run_report(
+            doc, trace_records, title=title, history_series=history_series
+        )
+    )
     return p
 
 

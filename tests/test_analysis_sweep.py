@@ -69,6 +69,105 @@ class TestValidation:
         assert len(result.runs) == 2  # one size, one seed, two algorithms
 
 
+class TestObsCollection:
+    """collect_obs: per-job snapshots plus an order-independent merge."""
+
+    BASE = PaperConfig(max_time_ms=120_000.0)
+
+    @pytest.fixture(scope="class")
+    def obs_sweep(self):
+        return run_sweep(
+            (16, 24), (1, 2), base_config=self.BASE, collect_obs=True
+        )
+
+    def test_one_snapshot_per_job(self, obs_sweep):
+        assert len(obs_sweep.worker_snapshots) == 4
+        ids = sorted(w for s in obs_sweep.worker_snapshots for w in s["workers"])
+        assert ids == [0, 1, 2, 3]
+
+    def test_merged_bills_equal_run_totals_exactly(self, obs_sweep):
+        registry = obs_sweep.merged_registry()
+        billed = registry.get("messages_total").total()
+        assert billed == sum(r.messages for r in obs_sweep.runs)
+
+    def test_merged_sim_time_matches_runs(self, obs_sweep):
+        registry = obs_sweep.merged_registry()
+        assert registry.get("sweep_runs_total").total() == len(obs_sweep.runs)
+        assert registry.get("sweep_sim_time_ms_total").total() == pytest.approx(
+            sum(r.time_ms for r in obs_sweep.runs)
+        )
+
+    def test_merge_is_completion_order_independent(self, obs_sweep):
+        from repro.obs.aggregate import canonical_snapshot, merge_snapshots
+
+        forward = merge_snapshots(obs_sweep.worker_snapshots)
+        backward = merge_snapshots(list(reversed(obs_sweep.worker_snapshots)))
+        assert canonical_snapshot(forward) == canonical_snapshot(backward)
+        assert canonical_snapshot(forward) == canonical_snapshot(
+            obs_sweep.merged_obs
+        )
+
+    def test_serial_and_parallel_merge_identically(self):
+        """Deterministic content matches across worker counts.
+
+        Wall-clock measurements (span durations, the wall-seconds
+        counter) legitimately differ run to run, so the comparison
+        strips them and checks everything the protocol determines.
+        """
+        from repro.obs.aggregate import canonical_snapshot
+
+        def deterministic(snapshot):
+            trimmed = {
+                "workers": snapshot["workers"],
+                "metrics": {
+                    name: entry
+                    for name, entry in snapshot["metrics"].items()
+                    if name != "sweep_wall_seconds_total"
+                },
+                "telemetry": snapshot["telemetry"],
+            }
+            return canonical_snapshot(trimmed)
+
+        serial = run_sweep(
+            (16,), (1, 2), base_config=self.BASE, collect_obs=True, workers=1
+        )
+        parallel = run_sweep(
+            (16,), (1, 2), base_config=self.BASE, collect_obs=True, workers=2
+        )
+        assert deterministic(serial.merged_obs) == deterministic(
+            parallel.merged_obs
+        )
+
+    def test_obs_dir_writes_worker_and_merged_files(self, tmp_path):
+        from repro.obs.aggregate import read_snapshot
+
+        result = run_sweep(
+            (16,), (1, 2), base_config=self.BASE, obs_dir=tmp_path
+        )
+        names = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert names == ["merged.json", "worker_0000.json", "worker_0001.json"]
+        assert read_snapshot(tmp_path / "merged.json") == result.merged_obs
+
+    def test_without_collect_obs_no_registry(self, sweep):
+        assert sweep.merged_obs is None
+        assert sweep.worker_snapshots == []
+        with pytest.raises(ValueError, match="collect_obs"):
+            sweep.merged_registry()
+
+    def test_results_identical_with_and_without_obs(self, sweep):
+        """Observation is passive: the runs themselves must not change."""
+        observed = run_sweep(
+            SIZES, SEEDS, base_config=PaperConfig(max_time_ms=120_000.0),
+            collect_obs=True,
+        )
+        for a, b in zip(sweep.runs, observed.runs):
+            assert (a.algorithm, a.n_devices, a.seed) == (
+                b.algorithm, b.n_devices, b.seed,
+            )
+            assert a.time_ms == b.time_ms
+            assert a.messages == b.messages
+
+
 class TestParallelDeterminism:
     def test_parallel_equals_serial(self):
         """imap_unordered + index reassembly must reproduce the serial run."""

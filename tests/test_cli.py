@@ -252,6 +252,43 @@ class TestProfile:
         ) == 2
         assert "cannot write span tree" in capsys.readouterr().err
 
+    def test_profile_prints_self_time_table(self, capsys):
+        assert main(
+            ["profile", "fig3", "--sizes", "20", "--seeds", "1", "--top", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-span profile" in out
+        assert "self ms" in out
+
+    def test_profile_folded_export(self, capsys, tmp_path):
+        path = tmp_path / "nested" / "profile.folded"
+        assert main(
+            [
+                "profile", "fig3", "--sizes", "20", "--seeds", "1",
+                "--folded", str(path),
+            ]
+        ) == 0
+        assert "wrote folded stacks" in capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, micros = line.rsplit(" ", 1)
+            assert stack.startswith("experiment:fig3")
+            assert int(micros) >= 0
+
+    def test_profile_folded_unwritable_is_artifact_error(
+        self, capsys, tmp_path
+    ):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        assert main(
+            [
+                "profile", "fig3", "--sizes", "20", "--seeds", "1",
+                "--folded", str(target),
+            ]
+        ) == 2
+        assert "cannot write folded stacks" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_table1(self, capsys):
@@ -361,6 +398,133 @@ class TestRunReportHtml:
     def test_trace_without_metrics_is_usage_error(self, capsys, tmp_path):
         assert main(["report", "--trace", str(tmp_path / "t.jsonl")]) == 2
         assert "--trace requires --metrics" in capsys.readouterr().err
+
+    def test_history_without_metrics_is_usage_error(self, capsys, tmp_path):
+        assert main(["report", "--history", str(tmp_path / "h.jsonl")]) == 2
+        assert "--history requires --metrics" in capsys.readouterr().err
+
+    def test_history_adds_trend_section(self, capsys, tmp_path):
+        import json
+
+        metrics, _ = self._artifacts(tmp_path, capsys)
+        hist = tmp_path / "hist.jsonl"
+        for wall in (1.0, 1.2):
+            hist.open("a").write(
+                json.dumps(
+                    {
+                        "schema": "repro.bench.history/1",
+                        "bench": "scale",
+                        "seq": 1 if wall == 1.0 else 2,
+                        "label": "t",
+                        "wall_time_s": wall,
+                        "rows": [],
+                        "budgets": [],
+                    }
+                )
+                + "\n"
+            )
+        out = tmp_path / "report.html"
+        assert main(
+            [
+                "report", "--metrics", str(metrics),
+                "--history", str(hist), "-o", str(out),
+            ]
+        ) == 0
+        html = out.read_text()
+        assert "Benchmark trends" in html
+        assert "http://" not in html and "https://" not in html
+
+
+class TestTrend:
+    """``repro trend``: record history points, render sparkline report."""
+
+    def _bench_artifact(self, path, wall):
+        import json
+
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.bench/1",
+                    "bench": "scale",
+                    "wall_time_s": wall,
+                    "metrics": {
+                        "rows": [],
+                        "budgets": [
+                            {"name": "f", "value": 0.02, "limit": 0.05}
+                        ],
+                    },
+                }
+            )
+        )
+
+    def test_record_and_render(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        self._bench_artifact(results / "BENCH_scale.json", 1.0)
+        hist = tmp_path / "hist.jsonl"
+        out = tmp_path / "trend.html"
+        argv = [
+            "trend",
+            "--baselines", str(tmp_path / "no-baselines"),
+            "--results", str(results),
+            "--history", str(hist),
+            "-o", str(out),
+        ]
+        assert main(argv + ["--record", "--label", "first"]) == 0
+        capsys.readouterr()
+        self._bench_artifact(results / "BENCH_scale.json", 1.2)
+        assert main(argv + ["--record", "--label", "second"]) == 0
+        printed = capsys.readouterr().out
+        assert "recorded scale seq 2 (second)" in printed
+        assert "headroom +0.0300" in printed
+        assert "wrote trend report" in printed
+        html = out.read_text()
+        assert "<svg" in html  # >= 2 points -> sparkline present
+        assert "scale" in html
+        assert "http://" not in html and "https://" not in html
+
+    def test_no_sources_is_an_error(self, capsys, tmp_path):
+        assert main(
+            [
+                "trend",
+                "--baselines", str(tmp_path / "a"),
+                "--results", str(tmp_path / "b"),
+                "--history", str(tmp_path / "h.jsonl"),
+                "-o", str(tmp_path / "t.html"),
+            ]
+        ) == 2
+        assert "no benchmark artifacts" in capsys.readouterr().err
+
+    def test_unwritable_output_is_artifact_error(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        self._bench_artifact(results / "BENCH_scale.json", 1.0)
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        assert main(
+            [
+                "trend",
+                "--baselines", str(tmp_path / "none"),
+                "--results", str(results),
+                "--history", str(tmp_path / "h.jsonl"),
+                "-o", str(target),
+            ]
+        ) == 2
+        assert "cannot write trend report" in capsys.readouterr().err
+
+    def test_corrupt_history_is_artifact_error(self, capsys, tmp_path):
+        hist = tmp_path / "hist.jsonl"
+        hist.write_text('{"schema": "other/1"}\n')
+        assert main(
+            [
+                "trend",
+                "--baselines", str(tmp_path / "none"),
+                "--results", str(tmp_path / "none2"),
+                "--history", str(hist),
+                "-o", str(tmp_path / "t.html"),
+            ]
+        ) == 2
+        assert "cannot assemble bench history" in capsys.readouterr().err
 
 
 class TestParsing:

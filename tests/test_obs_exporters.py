@@ -146,6 +146,34 @@ class TestPrometheus:
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(MetricsRegistry()) == ""
 
+    def test_large_values_render_exactly(self):
+        # merged fleet counters overflow %g's 6 significant digits;
+        # the exporter must emit exact integers
+        reg = MetricsRegistry()
+        reg.counter("big").inc(123_456_789)
+        assert "repro_big 123456789" in render_prometheus(reg)
+
+    def test_float_values_round_trip_exactly(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(0.1234567890123)
+        line = next(
+            ln
+            for ln in render_prometheus(reg).splitlines()
+            if ln.startswith("repro_g ")
+        )
+        assert float(line.split()[-1]) == 0.1234567890123
+
+    def test_output_is_deterministic(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name, labels in order:
+                reg.counter(name).inc(1, **labels)
+            return reg
+
+        a = build([("z", {"k": "1"}), ("a", {"k": "2"}), ("z", {"k": "0"})])
+        b = build([("a", {"k": "2"}), ("z", {"k": "0"}), ("z", {"k": "1"})])
+        assert render_prometheus(a) == render_prometheus(b)
+
     def test_custom_prefix(self):
         reg = MetricsRegistry()
         reg.counter("c").inc(1)

@@ -1,0 +1,211 @@
+"""Bench-history series, trend rows and sparkline rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    BENCH_SCHEMA,
+    HISTORY_SCHEMA,
+    HistoryPoint,
+    append_history,
+    bench_series,
+    collect_artifacts,
+    load_history,
+    point_from_artifact,
+    render_trend_section,
+    sparkline_svg,
+    trend_rows,
+    write_trend_report,
+)
+
+
+def _artifact(bench="scale", wall=1.0, budgets=None):
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": bench,
+        "wall_time_s": wall,
+        "metrics": {"rows": [], "budgets": budgets or []},
+    }
+
+
+class TestPoints:
+    def test_point_from_artifact(self):
+        pt = point_from_artifact(_artifact(wall=1.5), seq=2, label="x")
+        assert (pt.bench, pt.seq, pt.label, pt.wall_time_s) == (
+            "scale",
+            2,
+            "x",
+            1.5,
+        )
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="expected schema"):
+            point_from_artifact({"schema": "other/1"}, seq=0, label="")
+
+    def test_headroom(self):
+        pt = point_from_artifact(
+            _artifact(budgets=[{"name": "f", "value": 0.02, "limit": 0.05}]),
+            seq=0,
+            label="",
+        )
+        assert pt.headroom() == {"f": pytest.approx(0.03)}
+
+    def test_null_wall_time_kept_as_none(self):
+        art = _artifact()
+        art["wall_time_s"] = None
+        pt = point_from_artifact(art, seq=0, label="")
+        assert pt.wall_time_s is None
+
+
+class TestHistoryFile:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(path, _artifact(wall=1.0), label="first")
+        append_history(path, _artifact(wall=1.2))
+        pts = load_history(path)
+        assert [p.seq for p in pts] == [1, 2]
+        assert pts[0].label == "first"
+        assert pts[1].label == "run-2"  # default label carries the seq
+
+    def test_seq_counts_per_bench(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(path, _artifact(bench="a"))
+        append_history(path, _artifact(bench="b"))
+        append_history(path, _artifact(bench="a"))
+        assert [(p.bench, p.seq) for p in load_history(path)] == [
+            ("a", 1),
+            ("b", 1),
+            ("a", 2),
+        ]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+    def test_wrong_schema_line_rejected(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(json.dumps({"schema": "other/1"}) + "\n")
+        with pytest.raises(ValueError, match=HISTORY_SCHEMA):
+            load_history(path)
+
+
+class TestCollectAndSeries:
+    def test_collect_skips_non_bench_json(self, tmp_path):
+        (tmp_path / "BENCH_good.json").write_text(json.dumps(_artifact()))
+        (tmp_path / "BENCH_other.json").write_text('{"schema": "x/1"}')
+        (tmp_path / "notes.json").write_text("{}")
+        pts = collect_artifacts(tmp_path, seq=0, label="baseline")
+        assert len(pts) == 1
+        assert pts[0].bench == "scale"
+
+    def test_series_order_baseline_history_current(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        baselines.mkdir()
+        results.mkdir()
+        (baselines / "BENCH_scale.json").write_text(
+            json.dumps(_artifact(wall=1.0))
+        )
+        hist = tmp_path / "hist.jsonl"
+        append_history(hist, _artifact(wall=1.1), label="nightly")
+        (results / "BENCH_scale.json").write_text(
+            json.dumps(_artifact(wall=1.2))
+        )
+        series = bench_series(
+            baseline_dir=baselines, history_path=hist, results_dir=results
+        )
+        pts = series["scale"]
+        assert [(p.seq, p.label) for p in pts] == [
+            (0, "baseline"),
+            (1, "nightly"),
+            (2, "current"),
+        ]
+        assert [p.wall_time_s for p in pts] == [1.0, 1.1, 1.2]
+
+
+class TestTrendRows:
+    def test_deltas_and_headroom(self):
+        series = {
+            "scale": [
+                HistoryPoint("scale", 0, "baseline", 1.0),
+                HistoryPoint(
+                    "scale",
+                    1,
+                    "now",
+                    1.5,
+                    budgets=[{"name": "f", "value": 0.04, "limit": 0.05}],
+                ),
+            ]
+        }
+        (row,) = trend_rows(series)
+        assert row.delta_prev == pytest.approx(0.5)
+        assert row.delta_first == pytest.approx(0.5)
+        assert row.headroom == pytest.approx(0.01)
+        assert row.headroom_name == "f"
+
+    def test_single_point_has_no_deltas(self):
+        series = {"x": [HistoryPoint("x", 0, "b", 2.0)]}
+        (row,) = trend_rows(series)
+        assert row.delta_prev is None
+        assert row.delta_first is None
+
+    def test_none_walls_are_skipped(self):
+        series = {
+            "x": [
+                HistoryPoint("x", 0, "b", None),
+                HistoryPoint("x", 1, "c", 2.0),
+            ]
+        }
+        (row,) = trend_rows(series)
+        assert row.walls == [2.0]
+        assert row.delta_prev is None
+
+
+class TestRendering:
+    def test_sparkline_needs_two_points(self):
+        assert "<svg" not in sparkline_svg([1.0])
+        assert "point(s)" in sparkline_svg([])
+
+    def test_sparkline_has_polyline_and_latest_dot(self):
+        svg = sparkline_svg([1.0, 2.0, 1.5])
+        assert svg.startswith("<svg")
+        assert "<polyline" in svg
+        assert "<circle" in svg
+
+    def test_section_lists_benches_with_sparklines(self):
+        series = {
+            "scale": [
+                HistoryPoint("scale", 0, "baseline", 1.0),
+                HistoryPoint("scale", 1, "now", 1.1),
+            ]
+        }
+        htm = render_trend_section(series)
+        assert "scale" in htm
+        assert "<svg" in htm
+        assert "+10.0%" in htm
+
+    def test_empty_series_is_explicit(self):
+        assert "no benchmark history" in render_trend_section({})
+
+    def test_report_is_self_contained(self, tmp_path):
+        series = {
+            "scale": [
+                HistoryPoint("scale", 0, "b", 1.0),
+                HistoryPoint("scale", 1, "c", 1.2),
+            ]
+        }
+        path = write_trend_report(series, tmp_path / "trend.html")
+        html = path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html
+
+    def test_bench_names_are_escaped(self):
+        series = {
+            "<script>": [
+                HistoryPoint("<script>", 0, "b", 1.0),
+                HistoryPoint("<script>", 1, "c", 1.2),
+            ]
+        }
+        htm = render_trend_section(series)
+        assert "<script>" not in htm
+        assert "&lt;script&gt;" in htm

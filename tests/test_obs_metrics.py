@@ -118,6 +118,73 @@ class TestHistogram:
         assert h.buckets == DEFAULT_BUCKETS
 
 
+class TestHistogramMerge:
+    def test_merge_adds_bucket_wise(self):
+        a = Histogram("h", buckets=(1.0, 5.0))
+        b = Histogram("h", buckets=(1.0, 5.0))
+        a.observe(0.5, algorithm="st")
+        b.observe(3.0, algorithm="st")
+        b.observe(99.0, algorithm="st")
+        a.merge(b)
+        assert a.count(algorithm="st") == 3
+        assert a.sum_(algorithm="st") == pytest.approx(102.5)
+        assert dict(a.bucket_counts(algorithm="st")) == {
+            "1.0": 1,
+            "5.0": 2,
+            "+inf": 3,
+        }
+
+    def test_merge_keeps_disjoint_label_sets(self):
+        a = Histogram("h", buckets=(1.0,))
+        b = Histogram("h", buckets=(1.0,))
+        a.observe(0.5, algorithm="st")
+        b.observe(0.5, algorithm="fst")
+        a.merge(b)
+        assert a.count(algorithm="st") == 1
+        assert a.count(algorithm="fst") == 1
+
+    def test_merge_with_empty_other_is_noop(self):
+        a = Histogram("h", buckets=(1.0,))
+        a.observe(0.5)
+        before = a.samples()
+        a.merge(Histogram("h", buckets=(1.0,)))
+        assert a.samples() == before
+
+    def test_merge_into_empty_copies(self):
+        a = Histogram("h", buckets=(1.0,))
+        b = Histogram("h", buckets=(1.0,))
+        b.observe(0.5)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.samples() == b.samples()
+
+    def test_mismatched_buckets_raise(self):
+        a = Histogram("h", buckets=(1.0, 5.0))
+        b = Histogram("h", buckets=(1.0, 9.0))
+        with pytest.raises(ValueError, match="misaligned buckets"):
+            a.merge(b)
+
+    def test_non_histogram_raises(self):
+        with pytest.raises(TypeError):
+            Histogram("h", buckets=(1.0,)).merge(Counter("c"))
+
+    def test_load_samples_round_trips_raw_counts(self):
+        h = Histogram("h", buckets=(1.0, 5.0))
+        h.load_samples([({"algorithm": "st"}, [1, 2, 3], 50.0, 6)])
+        assert h.count(algorithm="st") == 6
+        assert h.sum_(algorithm="st") == 50.0
+        assert dict(h.bucket_counts(algorithm="st")) == {
+            "1.0": 1,
+            "5.0": 3,
+            "+inf": 6,
+        }
+
+    def test_load_samples_wrong_width_raises(self):
+        h = Histogram("h", buckets=(1.0, 5.0))
+        with pytest.raises(ValueError, match="buckets"):
+            h.load_samples([({}, [1, 2], 0.0, 3)])
+
+
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_object(self):
         reg = MetricsRegistry()

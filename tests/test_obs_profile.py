@@ -1,0 +1,112 @@
+"""Deterministic span profiler: tables, folded stacks, throughput."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (
+    folded_stacks,
+    hot_paths,
+    profile_table,
+    rate_from_registry,
+    render_folded,
+    render_profile_table,
+    simulated_rate,
+    walk_stacks,
+)
+
+FOREST = [
+    {
+        "name": "run",
+        "duration_ms": 10.0,
+        "children": [
+            {"name": "phase", "duration_ms": 4.0, "children": []},
+            {"name": "phase", "duration_ms": 2.0, "children": []},
+        ],
+    },
+]
+
+
+class TestWalkStacks:
+    def test_depth_first_paths(self):
+        paths = [p for p, _ in walk_stacks(FOREST)]
+        assert paths == [("run",), ("run", "phase"), ("run", "phase")]
+
+    def test_accepts_span_recorder(self):
+        obs = Observability()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        paths = [p for p, _ in walk_stacks(obs.spans)]
+        assert paths == [("outer",), ("outer", "inner")]
+
+
+class TestProfileTable:
+    def test_self_time_subtracts_children(self):
+        rows = {r.name: r for r in profile_table(FOREST)}
+        assert rows["run"].self_ms == pytest.approx(4.0)
+        assert rows["run"].total_ms == pytest.approx(10.0)
+        assert rows["phase"].calls == 2
+        assert rows["phase"].self_ms == pytest.approx(6.0)
+
+    def test_share_is_fraction_of_root_wall(self):
+        rows = {r.name: r for r in profile_table(FOREST)}
+        assert rows["run"].share == pytest.approx(0.4)
+        assert rows["phase"].share == pytest.approx(0.6)
+
+    def test_sorted_hottest_first(self):
+        names = [r.name for r in profile_table(FOREST)]
+        assert names == ["phase", "run"]
+
+    def test_render_truncates_to_top(self):
+        text = render_profile_table(profile_table(FOREST), top=1)
+        assert "phase" in text
+        assert "run" not in text.splitlines()[-1]
+
+    def test_render_empty(self):
+        assert render_profile_table([]) == "(no spans recorded)"
+
+
+class TestFoldedStacks:
+    def test_paths_and_integer_microseconds(self):
+        folded = folded_stacks(FOREST)
+        assert folded == {"run": 4000, "run;phase": 6000}
+
+    def test_semicolons_in_names_escaped(self):
+        spans = [{"name": "a;b", "duration_ms": 1.0, "children": []}]
+        assert folded_stacks(spans) == {"a,b": 1000}
+
+    def test_render_sorted_lines(self):
+        text = render_folded(FOREST)
+        assert text.splitlines() == ["run 4000", "run;phase 6000"]
+
+
+class TestHotPaths:
+    def test_top_n_by_self_time(self):
+        rows = hot_paths(FOREST, top=1)
+        assert rows == [("run > phase", pytest.approx(6.0), 2)]
+
+    def test_deterministic_tiebreak_by_path(self):
+        spans = [
+            {"name": "b", "duration_ms": 1.0, "children": []},
+            {"name": "a", "duration_ms": 1.0, "children": []},
+        ]
+        assert [r[0] for r in hot_paths(spans)] == ["a", "b"]
+
+
+class TestThroughput:
+    def test_simulated_rate(self):
+        assert simulated_rate(60_000.0, 0.5) == pytest.approx(120_000.0)
+
+    def test_zero_wall_is_zero(self):
+        assert simulated_rate(60_000.0, 0.0) == 0.0
+
+    def test_rate_from_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("sweep_sim_time_ms_total").inc(30_000, algorithm="st")
+        reg.counter("sweep_sim_time_ms_total").inc(30_000, algorithm="fst")
+        reg.counter("sweep_wall_seconds_total").inc(2.0)
+        assert rate_from_registry(reg) == pytest.approx(30_000.0)
+
+    def test_rate_none_without_counters(self):
+        assert rate_from_registry(MetricsRegistry()) is None

@@ -107,6 +107,54 @@ class TestRender:
         assert "no samples recorded" in html
 
 
+class TestHotPathsSection:
+    def test_spans_render_hot_path_table(self):
+        doc = _doc(
+            spans=[
+                {
+                    "name": "st_run",
+                    "duration_ms": 10.0,
+                    "children": [
+                        {"name": "discovery", "duration_ms": 7.0,
+                         "children": []},
+                    ],
+                },
+            ]
+        )
+        html = render_run_report(doc)
+        assert "Hot paths" in html
+        assert "st_run &gt; discovery" in html
+        assert "--folded" in html  # points at the flame-graph export
+
+    def test_no_spans_no_section(self):
+        assert "Hot paths" not in render_run_report(_doc())
+
+
+class TestTrendsSection:
+    def _series(self):
+        from repro.obs.history import HistoryPoint
+
+        return {
+            "scale": [
+                HistoryPoint("scale", 0, "baseline", 1.0),
+                HistoryPoint("scale", 1, "now", 1.3),
+            ]
+        }
+
+    def test_history_series_renders_trend_table(self):
+        html = render_run_report(_doc(), history_series=self._series())
+        assert "Benchmark trends" in html
+        assert "<svg" in html
+        assert "+30.0%" in html
+
+    def test_stays_self_contained_with_trends(self):
+        html = render_run_report(_doc(), history_series=self._series())
+        assert "http://" not in html and "https://" not in html
+
+    def test_no_series_no_section(self):
+        assert "Benchmark trends" not in render_run_report(_doc())
+
+
 class TestWriteAndLoad:
     def test_write_run_report_creates_parents(self, tmp_path):
         out = tmp_path / "deep" / "report.html"

@@ -1,0 +1,246 @@
+"""Property tests: snapshot merging is associative, commutative, identity.
+
+The cross-process aggregation contract (``repro.obs.aggregate``) is that
+``merge_two`` forms a commutative monoid over snapshots with
+``empty_snapshot()`` as identity — that is what makes the merged result
+a pure function of the snapshot *set*, independent of worker completion
+order.  Values are integer-valued so float non-associativity cannot blur
+the byte-compare (the production path additionally pre-sorts snapshots,
+making it robust for float sums too).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.aggregate import (
+    SCHEMA,
+    canonical_snapshot,
+    empty_snapshot,
+    merge_snapshots,
+    merge_two,
+)
+
+_BOUNDS = [1.0, 5.0, 10.0]
+
+_label_sets = st.sampled_from(
+    [
+        {},
+        {"algorithm": "st"},
+        {"algorithm": "fst"},
+        {"algorithm": "st", "kind": "discovery"},
+    ]
+)
+
+
+def _key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+@st.composite
+def _counter_entry(draw):
+    keys = draw(st.lists(_label_sets, max_size=3, unique_by=_key))
+    return {
+        "kind": "counter",
+        "help": "h",
+        "unit": "u",
+        "samples": [
+            {"labels": labels, "value": draw(st.integers(0, 10_000))}
+            for labels in sorted(keys, key=_key)
+        ],
+    }
+
+
+@st.composite
+def _gauge_entry(draw, worker_id):
+    keys = draw(st.lists(_label_sets, max_size=3, unique_by=_key))
+    return {
+        "kind": "gauge",
+        "help": "h",
+        "unit": "u",
+        "samples": [
+            {
+                "labels": labels,
+                "value": draw(st.integers(-100, 100)),
+                "writer": worker_id,
+            }
+            for labels in sorted(keys, key=_key)
+        ],
+    }
+
+
+@st.composite
+def _histogram_entry(draw):
+    keys = draw(st.lists(_label_sets, max_size=2, unique_by=_key))
+    samples = []
+    for labels in sorted(keys, key=_key):
+        counts = draw(
+            st.lists(
+                st.integers(0, 50),
+                min_size=len(_BOUNDS) + 1,
+                max_size=len(_BOUNDS) + 1,
+            )
+        )
+        samples.append(
+            {
+                "labels": labels,
+                "counts": counts,
+                "sum": draw(st.integers(0, 1_000)),
+                "count": sum(counts),
+            }
+        )
+    return {
+        "kind": "histogram",
+        "help": "h",
+        "unit": "u",
+        "bounds": _BOUNDS,
+        "samples": samples,
+    }
+
+
+@st.composite
+def _snapshot(draw, worker_id: int):
+    """A normalized snapshot for one worker (sorted samples/dicts)."""
+    metrics = {}
+    if draw(st.booleans()):
+        metrics["msgs_total"] = draw(_counter_entry())
+    if draw(st.booleans()):
+        metrics["fill"] = draw(_gauge_entry(worker_id))
+    if draw(st.booleans()):
+        metrics["sizes"] = draw(_histogram_entry())
+    dropped = {
+        topic: draw(st.integers(0, 100))
+        for topic in draw(
+            st.lists(
+                st.sampled_from(["sync/evicted", "rach/sampled"]),
+                unique=True,
+                max_size=2,
+            )
+        )
+    }
+    alerts = [
+        {
+            "time_ms": draw(st.integers(0, 1_000)),
+            "analyzer": draw(st.sampled_from(["stall", "storm"])),
+            "severity": "warning",
+            "message": "m",
+            "context": {},
+            "worker": worker_id,
+        }
+        for _ in range(draw(st.integers(0, 2)))
+    ]
+    spans = {}
+    if draw(st.booleans()):
+        spans[str(worker_id)] = [
+            {
+                "name": "run",
+                "duration_ms": draw(st.integers(0, 100)),
+                "children": [],
+            }
+        ]
+    return {
+        "schema": SCHEMA,
+        "workers": [worker_id],
+        "metrics": metrics,
+        "spans": spans,
+        "telemetry": {
+            "published": {},
+            "dropped": {k: dropped[k] for k in sorted(dropped)},
+            "alerts": sorted(
+                alerts,
+                key=lambda a: (a["time_ms"], a["worker"], a["analyzer"], a["message"]),
+            ),
+        },
+    }
+
+
+@st.composite
+def _fleet(draw, min_size=2, max_size=4):
+    n = draw(st.integers(min_size, max_size))
+    return [draw(_snapshot(worker_id=i)) for i in range(n)]
+
+
+class TestMonoidLaws:
+    @given(_fleet(min_size=2, max_size=2))
+    @settings(deadline=None, max_examples=60)
+    def test_commutative(self, fleet):
+        a, b = fleet
+        assert canonical_snapshot(merge_two(a, b)) == canonical_snapshot(
+            merge_two(b, a)
+        )
+
+    @given(_fleet(min_size=3, max_size=3))
+    @settings(deadline=None, max_examples=60)
+    def test_associative(self, fleet):
+        a, b, c = fleet
+        left = merge_two(merge_two(a, b), c)
+        right = merge_two(a, merge_two(b, c))
+        assert canonical_snapshot(left) == canonical_snapshot(right)
+
+    @given(_snapshot(worker_id=0))
+    @settings(deadline=None, max_examples=60)
+    def test_identity(self, snap):
+        assert merge_two(snap, empty_snapshot()) == snap
+        assert merge_two(empty_snapshot(), snap) == snap
+
+
+class TestFleetMerge:
+    @given(_fleet(min_size=2, max_size=4))
+    @settings(deadline=None, max_examples=40)
+    def test_any_permutation_is_byte_identical(self, fleet):
+        texts = {
+            canonical_snapshot(merge_snapshots(perm))
+            for perm in itertools.permutations(fleet)
+        }
+        assert len(texts) == 1
+
+    @given(_fleet(min_size=2, max_size=4))
+    @settings(deadline=None, max_examples=40)
+    def test_counter_totals_are_preserved(self, fleet):
+        merged = merge_snapshots(fleet)
+        expected = sum(
+            s["value"]
+            for snap in fleet
+            for s in snap["metrics"].get("msgs_total", {}).get("samples", [])
+        )
+        got = sum(
+            s["value"]
+            for s in merged["metrics"].get("msgs_total", {}).get("samples", [])
+        )
+        assert got == expected
+
+    @given(_fleet(min_size=2, max_size=4))
+    @settings(deadline=None, max_examples=40)
+    def test_drop_ledger_totals_are_preserved(self, fleet):
+        merged = merge_snapshots(fleet)
+        for key in {
+            k for snap in fleet for k in snap["telemetry"]["dropped"]
+        }:
+            expected = sum(
+                snap["telemetry"]["dropped"].get(key, 0) for snap in fleet
+            )
+            assert merged["telemetry"]["dropped"][key] == expected
+
+    @given(_fleet(min_size=2, max_size=4))
+    @settings(deadline=None, max_examples=40)
+    def test_gauge_resolves_to_highest_writer(self, fleet):
+        merged = merge_snapshots(fleet)
+        for sample in merged["metrics"].get("fill", {}).get("samples", []):
+            key = _key(sample["labels"])
+            writers = [
+                s["writer"]
+                for snap in fleet
+                for s in snap["metrics"].get("fill", {}).get("samples", [])
+                if _key(s["labels"]) == key
+            ]
+            assert sample["writer"] == max(writers)
+
+    @given(_fleet(min_size=2, max_size=4))
+    @settings(deadline=None, max_examples=40)
+    def test_alert_count_is_preserved(self, fleet):
+        merged = merge_snapshots(fleet)
+        expected = sum(len(s["telemetry"]["alerts"]) for s in fleet)
+        assert len(merged["telemetry"]["alerts"]) == expected

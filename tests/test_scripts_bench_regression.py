@@ -224,6 +224,165 @@ class TestBudgets:
         )
 
 
+class TestHeadroom:
+    """Every budget line prints its distance to failure."""
+
+    def _with_budgets(self, path, budgets):
+        payload = {
+            "schema": "repro.bench/1",
+            "bench": "obs_overhead",
+            "wall_time_s": 1.0,
+            "metrics": {"rows": [], "budgets": budgets},
+        }
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_headroom_printed_for_passing_budget(self, tmp_path, capsys):
+        cur = self._with_budgets(
+            tmp_path / "cur.json",
+            [{"name": "f", "value": 0.02, "limit": 0.05}],
+        )
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base])
+            == 0
+        )
+        assert "headroom=+0.0300" in capsys.readouterr().out
+
+    def test_exceeded_budget_reports_negative_headroom(self, tmp_path, capsys):
+        cur = self._with_budgets(
+            tmp_path / "cur.json",
+            [{"name": "f", "value": 0.08, "limit": 0.05}],
+        )
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "headroom=-0.0300" in out
+        # the failure summary carries the missed margin too
+        assert "(headroom -0.0300)" in out
+
+
+class TestHistory:
+    """--history reads the JSONL trail; --append-history extends it."""
+
+    def test_append_then_print(self, tmp_path, capsys):
+        cur = _artifact(tmp_path / "cur.json", 1.0)
+        hist = tmp_path / "hist.jsonl"
+        assert (
+            check_bench_regression.main(
+                [
+                    "--current", cur, "--baseline", cur,
+                    "--history", str(hist),
+                    "--append-history", "--history-label", "run-a",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no recorded entries" in out  # first run sees empty history
+        assert "recorded scale seq 1" in out
+        assert (
+            check_bench_regression.main(
+                ["--current", cur, "--baseline", cur, "--history", str(hist)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "history for scale" in out
+        assert "[run-a]" in out
+
+    def test_seq_increments_per_bench(self, tmp_path):
+        cur = _artifact(tmp_path / "cur.json", 1.0)
+        hist = tmp_path / "hist.jsonl"
+        for _ in range(2):
+            check_bench_regression.main(
+                [
+                    "--current", cur, "--baseline", cur,
+                    "--history", str(hist), "--append-history",
+                ]
+            )
+        entries = [
+            json.loads(line)
+            for line in hist.read_text().splitlines()
+            if line.strip()
+        ]
+        assert [e["seq"] for e in entries] == [1, 2]
+        assert all(
+            e["schema"] == "repro.bench.history/1" for e in entries
+        )
+
+    def test_history_trail_shows_headroom(self, tmp_path, capsys):
+        cur = tmp_path / "cur.json"
+        cur.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.bench/1",
+                    "bench": "obs_overhead",
+                    "wall_time_s": 1.0,
+                    "metrics": {
+                        "rows": [],
+                        "budgets": [
+                            {"name": "f", "value": 0.02, "limit": 0.05}
+                        ],
+                    },
+                }
+            )
+        )
+        hist = tmp_path / "hist.jsonl"
+        check_bench_regression.main(
+            [
+                "--current", str(cur), "--baseline", str(cur),
+                "--history", str(hist), "--append-history",
+            ]
+        )
+        capsys.readouterr()
+        check_bench_regression.main(
+            ["--current", str(cur), "--baseline", str(cur),
+             "--history", str(hist)]
+        )
+        assert "headroom=+0.0300 (f)" in capsys.readouterr().out
+
+    def test_append_requires_history_path(self, tmp_path):
+        cur = _artifact(tmp_path / "cur.json", 1.0)
+        assert (
+            check_bench_regression.main(
+                ["--current", cur, "--baseline", cur, "--append-history"]
+            )
+            == 2
+        )
+
+    def test_corrupt_history_schema_is_usage_error(self, tmp_path):
+        cur = _artifact(tmp_path / "cur.json", 1.0)
+        hist = tmp_path / "hist.jsonl"
+        hist.write_text(json.dumps({"schema": "other/1"}) + "\n")
+        assert (
+            check_bench_regression.main(
+                ["--current", cur, "--baseline", cur, "--history", str(hist)]
+            )
+            == 2
+        )
+
+    def test_failing_run_still_appends(self, tmp_path):
+        # the history is a record of what happened, not of what passed
+        cur = _artifact(tmp_path / "cur.json", 9.0)
+        base = _artifact(tmp_path / "base.json", 1.0)
+        hist = tmp_path / "hist.jsonl"
+        assert (
+            check_bench_regression.main(
+                [
+                    "--current", cur, "--baseline", base,
+                    "--history", str(hist), "--append-history",
+                ]
+            )
+            == 1
+        )
+        assert hist.is_file()
+        assert "scale" in hist.read_text()
+
+
 class TestArtifactErrors:
     def test_missing_file(self, tmp_path):
         base = _artifact(tmp_path / "base.json", 1.0)
