@@ -1,15 +1,35 @@
-"""Scale benchmark: the sparse backend's whole point, measured.
+"""Scale benchmark: the sparse and batch backends' whole point, measured.
 
-Runs the ST pipeline end-to-end on the sparse backend at growing device
-counts under *constant density* (the area grows with n, so E = O(n)),
-recording wall time and the tracemalloc peak — the sparse path must stay
-O(E), never allocating an (n, n) array.  At the smallest size (and the
-largest under ``REPRO_BENCH_FULL=1``) the dense backend runs the same
-seed for a measured speedup.
+Runs the ST pipeline end-to-end at growing device counts under
+*constant density* (the area grows with n, so E = O(n)), recording the
+network-construction and simulation wall times separately plus the
+tracemalloc peak.  Three backends appear in the grid:
+
+* ``sparse`` at every size — the O(n + E) reference scale path,
+* ``dense`` at the smallest size(s) — the original O(n²) pipeline, for
+  the historical dense/sparse speedup,
+* ``batch`` — the whole-array kernel tier, which must match the sparse
+  message bill bitwise while cutting the *simulation* wall time.
+
+The batch tier's speedup is defined on ``sim_s``, not end-to-end wall:
+both backends share the identical CSR network construction, whose
+counter-hashed channel draws dominate end-to-end time at scale, so the
+construction phase is reported separately rather than diluting the
+kernel comparison.  The individually replaced kernels are 5×–100×
+faster than their sparse counterparts (required-edge selection drops
+from seconds to tens of milliseconds), but the *shared* bitwise-pinned
+costs — per-cohort beacon decode and the Borůvka candidate presort —
+bound the end-to-end sim ratio; see docs/performance.md ("Batch
+backend") for the measured breakdown.
 
 Artifact: ``BENCH_scale.json`` — consumed by
 ``scripts/check_bench_regression.py`` against the committed baseline in
-``benchmarks/baselines/``.
+``benchmarks/baselines/``.  The committed baseline is recorded under
+``REPRO_BENCH_FULL=1``; the CI grid is a subset of the full grid, so
+every CI row has a baseline counterpart (full-only rows show up as
+visible skips).  The artifact also carries machine-independent budget
+entries (sim-time ratios batch/sparse) that the checker enforces with
+printed headroom.
 """
 
 from __future__ import annotations
@@ -22,10 +42,22 @@ from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
 from repro.core.st import STSimulation
 
-SCALE_SIZES = (500, 2000, 5000) if FULL else (300, 800)
-#: Sizes where the dense backend also runs (for the speedup ratio).
-COMPARE_SIZES = (500, 5000) if FULL else (300,)
+#: (n, backend) grid.  The CI subset is a strict subset of the full
+#: grid so the committed full-grid baseline covers every CI row.
+SPARSE_SIZES = (300, 800, 5000, 20000, 50000) if FULL else (300, 800)
+BATCH_SIZES = (300, 800, 5000, 20000, 50000, 100000) if FULL else (300, 800)
+#: Sizes where the dense backend also runs (for the dense/sparse ratio).
+COMPARE_SIZES = (300, 5000) if FULL else (300,)
 SEED = 1
+
+#: Machine-independent ceiling on sim_s(batch) / sim_s(sparse) at the
+#: largest shared size.  Measured ratio at n = 20 000–50 000 is ≈ 0.66
+#: (batch 1.5× faster end-to-end sim, bounded by the bitwise-pinned
+#: decode and presort both tiers share); 0.8 leaves headroom without
+#: letting the batch tier degenerate back to parity.  The CI sizes are
+#: far too small to amortize whole-array overheads, so CI only guards
+#: against outright degeneration (ratio ≤ 2.0).
+SIM_RATIO_LIMIT = 0.8 if FULL else 2.0
 
 
 def _run_once(n: int, backend: str) -> dict:
@@ -37,14 +69,17 @@ def _run_once(n: int, backend: str) -> dict:
     tracemalloc.start()
     t0 = time.perf_counter()
     network = D2DNetwork(config)
+    t1 = time.perf_counter()
     result = STSimulation(network).run()
-    wall_s = time.perf_counter() - t0
+    t2 = time.perf_counter()
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     return {
         "n": n,
         "backend": backend,
-        "wall_s": round(wall_s, 4),
+        "wall_s": round(t2 - t0, 4),
+        "build_s": round(t1 - t0, 4),
+        "sim_s": round(t2 - t1, 4),
         "peak_mb": round(peak / 2**20, 2),
         "messages": result.messages,
         "converged": result.converged,
@@ -52,14 +87,16 @@ def _run_once(n: int, backend: str) -> dict:
     }
 
 
-def test_bench_scale_sparse_st(results_dir, bench_json_dir):
+def test_bench_scale_st(results_dir, bench_json_dir):
     rows = []
+    by_key = {}
     speedups = {}
-    for n in SCALE_SIZES:
+    for n in SPARSE_SIZES:
         sparse = _run_once(n, "sparse")
         assert sparse["converged"], f"sparse ST did not converge at n={n}"
         assert not sparse["densified"], f"sparse path densified at n={n}"
         rows.append(sparse)
+        by_key[(n, "sparse")] = sparse
         if n in COMPARE_SIZES:
             dense = _run_once(n, "dense")
             assert dense["messages"] == sparse["messages"], (
@@ -68,15 +105,53 @@ def test_bench_scale_sparse_st(results_dir, bench_json_dir):
             rows.append(dense)
             speedups[str(n)] = round(dense["wall_s"] / sparse["wall_s"], 2)
 
-    lines = ["scale: sparse ST end-to-end (constant density)"]
-    lines.append(f"{'n':>6} {'backend':>8} {'wall_s':>9} {'peak_mb':>9} {'messages':>10}")
+    sim_speedups = {}
+    for n in BATCH_SIZES:
+        batch = _run_once(n, "batch")
+        assert batch["converged"], f"batch ST did not converge at n={n}"
+        assert not batch["densified"], f"batch path densified at n={n}"
+        rows.append(batch)
+        twin = by_key.get((n, "sparse"))
+        if twin is not None:
+            assert batch["messages"] == twin["messages"], (
+                f"sparse/batch message parity broke at n={n}"
+            )
+            sim_speedups[str(n)] = round(twin["sim_s"] / batch["sim_s"], 2)
+
+    shared = [n for n in BATCH_SIZES if (n, "sparse") in by_key]
+    budgets = []
+    if shared:
+        n_top = max(shared)
+        ratio = round(
+            next(r for r in rows if r["n"] == n_top and r["backend"] == "batch")[
+                "sim_s"
+            ]
+            / by_key[(n_top, "sparse")]["sim_s"],
+            4,
+        )
+        budgets.append(
+            {
+                "name": f"batch_sim_ratio_n{n_top}",
+                "value": ratio,
+                "limit": SIM_RATIO_LIMIT,
+            }
+        )
+
+    lines = ["scale: ST end-to-end (constant density), build vs sim split"]
+    lines.append(
+        f"{'n':>7} {'backend':>8} {'wall_s':>9} {'build_s':>9} "
+        f"{'sim_s':>9} {'peak_mb':>9} {'messages':>10}"
+    )
     for r in rows:
         lines.append(
-            f"{r['n']:>6} {r['backend']:>8} {r['wall_s']:>9.3f} "
+            f"{r['n']:>7} {r['backend']:>8} {r['wall_s']:>9.3f} "
+            f"{r['build_s']:>9.3f} {r['sim_s']:>9.3f} "
             f"{r['peak_mb']:>9.2f} {r['messages']:>10}"
         )
     for n, s in speedups.items():
-        lines.append(f"speedup dense/sparse at n={n}: {s:.2f}x")
+        lines.append(f"end-to-end speedup dense/sparse at n={n}: {s:.2f}x")
+    for n, s in sim_speedups.items():
+        lines.append(f"sim speedup sparse/batch at n={n}: {s:.2f}x")
     save_and_print(results_dir, "scale", "\n".join(lines))
 
     total_wall = sum(r["wall_s"] for r in rows if r["backend"] == "sparse")
@@ -84,5 +159,11 @@ def test_bench_scale_sparse_st(results_dir, bench_json_dir):
         bench_json_dir,
         "scale",
         total_wall,
-        {"rows": rows, "speedup": speedups, "full_grid": FULL},
+        {
+            "rows": rows,
+            "speedup": speedups,
+            "sim_speedup_sparse_batch": sim_speedups,
+            "budgets": budgets,
+            "full_grid": FULL,
+        },
     )

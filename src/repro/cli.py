@@ -27,7 +27,8 @@ Commands
     under ``tests/goldens/``, ``run`` replays every committed golden
     (optionally forcing a backend) plus the metamorphic relation
     registry, ``diff`` executes one differential pair (dense/sparse,
-    clean/noop faults, Borůvka/oracle, sorted/naive FFA).  Any
+    sparse/batch, clean/noop faults, Borůvka/oracle, sorted/naive
+    FFA).  Any
     divergence prints a first-diverging-round report and exits 1.
 ``list``
     List the available experiment ids.
@@ -96,8 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--backend",
         default=None,
-        help="execution backend: auto, dense or sparse (auto switches to "
-        "sparse at config.sparse_threshold_devices)",
+        help="execution backend: auto, dense, sparse or batch (auto "
+        "switches to sparse at config.sparse_threshold_devices and to "
+        "batch at config.batch_threshold_devices)",
     )
     sim.add_argument(
         "--faults",
@@ -203,7 +205,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     conf_run.add_argument(
         "--backend",
-        choices=("dense", "sparse"),
+        choices=("dense", "sparse", "batch"),
         default=None,
         help="force every replay onto this backend (cross-backend gate)",
     )
@@ -225,7 +227,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     conf_diff.add_argument(
         "pair",
-        help="backends | faults | boruvka | ffa | all",
+        help="backends | batch | faults | boruvka | ffa | all",
     )
     conf_diff.add_argument("--devices", "-n", type=int, default=32)
     conf_diff.add_argument("--seed", type=int, default=1)

@@ -8,7 +8,9 @@ second so the whole corpus replays inside a CI job.
 The faulted half uses one fixed plan (:data:`CORPUS_FAULT_SPEC`): lossy
 beacons and PS pulses, a crash window wide enough to exercise repair,
 and collision arbitration — each decision a pure function of event
-identity, so faulted goldens replay bitwise on either backend.
+identity, so faulted goldens replay bitwise on every backend (the
+committed corpus stores dense and sparse captures; CI additionally
+replays it under the forced ``batch`` backend).
 """
 
 from __future__ import annotations

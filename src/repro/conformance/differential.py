@@ -8,6 +8,9 @@ than a bare assert:
 ``backends``
     dense vs sparse execution of ST, FST and the bare sync kernel —
     PR 2's seed-for-seed bitwise parity promise.
+``batch``
+    sparse vs batch execution of the same trio — the vectorized
+    whole-array kernels must replay the sparse dynamics bitwise.
 ``faults``
     clean run vs a run under an all-zero (inactive) fault plan — PR 3's
     "inactive plans perturb nothing" promise, normalized over the
@@ -46,6 +49,7 @@ from repro.firefly.objectives import sphere
 from repro.obs import Observability, get_active
 from repro.spanningtree.boruvka import (
     distributed_boruvka,
+    distributed_boruvka_batch,
     distributed_boruvka_csr,
 )
 from repro.spanningtree.mst import maximum_spanning_tree, tree_weight
@@ -124,6 +128,41 @@ def diff_backends(
 
 
 # ----------------------------------------------------------------------
+# sparse vs batch
+# ----------------------------------------------------------------------
+def diff_backends_batch(
+    config: PaperConfig, algorithms: tuple[str, ...] = ("st", "fst", "pulsesync")
+) -> DiffOutcome:
+    """Sparse and batch pipelines must produce identical captures.
+
+    The batch backend replaces per-cohort/per-fragment Python loops with
+    whole-array kernels; channel draws and fault decisions stay
+    counter-hashed, so every capture section (events, phase rounds,
+    merges, bill, result) must match the sparse run bitwise.
+    """
+    obs = get_active() or Observability()
+    with obs.span("conformance_diff", pair="sparse-vs-batch"):
+        for algorithm in algorithms:
+            sparse = capture_run(config.replace(backend="sparse"), algorithm)
+            batch = capture_run(config.replace(backend="batch"), algorithm)
+            div = first_divergence(
+                sparse.doc(), batch.doc(), pair=f"sparse-vs-batch:{algorithm}"
+            )
+            if div is not None:
+                _note(obs, "sparse-vs-batch", div)
+                return DiffOutcome(
+                    "sparse-vs-batch", div, f"{algorithm} diverged"
+                )
+    _note(obs, "sparse-vs-batch", None)
+    return DiffOutcome(
+        "sparse-vs-batch",
+        None,
+        f"{', '.join(algorithms)} identical at n={config.n_devices} "
+        f"seed={config.seed}",
+    )
+
+
+# ----------------------------------------------------------------------
 # clean vs inactive fault plan
 # ----------------------------------------------------------------------
 def _strip_fault_bookkeeping(doc: dict) -> dict:
@@ -192,10 +231,17 @@ def diff_boruvka_oracle(config: PaperConfig) -> DiffOutcome:
     pair = "boruvka-vs-oracle"
     with obs.span("conformance_diff", pair=pair):
         dense_net = D2DNetwork(config.replace(backend="dense"))
-        if config.resolved_backend == "sparse":
-            sparse_net = D2DNetwork(config.replace(backend="sparse"))
+        if config.resolved_backend in ("sparse", "batch"):
+            csr_fn = (
+                distributed_boruvka_batch
+                if config.resolved_backend == "batch"
+                else distributed_boruvka_csr
+            )
+            sparse_net = D2DNetwork(
+                config.replace(backend=config.resolved_backend)
+            )
             budget = sparse_net.sparse_budget
-            dist = distributed_boruvka_csr(
+            dist = csr_fn(
                 sparse_net.n,
                 budget.link_indptr,
                 budget.link_indices,
@@ -330,6 +376,10 @@ def _run_backends(config: PaperConfig) -> DiffOutcome:
     return diff_backends(config)
 
 
+def _run_batch(config: PaperConfig) -> DiffOutcome:
+    return diff_backends_batch(config)
+
+
 def _run_faults(config: PaperConfig) -> DiffOutcome:
     return diff_fault_noop(config)
 
@@ -345,6 +395,7 @@ def _run_ffa(config: PaperConfig) -> DiffOutcome:
 #: Named pairs for the CLI (``repro conformance diff <pair>``).
 DIFF_PAIRS: dict[str, Callable[[PaperConfig], DiffOutcome]] = {
     "backends": _run_backends,
+    "batch": _run_batch,
     "faults": _run_faults,
     "boruvka": _run_boruvka,
     "ffa": _run_ffa,

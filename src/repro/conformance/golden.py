@@ -197,8 +197,11 @@ def _pulsesync_capture(
         collision_policy=cfg.collision_policy,
     )
     if net.is_sparse:
+        from repro.core.batch import BatchPulseSyncKernel
+
         budget = net.sparse_budget
-        kernel = SparsePulseSyncKernel(
+        kernel_cls = BatchPulseSyncKernel if net.is_batch else SparsePulseSyncKernel
+        kernel = kernel_cls(
             budget.link_indptr,
             budget.link_indices,
             budget.link_power_dbm,

@@ -25,8 +25,9 @@ Registered relations:
     An all-zero fault plan must be a bitwise no-op (delegates to the
     clean-vs-inactive differential runner).
 ``backend_invariance``
-    Dense and sparse execution are the identity transformation on the
-    captured behaviour (delegates to the dense-vs-sparse runner).
+    Dense, sparse and batch execution are the identity transformation on
+    the captured behaviour (delegates to the dense-vs-sparse and
+    sparse-vs-batch runners).
 
 The registry is consumed both by ``pytest`` parametrizations
 (``tests/test_conformance_metamorphic.py``) and by the
@@ -39,7 +40,11 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.conformance.differential import diff_backends, diff_fault_noop
+from repro.conformance.differential import (
+    diff_backends,
+    diff_backends_batch,
+    diff_fault_noop,
+)
 from repro.conformance.golden import capture_run
 from repro.conformance.report import Divergence
 from repro.core.config import PaperConfig
@@ -252,8 +257,11 @@ def relation_fault_inactivity(config: PaperConfig) -> Divergence | None:
 
 
 def relation_backend_invariance(config: PaperConfig) -> Divergence | None:
-    """Dense and sparse execution capture identically."""
-    return diff_backends(config).divergence
+    """Dense, sparse and batch execution capture identically."""
+    div = diff_backends(config).divergence
+    if div is not None:
+        return div
+    return diff_backends_batch(config).divergence
 
 
 #: Name → relation; consumed by pytest parametrization and the CLI.

@@ -1,0 +1,286 @@
+"""Batch execution backend — whole-array kernels for 50k–100k UEs.
+
+The ``sparse`` backend already avoids O(n²) state, but parts of its ST
+pipeline still scale badly at 50k–100k UEs: the required-edge selection
+runs a global 3-key lexsort over all E radio edges, each Borůvka phase
+re-derives per-fragment accounting from a ``fromiter`` component scan
+plus frozenset snapshots, and the timing replay runs a Python double-BFS
+per fragment merge.  At n = 50 000 those costs rival the per-edge radio
+work itself.
+
+The ``batch`` backend replaces each of those loops with one vectorized
+pass while producing **bitwise-identical** runs.  Three properties make
+that possible:
+
+* channel and fault draws are counter-hashed — pure functions of
+  ``(key, event, tx, rx)`` — so evaluating a whole period's worth of
+  events as one array call yields the same floats per element as the
+  scalar per-event calls (:mod:`repro.radio.chanhash`);
+* elementwise float ops commute with gathering: computing on a gathered
+  subset (or on a whole-period concatenation of cohorts) is bitwise what
+  the per-cohort / masked full-array form computes;
+* segment reductions (``np.add.reduceat`` / ``np.maximum.reduceat``)
+  over segments whose elements sit in the same sorted order accumulate
+  left-to-right exactly like the per-cohort reductions they replace.
+
+What lives here:
+
+* :class:`BatchPulseSyncKernel` — PRC advancement on the gathered
+  eligible subset, O(|wave|) instead of O(n) per avalanche wave;
+* :func:`top_k_required_batch` — k = 1 heaviest-neighbour mask via
+  segment reductions instead of a global 3-key lexsort (the largest
+  single win: the lexsort is seconds at n = 20 000, the reductions
+  tens of milliseconds);
+* :class:`TreeDistanceOracle` / :class:`BatchReplayLedger` — exact O(1)
+  hop distances over the final Borůvka forest (Euler tour + sparse-table
+  RMQ), powering incremental fragment-diameter tracking for the ST
+  timing replay (the sparse path re-runs a double BFS per merge);
+* :class:`BatchBeaconDiscovery` — the discovery seam; measurement kept
+  it identical to the per-cohort sparse decode (see its docstring).
+
+The batch Borůvka phase driver itself lives in
+:func:`repro.spanningtree.boruvka.distributed_boruvka_batch`.
+Differential conformance (``repro conformance diff sparse-batch``) and
+``tests/test_batch_parity.py`` hold the bitwise-identity contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.beacon import SparseBeaconDiscovery, top_k_required_csr
+from repro.core.pulsesync import SparsePulseSyncKernel
+from repro.radio.sparse_link import SparseLinkBudget
+from repro.spanningtree.unionfind import UnionFind
+
+
+class BatchPulseSyncKernel(SparsePulseSyncKernel):
+    """Sparse kernel with subset PRC advancement (the ``batch`` backend).
+
+    The shared run loop calls :meth:`_apply_prc` once per avalanche
+    wave.  The base implementation computes phases over all n
+    oscillators and discards the non-eligible results; here the eligible
+    indices are gathered first, so a wave of w receivers costs O(w).
+    Elementwise float ops on the gathered subset are bitwise what the
+    masked full-array form computes at the same positions, so runs are
+    seed-for-seed identical to the sparse (and dense) kernels.
+    """
+
+    def _apply_prc(
+        self,
+        eligible: np.ndarray,
+        next_fire: np.ndarray,
+        period_of: np.ndarray,
+        t: float,
+    ) -> np.ndarray:
+        idx = np.flatnonzero(eligible)
+        period_sub = period_of[idx]
+        theta = 1.0 - (next_fire[idx] - t) / period_sub
+        theta = np.clip(theta, 0.0, 1.0)
+        new_theta = np.minimum(self.prc.alpha * theta + self.prc.beta, 1.0)
+        fire_sub = new_theta >= 1.0
+        adjust = idx[~fire_sub]
+        next_fire[adjust] = t + (1.0 - new_theta[~fire_sub]) * period_sub[
+            ~fire_sub
+        ]
+        to_fire = np.zeros(self.n, dtype=bool)
+        to_fire[idx[fire_sub]] = True
+        return to_fire
+
+
+class BatchBeaconDiscovery(SparseBeaconDiscovery):
+    """Beacon discovery for the ``batch`` backend.
+
+    Identical to :class:`SparseBeaconDiscovery` — deliberately.  A
+    whole-period decode (gather every transmitter's edges at once, tag
+    each edge with its cohort's event id, resolve all capture races with
+    one global 4-key lexsort) was implemented and benchmarked first: at
+    the paper's density a beacon period has few occupied channels
+    (``period_slots × preambles`` ≈ 800) and therefore *large* cohorts
+    (thousands of edges each), so the per-cohort numpy calls are already
+    amortized, while the whole-period variant pays per-edge *array*
+    event-id hashing (``splitmix64`` over an E-sized event array instead
+    of one scalar subkey per cohort) and an E log E global sort where
+    the base class runs cache-resident per-cohort sorts.  Measured at
+    n = 20 000 the whole-period decode was ~3× slower; see
+    docs/performance.md ("Batch backend") for the numbers.
+
+    The class exists so the backend wiring stays uniform (`st`/`fst`
+    select the discovery class per backend) and as the documented seam
+    for a future decode that does beat the cohort loop.
+    """
+
+
+def top_k_required_batch(budget: SparseLinkBudget, k: int = 1) -> np.ndarray:
+    """Segment-reduction :func:`~repro.core.beacon.top_k_required_csr`.
+
+    For the k = 1 case the ST seed needs, the per-receiver heaviest link
+    is a ``maximum.reduceat`` over the link CSR rows and the tie-break
+    (equal weights → lowest neighbour id) a masked ``minimum.reduceat``
+    — O(E) with no global lexsort.  The row maximum returned by reduceat
+    is one of the row's elements bitwise, so the equality mask selects
+    exactly the argmax candidates the lexsort version ranks first.
+    Falls back to the CSR implementation for k > 1.
+    """
+    if k != 1:
+        return top_k_required_csr(budget, k)
+    indptr = budget.link_indptr
+    nbr = budget.link_indices
+    w = budget.link_power_dbm
+    required = np.zeros(budget.edge_count, dtype=bool)
+    rows = np.flatnonzero(np.diff(indptr) > 0)
+    if rows.size == 0:
+        return required
+    starts = indptr[rows]
+    row_max = np.maximum.reduceat(w, starts)
+    is_max = w == np.repeat(row_max, np.diff(indptr)[rows])
+    best_nbr = np.minimum.reduceat(np.where(is_max, nbr, budget.n), starts)
+    pos = budget.edge_position(best_nbr, rows)
+    required[pos] = True
+    return required
+
+
+class TreeDistanceOracle:
+    """Exact O(1) hop distances on a fixed forest.
+
+    Built once from the final Borůvka forest: an Euler tour per
+    component plus a sparse-table RMQ over tour depths.  ``distance(x,
+    y)`` is ``depth[x] + depth[y] − 2·min-depth`` on the tour interval —
+    all integer arithmetic, so results equal a BFS exactly.  Because a
+    fragment's tree is a connected subgraph of the final forest, the
+    unique path between two co-fragment nodes is the same in both, and
+    mid-replay fragment distances can be answered from the completed
+    forest.
+    """
+
+    def __init__(self, n: int, edges: list[tuple[int, int]]) -> None:
+        adj: list[list[int]] = [[] for _ in range(n)]
+        for u, v in edges:
+            adj[u].append(v)
+            adj[v].append(u)
+        depth = [0] * n
+        first = [0] * n
+        tour: list[int] = []
+        visited = bytearray(n)
+        for root in range(n):
+            if visited[root]:
+                continue
+            visited[root] = 1
+            first[root] = len(tour)
+            tour.append(0)
+            stack = [(root, iter(adj[root]))]
+            while stack:
+                node, it = stack[-1]
+                descended = False
+                for child in it:
+                    if visited[child]:
+                        continue
+                    visited[child] = 1
+                    depth[child] = depth[node] + 1
+                    first[child] = len(tour)
+                    tour.append(depth[child])
+                    stack.append((child, iter(adj[child])))
+                    descended = True
+                    break
+                if not descended:
+                    stack.pop()
+                    if stack:
+                        tour.append(depth[stack[-1][0]])
+        self._depth = depth
+        self._first = first
+        # sparse table: level k holds windowed minima of width 2^k
+        level = np.asarray(tour, dtype=np.int32)
+        size = level.size
+        self._table = [level]
+        k = 1
+        while (1 << k) <= size:
+            half = 1 << (k - 1)
+            prev = self._table[-1]
+            width = size - (1 << k) + 1
+            self._table.append(np.minimum(prev[:width], prev[half:half + width]))
+            k += 1
+
+    def distance(self, x: int, y: int) -> int:
+        """Hop distance between ``x`` and ``y`` (must share a component)."""
+        if x == y:
+            return 0
+        lo = self._first[x]
+        hi = self._first[y]
+        if lo > hi:
+            lo, hi = hi, lo
+        k = (hi - lo + 1).bit_length() - 1
+        t = self._table[k]
+        m = min(t[lo], t[hi - (1 << k) + 1])
+        return self._depth[x] + self._depth[y] - 2 * int(m)
+
+
+class BatchReplayLedger:
+    """Incremental fragment bookkeeping for the batch ST timing replay.
+
+    Mirrors the sparse replay state (a
+    :class:`~repro.spanningtree.fragment.FragmentSet` plus a double-BFS
+    per merge) with O(α) sizes and O(1) diameters: per-fragment diameter
+    endpoints are maintained under the classic merge rule
+
+    ``diam(A ∪ B) = max(diam A, diam B, ecc_A(u) + 1 + ecc_B(v))``
+
+    where ``ecc_T(x) = max(d(x, a), d(x, b))`` for any diameter pair
+    ``(a, b)`` of T — four oracle distance queries per merge, all exact
+    integers, so every diameter equals the BFS value the sparse replay
+    computes.
+    """
+
+    def __init__(self, n: int, forest_edges: list[tuple[int, int]]) -> None:
+        self._oracle = TreeDistanceOracle(n, forest_edges)
+        self._uf = UnionFind(n)
+        self._diam = [0] * n
+        self._end_a = list(range(n))
+        self._end_b = list(range(n))
+        self._roots = set(range(n))
+        self._edges: list[tuple[int, int]] = []
+        self.count = n
+
+    def size_of(self, u: int) -> int:
+        return self._uf.size_of(u)
+
+    def diameter_of(self, u: int) -> int:
+        return self._diam[self._uf.find(u)]
+
+    def merge(self, u: int, v: int) -> bool:
+        uf = self._uf
+        ru, rv = uf.find(u), uf.find(v)
+        if ru == rv:
+            return False
+        dist = self._oracle.distance
+        d_a, a_a, b_a = self._diam[ru], self._end_a[ru], self._end_b[ru]
+        d_b, a_b, b_b = self._diam[rv], self._end_a[rv], self._end_b[rv]
+        dau, dbu = dist(a_a, u), dist(b_a, u)
+        ecc_u, far_u = (dau, a_a) if dau >= dbu else (dbu, b_a)
+        dav, dbv = dist(a_b, v), dist(b_b, v)
+        ecc_v, far_v = (dav, a_b) if dav >= dbv else (dbv, b_b)
+        cross = ecc_u + 1 + ecc_v
+        uf.union(u, v)
+        root = uf.find(u)
+        if cross >= d_a and cross >= d_b:
+            nd, na, nb = cross, far_u, far_v
+        elif d_a >= d_b:
+            nd, na, nb = d_a, a_a, b_a
+        else:
+            nd, na, nb = d_b, a_b, b_b
+        self._diam[root] = nd
+        self._end_a[root] = na
+        self._end_b[root] = nb
+        self._roots.discard(ru)
+        self._roots.discard(rv)
+        self._roots.add(root)
+        self._edges.append((u, v) if u < v else (v, u))
+        self.count -= 1
+        return True
+
+    def sizes(self) -> list[int]:
+        """Current fragment sizes (same multiset as ``fragments()``)."""
+        uf = self._uf
+        return [uf.size_of(r) for r in sorted(self._roots)]
+
+    def all_tree_edges(self) -> list[tuple[int, int]]:
+        return sorted(set(self._edges))

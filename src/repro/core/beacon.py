@@ -584,23 +584,10 @@ class SparseBeaconDiscovery:
                 live = np.flatnonzero(ok_mask)
                 order = live[np.argsort(chan[live], kind="stable")]
             if order.size:
-                sorted_chan = chan[order]
-                boundaries = np.nonzero(np.diff(sorted_chan))[0] + 1
-                cohorts = np.split(order, boundaries)
-                starts = np.concatenate(([0], boundaries))
-                for cohort, start in zip(cohorts, starts):
-                    slot = int(sorted_chan[start]) // self.preambles
-                    awake_row = awake[slot] if awake is not None else None
-                    if receiving is not None:
-                        awake_row = (
-                            receiving
-                            if awake_row is None
-                            else awake_row & receiving
-                        )
-                    if occ_hist is not None:
-                        occ_hist.observe(cohort.size)
-                    self._decode_cohort(cohort, decoded, awake_row, event, fstate)
-                    event += 1
+                event += self._process_period(
+                    order, chan, awake, receiving, event, decoded, fstate,
+                    occ_hist,
+                )
             remaining = int((required & ~decoded).sum())
             if obs is not None:
                 tx_counter.inc(n, **labels)
@@ -659,6 +646,44 @@ class SparseBeaconDiscovery:
             retries=fstate.retries if fstate is not None else 0,
             faults_injected=fstate.injected if fstate is not None else 0,
         )
+
+    # ------------------------------------------------------------------
+    def _process_period(
+        self,
+        order: np.ndarray,
+        chan: np.ndarray,
+        awake: np.ndarray | None,
+        receiving: np.ndarray | None,
+        event: int,
+        decoded: np.ndarray,
+        fstate: _BeaconFaultState | None,
+        occ_hist,
+    ) -> int:
+        """Decode one period's slot-cohorts; returns the events consumed.
+
+        ``order`` lists this period's live transmitters sorted (stably)
+        by channel; cohorts are its channel groups in ascending channel
+        order, and cohort ``c`` uses radio event ``event + c``.  The
+        batch backend overrides this with a whole-period vectorized
+        decode (:class:`repro.core.batch.BatchBeaconDiscovery`).
+        """
+        sorted_chan = chan[order]
+        boundaries = np.nonzero(np.diff(sorted_chan))[0] + 1
+        cohorts = np.split(order, boundaries)
+        starts = np.concatenate(([0], boundaries))
+        for offset, (cohort, start) in enumerate(zip(cohorts, starts)):
+            slot = int(sorted_chan[start]) // self.preambles
+            awake_row = awake[slot] if awake is not None else None
+            if receiving is not None:
+                awake_row = (
+                    receiving if awake_row is None else awake_row & receiving
+                )
+            if occ_hist is not None:
+                occ_hist.observe(cohort.size)
+            self._decode_cohort(
+                cohort, decoded, awake_row, event + offset, fstate
+            )
+        return len(cohorts)
 
     # ------------------------------------------------------------------
     def _decode_cohort(

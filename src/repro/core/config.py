@@ -85,12 +85,17 @@ class PaperConfig:
     #: (the paper cites both: "Keeping in mind GHS and Boruvkas algorithm").
     merge_rule: Literal["boruvka", "ghs"] = "boruvka"
     #: Execution path: ``"dense"`` (O(n²) matrices), ``"sparse"``
-    #: (grid + CSR, O(n + E)), or ``"auto"`` (sparse from
-    #: ``sparse_threshold_devices`` up).  Both paths are seed-for-seed
-    #: identical (tests/test_sparse_parity.py).
-    backend: Literal["auto", "dense", "sparse"] = "auto"
+    #: (grid + CSR, O(n + E)), ``"batch"`` (CSR layout with whole-array
+    #: per-period kernels for the 50k–100k tier), or ``"auto"`` (sparse
+    #: from ``sparse_threshold_devices`` up, batch from
+    #: ``batch_threshold_devices`` up).  All paths are seed-for-seed
+    #: identical (tests/test_sparse_parity.py, tests/test_batch_parity.py).
+    backend: Literal["auto", "dense", "sparse", "batch"] = "auto"
     #: ``auto`` switches to the sparse path at this many devices.
     sparse_threshold_devices: int = 1024
+    #: ``auto`` switches from sparse to the batch path at this many
+    #: devices (must not be below ``sparse_threshold_devices``).
+    batch_threshold_devices: int = 16384
     #: Two-sided shadowing clip in units of sigma (bounds the candidate
     #: radius of the sparse path; applied identically on the dense path).
     shadow_clip_sigma: float = 3.0
@@ -133,10 +138,14 @@ class PaperConfig:
             raise ValueError("beacon_preambles must be >= 1")
         if self.ffa_rounds_per_phase < 0:
             raise ValueError("ffa_rounds_per_phase must be >= 0")
-        if self.backend not in ("auto", "dense", "sparse"):
+        if self.backend not in ("auto", "dense", "sparse", "batch"):
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.sparse_threshold_devices < 2:
             raise ValueError("sparse_threshold_devices must be >= 2")
+        if self.batch_threshold_devices < self.sparse_threshold_devices:
+            raise ValueError(
+                "batch_threshold_devices must be >= sparse_threshold_devices"
+            )
         if self.shadow_clip_sigma <= 0:
             raise ValueError("shadow_clip_sigma must be positive")
         if isinstance(self.faults, str):
@@ -166,10 +175,12 @@ class PaperConfig:
         return self.n_devices / (self.area_side_m**2)
 
     @property
-    def resolved_backend(self) -> Literal["dense", "sparse"]:
+    def resolved_backend(self) -> Literal["dense", "sparse", "batch"]:
         """The execution path ``"auto"`` resolves to for this size."""
         if self.backend != "auto":
             return self.backend
+        if self.n_devices >= self.batch_threshold_devices:
+            return "batch"
         if self.n_devices >= self.sparse_threshold_devices:
             return "sparse"
         return "dense"

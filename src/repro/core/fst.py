@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batch import BatchBeaconDiscovery, BatchPulseSyncKernel
 from repro.core.beacon import BeaconDiscovery, SparseBeaconDiscovery
 from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
@@ -224,10 +225,14 @@ class FSTSimulation:
         kobs = obs if obs.enabled else None
         bus = obs.bus
         sparse = net.is_sparse
+        batch = net.is_batch
         plan = FaultPlan.from_config(cfg)
         if sparse:
             budget = net.sparse_budget
-            kernel = SparsePulseSyncKernel(
+            kernel_cls = (
+                BatchPulseSyncKernel if batch else SparsePulseSyncKernel
+            )
+            kernel = kernel_cls(
                 budget.link_indptr,
                 budget.link_indices,
                 budget.link_power_dbm,
@@ -280,7 +285,10 @@ class FSTSimulation:
                         budget.power_dbm
                         >= cfg.threshold_dbm + cfg.discovery_margin_db
                     )
-                    beacons = SparseBeaconDiscovery(
+                    discovery_cls = (
+                        BatchBeaconDiscovery if batch else SparseBeaconDiscovery
+                    )
+                    beacons = discovery_cls(
                         budget,
                         threshold_dbm=cfg.threshold_dbm,
                         period_slots=cfg.period_slots,

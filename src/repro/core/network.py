@@ -10,7 +10,7 @@ the concrete simulation inputs:
 * the PS-strength edge weights ("weight of edge is directly proportional
   to PS strength observed by nodes", §IV).
 
-Two execution backends share one construction contract
+Three execution backends share one construction contract
 (``config.backend`` / ``config.resolved_backend``):
 
 dense
@@ -25,6 +25,12 @@ sparse
     that densify on first touch (``densified`` records that it happened)
     so legacy analysis code keeps working — hot paths must not touch
     them.
+batch
+    The 50k–100k tier: same CSR construction as sparse, but the hot
+    loops run the whole-array kernels in :mod:`repro.core.batch`
+    (vectorized per-period beacon decode, subset phase advancement,
+    incremental fragment bookkeeping).  Bitwise-identical to sparse
+    (``tests/test_batch_parity.py``, conformance goldens).
 
 Channel randomness is counter-based (:mod:`repro.radio.chanhash`) in both
 backends — shadowing a pure function of ``(key, link)``, fading of
@@ -107,7 +113,9 @@ class D2DNetwork:
         # both backends draw the same stream values in the same order —
         # one fading key up front, then (positions, shadow key) per attempt
         self.fading_key = int(self.streams.stream("fading").integers(0, 2**63))
-        sparse = self.backend == "sparse"
+        # the batch backend shares the sparse CSR construction — only the
+        # kernels that consume it differ
+        sparse = self.backend in ("sparse", "batch")
         for _attempt in range(MAX_PLACEMENT_ATTEMPTS):
             self.placement_attempts += 1
             positions = placement_rng.uniform(
@@ -188,6 +196,11 @@ class D2DNetwork:
     @property
     def is_sparse(self) -> bool:
         return self.sparse_budget is not None
+
+    @property
+    def is_batch(self) -> bool:
+        """True when the whole-array batch kernels should run."""
+        return self.backend == "batch"
 
     def _densify(self) -> None:
         """Materialize the dense matrix views from a sparse network.

@@ -46,6 +46,11 @@ Two interchangeable kernels share one run loop (:class:`_PulseSyncBase`):
   of ``(key, event, tx, rx)`` and both kernels advance the same radio
   event counter (one event per avalanche wave).
 
+A third kernel, :class:`repro.core.batch.BatchPulseSyncKernel`, subclasses
+the sparse one for the ``batch`` backend: it advances phases on the
+gathered eligible subset (O(|wave|) instead of O(n) per wave) — bitwise
+identical because elementwise float ops commute with gathering.
+
 The kernels are pure NumPy per wave (no per-node Python loops), following
 the HPC guide's vectorization rule.
 """
@@ -471,15 +476,7 @@ class _PulseSyncBase:
                     wave = np.zeros(n, dtype=bool)
                     continue
                 prc_done |= eligible
-                theta = 1.0 - (next_fire - t) / period_of
-                theta = np.clip(theta, 0.0, 1.0)
-                new_theta = np.minimum(
-                    self.prc.alpha * theta + self.prc.beta, 1.0
-                )
-                to_fire = eligible & (new_theta >= 1.0)
-                adjust = eligible & ~to_fire
-                next_fire[adjust] = t + (1.0 - new_theta[adjust]) * period_of[adjust]
-                wave = to_fire
+                wave = self._apply_prc(eligible, next_fire, period_of, t)
 
             last_fire[fired_now] = t
             fired_once |= fired_now
@@ -560,6 +557,31 @@ class _PulseSyncBase:
                     last_fire, fired_once, sync_time, discovery_time, decoded,
                     samples, obs, labels,
                 )
+
+    # ------------------------------------------------------------------
+    def _apply_prc(
+        self,
+        eligible: np.ndarray,
+        next_fire: np.ndarray,
+        period_of: np.ndarray,
+        t: float,
+    ) -> np.ndarray:
+        """Advance eligible receivers through the PRC; returns next wave.
+
+        Mutates ``next_fire`` in place for receivers the pulse moved but
+        did not push over threshold, and returns the boolean mask of
+        those it did (the next avalanche wave).  The batch kernel
+        overrides this with a gather/scatter subset variant — elementwise
+        float ops on a gathered subset are bitwise what the full-array
+        masked form computes, so both produce identical runs.
+        """
+        theta = 1.0 - (next_fire - t) / period_of
+        theta = np.clip(theta, 0.0, 1.0)
+        new_theta = np.minimum(self.prc.alpha * theta + self.prc.beta, 1.0)
+        to_fire = eligible & (new_theta >= 1.0)
+        adjust = eligible & ~to_fire
+        next_fire[adjust] = t + (1.0 - new_theta[adjust]) * period_of[adjust]
+        return to_fire
 
     # ------------------------------------------------------------------
     def _phases_at(

@@ -33,6 +33,12 @@ from collections import deque
 
 import numpy as np
 
+from repro.core.batch import (
+    BatchBeaconDiscovery,
+    BatchPulseSyncKernel,
+    BatchReplayLedger,
+    top_k_required_batch,
+)
 from repro.core.beacon import (
     BeaconDiscovery,
     SparseBeaconDiscovery,
@@ -55,6 +61,7 @@ from repro.obs import Observability, get_active
 from repro.oscillator.prc import LinearPRC
 from repro.spanningtree.boruvka import (
     distributed_boruvka,
+    distributed_boruvka_batch,
     distributed_boruvka_csr,
 )
 from repro.spanningtree.fragment import FragmentSet
@@ -92,6 +99,44 @@ def _tree_diameter(start: int, adj: dict[int, list[int]]) -> int:
 
 #: Bucket bounds for fragment sizes along the Borůvka growth.
 FRAGMENT_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+
+class _FragmentReplayLedger:
+    """Reference replay state: a :class:`FragmentSet` plus double-BFS.
+
+    The dense and sparse backends replay the Borůvka merge schedule
+    through this ledger; the batch backend substitutes
+    :class:`~repro.core.batch.BatchReplayLedger`, which answers the same
+    size/diameter queries incrementally.  Both produce identical
+    integers, so the replay loop is backend-agnostic.
+    """
+
+    def __init__(self, n: int) -> None:
+        self._frags = FragmentSet(n)
+        self._adj: dict[int, list[int]] = {}
+
+    def size_of(self, u: int) -> int:
+        return self._frags.size_of(u)
+
+    def diameter_of(self, u: int) -> int:
+        return _tree_diameter(u, self._adj)
+
+    def merge(self, u: int, v: int) -> bool:
+        merged = self._frags.merge(u, v)
+        if merged:
+            self._adj.setdefault(u, []).append(v)
+            self._adj.setdefault(v, []).append(u)
+        return merged
+
+    @property
+    def count(self) -> int:
+        return self._frags.count
+
+    def sizes(self) -> list[int]:
+        return [f.size for f in self._frags.fragments()]
+
+    def all_tree_edges(self) -> list[tuple[int, int]]:
+        return self._frags.all_tree_edges()
 
 
 class STSimulation:
@@ -164,12 +209,16 @@ class STSimulation:
             # they win the capture race quickly even in dense deployments.
             # A floor of ``discovery_periods`` beacon periods is always paid.
             sparse = net.is_sparse
+            batch = net.is_batch
             plan = FaultPlan.from_config(cfg)
             max_periods = max(1, int(cfg.max_time_ms / cfg.period_ms))
             with obs.span("discovery"):
                 if sparse:
                     budget = net.sparse_budget
-                    disc = SparseBeaconDiscovery(
+                    discovery_cls = (
+                        BatchBeaconDiscovery if batch else SparseBeaconDiscovery
+                    )
+                    disc = discovery_cls(
                         budget,
                         threshold_dbm=cfg.threshold_dbm,
                         period_slots=cfg.period_slots,
@@ -177,7 +226,11 @@ class STSimulation:
                         preambles=cfg.beacon_preambles,
                     ).run(
                         net.streams.stream("st-beacons"),
-                        required=top_k_required_csr(budget, k=1),
+                        required=(
+                            top_k_required_batch(budget)
+                            if batch
+                            else top_k_required_csr(budget, k=1)
+                        ),
                         max_periods=max_periods,
                         obs=kobs,
                         obs_labels={"algorithm": "st", "stage": "discovery"},
@@ -220,7 +273,12 @@ class STSimulation:
                     elif sparse:
                         # link weights ARE the symmetrized PS weights,
                         # bitwise (see D2DNetwork docstring)
-                        boruvka = distributed_boruvka_csr(
+                        boruvka_fn = (
+                            distributed_boruvka_batch
+                            if batch
+                            else distributed_boruvka_csr
+                        )
+                        boruvka = boruvka_fn(
                             n,
                             budget.link_indptr,
                             budget.link_indices,
@@ -228,8 +286,14 @@ class STSimulation:
                         )
                     else:
                         boruvka = distributed_boruvka(net.weights, net.adjacency)
-                frags = FragmentSet(n)
-                adj: dict[int, list[int]] = {}
+                # the replay ledger answers the size/diameter queries the
+                # timing model needs; the batch variant answers them with
+                # O(1) oracle distances over the final forest instead of a
+                # BFS per merge — identical integers either way
+                if batch:
+                    ledger = BatchReplayLedger(n, boruvka.edges)
+                else:
+                    ledger = _FragmentReplayLedger(n)
                 handshake_msgs = 0
                 align_msgs = 0
                 construction_slots = 0
@@ -252,9 +316,10 @@ class STSimulation:
                     ):
                         phase_slots = 0
                         for u, v in phase.chosen_edges:
-                            size_u, size_v = frags.size_of(u), frags.size_of(v)
-                            diam_u = _tree_diameter(u, adj)
-                            diam_v = _tree_diameter(v, adj)
+                            size_u = ledger.size_of(u)
+                            size_v = ledger.size_of(v)
+                            diam_u = ledger.diameter_of(u)
+                            diam_v = ledger.diameter_of(v)
                             # control round: convergecast up + announce down
                             # the larger side, then the RACH2 handshake (u, v)
                             control = 2 * max(diam_u, diam_v) + HANDSHAKE_SLOTS
@@ -271,9 +336,7 @@ class STSimulation:
                                 phase_slots, control + loser_diam + 1
                             )
 
-                            frags.merge(u, v)
-                            adj.setdefault(u, []).append(v)
-                            adj.setdefault(v, []).append(u)
+                            ledger.merge(u, v)
                             if obs.trace is not None:
                                 obs.trace.emit(
                                     discovery_ms
@@ -287,7 +350,7 @@ class STSimulation:
                                 )
                         construction_slots += phase_slots
 
-                        sizes = [f.size for f in frags.fragments()]
+                        sizes = ledger.sizes()
                         frag_gauge.set(len(sizes), algorithm="st")
                         for size in sizes:
                             frag_hist.observe(size, algorithm="st", phase=k)
@@ -319,8 +382,8 @@ class STSimulation:
 
             # ---- 3. final trim: PCO run over the tree -------------------
             with obs.span("trim"):
-                tree_edges = frags.all_tree_edges()
-                converged_tree = len(frags.fragments()) == 1
+                tree_edges = ledger.all_tree_edges()
+                converged_tree = ledger.count == 1
                 start_ms = discovery_ms + construction_ms
 
                 # graceful degradation: devices that crashed before the
@@ -377,7 +440,10 @@ class STSimulation:
                     )
                     tx = np.concatenate((eu, ev))
                     rx = np.concatenate((ev, eu))
-                    kernel = SparsePulseSyncKernel.from_edges(
+                    kernel_cls = (
+                        BatchPulseSyncKernel if batch else SparsePulseSyncKernel
+                    )
+                    kernel = kernel_cls.from_edges(
                         n,
                         tx,
                         rx,

@@ -248,12 +248,17 @@ class FaultPlan:
         return (self.stall_start_ms <= t_ms) & (t_ms < self.stall_end_ms)
 
     def beacon_lost(
-        self, event: int, tx: np.ndarray, rx: np.ndarray
+        self, event: int | np.ndarray, tx: np.ndarray, rx: np.ndarray
     ) -> np.ndarray:
-        """Per-(event, tx, rx) beacon-decode erasure decisions."""
+        """Per-(event, tx, rx) beacon-decode erasure decisions.
+
+        ``event`` may be a per-edge array (batch kernels) broadcasting
+        against ``tx``/``rx``; elements hash independently, so batched
+        decisions equal scalar per-event ones bitwise.
+        """
         if self.config.beacon_loss <= 0:
             return np.zeros(np.broadcast(tx, rx).shape, dtype=bool)
-        sub = splitmix64(self._k_beacon ^ _U64(event))
+        sub = splitmix64(self._k_beacon ^ np.asarray(event, dtype=np.uint64))
         return hashed_uniform(directed_code(tx, rx), sub) < self.config.beacon_loss
 
     def ps_lost(self, event: int, rx: np.ndarray) -> np.ndarray:

@@ -108,9 +108,15 @@ def link_normal(key: int, i: np.ndarray, j: np.ndarray) -> np.ndarray:
 
 
 def event_exponential(
-    key: int, event: int, tx: np.ndarray, rx: np.ndarray
+    key: int, event: int | np.ndarray, tx: np.ndarray, rx: np.ndarray
 ) -> np.ndarray:
-    """Exp(1) draw per (event, tx, rx) — fresh per radio event, directed."""
-    subkey = splitmix64(derive_key(key, SALT_FADING) ^ _U64(event))
+    """Exp(1) draw per (event, tx, rx) — fresh per radio event, directed.
+
+    ``event`` may be a scalar or an array broadcasting against ``tx`` /
+    ``rx``; every element hashes independently, so a batched call over
+    per-edge event ids is bitwise what per-event scalar calls produce.
+    """
+    events = np.asarray(event, dtype=np.uint64)
+    subkey = splitmix64(derive_key(key, SALT_FADING) ^ events)
     u = _uniform(directed_code(tx, rx), subkey)
     return -np.log1p(-u)

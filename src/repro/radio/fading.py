@@ -42,8 +42,14 @@ class HashedRayleighFading:
         self.key = int(key)
         self._analysis_rng: np.random.Generator | None = None
 
-    def link_db(self, event: int, tx: np.ndarray, rx: np.ndarray) -> np.ndarray:
-        """dB fading offsets for pairs ``tx → rx`` at ``event`` (broadcasts)."""
+    def link_db(
+        self, event: int | np.ndarray, tx: np.ndarray, rx: np.ndarray
+    ) -> np.ndarray:
+        """dB fading offsets for pairs ``tx → rx`` at ``event`` (broadcasts).
+
+        ``event`` may be a per-edge array (batch kernels); each element
+        hashes independently, so batched draws equal scalar ones bitwise.
+        """
         gain = event_exponential(self.key, event, tx, rx)
         db = 10.0 * np.log10(np.maximum(gain, 1e-12))
         return np.minimum(db, FADE_CAP_DB)

@@ -25,6 +25,11 @@ candidate scans and the per-fragment MWOE election are segment reductions
 edge list in O(E) per phase.  Candidate selection is deterministic and
 identical in both (ties: higher weight, then lower ``(min, max)`` pair),
 so they produce the same phases, edges and message bill.
+
+A third entry point, :func:`distributed_boruvka_batch`, reuses the CSR
+candidate scan under :func:`_run_phases_batch` — an incremental
+component array plus bincount accounting instead of per-fragment Python
+loops — for the ``batch`` backend; it returns the identical result.
 """
 
 from __future__ import annotations
@@ -170,6 +175,94 @@ def _run_phases(
     return phases
 
 
+def _run_phases_batch(
+    n: int,
+    frags: FragmentSet,
+    counter: MessageCounter,
+    max_phases: int,
+    candidate_fn,
+) -> list[PhaseRecord]:
+    """Batch-backend phase driver — same phases as :func:`_run_phases`.
+
+    Two per-phase Python bottlenecks of the shared driver are replaced
+    with array passes that compute the exact same integers:
+
+    * the component scan (``fromiter`` over ``fragment_of``) becomes an
+      incrementally maintained ``comp`` array, updated after each phase
+      by pointer-jumping a root remap until it reaches a fixpoint (one
+      phase's merges can chain, so a root may map through several hops);
+    * the per-fragment accounting loop (which snapshots every fragment
+      as a frozenset each phase) becomes a ``bincount`` over ``comp``:
+      a fragment whose root won an MWOE contributes REPORT = size,
+      MERGE_ANNOUNCE = size − 1 and CONNECT = 1 — summed in bulk.
+
+    Candidate selection, MWOE election and the merge sequence are the
+    shared code paths, so phases, chosen edges and message bills are
+    identical to the sparse driver's.
+    """
+    obs = get_active()
+    phases: list[PhaseRecord] = []
+    if frags.count == n:
+        comp = np.arange(n, dtype=np.int64)
+    else:  # seeded fragments: materialize the union-find state once
+        comp = np.fromiter(
+            (frags.fragment_of(i) for i in range(n)), dtype=np.int64, count=n
+        )
+    for phase_idx in range(max_phases):
+        if frags.count == 1:
+            break
+        span = (
+            obs.span("mwoe_scan", phase=phase_idx, nodes=n)
+            if obs is not None
+            else nullcontext()
+        )
+        with span:
+            us, vs, ws = candidate_fn(comp)
+        if us.size == 0:
+            break  # disconnected: remaining fragments can never merge
+
+        phase_counter = MessageCounter()
+        phase_counter.add(MessageKind.TEST, int(us.size))
+        fragments_before = frags.count
+        roots_sel, u_sel, v_sel = _fragment_mwoe(comp, us, vs, ws, n)
+        # _fragment_mwoe returns one winner per distinct root, so the
+        # fragments with an MWOE are exactly roots_sel
+        sizes_sel = np.bincount(comp, minlength=n)[roots_sel]
+        members = int(sizes_sel.sum())
+        phase_counter.add(MessageKind.REPORT, members)
+        phase_counter.add(MessageKind.MERGE_ANNOUNCE, members - roots_sel.size)
+        phase_counter.add(MessageKind.CONNECT, int(roots_sel.size))
+
+        remap = np.arange(n, dtype=np.int64)
+        chosen: list[tuple[int, int]] = []
+        for u, v in zip(u_sel.tolist(), v_sel.tolist()):
+            ru = frags.fragment_of(u)
+            rv = frags.fragment_of(v)
+            if frags.merge(u, v):
+                chosen.append((min(u, v), max(u, v)))
+                root = frags.fragment_of(u)
+                remap[ru] = root
+                remap[rv] = root
+        # squash merge chains (root absorbed by a later merge this phase)
+        while True:
+            squashed = remap[remap]
+            if np.array_equal(squashed, remap):
+                break
+            remap = squashed
+        comp = remap[comp]
+        counter.merge(phase_counter)
+        phases.append(
+            PhaseRecord(
+                phase=phase_idx,
+                fragments_before=fragments_before,
+                fragments_after=frags.count,
+                chosen_edges=tuple(sorted(chosen)),
+                messages=phase_counter.as_dict(),
+            )
+        )
+    return phases
+
+
 def _seed_fragments(
     frags: FragmentSet,
     initial_edges: list[tuple[int, int]] | None,
@@ -266,6 +359,57 @@ def distributed_boruvka_csr(
     chosen edges and message bill as the dense function on the
     equivalent matrix inputs.
     """
+    return _boruvka_csr(
+        n,
+        indptr,
+        indices,
+        edge_weight,
+        _run_phases,
+        max_phases=max_phases,
+        initial_edges=initial_edges,
+    )
+
+
+def distributed_boruvka_batch(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    edge_weight: np.ndarray,
+    *,
+    max_phases: int | None = None,
+    initial_edges: list[tuple[int, int]] | None = None,
+) -> BoruvkaResult:
+    """Batch-backend :func:`distributed_boruvka_csr` — identical result.
+
+    Same CSR candidate scan (one up-front presort, first surviving edge
+    per node per phase) driven by :func:`_run_phases_batch`, which keeps
+    the fragment-component array incrementally and accounts messages
+    with a ``bincount`` instead of per-fragment Python loops.  Phases,
+    chosen edges, message bills and final fragments are equal to the
+    CSR (and dense) functions' — verified edge-for-edge by
+    ``tests/test_batch_parity.py``.
+    """
+    return _boruvka_csr(
+        n,
+        indptr,
+        indices,
+        edge_weight,
+        _run_phases_batch,
+        max_phases=max_phases,
+        initial_edges=initial_edges,
+    )
+
+
+def _boruvka_csr(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    edge_weight: np.ndarray,
+    phase_driver,
+    *,
+    max_phases: int | None = None,
+    initial_edges: list[tuple[int, int]] | None = None,
+) -> BoruvkaResult:
     indptr = np.asarray(indptr, dtype=np.int64)
     indices = np.asarray(indices, dtype=np.int64)
     edge_weight = np.asarray(edge_weight, dtype=float)
@@ -307,7 +451,7 @@ def distributed_boruvka_csr(
         sel = idx[first]
         return t_s[sel], r_s[sel], w_s[sel]
 
-    phases = _run_phases(n, frags, counter, max_phases, candidates)
+    phases = phase_driver(n, frags, counter, max_phases, candidates)
     return BoruvkaResult(
         edges=frags.all_tree_edges(),
         phases=phases,

@@ -1,0 +1,200 @@
+"""Seed-for-seed parity: the batch whole-array path vs sparse and dense.
+
+The batch backend replaces per-cohort beacon decoding, per-fragment
+Borůvka accounting and per-device PRC updates with whole-array numpy
+kernels — but channel draws and fault decisions stay counter-hashed, so
+a batch run must agree *bitwise* with the sparse (and hence dense) run
+for the same (config, seed): tree edges, convergence times, message
+bills, fault counters.  These tests are the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    BatchReplayLedger,
+    TreeDistanceOracle,
+    top_k_required_batch,
+)
+from repro.core.config import PaperConfig
+from repro.core.fst import FSTSimulation
+from repro.core.network import D2DNetwork
+from repro.core.st import STSimulation, _tree_diameter
+from repro.faults import InvariantChecker
+from repro.core.beacon import top_k_required_csr
+from repro.spanningtree.boruvka import (
+    distributed_boruvka_batch,
+    distributed_boruvka_csr,
+)
+
+FAULTS = (
+    "beacon_loss=0.05,collision=0.1,crash=0.15,stall=0.05,"
+    "ps_loss=0.01,drift=0.001,crash_window_ms=3000,stall_window_ms=3000"
+)
+
+
+def _trio(n: int, seed: int, faults: str | None = None):
+    cfg = PaperConfig(n_devices=n, seed=seed, backend="dense", faults=faults)
+    return (
+        D2DNetwork(cfg),
+        D2DNetwork(replace(cfg, backend="sparse")),
+        D2DNetwork(replace(cfg, backend="batch")),
+    )
+
+
+def _assert_same_result(a, b, label: str) -> None:
+    assert a.converged == b.converged, label
+    assert a.time_ms == b.time_ms, label
+    assert a.messages == b.messages, label
+    assert a.message_breakdown == b.message_breakdown, label
+    assert a.tree_edges == b.tree_edges, label
+    assert a.extra.get("tree_weight") == b.extra.get("tree_weight"), label
+
+
+class TestBackendSelection:
+    def test_resolved_backend_three_tiers(self):
+        assert PaperConfig(n_devices=100).resolved_backend == "dense"
+        assert PaperConfig(n_devices=2000).resolved_backend == "sparse"
+        assert PaperConfig(n_devices=20000).resolved_backend == "batch"
+        assert (
+            PaperConfig(
+                n_devices=2000,
+                sparse_threshold_devices=64,
+                batch_threshold_devices=1024,
+            ).resolved_backend
+            == "batch"
+        )
+        assert PaperConfig(n_devices=20000, backend="sparse").resolved_backend == "sparse"
+        assert PaperConfig(n_devices=10, backend="batch").resolved_backend == "batch"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PaperConfig(backend="cuda")
+        with pytest.raises(ValueError):
+            # batch must not switch on below the sparse threshold
+            PaperConfig(sparse_threshold_devices=1024, batch_threshold_devices=512)
+
+    def test_network_flags(self):
+        _, sparse, batch = _trio(32, seed=1)
+        assert batch.is_batch and batch.is_sparse
+        assert sparse.is_sparse and not sparse.is_batch
+
+
+class TestKernelParity:
+    def test_boruvka_batch_matches_csr(self):
+        _, sparse, _ = _trio(128, seed=2)
+        sb = sparse.sparse_budget
+        rs = distributed_boruvka_csr(
+            128, sb.link_indptr, sb.link_indices, sb.link_power_dbm
+        )
+        rb = distributed_boruvka_batch(
+            128, sb.link_indptr, sb.link_indices, sb.link_power_dbm
+        )
+        assert rs.edges == rb.edges
+        assert rs.counter.as_dict() == rb.counter.as_dict()
+        assert [(p.phase, p.messages, p.chosen_edges) for p in rs.phases] == [
+            (p.phase, p.messages, p.chosen_edges) for p in rb.phases
+        ]
+
+    @pytest.mark.parametrize("n", [32, 128, 512])
+    def test_top_k_required_batch_matches_csr(self, n):
+        cfg = PaperConfig(n_devices=n, seed=3, backend="sparse")
+        budget = D2DNetwork(cfg).sparse_budget
+        assert np.array_equal(
+            top_k_required_csr(budget, k=1), top_k_required_batch(budget, k=1)
+        )
+        # k != 1 falls back to the reference implementation
+        assert np.array_equal(
+            top_k_required_csr(budget, k=3), top_k_required_batch(budget, k=3)
+        )
+
+    def test_distance_oracle_and_ledger_match_bfs(self):
+        _, sparse, _ = _trio(64, seed=4)
+        sb = sparse.sparse_budget
+        res = distributed_boruvka_csr(
+            64, sb.link_indptr, sb.link_indices, sb.link_power_dbm
+        )
+        oracle = TreeDistanceOracle(64, res.edges)
+        adj: dict[int, list[int]] = {}
+        ledger = BatchReplayLedger(64, res.edges)
+        for u, v in res.edges:
+            adj.setdefault(u, []).append(v)
+            adj.setdefault(v, []).append(u)
+            ledger.merge(u, v)
+            assert oracle.distance(u, v) == 1
+        # the fully-merged component's diameter equals the double-BFS value
+        root = ledger.diameter_of(0)
+        assert root == _tree_diameter(0, adj)
+        assert ledger.count == 1
+        assert ledger.all_tree_edges() == sorted(
+            (min(u, v), max(u, v)) for u, v in res.edges
+        )
+
+
+class TestAlgorithmParity:
+    @pytest.mark.parametrize("n", [32, 128, 512])
+    def test_st_end_to_end(self, n):
+        dense, sparse, batch = _trio(n, seed=1)
+        rs = STSimulation(sparse, invariants=InvariantChecker()).run()
+        rb = STSimulation(batch, invariants=InvariantChecker()).run()
+        _assert_same_result(rs, rb, f"st n={n} sparse-vs-batch")
+        assert rs.extra["phases"] == rb.extra["phases"]
+        if n <= 128:  # dense is O(n²); keep the third leg small
+            rd = STSimulation(dense, invariants=InvariantChecker()).run()
+            _assert_same_result(rd, rb, f"st n={n} dense-vs-batch")
+        assert not batch.densified, "batch ST must never touch dense views"
+
+    @pytest.mark.parametrize("n", [32, 128, 512])
+    def test_fst_end_to_end(self, n):
+        dense, sparse, batch = _trio(n, seed=7)
+        rs = FSTSimulation(sparse, invariants=InvariantChecker()).run()
+        rb = FSTSimulation(batch, invariants=InvariantChecker()).run()
+        _assert_same_result(rs, rb, f"fst n={n} sparse-vs-batch")
+        assert rs.extra["discovery_time_ms"] == rb.extra["discovery_time_ms"]
+        if n <= 128:
+            rd = FSTSimulation(dense, invariants=InvariantChecker()).run()
+            _assert_same_result(rd, rb, f"fst n={n} dense-vs-batch")
+        assert not batch.densified, "batch FST must never touch dense views"
+
+
+class TestFaultParity:
+    """An active FaultPlan draws identical faults on the batch path.
+
+    Fault decisions are counter hashes of event identity; batching the
+    hash calls over whole-period arrays must not change a single draw.
+    """
+
+    @pytest.mark.parametrize("n", [32, 128, 512])
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_st_faulty_end_to_end(self, n, seed):
+        if n == 512 and seed == 5:
+            pytest.skip("one faulted seed per size is enough at n=512")
+        _, sparse, batch = _trio(n, seed, faults=FAULTS)
+        rs = STSimulation(sparse).run()
+        rb = STSimulation(batch).run()
+        _assert_same_result(rs, rb, f"st-faulty n={n} seed={seed}")
+        for key in ("repairs", "crashed", "discovery_retries", "faults_injected"):
+            assert rs.extra[key] == rb.extra[key], key
+
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_fst_faulty_end_to_end(self, n):
+        _, sparse, batch = _trio(n, seed=7, faults=FAULTS)
+        rs = FSTSimulation(sparse).run()
+        rb = FSTSimulation(batch).run()
+        _assert_same_result(rs, rb, f"fst-faulty n={n}")
+        for key in ("crashed", "discovery_retries", "faults_injected"):
+            assert rs.extra[key] == rb.extra[key], key
+
+    def test_faulty_batch_run_is_repeatable(self):
+        cfg = PaperConfig(n_devices=32, seed=5, backend="batch", faults=FAULTS)
+        a = STSimulation(D2DNetwork(cfg)).run()
+        b = STSimulation(D2DNetwork(cfg)).run()
+        assert (a.time_ms, a.messages, a.tree_edges) == (
+            b.time_ms,
+            b.messages,
+            b.tree_edges,
+        )

@@ -71,6 +71,9 @@ class TestSimulateFaults:
         assert main(argv + ["--backend", "sparse"]) == 0
         sparse_out = capsys.readouterr().out
         assert dense_out == sparse_out
+        assert main(argv + ["--backend", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert batch_out == sparse_out
 
     def test_zero_fault_spec_matches_plain_run(self, capsys):
         argv = ["simulate", "-n", "20", "--area", "50", "--algorithm", "st"]
@@ -91,6 +94,24 @@ class TestSimulateFaults:
     def test_non_numeric_value_is_a_usage_error(self, capsys):
         assert main(["simulate", "-n", "20", "--faults", "crash=lots"]) == 2
         assert "invalid --faults spec" in capsys.readouterr().err
+
+
+class TestSimulateBackend:
+    def test_explicit_batch_backend_runs(self, capsys):
+        assert (
+            main(
+                ["simulate", "-n", "20", "--area", "50", "--algorithm", "st",
+                 "--backend", "batch"]
+            )
+            == 0
+        )
+        assert "converged" in capsys.readouterr().out
+
+    def test_unknown_backend_is_a_usage_error(self, capsys):
+        assert main(["simulate", "-n", "20", "--backend", "cuda"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid configuration" in err
+        assert "cuda" in err
 
 
 class TestSimulateArtifacts:

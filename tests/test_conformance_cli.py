@@ -131,7 +131,7 @@ class TestConformanceRecord:
 
 
 class TestConformanceDiff:
-    @pytest.mark.parametrize("pair", ["backends", "boruvka", "ffa"])
+    @pytest.mark.parametrize("pair", ["backends", "batch", "boruvka", "ffa"])
     def test_single_pair_passes(self, capsys, pair):
         assert (
             main(["conformance", "diff", pair, "-n", "16", "--seed", "2"]) == 0

@@ -112,7 +112,7 @@ class TestFaultNoopPair:
 
 
 class TestBoruvkaOraclePair:
-    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    @pytest.mark.parametrize("backend", ["dense", "sparse", "batch"])
     def test_distributed_matches_oracle(self, backend):
         out = diff_boruvka_oracle(
             PaperConfig(n_devices=32, seed=4, backend=backend)
@@ -134,7 +134,7 @@ class TestFFAPair:
 class TestRegistry:
     def test_run_all_pairs(self):
         outcomes = run_pairs(PaperConfig(n_devices=16, seed=2))
-        assert len(outcomes) == 4
+        assert len(outcomes) == 5  # backends, batch, faults, boruvka, ffa
         assert all(o.ok for o in outcomes), [
             o.divergence.describe() for o in outcomes if not o.ok
         ]
