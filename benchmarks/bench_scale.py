@@ -41,6 +41,7 @@ from benchmarks.conftest import FULL, save_and_print, write_bench_json
 from repro.core.config import PaperConfig
 from repro.core.network import D2DNetwork
 from repro.core.st import STSimulation
+from repro.shard import CityConfig, run_city
 
 #: (n, backend) grid.  The CI subset is a strict subset of the full
 #: grid so the committed full-grid baseline covers every CI row.
@@ -58,6 +59,17 @@ SEED = 1
 #: far too small to amortize whole-array overheads, so CI only guards
 #: against outright degeneration (ratio ≤ 2.0).
 SIM_RATIO_LIMIT = 0.8 if FULL else 2.0
+
+#: Sharded comparison row: the same scenario executed as a 2×2 city
+#: (forced sparse per shard) against its single-region sparse twin.
+SHARD_TILES = (2, 2)
+SHARD_SIZE = 5000 if FULL else 800
+#: Ceiling on wall(sharded 2×2) / wall(single-region sparse) at
+#: SHARD_SIZE.  Sharding pays band extraction, halo exchange and merge
+#: on top of the same simulation work; at these small sizes that
+#: overhead is proportionally largest, so the limit only guards against
+#: outright degeneration (city-scale wins are bench_city's story).
+SHARD_RATIO_LIMIT = 2.5
 
 
 def _run_once(n: int, backend: str) -> dict:
@@ -118,6 +130,37 @@ def test_bench_scale_st(results_dir, bench_json_dir):
             )
             sim_speedups[str(n)] = round(twin["sim_s"] / batch["sim_s"], 2)
 
+    # merged multi-shard row: the SHARD_SIZE scenario as a 2×2 city
+    import time as _time
+
+    config = (
+        PaperConfig(seed=SEED)
+        .with_devices(SHARD_SIZE, keep_density=True)
+        .replace(backend="sparse")
+    )
+    city = CityConfig(config, *SHARD_TILES)
+    t0 = _time.perf_counter()
+    city_res = run_city(city, algorithms=("st",), measure_memory=True)
+    city_wall = _time.perf_counter() - t0
+    assert city_res.converged, "sharded ST did not converge"
+    tiles_txt = f"{SHARD_TILES[0]}x{SHARD_TILES[1]}"
+    shard_row = {
+        "n": SHARD_SIZE,
+        "backend": "sparse",
+        "tiles": tiles_txt,
+        "wall_s": round(city_wall, 4),
+        "build_s": None,
+        "sim_s": None,
+        "peak_mb": city_res.peak_mb,
+        "messages": city_res.messages,
+        "converged": city_res.converged,
+        "densified": False,
+    }
+    rows.append(shard_row)
+    shard_ratio = round(
+        city_wall / by_key[(SHARD_SIZE, "sparse")]["wall_s"], 4
+    )
+
     shared = [n for n in BATCH_SIZES if (n, "sparse") in by_key]
     budgets = []
     if shared:
@@ -136,18 +179,32 @@ def test_bench_scale_st(results_dir, bench_json_dir):
                 "limit": SIM_RATIO_LIMIT,
             }
         )
+    budgets.append(
+        {
+            "name": "shard_overhead_ratio",
+            "value": shard_ratio,
+            "limit": SHARD_RATIO_LIMIT,
+        }
+    )
 
     lines = ["scale: ST end-to-end (constant density), build vs sim split"]
     lines.append(
-        f"{'n':>7} {'backend':>8} {'wall_s':>9} {'build_s':>9} "
+        f"{'n':>7} {'backend':>12} {'wall_s':>9} {'build_s':>9} "
         f"{'sim_s':>9} {'peak_mb':>9} {'messages':>10}"
     )
+    def _f(value, width=9, digits=3):
+        return f"{'-':>{width}}" if value is None else f"{value:>{width}.{digits}f}"
+
     for r in rows:
+        backend = r["backend"] + (f"[{r['tiles']}]" if r.get("tiles") else "")
         lines.append(
-            f"{r['n']:>7} {r['backend']:>8} {r['wall_s']:>9.3f} "
-            f"{r['build_s']:>9.3f} {r['sim_s']:>9.3f} "
-            f"{r['peak_mb']:>9.2f} {r['messages']:>10}"
+            f"{r['n']:>7} {backend:>12} {_f(r['wall_s'])} "
+            f"{_f(r['build_s'])} {_f(r['sim_s'])} "
+            f"{_f(r['peak_mb'], digits=2)} {r['messages']:>10}"
         )
+    lines.append(
+        f"shard overhead 2x2/single at n={SHARD_SIZE}: {shard_ratio:.2f}x"
+    )
     for n, s in speedups.items():
         lines.append(f"end-to-end speedup dense/sparse at n={n}: {s:.2f}x")
     for n, s in sim_speedups.items():

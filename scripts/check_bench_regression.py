@@ -9,9 +9,22 @@ Usage::
         [--tolerance 0.20]
 
 Compares the overall ``wall_time_s`` and, when both artifacts carry
-per-row timings (``metrics.rows[*].wall_s``), each (n, backend) row that
-exists in both.  A measurement is a regression when it exceeds the
+per-row timings (``metrics.rows[*].wall_s``), each (n, backend[, tiles])
+row that exists in both.  Rows from merged multi-shard runs carry a
+``tiles`` field (e.g. ``"2x2"``) and compare independently from their
+single-region twins.  A measurement is a regression when it exceeds the
 baseline by more than ``tolerance`` (a fraction: 0.20 = +20%).
+
+Multi-shard artifacts may reference an **observability bundle** — the
+per-shard ``worker_NNNN.json`` snapshots plus their ``merged.json``
+written by ``repro.shard.run_city(obs_dir=...)`` — via
+``metrics.obs_bundle`` (a directory relative to the artifact) or the
+``--bundle-dir`` flag.  The bundle is then verified with the
+``repro.obs.aggregate`` readers: every worker snapshot must load, and
+re-merging them must reproduce ``merged.json`` byte for byte (the
+merge is associative/commutative, so this holds regardless of worker
+scheduling).  A missing or inconsistent bundle is an artifact error
+(exit 2).
 
 Budgets are machine-independent hard ceilings carried by the *current*
 artifact itself (``metrics.budgets[*]`` entries of the form
@@ -52,13 +65,22 @@ def _load(path: str) -> dict:
     return data
 
 
-def _rows_by_key(data: dict) -> dict[tuple[int, str], float]:
+def _rows_by_key(data: dict) -> dict[tuple[int, str, str], float]:
+    """Index rows by (n, backend, tiles); single-region rows use tiles=''."""
     rows = data.get("metrics", {}).get("rows", [])
     return {
-        (int(r["n"]), str(r["backend"])): float(r["wall_s"])
+        (int(r["n"]), str(r["backend"]), str(r.get("tiles", ""))): float(
+            r["wall_s"]
+        )
         for r in rows
         if "n" in r and "backend" in r and "wall_s" in r
     }
+
+
+def _row_label(key: tuple[int, str, str]) -> str:
+    n, backend, tiles = key
+    label = f"n={n} backend={backend}"
+    return f"{label} tiles={tiles}" if tiles else label
 
 
 def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
@@ -93,7 +115,7 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
 
     cur_rows = _rows_by_key(current)
     for key, base_s in sorted(_rows_by_key(baseline).items()):
-        label = f"n={key[0]} backend={key[1]}"
+        label = _row_label(key)
         if key in cur_rows:
             check(label, cur_rows[key], base_s)
         else:
@@ -130,6 +152,74 @@ def check_budgets(current: dict) -> list[str]:
                 f"budget {name}: {value:.4f} > limit {limit:.4f} "
                 f"(headroom {headroom:+.4f})"
             )
+    return failures
+
+
+def _ensure_repro_importable() -> None:
+    """Make ``repro`` importable when run without ``PYTHONPATH=src``.
+
+    CI invokes this script bare; the obs-aggregate readers live in the
+    package, so bundle verification bootstraps ``<repo>/src`` itself.
+    """
+    try:
+        import repro  # noqa: F401
+
+        return
+    except ImportError:
+        pass
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if src.is_dir():
+        sys.path.insert(0, str(src))
+
+
+def verify_bundle(bundle_dir: str | pathlib.Path) -> list[str]:
+    """Verify a merged multi-shard observability bundle.
+
+    Loads every ``worker_*.json`` snapshot with the schema-checked
+    :func:`repro.obs.aggregate.read_snapshot`, re-merges them and
+    byte-compares the canonical form against the committed
+    ``merged.json``.  Returns failure descriptions (empty = consistent).
+    """
+    _ensure_repro_importable()
+    from repro.obs.aggregate import (
+        canonical_snapshot,
+        merge_snapshots,
+        read_snapshot,
+    )
+
+    directory = pathlib.Path(bundle_dir)
+    failures: list[str] = []
+    workers = sorted(directory.glob("worker_*.json"))
+    if not workers:
+        return [f"bundle {directory}: no worker_*.json snapshots"]
+    snapshots = []
+    for path in workers:
+        try:
+            snapshots.append(read_snapshot(path))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            failures.append(f"bundle worker {path.name}: {exc}")
+    if failures:
+        return failures
+    merged_path = directory / "merged.json"
+    if not merged_path.is_file():
+        return [f"bundle {directory}: merged.json missing"]
+    try:
+        committed = read_snapshot(merged_path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        return [f"bundle merged.json: {exc}"]
+    remerged = merge_snapshots(snapshots)
+    if canonical_snapshot(remerged) != canonical_snapshot(committed):
+        failures.append(
+            f"bundle {directory}: merged.json does not equal the re-merge "
+            f"of its {len(workers)} worker snapshots"
+        )
+    else:
+        shard_ids = [w for s in snapshots for w in s.get("workers", [])]
+        print(
+            f"bundle {directory}: {len(workers)} worker snapshots "
+            f"(shards {min(shard_ids)}..{max(shard_ids)}) re-merge "
+            "byte-identical to merged.json"
+        )
     return failures
 
 
@@ -242,6 +332,14 @@ def main(argv: list[str] | None = None) -> int:
         default="",
         help="label for the --append-history entry (default: run-<seq>)",
     )
+    parser.add_argument(
+        "--bundle-dir",
+        default=None,
+        metavar="DIR",
+        help="multi-shard observability bundle (worker_*.json + "
+        "merged.json) to verify; defaults to the current artifact's "
+        "metrics.obs_bundle when present",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         print("tolerance must be >= 0", file=sys.stderr)
@@ -255,6 +353,17 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    bundle_dir = args.bundle_dir
+    if bundle_dir is None:
+        rel = current.get("metrics", {}).get("obs_bundle")
+        if rel:
+            bundle_dir = str(pathlib.Path(args.current).parent / rel)
+    if bundle_dir is not None:
+        bundle_failures = verify_bundle(bundle_dir)
+        if bundle_failures:
+            for f in bundle_failures:
+                print(f"error: {f}", file=sys.stderr)
+            return 2
     failures = compare(current, baseline, args.tolerance)
     budget_failures = check_budgets(current)
     if args.history:

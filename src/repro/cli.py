@@ -110,6 +110,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "(see repro.faults.FaultConfig.from_spec)",
     )
     sim.add_argument(
+        "--shards",
+        default=None,
+        metavar="RxC",
+        help="run the scenario as a sharded city over an RxC tiling "
+        "(e.g. 2x2): every tile an independent single-region shard, "
+        "cross-tile proximity via halo exchange (see docs/sharding.md)",
+    )
+    sim.add_argument(
+        "--shard-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool size for --shards (content is identical for "
+        "every N; default 1)",
+    )
+    sim.add_argument(
+        "--canonical",
+        default=None,
+        metavar="PATH",
+        help="with --shards: write the canonical sharded-run document "
+        "(JSON) for byte comparison between runs/backends",
+    )
+    sim.add_argument(
         "--breakdown", action="store_true", help="print per-kind message bill"
     )
     sim.add_argument(
@@ -227,7 +250,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     conf_diff.add_argument(
         "pair",
-        help="backends | batch | faults | boruvka | ffa | all",
+        help="backends | batch | faults | boruvka | ffa | shard | all",
     )
     conf_diff.add_argument("--devices", "-n", type=int, default=32)
     conf_diff.add_argument("--seed", type=int, default=1)
@@ -360,6 +383,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             return 2
     try:
         config = config.replace(**overrides)
+    except ValueError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    if args.shards is not None:
+        return _simulate_sharded(args, config)
+    try:
         network = D2DNetwork(config)
     except ValueError as exc:
         print(f"invalid configuration: {exc}", file=sys.stderr)
@@ -430,6 +459,85 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
             return 2
         print(f"wrote metrics snapshot to {args.metrics}")
+    return 0
+
+
+def _simulate_sharded(args: argparse.Namespace, config) -> int:
+    """``repro simulate --shards RxC``: the sharded-city execution path."""
+    import pathlib
+
+    from repro.shard import CityConfig, parse_tiles, run_city
+
+    try:
+        rows, cols = parse_tiles(args.shards)
+        city = CityConfig(config, rows, cols)
+    except ValueError as exc:
+        print(f"invalid --shards configuration: {exc}", file=sys.stderr)
+        return 2
+    algorithms = (
+        ("st", "fst") if args.algorithm == "both" else (args.algorithm,)
+    )
+    res = run_city(
+        city,
+        algorithms=algorithms,
+        workers=max(1, args.shard_workers),
+        collect_obs=True,
+        measure_memory=True,
+    )
+    print(
+        f"city [{args.scenario}]: {config.n_devices} devices over "
+        f"{rows}x{cols} tiles of {city.tile_side_m:.0f} m, "
+        f"{args.shard_workers} worker(s), wall {res.wall_s:.2f} s, "
+        f"peak {res.peak_mb:.1f} MB"
+    )
+    for shard in res.shards:
+        run_messages = sum(
+            int(r["result"]["messages"]) for r in shard["runs"].values()
+        )
+        print(
+            f"  shard {shard['shard_id']:>3} [{shard['backend']:>6}] "
+            f"n={shard['n']:>6} seed={shard['seed']} "
+            f"messages={run_messages}"
+        )
+    halo = res.halo
+    print(
+        f"halo: radius {halo['radius_m']:.1f} m, "
+        f"{halo['links']} cross-tile links of {halo['candidates']} "
+        f"candidates, digest {halo['digest'][:16]}"
+    )
+    print(
+        f"city total: messages {res.messages}, "
+        f"converged {res.converged}, time {res.time_ms:.1f} ms, "
+        f"content {res.content_hash[:16]}"
+    )
+    if args.breakdown:
+        for algorithm in algorithms:
+            for kind, count in sorted(res.bill[algorithm].items()):
+                if count:
+                    print(f"  {algorithm}/{kind:<24} {count:>8}")
+    if args.canonical:
+        try:
+            path = pathlib.Path(args.canonical)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(res.canonical() + "\n")
+        except OSError as exc:
+            print(
+                f"cannot write canonical doc {args.canonical}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"wrote canonical sharded-run doc to {args.canonical}")
+    if args.metrics:
+        from repro.obs.aggregate import write_snapshot
+
+        try:
+            write_snapshot(res.merged_obs, args.metrics)
+        except OSError as exc:
+            print(
+                f"cannot write metrics {args.metrics}: {exc}", file=sys.stderr
+            )
+            return 2
+        print(f"wrote merged shard snapshot to {args.metrics}")
     return 0
 
 

@@ -11,6 +11,12 @@ and collision arbitration — each decision a pure function of event
 identity, so faulted goldens replay bitwise on every backend (the
 committed corpus stores dense and sparse captures; CI additionally
 replays it under the forced ``batch`` backend).
+
+Beside the 36 single-region goldens, the corpus records six **sharded
+city goldens** (:func:`shard_corpus_specs`) —
+``{st, fst, pulsesync} × 2×2 tiles × n ∈ {32, 128}`` — whose replay
+re-runs the whole tile/halo pipeline (``docs/sharding.md``).
+:func:`verify_corpus` covers both sets.
 """
 
 from __future__ import annotations
@@ -44,6 +50,11 @@ CORPUS_SIZES = (8, 32, 128)
 CORPUS_ALGORITHMS = ("st", "fst", "pulsesync")
 CORPUS_BACKENDS = ("dense", "sparse")
 
+#: Sharded corpus axis: every algorithm over a 2×2 tiling, clean, at
+#: these city populations (see :func:`shard_corpus_specs`).
+SHARD_CORPUS_SIZES = (32, 128)
+SHARD_CORPUS_TILES = (2, 2)
+
 #: Sizes whose ST/FST message bills are additionally pinned in
 #: ``message_bills.json`` (the satellite regression fixture).
 BILL_SIZES = (8, 32)
@@ -69,6 +80,27 @@ def corpus_specs() -> Iterator[tuple[str, PaperConfig, str]]:
                     yield default_name(config, algorithm), config, algorithm
 
 
+def shard_corpus_specs() -> Iterator[tuple[str, "object", str]]:
+    """Yield ``(name, city_config, algorithm)`` for the sharded goldens.
+
+    Kept separate from :func:`corpus_specs` — the single-region corpus
+    is pinned at 36 entries; the sharded axis extends it without
+    renumbering.  Import of the shard tier is lazy: this module is
+    reachable from ``repro.conformance.__init__`` while
+    ``repro.shard.conformance`` imports back into the golden layer.
+    """
+    from repro.shard.conformance import shard_default_name
+    from repro.shard.tiling import CityConfig
+
+    rows, cols = SHARD_CORPUS_TILES
+    for n in SHARD_CORPUS_SIZES:
+        city = CityConfig(
+            PaperConfig(n_devices=n, seed=CORPUS_SEED), rows, cols
+        )
+        for algorithm in CORPUS_ALGORITHMS:
+            yield shard_default_name(city, algorithm), city, algorithm
+
+
 def golden_path(root: str | pathlib.Path, name: str) -> pathlib.Path:
     return pathlib.Path(root) / f"{name}.json"
 
@@ -88,6 +120,11 @@ def record_corpus(root: str | pathlib.Path) -> list[pathlib.Path]:
         written.append(golden.save(golden_path(root, name)))
         if algorithm in ("st", "fst") and config.n_devices in BILL_SIZES:
             bills[name] = dict(sorted(golden.bill.items()))
+    from repro.shard.conformance import capture_city
+
+    for name, city, algorithm in shard_corpus_specs():
+        golden = capture_city(city, algorithm, name=name)
+        written.append(golden.save(golden_path(root, name)))
     bills_path = root / BILLS_FILENAME
     bills_path.write_text(json.dumps(bills, sort_keys=True, indent=1) + "\n")
     written.append(bills_path)
@@ -115,47 +152,46 @@ def verify_corpus(
     rather than a bare checksum failure; the corruption is recorded in
     the divergence context.
     """
-    outcomes: list[tuple[str, Divergence | None]] = []
-    for name, _, _ in corpus_specs():
-        path = golden_path(root, name)
-        if not path.exists():
-            outcomes.append(
-                (
-                    name,
-                    Divergence(
-                        pair=f"golden-vs-run:{name}",
-                        kind="content",
-                        location=str(path),
-                        expected="golden file",
-                        actual="<missing>",
-                    ),
-                )
-            )
-            continue
-        golden = GoldenTrace.load(path)
-        corrupted = not golden.integrity_ok()
-        _, div = replay(golden, backend=backend)
-        if div is None and corrupted:
-            div = Divergence(
-                pair=f"golden-vs-run:{name}",
-                kind="content",
-                location="content_hash",
-                expected=golden.content_hash,
-                actual="<recomputed hash differs: golden file edited>",
-            )
-        elif div is not None and corrupted:
-            div = Divergence(
-                pair=div.pair,
-                kind=div.kind,
-                location=div.location,
-                round=div.round,
-                time_ms=div.time_ms,
-                expected=div.expected,
-                actual=div.actual,
-                context={**div.context, "golden_integrity": "FAILED"},
-            )
-        outcomes.append((name, div))
-    return outcomes
+    names = [name for name, _, _ in corpus_specs()]
+    names += [name for name, _, _ in shard_corpus_specs()]
+    return [(name, _verify_one(root, name, backend)) for name in names]
+
+
+def _verify_one(
+    root: pathlib.Path, name: str, backend: str | None
+) -> Divergence | None:
+    path = golden_path(root, name)
+    if not path.exists():
+        return Divergence(
+            pair=f"golden-vs-run:{name}",
+            kind="content",
+            location=str(path),
+            expected="golden file",
+            actual="<missing>",
+        )
+    golden = GoldenTrace.load(path)
+    corrupted = not golden.integrity_ok()
+    _, div = replay(golden, backend=backend)
+    if div is None and corrupted:
+        div = Divergence(
+            pair=f"golden-vs-run:{name}",
+            kind="content",
+            location="content_hash",
+            expected=golden.content_hash,
+            actual="<recomputed hash differs: golden file edited>",
+        )
+    elif div is not None and corrupted:
+        div = Divergence(
+            pair=div.pair,
+            kind=div.kind,
+            location=div.location,
+            round=div.round,
+            time_ms=div.time_ms,
+            expected=div.expected,
+            actual=div.actual,
+            context={**div.context, "golden_integrity": "FAILED"},
+        )
+    return div
 
 
 def load_bills(root: str | pathlib.Path) -> dict[str, dict[str, int]]:

@@ -20,6 +20,11 @@ than a bare assert:
     configured backend) vs a centralized maximum-spanning-tree oracle —
     on distinct weights the MST is unique, so the edge lists must match
     exactly.
+``shard``
+    a 2×2 sharded city capture vs standalone single-region runs of each
+    shard's equivalent config, plus pool-vs-inline byte equality — the
+    sharding tier's replay-in-isolation and reassembly contracts
+    (:func:`repro.shard.conformance.diff_shard`).
 ``ffa``
     sorted-FFA vs naive-FFA on the same objective and seed — both
     trajectories must be monotone non-increasing and land inside a
@@ -392,6 +397,13 @@ def _run_ffa(config: PaperConfig) -> DiffOutcome:
     return diff_ffa(seed=config.seed)
 
 
+def _run_shard(config: PaperConfig) -> DiffOutcome:
+    # lazy: repro.shard.conformance imports back into this package
+    from repro.shard.conformance import diff_shard
+
+    return diff_shard(config)
+
+
 #: Named pairs for the CLI (``repro conformance diff <pair>``).
 DIFF_PAIRS: dict[str, Callable[[PaperConfig], DiffOutcome]] = {
     "backends": _run_backends,
@@ -399,6 +411,7 @@ DIFF_PAIRS: dict[str, Callable[[PaperConfig], DiffOutcome]] = {
     "faults": _run_faults,
     "boruvka": _run_boruvka,
     "ffa": _run_ffa,
+    "shard": _run_shard,
 }
 
 

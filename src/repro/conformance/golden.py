@@ -327,7 +327,15 @@ def replay(
     dense golden on the sparse backend (or vice versa) is the
     cross-backend conformance check, valid because every stream draw and
     fault decision is backend-invariant by construction.
+
+    Goldens whose config stamp carries a ``tiles`` key are sharded
+    captures and dispatch to
+    :func:`repro.shard.conformance.replay_city`.
     """
+    if "tiles" in golden.config:
+        from repro.shard.conformance import replay_city
+
+        return replay_city(golden, backend=backend)
     config = config_from_summary(golden.config)
     if backend is not None:
         config = config.replace(backend=backend)

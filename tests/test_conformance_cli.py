@@ -56,7 +56,8 @@ class TestConformanceRun:
         )
         out = capsys.readouterr().out
         assert rc == 0
-        assert "36/36 checks passed" in out
+        # 36 single-region + 6 sharded city goldens
+        assert "42/42 checks passed" in out
 
     @pytest.mark.parametrize("backend", ["dense", "sparse"])
     def test_committed_corpus_passes_on_forced_backend(self, capsys, backend):
@@ -87,7 +88,7 @@ class TestConformanceRun:
         )
         out = capsys.readouterr().out
         assert rc == 1
-        assert "35/36 checks passed" in out
+        assert "41/42 checks passed" in out
         assert "DIVERGENCE" in out
         assert "event[2]" in out
         assert "round/event : 2" in out
@@ -115,7 +116,8 @@ class TestConformanceRecord:
     def test_record_then_run_round_trips(self, capsys, tmp_path):
         corpus = tmp_path / "recorded"
         assert main(["conformance", "record", "--goldens", str(corpus)]) == 0
-        assert "recorded 37 files" in capsys.readouterr().out
+        # 36 single-region goldens + message_bills.json + 6 sharded
+        assert "recorded 43 files" in capsys.readouterr().out
         assert (
             main(
                 [

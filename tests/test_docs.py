@@ -17,6 +17,9 @@ class TestDocsExist:
             "docs/api.md",
             "docs/walkthrough.md",
             "docs/robustness.md",
+            "docs/sharding.md",
+            "docs/performance.md",
+            "docs/testing.md",
         ):
             assert (ROOT / name).exists(), name
             assert (ROOT / name).stat().st_size > 200, f"{name} is stubby"

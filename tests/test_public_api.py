@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.protocol",
     "repro.obs",
     "repro.faults",
+    "repro.shard",
 ]
 
 

@@ -414,6 +414,203 @@ class TestArtifactErrors:
         )
 
 
+def _tiles_row(n, backend, tiles, wall):
+    return {"n": n, "backend": backend, "tiles": tiles, "wall_s": wall}
+
+
+class TestTilesRows:
+    """Merged multi-shard rows key on (n, backend, tiles) independently."""
+
+    def test_row_label_formats_tiles(self):
+        label = check_bench_regression._row_label((800, "sparse", "2x2"))
+        assert label == "n=800 backend=sparse tiles=2x2"
+        plain = check_bench_regression._row_label((800, "sparse", ""))
+        assert plain == "n=800 backend=sparse"
+
+    def test_tiles_row_regression_does_not_hide_behind_twin(
+        self, tmp_path, capsys
+    ):
+        # the single-region twin is healthy; only the sharded row regressed
+        cur = _artifact(
+            tmp_path / "cur.json",
+            1.0,
+            [_row(800, "sparse", 1.0), _tiles_row(800, "sparse", "2x2", 5.0)],
+        )
+        base = _artifact(
+            tmp_path / "base.json",
+            1.0,
+            [_row(800, "sparse", 1.0), _tiles_row(800, "sparse", "2x2", 1.0)],
+        )
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "n=800 backend=sparse tiles=2x2" in out
+        assert "n=800 backend=sparse: current=1.000s" in out
+
+    def test_current_only_tiles_row_is_ignored(self, tmp_path):
+        # adding a sharded row before the baseline refresh must not fail
+        cur = _artifact(
+            tmp_path / "cur.json",
+            1.0,
+            [_row(800, "sparse", 1.0), _tiles_row(800, "sparse", "2x2", 9.0)],
+        )
+        base = _artifact(
+            tmp_path / "base.json", 1.0, [_row(800, "sparse", 1.0)]
+        )
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base])
+            == 0
+        )
+
+    def test_baseline_only_tiles_row_is_visible_skip(self, tmp_path, capsys):
+        cur = _artifact(tmp_path / "cur.json", 1.0, [_row(800, "sparse", 1.0)])
+        base = _artifact(
+            tmp_path / "base.json",
+            1.0,
+            [_row(800, "sparse", 1.0), _tiles_row(800, "sparse", "2x2", 1.0)],
+        )
+        assert (
+            check_bench_regression.main(["--current", cur, "--baseline", base])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tiles=2x2: skipped (no matching row" in out
+
+    def test_shard_overhead_budget_is_enforced(self, tmp_path, capsys):
+        payload = {
+            "schema": "repro.bench/1",
+            "bench": "scale",
+            "wall_time_s": 1.0,
+            "metrics": {
+                "rows": [],
+                "budgets": [
+                    {"name": "shard_overhead_ratio", "value": 3.1, "limit": 2.5}
+                ],
+            },
+        }
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps(payload))
+        base = _artifact(tmp_path / "base.json", 1.0)
+        assert (
+            check_bench_regression.main(
+                ["--current", str(cur), "--baseline", base, "--tolerance", "9"]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "budget shard_overhead_ratio" in out
+        assert "BUDGET EXCEEDED" in out
+
+
+class TestBundleVerification:
+    """metrics.obs_bundle / --bundle-dir route through the obs readers."""
+
+    @staticmethod
+    def _make_bundle(directory, worker_ids=(0, 1, 2)):
+        from repro.obs.aggregate import (
+            merge_snapshots,
+            worker_snapshot,
+            write_snapshot,
+        )
+        from repro.obs.metrics import MetricsRegistry
+
+        directory.mkdir(parents=True, exist_ok=True)
+        snapshots = []
+        for wid in worker_ids:
+            reg = MetricsRegistry()
+            reg.counter("shard_runs_total").inc(1)
+            reg.counter("messages_total").inc(10 * (wid + 1))
+            snap = worker_snapshot(reg, worker_id=wid)
+            write_snapshot(snap, directory / f"worker_{wid:04d}.json")
+            snapshots.append(snap)
+        write_snapshot(merge_snapshots(snapshots), directory / "merged.json")
+        return directory
+
+    def test_consistent_bundle_passes(self, tmp_path, capsys):
+        bundle = self._make_bundle(tmp_path / "obs")
+        assert check_bench_regression.verify_bundle(bundle) == []
+        out = capsys.readouterr().out
+        assert "shards 0..2" in out
+        assert "byte-identical" in out
+
+    def test_bundle_dir_flag_gates_the_run(self, tmp_path):
+        bundle = self._make_bundle(tmp_path / "obs")
+        cur = _artifact(tmp_path / "cur.json", 1.0)
+        assert (
+            check_bench_regression.main(
+                [
+                    "--current", cur, "--baseline", cur,
+                    "--bundle-dir", str(bundle),
+                ]
+            )
+            == 0
+        )
+        # corrupt the committed merge: the run becomes an artifact error
+        merged = bundle / "merged.json"
+        doc = json.loads(merged.read_text())
+        doc["metrics"]["messages_total"]["samples"][0]["value"] += 1
+        merged.write_text(json.dumps(doc))
+        assert (
+            check_bench_regression.main(
+                [
+                    "--current", cur, "--baseline", cur,
+                    "--bundle-dir", str(bundle),
+                ]
+            )
+            == 2
+        )
+
+    def test_obs_bundle_key_is_auto_detected(self, tmp_path, capsys):
+        self._make_bundle(tmp_path / "obs_city")
+        payload = {
+            "schema": "repro.bench/1",
+            "bench": "city",
+            "wall_time_s": 1.0,
+            "metrics": {"rows": [], "obs_bundle": "obs_city"},
+        }
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps(payload))
+        assert (
+            check_bench_regression.main(
+                ["--current", str(cur), "--baseline", str(cur)]
+            )
+            == 0
+        )
+        assert "worker snapshots" in capsys.readouterr().out
+
+    def test_missing_workers_fail(self, tmp_path):
+        empty = tmp_path / "obs"
+        empty.mkdir()
+        failures = check_bench_regression.verify_bundle(empty)
+        assert failures and "no worker_*.json" in failures[0]
+
+    def test_missing_merged_fails(self, tmp_path):
+        bundle = self._make_bundle(tmp_path / "obs")
+        (bundle / "merged.json").unlink()
+        failures = check_bench_regression.verify_bundle(bundle)
+        assert failures and "merged.json missing" in failures[0]
+
+    def test_wrong_schema_worker_fails(self, tmp_path):
+        bundle = self._make_bundle(tmp_path / "obs")
+        (bundle / "worker_0001.json").write_text(
+            json.dumps({"schema": "other/1"})
+        )
+        failures = check_bench_regression.verify_bundle(bundle)
+        assert failures and "worker_0001.json" in failures[0]
+
+    def test_run_city_bundle_round_trips(self, tmp_path):
+        # the real producer: run_city(obs_dir=...) writes the layout the
+        # checker verifies
+        from repro.core.config import PaperConfig
+        from repro.shard import CityConfig, run_city
+
+        city = CityConfig(PaperConfig(n_devices=32, seed=1), 2, 2)
+        run_city(city, algorithms=("st",), obs_dir=tmp_path / "bundle")
+        assert check_bench_regression.verify_bundle(tmp_path / "bundle") == []
+
+
 def test_committed_baseline_is_valid():
     baseline = (
         pathlib.Path(__file__).resolve().parent.parent
