@@ -1,0 +1,162 @@
+"""Service benchmark: sustained query rate against a live churning world.
+
+Boots a :class:`~repro.service.world.SteadyStateWorld` (greedy-repair
+churn session, constant density, never densifying) behind the
+transport-free :class:`~repro.service.app.DiscoveryApp`, then measures a
+mixed query script — ``/near``, ``/fragment``, ``/sync``, ``/health`` —
+interleaved with ``POST /world/step`` churn epochs.  The sustained rate
+divides **queries by the whole loop wall including the steps**, so the
+headline number is "queries per second while the world churns
+underneath", not a cold-cache query microbenchmark.
+
+In-process on purpose: the number is the service's (routing, world
+queries, canonical JSON), not the socket stack's —
+``scripts/service_load.py`` covers the HTTP layer.
+
+The CI grid runs n = 4096 (forced sparse); the full grid
+(``REPRO_BENCH_FULL=1``) adds the acceptance row, a **100 000-UE sparse
+world under continuous churn**, whose ``service_qps_floor_ratio``
+budget (floor / measured qps, limit 1.0) hard-fails
+``scripts/check_bench_regression.py`` when the sustained rate drops
+below 1 000 queries/sec.  The budget always binds the largest row in
+the artifact, so the CI grid guards the same floor at its own size.
+
+Artifact: ``BENCH_service.json``; committed baseline recorded under
+``REPRO_BENCH_FULL=1`` (CI rows are a subset of the full grid).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import FULL, save_and_print, write_bench_json
+from repro.core.config import PaperConfig
+from repro.service import (
+    DiscoveryApp,
+    ServiceClient,
+    SteadyStateWorld,
+    WorldConfig,
+)
+
+SEED = 1
+#: (n, backend) rows; the service always forces sparse — auto would pick
+#: the batch backend at n >= 16384, which has no live link CSR to query.
+GRID = [(4096, "sparse")]
+if FULL:
+    GRID += [(100_000, "sparse")]
+#: Churn epochs per row and queries interleaved after each epoch.
+EPOCHS = 5
+QUERIES_PER_EPOCH = 2000
+#: Sustained floor (queries/sec) the largest row must hold under churn.
+QPS_FLOOR = 1000.0
+
+
+def _world(n: int, backend: str) -> SteadyStateWorld:
+    base = (
+        PaperConfig(seed=SEED)
+        .with_devices(n, keep_density=True)
+        .replace(backend=backend)
+    )
+    return SteadyStateWorld(
+        WorldConfig(
+            base=base,
+            arrival_rate=max(2.0, n / 1000.0),
+            departure_rate=max(2.0, n / 1000.0),
+            min_population=max(2, n // 8),
+        )
+    )
+
+
+def _query_script(client: ServiceClient, n: int, offset: int) -> int:
+    """One block of mixed queries; returns the number issued."""
+    issued = 0
+    for i in range(QUERIES_PER_EPOCH):
+        ue = (offset * 7919 + i * 131) % n
+        if i % 20 == 19:
+            resp = client.get("/sync")
+        elif i % 20 == 9:
+            resp = client.get(f"/fragment/{ue}?limit=16")
+        else:
+            resp = client.get(f"/near/{ue}?limit=8")
+        assert resp.status in (200, 404), f"unexpected {resp.status} for ue={ue}"
+        issued += 1
+    return issued
+
+
+def _run_row(n: int, backend: str) -> dict:
+    t0 = time.perf_counter()
+    world = _world(n, backend)
+    build_s = time.perf_counter() - t0
+    client = ServiceClient(DiscoveryApp(world))
+
+    # one warm epoch outside the measurement (first step pays lazy inits)
+    assert client.post("/world/step", {"steps": 1}).status == 200
+
+    queries = 0
+    step_s = 0.0
+    t0 = time.perf_counter()
+    for epoch in range(EPOCHS):
+        t_step = time.perf_counter()
+        resp = client.post("/world/step", {"steps": 1})
+        step_s += time.perf_counter() - t_step
+        assert resp.status == 200
+        queries += _query_script(client, n, epoch)
+    loop_s = time.perf_counter() - t0
+
+    assert world.population > 0 and world.session.is_spanning is not None
+    return {
+        "n": n,
+        "backend": backend,
+        "wall_s": round(build_s + loop_s, 4),
+        "build_s": round(build_s, 4),
+        "loop_s": round(loop_s, 4),
+        "step_s": round(step_s / EPOCHS, 4),
+        "queries": queries,
+        "qps": round(queries / loop_s, 1),
+        "population": world.population,
+    }
+
+
+def test_bench_service(results_dir, bench_json_dir):
+    rows = [_run_row(n, backend) for n, backend in GRID]
+
+    largest = max(rows, key=lambda r: r["n"])
+    budgets = [
+        {
+            "name": "service_qps_floor_ratio",
+            "value": round(QPS_FLOOR / largest["qps"], 4),
+            "limit": 1.0,
+        }
+    ]
+
+    lines = [
+        "service: sustained query rate under continuous churn (in-process)"
+    ]
+    lines.append(
+        f"{'n':>9} {'backend':>8} {'build_s':>9} {'step_s':>8} "
+        f"{'queries':>9} {'qps':>9}"
+    )
+    for r in rows:
+        lines.append(
+            f"{r['n']:>9} {r['backend']:>8} {r['build_s']:>9.2f} "
+            f"{r['step_s']:>8.3f} {r['queries']:>9} {r['qps']:>9.1f}"
+        )
+    lines.append(
+        f"floor: {QPS_FLOOR:.0f} qps at n={largest['n']} -> "
+        f"ratio {budgets[0]['value']:.4f} (limit 1.0)"
+    )
+    save_and_print(results_dir, "service", "\n".join(lines))
+
+    total_wall = sum(r["wall_s"] for r in rows)
+    write_bench_json(
+        bench_json_dir,
+        "service",
+        total_wall,
+        {
+            "rows": rows,
+            "budgets": budgets,
+            "epochs": EPOCHS,
+            "queries_per_epoch": QUERIES_PER_EPOCH,
+            "full_grid": FULL,
+        },
+    )

@@ -214,6 +214,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rows in the printed per-span profile table (default 15)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the discovery service over a live churning world",
+    )
+    serve.add_argument("--devices", "-n", type=int, default=256)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "dense", "sparse", "batch"),
+        default="auto",
+        help="network backend for the world universe (default auto)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="0 = OS-assigned port"
+    )
+    serve.add_argument(
+        "--arrival-rate", type=float, default=2.0,
+        help="Poisson mean arrivals per epoch",
+    )
+    serve.add_argument(
+        "--departure-rate", type=float, default=2.0,
+        help="Poisson mean departures per epoch",
+    )
+    serve.add_argument(
+        "--min-population", type=int, default=2,
+        help="population floor enforced by the steady-state driver",
+    )
+    serve.add_argument(
+        "--max-population", type=int, default=None,
+        help="population ceiling (default: the whole universe)",
+    )
+    serve.add_argument(
+        "--step-ms", type=float, default=1000.0,
+        help="simulated milliseconds per world epoch",
+    )
+    serve.add_argument(
+        "--auto-step", type=float, default=0.0, metavar="SECONDS",
+        help="step the world every SECONDS of wall time (0 = only on "
+        "POST /world/step)",
+    )
+    serve.add_argument(
+        "--for-seconds", type=float, default=None,
+        help="exit after this many wall seconds (for tests and CI)",
+    )
+
     conf = sub.add_parser(
         "conformance",
         help="golden-trace conformance gate (record / run / diff)",
@@ -250,7 +296,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     conf_diff.add_argument(
         "pair",
-        help="backends | batch | faults | boruvka | ffa | shard | all",
+        help="backends | batch | faults | boruvka | ffa | shard | service | all",
     )
     conf_diff.add_argument("--devices", "-n", type=int, default=32)
     conf_diff.add_argument("--seed", type=int, default=1)
@@ -619,6 +665,67 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.config import PaperConfig
+    from repro.service import (
+        DiscoveryApp,
+        ServiceServer,
+        SteadyStateWorld,
+        WorldConfig,
+    )
+
+    try:
+        base = PaperConfig(
+            n_devices=args.devices, seed=args.seed, backend=args.backend
+        )
+        wcfg = WorldConfig(
+            base=base,
+            arrival_rate=args.arrival_rate,
+            departure_rate=args.departure_rate,
+            min_population=args.min_population,
+            max_population=args.max_population,
+            step_ms=args.step_ms,
+        )
+    except ValueError as exc:
+        print(f"invalid world config: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"building world: n={base.n_devices} "
+        f"backend={base.resolved_backend} seed={base.seed} "
+        f"rates={wcfg.arrival_rate:g}/{wcfg.departure_rate:g} per epoch"
+    )
+    world = SteadyStateWorld(wcfg)
+    app = DiscoveryApp(world)
+    server = ServiceServer(app, args.host, args.port)
+
+    async def _main() -> None:
+        await server.start()
+        print(f"serving on {server.url}")
+        stepper = None
+        if args.auto_step > 0:
+
+            async def _auto_step() -> None:
+                while True:
+                    await asyncio.sleep(args.auto_step)
+                    if not world.paused:
+                        world.step()
+
+            stepper = asyncio.get_running_loop().create_task(_auto_step())
+        try:
+            await server.serve_forever(for_seconds=args.for_seconds)
+        finally:
+            if stepper is not None:
+                stepper.cancel()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.conformance import (
         record_corpus,
@@ -799,6 +906,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "conformance":
         return _cmd_conformance(args)
     if args.command == "list":

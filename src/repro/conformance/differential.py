@@ -404,6 +404,13 @@ def _run_shard(config: PaperConfig) -> DiffOutcome:
     return diff_shard(config)
 
 
+def _run_service(config: PaperConfig) -> DiffOutcome:
+    # lazy: repro.service.conformance imports back into this package
+    from repro.service.conformance import diff_service
+
+    return diff_service(config)
+
+
 #: Named pairs for the CLI (``repro conformance diff <pair>``).
 DIFF_PAIRS: dict[str, Callable[[PaperConfig], DiffOutcome]] = {
     "backends": _run_backends,
@@ -412,6 +419,7 @@ DIFF_PAIRS: dict[str, Callable[[PaperConfig], DiffOutcome]] = {
     "boruvka": _run_boruvka,
     "ffa": _run_ffa,
     "shard": _run_shard,
+    "service": _run_service,
 }
 
 

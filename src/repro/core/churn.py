@@ -71,14 +71,43 @@ class ChurnSession:
     initially_active:
         Device ids active at start (default: all).  The initial tree is
         built with a full Borůvka run over the active subgraph.
+    track_optimality:
+        When True (default) every event runs the maximum-spanning-tree
+        oracle on the active subgraph and records the optimality ratio.
+        The oracle is a full Borůvka run — O(E) per event — so
+        long-running hosts that churn continuously (the steady-state
+        discovery service) disable it; events then carry
+        ``optimality_ratio = nan``.
+    repair:
+        Failure-repair strategy.  ``"optimal"`` (default) re-merges
+        surviving fragments with a seeded Borůvka run over the full
+        active link graph — O(E) per failure, optimal result.
+        ``"greedy"`` reattaches each orphaned subtree over its heaviest
+        outgoing link, mirroring the greedy join: the smaller
+        components around the hole are discovered by balanced BFS (so a
+        leaf failure costs O(degree), not O(n)) and each pays one
+        discovery scan plus a RACH2 handshake.  Greedy repairs drift
+        from the oracle exactly like greedy joins do — the trade
+        :meth:`rebuild` exists to pay down — but keep per-event cost
+        proportional to the damage, which is what lets the steady-state
+        service churn a 100k-UE world continuously.
     """
 
     def __init__(
         self,
         network: D2DNetwork,
         initially_active: set[int] | None = None,
+        *,
+        track_optimality: bool = True,
+        repair: str = "optimal",
     ) -> None:
+        if repair not in ("optimal", "greedy"):
+            raise ValueError(
+                f"repair must be 'optimal' or 'greedy', got {repair!r}"
+            )
         self.network = network
+        self.track_optimality = track_optimality
+        self.repair_mode = repair
         n = network.n
         if initially_active is None:
             initially_active = set(range(n))
@@ -89,6 +118,13 @@ class ChurnSession:
         self.active: set[int] = set(initially_active)
         self.events: list[ChurnEvent] = []
         self.tree_edges: list[tuple[int, int]] = []
+        #: tree adjacency and edge->position index kept in lockstep with
+        #: ``tree_edges`` so greedy repairs can walk the forest and drop
+        #: incident edges without scanning the edge list
+        self._tree_adj: dict[int, set[int]] = {}
+        self._edge_pos: dict[tuple[int, int], int] = {}
+        self._active_np = np.zeros(n, dtype=bool)
+        self._active_np[list(self.active)] = True
         self._rebuild(initial=True)
 
     # ------------------------------------------------------------------
@@ -101,9 +137,13 @@ class ChurnSession:
         return adj
 
     def _active_array(self) -> np.ndarray:
-        mask = np.zeros(self.network.n, dtype=bool)
-        mask[list(self.active)] = True
-        return mask
+        """Boolean active mask, maintained incrementally.
+
+        Callers must treat the returned array as read-only (copy before
+        mutating) — churning at scale cannot afford an O(n) rebuild per
+        event.
+        """
+        return self._active_np
 
     def _filtered_link_csr(self):
         """Active-subgraph link CSR (sparse backend; never densifies)."""
@@ -117,6 +157,8 @@ class ChurnSession:
         )
 
     def _optimality_ratio(self) -> float:
+        if not self.track_optimality:
+            return float("nan")
         if len(self.active) < 2:
             return 1.0
         if self.network.is_sparse:
@@ -187,8 +229,9 @@ class ChurnSession:
             ok = bool(np.isfinite(w[best]))
         messages = self.network.config.discovery_periods + JOIN_HANDSHAKE_MSGS
         self.active.add(device)
+        self._active_np[device] = True
         if ok:
-            self.tree_edges.append((min(device, best), max(device, best)))
+            self._edge_add((min(device, best), max(device, best)))
         return self._record("join", device, messages, ok)
 
     def fail(self, device: int) -> ChurnEvent:
@@ -196,6 +239,10 @@ class ChurnSession:
         if device not in self.active:
             raise ValueError(f"device {device} is not active")
         self.active.discard(device)
+        self._active_np[device] = False
+        if self.repair_mode == "greedy":
+            messages, ok = self._fail_greedy(device)
+            return self._record("fail", device, messages, ok)
         inactive = {i for i in range(self.network.n) if i not in self.active}
         if self.network.is_sparse:
             result = repair_after_failure_csr(
@@ -211,7 +258,133 @@ class ChurnSession:
                 self.network.adjacency,
             )
         self.tree_edges = result.tree_edges
+        self._rebuild_tree_adj()
         return self._record("fail", device, result.messages, result.repaired)
+
+    # -- greedy repair --------------------------------------------------
+    def _fail_greedy(self, device: int) -> tuple[int, bool]:
+        """Local repair: reattach orphaned subtrees over heaviest links.
+
+        Cost is proportional to the damage: the failed node's subtrees
+        (all but the largest, found by balanced BFS over the tree
+        adjacency) each pay one discovery scan of their members plus a
+        RACH2 handshake.  Returns ``(messages, repaired)``.
+        """
+        seeds = sorted(self._tree_adj.pop(device, ()))
+        for s in seeds:
+            self._tree_adj[s].discard(device)
+            self._edge_remove((min(device, s), max(device, s)))
+        if len(seeds) <= 1:
+            # leaf or isolated node: the forest is undamaged
+            return 0, True
+        orphans = self._orphan_components(seeds)
+        messages = 0
+        ok = True
+        # targets: active devices outside every orphan (the unexplored
+        # remainder and any pre-existing fragments); successfully
+        # reattached orphans rejoin the target pool for later ones
+        allowed = self._active_array().copy()
+        for comp in orphans:
+            allowed[comp] = False
+        for comp in sorted(orphans, key=lambda c: c[0]):
+            messages += len(comp) + JOIN_HANDSHAKE_MSGS
+            pair = self._heaviest_outgoing(comp, allowed)
+            if pair is None:
+                ok = False
+                continue
+            u, v = pair
+            self._edge_add((min(u, v), max(u, v)))
+            allowed[comp] = True
+        return messages, ok
+
+    def _orphan_components(self, seeds: list[int]) -> list[list[int]]:
+        """All-but-largest subtrees around a removed node, members sorted.
+
+        Balanced BFS: always expand the currently smallest component, so
+        the largest subtree is never fully traversed — it is whichever
+        component is still unfinished when every other one has exhausted
+        its frontier (ties broken to the lowest seed for determinism).
+        """
+        from collections import deque
+
+        members: list[list[int]] = [[s] for s in seeds]
+        frontiers = [deque([s]) for s in seeds]
+        owner = {s: i for i, s in enumerate(seeds)}
+        unfinished = set(range(len(seeds)))
+        finished: list[int] = []
+        while len(unfinished) > 1:
+            idx = min(unfinished, key=lambda i: (len(members[i]), i))
+            if not frontiers[idx]:
+                unfinished.discard(idx)
+                finished.append(idx)
+                continue
+            node = frontiers[idx].popleft()
+            for nxt in sorted(self._tree_adj.get(node, ())):
+                if nxt not in owner:
+                    owner[nxt] = idx
+                    members[idx].append(nxt)
+                    frontiers[idx].append(nxt)
+        return [sorted(members[i]) for i in sorted(finished)]
+
+    def _heaviest_outgoing(
+        self, comp: list[int], allowed: np.ndarray
+    ) -> tuple[int, int] | None:
+        """Heaviest link from ``comp`` into the allowed set, or None.
+
+        Ties break to the lowest member id then lowest target id (members
+        are sorted and argmax returns the first maximum).
+        """
+        if self.network.is_sparse:
+            budget = self.network.sparse_budget
+            best_w = -np.inf
+            best: tuple[int, int] | None = None
+            for m in comp:
+                lo = int(budget.link_indptr[m])
+                hi = int(budget.link_indptr[m + 1])
+                if lo == hi:
+                    continue
+                nbr = budget.link_indices[lo:hi]
+                w = np.where(allowed[nbr], budget.link_power_dbm[lo:hi], -np.inf)
+                pos = int(np.argmax(w))
+                if w[pos] > best_w:
+                    best_w = float(w[pos])
+                    best = (m, int(nbr[pos]))
+            if best is None or not np.isfinite(best_w):
+                return None
+            return best
+        rows = self.network.weights[comp]
+        mask = self.network.adjacency[comp] & allowed[None, :]
+        w = np.where(mask, rows, -np.inf)
+        flat = int(np.argmax(w))
+        r, t = divmod(flat, self.network.n)
+        if not np.isfinite(w[r, t]):
+            return None
+        return (comp[r], t)
+
+    def _edge_add(self, edge: tuple[int, int]) -> None:
+        u, v = edge
+        self._edge_pos[edge] = len(self.tree_edges)
+        self.tree_edges.append(edge)
+        self._tree_adj.setdefault(u, set()).add(v)
+        self._tree_adj.setdefault(v, set()).add(u)
+
+    def _edge_remove(self, edge: tuple[int, int]) -> None:
+        """O(1) removal: swap the last edge into the vacated slot."""
+        pos = self._edge_pos.pop(edge)
+        last = self.tree_edges.pop()
+        if pos < len(self.tree_edges):
+            self.tree_edges[pos] = last
+            self._edge_pos[last] = pos
+
+    def _rebuild_tree_adj(self) -> None:
+        adj: dict[int, set[int]] = {}
+        pos: dict[tuple[int, int], int] = {}
+        for i, (u, v) in enumerate(self.tree_edges):
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+            pos[(u, v)] = i
+        self._tree_adj = adj
+        self._edge_pos = pos
 
     def rebuild(self) -> ChurnEvent:
         """Full Borůvka rebuild on the active subgraph (restores optimality)."""
@@ -232,6 +405,7 @@ class ChurnSession:
         self.tree_edges = [
             e for e in result.edges if e[0] in self.active and e[1] in self.active
         ]
+        self._rebuild_tree_adj()
         return result.counter.total
 
     # ------------------------------------------------------------------

@@ -14,11 +14,14 @@ measurement doubles as the ranging input.
   combining estimated distance with a configurable criterion.
 """
 
+from repro.discovery.live import LiveNeighborView, Neighbor
 from repro.discovery.neighbor import NeighborEntry, NeighborTable
 from repro.discovery.proximity import ProximityCriterion, ProximityEvaluator
 from repro.discovery.service import ServiceDirectory, ServiceInterest
 
 __all__ = [
+    "LiveNeighborView",
+    "Neighbor",
     "NeighborEntry",
     "NeighborTable",
     "ProximityCriterion",

@@ -57,6 +57,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.probes import ProbeSample, ProbeSet
+from repro.obs.sse import SSEBridge, format_sse
 from repro.obs.spans import Span, SpanRecorder
 from repro.obs.stream import (
     DEFAULT_CAPACITY,
@@ -80,6 +81,7 @@ __all__ = [
     "ProbeSample",
     "ProbeSet",
     "ReservoirSample",
+    "SSEBridge",
     "SamplingPolicy",
     "Span",
     "SpanRecorder",
@@ -88,6 +90,7 @@ __all__ = [
     "activate",
     "canonical_snapshot",
     "empty_snapshot",
+    "format_sse",
     "get_active",
     "merge_snapshots",
     "metrics_document",

@@ -17,6 +17,7 @@ draw randomness, so attaching them cannot change a run's outcome.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -302,22 +303,35 @@ class CollisionStormDetector(Analyzer):
             self._armed = True
 
 
+def _print_stderr(line: str) -> None:
+    """Default :class:`LiveProgress` sink: the *diagnostic* stream.
+
+    Progress lines must never ride stdout — piping ``repro simulate
+    --live`` into a file or diff would otherwise interleave them with
+    the canonical result output.  ``sys.stderr`` is resolved at call
+    time so test harnesses that swap the stream capture every line.
+    """
+    print(line, file=sys.stderr)
+
+
 class LiveProgress:
     """``--live`` subscriber: one-line progress prints at a bounded rate.
 
     Not an analyzer (no alerts of its own); it renders ``sync``,
     ``fragments`` and ``beacon`` samples plus any alert raised by the
     real analyzers.  ``min_interval_ms`` throttles output by simulated
-    time so large runs do not flood the terminal.
+    time so large runs do not flood the terminal.  Output goes to
+    stderr by default, keeping stdout byte-identical with and without
+    ``--live``.
     """
 
     def __init__(
         self,
-        print_fn: Callable[[str], None] = print,
+        print_fn: Callable[[str], None] | None = None,
         *,
         min_interval_ms: float = 0.0,
     ) -> None:
-        self._print = print_fn
+        self._print = print_fn if print_fn is not None else _print_stderr
         self.min_interval_ms = float(min_interval_ms)
         self._last_print_ms: dict[str, float] = {}
 

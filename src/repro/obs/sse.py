@@ -1,0 +1,131 @@
+"""Server-sent-events bridge from the telemetry bus.
+
+The discovery service streams live telemetry (churn, fragment merges,
+alerts) to HTTP clients as SSE frames.  :class:`SSEBridge` is an
+ordinary :class:`~repro.obs.stream.TelemetryBus` subscriber that
+renders every admitted event — and every analyzer alert — into a
+wire-ready frame and retains the most recent ``capacity`` of them in a
+bounded deque.  Consumers poll :meth:`frames_since` with their last
+seen cursor, which is also how the ``Last-Event-ID`` reconnect contract
+falls out for free: frame ids are the bridge's monotonically increasing
+sequence numbers.
+
+Frames are deterministic: payloads serialise with sorted keys and fixed
+separators, and ids come from the bridge's own counter, so two services
+fed the same seeded world emit byte-identical streams.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any
+
+from repro.obs.stream import TelemetryEvent
+
+
+def format_sse(event_type: str, data: str, *, event_id: int | None = None) -> str:
+    """Render one SSE frame per the WHATWG EventSource wire format.
+
+    Multi-line ``data`` becomes one ``data:`` line per payload line, so
+    arbitrary JSON round-trips through conforming parsers.
+    """
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event_type}")
+    for part in data.split("\n"):
+        lines.append(f"data: {part}")
+    return "\n".join(lines) + "\n\n"
+
+
+def _canonical_json(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class SSEBridge:
+    """Bounded SSE frame buffer fed by a telemetry bus.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained frames.  Older frames are evicted FIFO; a
+        consumer whose cursor fell behind the window simply resumes
+        from the oldest retained frame (standard SSE replay semantics).
+    topics:
+        When given, only these bus topics become ``event: telemetry``
+        frames; alerts always pass through as ``event: alert``.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 1024,
+        topics: tuple[str, ...] = (),
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.topics = tuple(topics)
+        self._frames: deque[str] = deque(maxlen=self.capacity)
+        self._next_id = 0  # id of the next frame to be appended
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # bus subscriber contract
+    # ------------------------------------------------------------------
+    def on_event(self, event: TelemetryEvent) -> None:
+        if self.topics and event.topic not in self.topics:
+            return
+        payload = {
+            "topic": event.topic,
+            "time_ms": event.time_ms,
+            "values": dict(event.values),
+        }
+        if event.labels:
+            payload["labels"] = dict(event.labels)
+        self._append("telemetry", payload)
+
+    def on_alert(self, alert: Any) -> None:
+        to_dict = getattr(alert, "to_dict", None)
+        payload = to_dict() if callable(to_dict) else {"alert": str(alert)}
+        self._append("alert", payload)
+
+    def _append(self, event_type: str, payload: dict[str, Any]) -> None:
+        frame = format_sse(
+            event_type, _canonical_json(payload), event_id=self._next_id
+        )
+        if len(self._frames) == self.capacity:
+            self.dropped += 1
+        self._frames.append(frame)
+        self._next_id += 1
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    @property
+    def next_id(self) -> int:
+        """Id the next appended frame will get (== frames ever appended)."""
+        return self._next_id
+
+    @property
+    def oldest_id(self) -> int:
+        """Id of the oldest retained frame."""
+        return self._next_id - len(self._frames)
+
+    def frames_since(
+        self, cursor: int, *, limit: int | None = None
+    ) -> tuple[list[str], int]:
+        """Frames with id >= ``cursor`` and the new cursor to poll from.
+
+        A cursor older than the retention window resumes from the
+        oldest retained frame; a cursor in the future returns nothing.
+        """
+        start = max(int(cursor), self.oldest_id)
+        if start >= self._next_id:
+            return [], self._next_id
+        skip = start - self.oldest_id
+        frames = list(self._frames)[skip:]
+        if limit is not None:
+            frames = frames[: max(0, int(limit))]
+        return frames, start + len(frames)

@@ -1,0 +1,60 @@
+"""Discovery-as-a-service: live queries over a churning world.
+
+The ROADMAP's north star is serving proximity answers to live traffic,
+not printing them after an offline run.  This package stands the
+simulator up as a long-running service:
+
+* :mod:`repro.service.world` — :class:`SteadyStateWorld`, the Poisson
+  arrival/departure driver over the PR 3 churn machinery, stepped
+  incrementally on the deterministic engine;
+* :mod:`repro.service.app` — :class:`DiscoveryApp`, the transport-free
+  request handler (``/near``, ``/fragment``, ``/sync``, ``/events``,
+  ``/metrics``, world control) with canonical-JSON responses;
+* :mod:`repro.service.http` — the stdlib-asyncio HTTP/SSE frontend and
+  :class:`ServiceThread` for synchronous callers;
+* :mod:`repro.service.client` — the in-process test client and the
+  replayable :class:`RequestLog`;
+* :mod:`repro.service.conformance` — scripted-session capture/diff
+  (``repro conformance diff service``).
+
+Determinism contract: the world advances only through the seeded
+engine, every random choice is a counter-hash of (seed, event
+identity), and wall-clock never touches a response body — so a request
+log replayed against two instances with the same seed produces
+byte-identical responses.  See ``docs/service.md``.
+"""
+
+from repro.service.app import DiscoveryApp, Request, Response, canonical_json
+from repro.service.client import RequestLog, ServiceClient
+from repro.service.conformance import (
+    capture_service,
+    diff_service,
+    scripted_session,
+    service_corpus_outcomes,
+)
+from repro.service.http import ServiceServer, ServiceThread
+from repro.service.world import (
+    SteadyStateWorld,
+    WorldConfig,
+    WorldPausedError,
+    poisson_from_uniform,
+)
+
+__all__ = [
+    "DiscoveryApp",
+    "Request",
+    "RequestLog",
+    "Response",
+    "ServiceClient",
+    "ServiceServer",
+    "ServiceThread",
+    "SteadyStateWorld",
+    "WorldConfig",
+    "WorldPausedError",
+    "canonical_json",
+    "capture_service",
+    "diff_service",
+    "poisson_from_uniform",
+    "scripted_session",
+    "service_corpus_outcomes",
+]

@@ -1,0 +1,114 @@
+"""In-process test client and recorded request logs.
+
+:class:`ServiceClient` calls :meth:`DiscoveryApp.handle` directly — no
+socket, no event loop — which is how the service test-suite exercises
+every endpoint, and how the conformance layer replays scripted
+sessions.  URLs are parsed with the same stdlib machinery the real HTTP
+frontend uses, so a path that works here works on the wire.
+
+:class:`RequestLog` is the determinism instrument: record a session's
+requests once, replay the log against any fresh service instance, and
+compare the (status, body) stream byte for byte.  Two instances built
+from the same seed must agree on every byte — the acceptance criterion
+this PR is pinned to.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.service.app import DiscoveryApp, Request, Response
+
+#: Schema tag for serialised request logs.
+LOG_SCHEMA = "repro.service.log/1"
+
+
+def _parse_url(url: str) -> tuple[str, dict[str, str]]:
+    split = urlsplit(url)
+    return split.path, dict(parse_qsl(split.query))
+
+
+class ServiceClient:
+    """Synchronous in-process client over one :class:`DiscoveryApp`."""
+
+    def __init__(self, app: DiscoveryApp) -> None:
+        self.app = app
+
+    def get(self, url: str) -> Response:
+        path, query = _parse_url(url)
+        return self.app.handle(Request("GET", path, query))
+
+    def post(self, url: str, payload: object | None = None) -> Response:
+        path, query = _parse_url(url)
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        return self.app.handle(Request("POST", path, query, body))
+
+    def request(self, method: str, url: str, body: bytes = b"") -> Response:
+        path, query = _parse_url(url)
+        return self.app.handle(Request(method.upper(), path, query, body))
+
+
+@dataclass
+class RequestLog:
+    """A replayable sequence of (method, url, body) requests."""
+
+    entries: list[tuple[str, str, bytes]] = field(default_factory=list)
+
+    def record(self, method: str, url: str, body: bytes = b"") -> None:
+        self.entries.append((method.upper(), url, body))
+
+    def replay(self, client: ServiceClient) -> list[tuple[int, bytes]]:
+        """Run every request in order; returns the (status, body) stream."""
+        out: list[tuple[int, bytes]] = []
+        for method, url, body in self.entries:
+            response = client.request(method, url, body)
+            out.append((response.status, response.body))
+        return out
+
+    # ------------------------------------------------------------------
+    # serialisation (JSONL, schema-tagged like every artifact here)
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        lines = [json.dumps({"schema": LOG_SCHEMA})]
+        for method, url, body in self.entries:
+            lines.append(
+                json.dumps(
+                    {
+                        "method": method,
+                        "url": url,
+                        "body": body.decode("utf-8"),
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "RequestLog":
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise ValueError("empty request log")
+        header = json.loads(lines[0])
+        if header.get("schema") != LOG_SCHEMA:
+            raise ValueError(
+                f"not a request log (schema={header.get('schema')!r})"
+            )
+        log = cls()
+        for line in lines[1:]:
+            doc = json.loads(line)
+            log.record(
+                doc["method"], doc["url"], doc["body"].encode("utf-8")
+            )
+        return log
+
+    @classmethod
+    def from_entries(
+        cls, entries: Iterable[tuple[str, str, bytes]]
+    ) -> "RequestLog":
+        log = cls()
+        for method, url, body in entries:
+            log.record(method, url, body)
+        return log

@@ -240,6 +240,23 @@ class Engine:
         entry.callback()
         return True
 
+    def advance(self, duration_ms: float) -> int:
+        """Incrementally advance the clock by exactly ``duration_ms``.
+
+        The resumable stepping API for long-running hosts (the discovery
+        service steps its world one epoch at a time instead of running
+        the engine to completion): processes every live event scheduled
+        inside the window, lands the clock on ``now + duration_ms`` even
+        when no event falls there, and returns the number of callbacks
+        executed.  Repeated calls pick up where the previous one left
+        off; pending events beyond the window stay queued.
+        """
+        if duration_ms < 0:
+            raise ValueError(f"duration_ms must be >= 0, got {duration_ms}")
+        before = self._events_processed
+        self.run(until=self._now + duration_ms)
+        return self._events_processed - before
+
     def run(self, until: float | None = None) -> None:
         """Run until the queue drains or time would pass ``until``.
 

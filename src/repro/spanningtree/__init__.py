@@ -19,6 +19,7 @@ edge, devices make synchronization in networks").  This subpackage holds:
 from repro.spanningtree.boruvka import BoruvkaResult, PhaseRecord, distributed_boruvka
 from repro.spanningtree.fragment import Fragment, FragmentSet
 from repro.spanningtree.ghs import GHSResult, distributed_ghs
+from repro.spanningtree.liveview import FragmentInfo, FragmentView
 from repro.spanningtree.messages import MessageCounter, MessageKind
 from repro.spanningtree.mst import (
     is_spanning_tree,
@@ -35,7 +36,9 @@ from repro.spanningtree.unionfind import UnionFind
 __all__ = [
     "BoruvkaResult",
     "Fragment",
+    "FragmentInfo",
     "FragmentSet",
+    "FragmentView",
     "GHSResult",
     "MessageCounter",
     "MessageKind",

@@ -1,0 +1,119 @@
+"""Read-only fragment views over a live (churning) spanning tree.
+
+The offline pipeline asks "what tree did the run build?" once, after
+convergence.  A long-running host asks "which fragment is UE *x* in
+right now?" thousands of times per second while churn keeps rewriting
+the tree.  :class:`FragmentView` answers those queries from a frozen
+snapshot: one union-find pass over the current tree edges at build
+time, O(1) lookups afterwards.  The owning world rebuilds the view
+lazily — only when its tree version actually moved — so query traffic
+between churn events never re-walks the edge list.
+
+Fragment identity is canonical: a fragment is named by its smallest
+member id, which is stable across snapshot rebuilds as long as the
+membership itself is unchanged.  That makes view output safe to embed
+in golden conformance traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spanningtree.unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class FragmentInfo:
+    """One fragment's membership at snapshot time."""
+
+    fragment_id: int  # smallest member id (canonical name)
+    size: int
+    members: tuple[int, ...]  # sorted ascending
+
+
+class FragmentView:
+    """Frozen fragment decomposition of the active population.
+
+    Parameters
+    ----------
+    n:
+        Size of the device universe (ids ``0..n-1``).
+    tree_edges:
+        Current tree edges among active devices.
+    active_mask:
+        Boolean mask of length ``n``; inactive devices are not members
+        of any fragment and lookups on them return ``None``.
+    version:
+        The owning world's tree version at build time, so callers can
+        tell whether a cached view is still current.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        tree_edges: list[tuple[int, int]],
+        active_mask: np.ndarray,
+        *,
+        version: int = 0,
+    ) -> None:
+        self.n = int(n)
+        self.version = int(version)
+        uf = UnionFind(self.n)
+        for u, v in tree_edges:
+            uf.union(u, v)
+        members: dict[int, list[int]] = {}
+        active = np.flatnonzero(active_mask)
+        for dev in active.tolist():
+            members.setdefault(uf.find(dev), []).append(dev)
+        self._fragments: dict[int, FragmentInfo] = {}
+        self._fragment_of: dict[int, int] = {}
+        for group in members.values():
+            group.sort()
+            frag = FragmentInfo(
+                fragment_id=group[0], size=len(group), members=tuple(group)
+            )
+            self._fragments[frag.fragment_id] = frag
+            for dev in group:
+                self._fragment_of[dev] = frag.fragment_id
+        self.active_count = int(active.size)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of fragments over the active population."""
+        return len(self._fragments)
+
+    @property
+    def largest(self) -> int:
+        """Size of the largest fragment (0 when nobody is active)."""
+        if not self._fragments:
+            return 0
+        return max(f.size for f in self._fragments.values())
+
+    @property
+    def is_spanning(self) -> bool:
+        """True when every active device sits in one fragment."""
+        return self.count <= 1
+
+    def fragment_of(self, device: int) -> FragmentInfo | None:
+        """The fragment containing ``device``, or ``None`` if inactive."""
+        fid = self._fragment_of.get(device)
+        if fid is None:
+            return None
+        return self._fragments[fid]
+
+    def sizes(self) -> list[int]:
+        """Fragment sizes, descending then by fragment id for ties."""
+        return [
+            f.size
+            for f in sorted(
+                self._fragments.values(),
+                key=lambda f: (-f.size, f.fragment_id),
+            )
+        ]
+
+    def fragments(self) -> list[FragmentInfo]:
+        """All fragments ordered by canonical fragment id."""
+        return [self._fragments[fid] for fid in sorted(self._fragments)]

@@ -71,11 +71,14 @@ def _split_tree(
     n: int,
 ) -> tuple[list[tuple[int, int]], list[tuple[int, int]], int]:
     """Surviving/removed edge split + fragment count after the failure."""
-    tree_edges = [tuple(sorted(e)) for e in tree_edges]
-    surviving_edges = [
-        e for e in tree_edges if e[0] not in failed_set and e[1] not in failed_set
-    ]
-    removed_edges = [e for e in tree_edges if e not in surviving_edges]
+    surviving_edges: list[tuple[int, int]] = []
+    removed_edges: list[tuple[int, int]] = []
+    for edge in tree_edges:
+        e = tuple(sorted(edge))
+        if e[0] in failed_set or e[1] in failed_set:
+            removed_edges.append(e)
+        else:
+            surviving_edges.append(e)
     # how many pieces did the failure leave? (failed ids excluded)
     uf = UnionFind(n)
     for u, v in surviving_edges:

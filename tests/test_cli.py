@@ -168,12 +168,21 @@ class TestSimulateArtifacts:
 
 
 class TestSimulateLive:
-    def test_live_prints_progress_lines(self, capsys):
+    def test_live_prints_progress_lines_to_stderr(self, capsys):
         assert main(
             ["simulate", "-n", "20", "--area", "50", "--seed", "2", "--live"]
         ) == 0
-        out = capsys.readouterr().out
-        assert "[live]" in out
+        captured = capsys.readouterr()
+        assert "[live]" in captured.err
+        assert "[live]" not in captured.out
+
+    def test_live_leaves_stdout_byte_identical(self, capsys):
+        args = ["simulate", "-n", "20", "--area", "50", "--seed", "2"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main([*args, "--live"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
 
     def test_faulted_run_reports_alerts(self, capsys, tmp_path):
         import json

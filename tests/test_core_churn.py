@@ -200,3 +200,82 @@ class TestSparseBackend:
         )
         assert ss.is_spanning
         assert not pair[1].densified, "churn must never densify a sparse net"
+
+
+class TestGreedyRepair:
+    """Opt-in local repair: spanning preserved at O(damage) cost."""
+
+    def _greedy(self, network, **kwargs):
+        return ChurnSession(
+            network, set(range(40)), repair="greedy", **kwargs
+        )
+
+    def test_rejects_unknown_mode(self, network):
+        with pytest.raises(ValueError, match="repair"):
+            ChurnSession(network, repair="lazy")
+
+    def test_fail_keeps_tree_spanning(self, network):
+        session = self._greedy(network)
+        for device in (3, 17, 0, 28, 9):
+            event = session.fail(device)
+            assert event.kind == "fail"
+            assert event.succeeded
+            assert session.is_spanning
+        assert len(session.tree_edges) == len(session.active) - 1
+
+    def test_messages_proportional_to_damage(self, network):
+        session = self._greedy(network)
+        degrees = {d: len(session._tree_adj.get(d, ())) for d in range(40)}
+        leaf = min(d for d, deg in degrees.items() if deg == 1)
+        hub = max(degrees, key=lambda d: (degrees[d], d))
+        assert session.fail(leaf).messages == 0  # no split, nothing to pay
+        event = session.fail(hub)
+        assert session.is_spanning
+        # far below the optimal-repair bill, which re-scans the link graph
+        assert 0 < event.messages < network.n
+
+    def test_deterministic_across_instances(self, network):
+        a, b = self._greedy(network), self._greedy(network)
+        for device in (5, 31, 12, 2):
+            ea, eb = a.fail(device), b.fail(device)
+            assert (ea.messages, ea.succeeded) == (eb.messages, eb.succeeded)
+        assert sorted(a.tree_edges) == sorted(b.tree_edges)
+
+    def test_sparse_backend_greedy(self):
+        config = PaperConfig(n_devices=2048, seed=41)
+        network = D2DNetwork(config.replace(backend="sparse"))
+        session = ChurnSession(
+            network,
+            set(range(1500)),
+            repair="greedy",
+            track_optimality=False,
+        )
+        for device in (1499, 700, 3, 250, 1111):
+            assert session.fail(device).kind == "fail"
+            assert session.is_spanning
+        session.join(1600)
+        assert session.is_spanning
+        assert not network.densified
+
+    def test_tree_adj_matches_edges_after_churn(self, network):
+        session = self._greedy(network)
+        for kind, device in [
+            ("fail", 8), ("join", 45), ("fail", 45), ("fail", 20), ("join", 47)
+        ]:
+            getattr(session, kind)(device)
+        rebuilt = {}
+        for u, v in session.tree_edges:
+            rebuilt.setdefault(u, set()).add(v)
+            rebuilt.setdefault(v, set()).add(u)
+        pruned = {d: s for d, s in session._tree_adj.items() if s}
+        assert pruned == rebuilt
+
+    def test_default_mode_unchanged(self, network):
+        optimal = ChurnSession(network, set(range(40)))
+        assert optimal.repair_mode == "optimal"
+        greedy = self._greedy(network)
+        optimal.fail(11)
+        greedy.fail(11)
+        assert optimal.is_spanning and greedy.is_spanning
+        # optimal repair restores the oracle tree; greedy may drift
+        assert optimal._optimality_ratio() == pytest.approx(1.0)

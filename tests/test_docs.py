@@ -20,6 +20,7 @@ class TestDocsExist:
             "docs/sharding.md",
             "docs/performance.md",
             "docs/testing.md",
+            "docs/service.md",
         ):
             assert (ROOT / name).exists(), name
             assert (ROOT / name).stat().st_size > 200, f"{name} is stubby"

@@ -180,6 +180,14 @@ class TestLiveProgress:
             bus.publish("sync", t, spread_ms=1.0)
         assert len(lines) == 2  # t=0 and t=1000
 
+    def test_default_sink_is_stderr(self, capsys):
+        bus = TelemetryBus()
+        bus.subscribe(LiveProgress())
+        bus.publish("sync", 1000.0, spread_ms=2.5)
+        captured = capsys.readouterr()
+        assert "[live]" in captured.err
+        assert captured.out == ""
+
 
 class TestEndToEnd:
     """The default analyzer set against real runs (ISSUE satellite)."""

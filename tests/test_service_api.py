@@ -1,0 +1,271 @@
+"""Service-level API tests: every endpoint via the in-process client.
+
+Covers the happy paths, the error contract (404 unknown/inactive UE,
+409 stepping a paused world, 400 malformed input, 405 wrong method),
+SSE frame framing, and the determinism acceptance criterion: a recorded
+request log replays to byte-identical responses across two fresh
+service instances built from the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import PaperConfig
+from repro.obs.sse import SSEBridge, format_sse
+from repro.obs.stream import TelemetryBus
+from repro.service import (
+    DiscoveryApp,
+    RequestLog,
+    ServiceClient,
+    SteadyStateWorld,
+    WorldConfig,
+)
+
+SEED = 11
+N = 32
+
+
+def make_client(seed: int = SEED, n: int = N) -> ServiceClient:
+    world = SteadyStateWorld(
+        WorldConfig(base=PaperConfig(n_devices=n, seed=seed))
+    )
+    return ServiceClient(DiscoveryApp(world))
+
+
+@pytest.fixture(scope="module")
+def client() -> ServiceClient:
+    return make_client()
+
+
+class TestQueryEndpoints:
+    def test_health(self, client):
+        resp = client.get("/health")
+        assert resp.status == 200
+        doc = resp.json()
+        assert doc["status"] == "ok"
+        assert doc["population"] >= 2
+
+    def test_world_summary(self, client):
+        doc = client.get("/world").json()
+        assert doc["universe"] == N
+        assert doc["seed"] == SEED
+        assert doc["bounds"][0] <= doc["population"] <= doc["bounds"][1]
+        assert doc["paused"] is False
+
+    def test_near_happy_path(self, client):
+        doc = client.get("/near/0").json()
+        assert doc["ue"] == 0
+        assert doc["count"] == len(doc["neighbors"])
+        powers = [nb["power_dbm"] for nb in doc["neighbors"]]
+        assert powers == sorted(powers, reverse=True)
+        assert all(nb["distance_m"] > 0 for nb in doc["neighbors"])
+
+    def test_near_limit(self, client):
+        doc = client.get("/near/0?limit=2").json()
+        assert doc["count"] <= 2
+
+    def test_near_unknown_ue_is_404(self, client):
+        resp = client.get(f"/near/{N + 7}")
+        assert resp.status == 404
+        assert "unknown UE" in resp.json()["error"]
+
+    def test_near_inactive_ue_is_404(self):
+        client = make_client()
+        world = client.app.world
+        inactive = next(
+            d for d in range(world.network.n) if not world.is_active(d)
+        )
+        resp = client.get(f"/near/{inactive}")
+        assert resp.status == 404
+        assert "not active" in resp.json()["error"]
+
+    def test_near_bad_id_is_400(self, client):
+        assert client.get("/near/abc").status == 400
+
+    def test_near_bad_limit_is_400(self, client):
+        assert client.get("/near/0?limit=nope").status == 400
+
+    def test_fragment_membership(self, client):
+        doc = client.get("/fragment/0").json()
+        assert 0 in doc["members"] or doc["truncated"]
+        assert doc["size"] >= 1
+        assert doc["fragment_id"] == min(
+            client.get(f"/fragment/{doc['fragment_id']}").json()["members"]
+        )
+
+    def test_fragment_limit_truncates(self, client):
+        doc = client.get("/fragment/0?limit=1").json()
+        assert len(doc["members"]) == 1
+        assert doc["truncated"] is (doc["size"] > 1)
+
+    def test_sync_summary(self, client):
+        doc = client.get("/sync").json()
+        assert {"active", "fragments", "spanning", "residual_bound_ms"} <= set(
+            doc
+        )
+        assert doc["fragments"] >= 1
+
+    def test_metrics_exposition(self, client):
+        resp = client.get("/metrics")
+        assert resp.status == 200
+        assert resp.content_type.startswith("text/plain")
+        assert "repro_world_population" in resp.text
+        assert "repro_service_requests_total" in resp.text
+
+    def test_unknown_route_is_404(self, client):
+        assert client.get("/nope/really").status == 404
+
+    def test_wrong_method_is_405(self, client):
+        assert client.post("/health").status == 405
+        assert client.get("/world/step").status == 405
+
+
+class TestWorldControl:
+    def test_step_advances_clock(self):
+        client = make_client()
+        before = client.get("/health").json()["time_ms"]
+        doc = client.post("/world/step", {"steps": 2}).json()
+        assert doc["stepped"] == 2
+        assert doc["time_ms"] > before
+        for event in doc["events"]:
+            assert event["kind"] in ("join", "fail")
+
+    def test_step_paused_world_is_409(self):
+        client = make_client()
+        assert client.post("/world/pause").json()["paused"] is True
+        resp = client.post("/world/step")
+        assert resp.status == 409
+        assert "paused" in resp.json()["error"]
+        assert client.post("/world/resume").json()["paused"] is False
+        assert client.post("/world/step").status == 200
+
+    def test_step_rejects_bad_counts(self):
+        client = make_client()
+        assert client.post("/world/step", {"steps": 0}).status == 400
+        assert client.post("/world/step", {"steps": "three"}).status == 400
+        assert client.post("/world/step", {"steps": 10**9}).status == 400
+        bad = client.request("POST", "/world/step", b"not json")
+        assert bad.status == 400
+
+    def test_request_counters_label_by_endpoint(self):
+        client = make_client()
+        client.get("/health")
+        client.get("/near/0")
+        client.get(f"/near/{N + 7}")
+        text = client.get("/metrics").text
+        assert 'endpoint="/health"' in text
+        assert 'endpoint="/near/{ue}"' in text
+        assert 'status="404"' in text
+
+    def test_latency_stays_out_of_metrics(self):
+        client = make_client()
+        client.get("/health")
+        assert "/health" in client.app.latency
+        assert "latency" not in client.get("/metrics").text
+
+
+class TestEventsEndpoint:
+    def test_sse_framing(self):
+        client = make_client()
+        client.post("/world/step", {"steps": 2})
+        resp = client.get("/events?since=0")
+        assert resp.status == 200
+        assert resp.content_type == "text/event-stream"
+        frames = [f for f in resp.text.split("\n\n") if f]
+        assert frames, "stepping a churning world must emit frames"
+        for i, frame in enumerate(frames):
+            lines = frame.split("\n")
+            assert lines[0] == f"id: {i}"
+            assert lines[1].startswith("event: ")
+            payload = json.loads(
+                "\n".join(ln[len("data: "):] for ln in lines[2:])
+            )
+            assert "topic" in payload or "analyzer" in payload
+
+    def test_sse_cursor_pagination(self):
+        client = make_client()
+        client.post("/world/step", {"steps": 2})
+        first = client.get("/events?since=0&limit=2")
+        cursor = dict(first.headers)["X-SSE-Cursor"]
+        assert first.text.count("\n\n") <= 2
+        rest = client.get(f"/events?since={cursor}")
+        assert f"id: {cursor}" in rest.text
+        assert "id: 0\n" not in rest.text
+
+
+class TestSSEBridge:
+    def test_format_sse_multiline_data(self):
+        frame = format_sse("telemetry", "a\nb", event_id=3)
+        assert frame == "id: 3\nevent: telemetry\ndata: a\ndata: b\n\n"
+
+    def test_frames_since_and_eviction(self):
+        bridge = SSEBridge(capacity=4)
+        bus = TelemetryBus()
+        bus.subscribe(bridge)
+        for i in range(6):
+            bus.publish("churn", float(i), device=i)
+        assert bridge.dropped == 2
+        assert bridge.oldest_id == 2
+        frames, cursor = bridge.frames_since(0)
+        assert len(frames) == 4  # stale cursor resumes at oldest retained
+        assert cursor == 6
+        assert bridge.frames_since(cursor) == ([], 6)
+
+    def test_topic_filter_and_alert_passthrough(self):
+        bridge = SSEBridge(topics=("churn",))
+        bus = TelemetryBus()
+        bus.subscribe(bridge)
+        bus.publish("churn", 1.0, device=1)
+        bus.publish("sync", 2.0, spread_ms=0.5)
+        frames, _ = bridge.frames_since(0)
+        assert len(frames) == 1
+        assert '"topic":"churn"' in frames[0]
+
+
+class TestReplayDeterminism:
+    """The acceptance criterion: identical seeds, identical bytes."""
+
+    def _mixed_log(self) -> RequestLog:
+        log = RequestLog()
+        log.record("GET", "/health")
+        log.record("POST", "/world/step", b'{"steps": 3}')
+        for ue in (0, 1, 5, N + 7):
+            log.record("GET", f"/near/{ue}?limit=4")
+        log.record("GET", "/fragment/2")
+        log.record("POST", "/world/pause")
+        log.record("POST", "/world/step")
+        log.record("POST", "/world/resume")
+        log.record("POST", "/world/step")
+        log.record("GET", "/sync")
+        log.record("GET", "/events?since=0&limit=8")
+        log.record("GET", "/metrics")
+        return log
+
+    def test_recorded_log_replays_byte_identical(self):
+        log = self._mixed_log()
+        first = log.replay(make_client())
+        second = log.replay(make_client())
+        assert first == second
+        statuses = [status for status, _ in first]
+        assert 409 in statuses and 404 in statuses  # errors replay too
+
+    def test_different_seed_diverges(self):
+        log = self._mixed_log()
+        a = log.replay(make_client(seed=SEED))
+        b = log.replay(make_client(seed=SEED + 1))
+        assert a != b
+
+    def test_log_jsonl_round_trip(self):
+        log = self._mixed_log()
+        restored = RequestLog.from_jsonl(log.to_jsonl())
+        assert restored.entries == log.entries
+        assert restored.replay(make_client()) == log.replay(make_client())
+
+    def test_log_rejects_foreign_schema(self):
+        with pytest.raises(ValueError):
+            RequestLog.from_jsonl('{"schema": "other/1"}\n')
+        with pytest.raises(ValueError):
+            RequestLog.from_jsonl("")

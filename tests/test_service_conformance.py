@@ -1,0 +1,128 @@
+"""Service conformance pair: scripted sessions replay byte-identical."""
+
+from __future__ import annotations
+
+import copy
+import itertools
+
+import pytest
+
+from repro.cli import main
+from repro.conformance.differential import DIFF_PAIRS
+from repro.core.config import PaperConfig
+from repro.service.conformance import (
+    capture_service,
+    diff_service,
+    first_response_divergence,
+    scripted_session,
+    service_corpus_outcomes,
+)
+
+CONFIG = PaperConfig(n_devices=24, seed=2)
+
+
+class TestScriptedSession:
+    def test_script_is_deterministic(self):
+        a = scripted_session(CONFIG)
+        b = scripted_session(CONFIG)
+        assert a.entries == b.entries
+
+    def test_script_crosses_every_behaviour_class(self):
+        urls = [(m, u) for m, u, _ in scripted_session(CONFIG).entries]
+        methods = {m for m, _ in urls}
+        assert methods == {"GET", "POST"}
+        paths = [u for _, u in urls]
+        assert any(u.startswith("/near/") for u in paths)
+        assert any(u.startswith("/fragment/") for u in paths)
+        assert "/world/pause" in paths and "/world/resume" in paths
+        assert "/metrics" in paths
+        assert any(u.startswith("/events") for u in paths)
+
+    def test_capture_records_the_error_contract(self):
+        doc = capture_service(CONFIG)
+        assert doc["schema"] == "repro.service.capture/1"
+        statuses = [r["status"] for r in doc["responses"]]
+        assert 404 in statuses, "script must include the unknown-UE 404"
+        assert 409 in statuses, "script must include the paused-step 409"
+        assert statuses.count(409) == 1
+
+
+class TestDiffService:
+    def test_identical_seeds_are_byte_identical(self):
+        outcome = diff_service(CONFIG)
+        assert outcome.ok, outcome.divergence
+
+    def test_divergence_is_detected_and_located(self):
+        doc = capture_service(CONFIG)
+        mutated = copy.deepcopy(doc)
+        mutated["responses"][5]["body"] = '{"tampered":true}\n'
+        div = first_response_divergence(doc, mutated)
+        assert div is not None
+        assert div.kind == "response"
+        assert div.round == 5
+        assert "responses[5].body" in div.location
+
+    def test_status_divergence_reported(self):
+        doc = capture_service(CONFIG)
+        mutated = copy.deepcopy(doc)
+        mutated["responses"][0]["status"] = 500
+        div = first_response_divergence(doc, mutated)
+        assert div is not None and "status" in div.location
+
+    def test_length_mismatch_reported(self):
+        doc = capture_service(CONFIG)
+        mutated = copy.deepcopy(doc)
+        mutated["responses"].pop()
+        div = first_response_divergence(doc, mutated)
+        assert div is not None and div.location == "len(responses)"
+
+    def test_registered_as_diff_pair(self):
+        assert "service" in DIFF_PAIRS
+
+
+class TestCorpusSweep:
+    def test_sampled_corpus_cells_replay_clean(self):
+        outcomes = list(
+            itertools.islice(service_corpus_outcomes(sample=4), 6)
+        )
+        assert outcomes, "sweep must cover at least one corpus cell"
+        for name, div in outcomes:
+            assert name.startswith("service:")
+            assert div is None, f"{name} diverged: {div}"
+
+
+class TestCli:
+    def test_conformance_diff_service_passes(self, capsys):
+        assert main(
+            ["conformance", "diff", "service", "-n", "16", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "service-replay" in out and "ok" in out
+
+    def test_unknown_pair_still_rejected(self, capsys):
+        assert main(["conformance", "diff", "nonesuch"]) == 2
+        assert "service" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_serve_bounded_run(self, capsys):
+        assert main(
+            [
+                "serve", "-n", "24", "--port", "0",
+                "--for-seconds", "0.3", "--auto-step", "0.05",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving on http://" in out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "-n", "24", "--min-population", "0"],
+            ["serve", "-n", "24", "--max-population", "100"],
+            ["serve", "-n", "24", "--step-ms", "0"],
+        ],
+    )
+    def test_serve_rejects_invalid_world(self, argv, capsys):
+        assert main(argv) == 2
+        assert "invalid world config" in capsys.readouterr().err

@@ -122,6 +122,27 @@ class TestRunControl:
         eng.run(until=4.0)
         assert fired == [1]
 
+    def test_advance_steps_relative_windows(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(2.0, lambda: fired.append("a"))
+        eng.schedule(5.0, lambda: fired.append("b"))
+        eng.schedule(11.0, lambda: fired.append("c"))
+        assert eng.advance(6.0) == 2
+        assert eng.now == 6.0
+        assert fired == ["a", "b"]
+        # empty window still lands the clock exactly on the boundary
+        assert eng.advance(3.0) == 0
+        assert eng.now == 9.0
+        assert eng.advance(2.0) == 1
+        assert fired == ["a", "b", "c"]
+
+    def test_advance_rejects_negative_duration(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Engine().advance(-1.0)
+
     def test_resume_after_partial_run(self):
         eng = Engine()
         fired = []
