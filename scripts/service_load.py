@@ -14,12 +14,19 @@ deliberate 404s) while a churn thread posts ``/world/step`` and cycles
 ``pause``/``resume``.  This is the CI ``service-smoke`` gate:
 
 * **zero 5xx** across the whole run (4xx are expected — the script
-  provokes them on purpose);
+  provokes them on purpose), cross-checked against the ops plane: the
+  availability SLO must have fired **zero** alerts;
+* client-side p50/p95/p99 latency is reported per run;
 * a final ``/metrics`` scrape must parse and carry the per-endpoint
   request counters and world gauges.
 
-Exit codes: 0 ok, 1 load failure (5xx seen or metrics missing),
-2 setup error.
+The service runs with the full ops plane attached (tracing, SLO burn
+analysis, flight recorder), so the smoke run also exercises the
+instrumented hot path; on failure a flight-recorder bundle is written
+to ``--flight-dir`` for the CI artifact upload.
+
+Exit codes: 0 ok, 1 load failure (5xx seen, SLO/alert mismatch or
+metrics missing), 2 setup error.
 """
 
 from __future__ import annotations
@@ -48,10 +55,13 @@ class LoadStats:
         self.lock = threading.Lock()
         self.by_status: dict[int, int] = {}
         self.errors: list[str] = []
+        self.latencies_ms: list[float] = []
 
-    def note(self, status: int) -> None:
+    def note(self, status: int, elapsed_s: float | None = None) -> None:
         with self.lock:
             self.by_status[status] = self.by_status.get(status, 0) + 1
+            if elapsed_s is not None:
+                self.latencies_ms.append(elapsed_s * 1000.0)
 
     def fail(self, message: str) -> None:
         with self.lock:
@@ -64,6 +74,14 @@ class LoadStats:
     @property
     def five_xx(self) -> int:
         return sum(c for s, c in self.by_status.items() if s >= 500)
+
+    def percentile(self, q: float) -> float:
+        """Client-side latency percentile (ms) by nearest-rank."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
 
 
 def query_worker(
@@ -81,8 +99,9 @@ def query_worker(
     i = 0
     while not stop.is_set():
         try:
+            t0 = time.perf_counter()
             status, _ = _request(base + script[i % len(script)])
-            stats.note(status)
+            stats.note(status, time.perf_counter() - t0)
         except Exception as exc:  # noqa: BLE001 — any transport failure fails the gate
             stats.fail(f"worker {wid}: {type(exc).__name__}: {exc}")
             return
@@ -112,6 +131,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--duration", type=float, default=30.0)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--flight-dir",
+        default="results/flight",
+        help="flight-recorder bundle directory (written on failure)",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.config import PaperConfig
@@ -142,7 +166,13 @@ def main(argv: list[str] | None = None) -> int:
         f"({build_s:.1f}s build)"
     )
 
-    app = DiscoveryApp(world)
+    import json as _json
+
+    from repro.obs import FlightRecorder
+    from repro.obs.ops import OpsPlane
+
+    plane = OpsPlane(flight=FlightRecorder())
+    app = DiscoveryApp(world, ops=plane)
     stats = LoadStats()
     stop = threading.Event()
     with ServiceThread(app) as svc:
@@ -169,6 +199,7 @@ def main(argv: list[str] | None = None) -> int:
             t.join(timeout=30)
         wall = time.perf_counter() - t0
         status, metrics_body = _request(svc.url + "/metrics")
+        slo_status, slo_body = _request(svc.url + "/ops/slo")
 
     print(
         f"{stats.total} requests in {wall:.1f}s "
@@ -176,8 +207,40 @@ def main(argv: list[str] | None = None) -> int:
     )
     for code in sorted(stats.by_status):
         print(f"  {code}: {stats.by_status[code]}")
+    print(
+        "client latency: "
+        f"p50={stats.percentile(0.50):.2f}ms "
+        f"p95={stats.percentile(0.95):.2f}ms "
+        f"p99={stats.percentile(0.99):.2f}ms "
+        f"({len(stats.latencies_ms)} timed)"
+    )
 
     ok = True
+    availability_alerts = None
+    if slo_status == 200:
+        slo_doc = _json.loads(slo_body)
+        availability_alerts = sum(
+            1
+            for alert in slo_doc.get("alerts", [])
+            if alert.get("context", {}).get("kind") == "availability"
+        )
+        for s in slo_doc.get("slos", []):
+            print(
+                f"SLO {s['slo']}: {s['bad_in_window']}/{s['window']} bad, "
+                f"burn={s['burn_rate']:.2f}, alerts={s['alerts']}"
+            )
+    else:
+        ok = False
+        print("FAIL: /ops/slo unreachable", file=sys.stderr)
+    # the zero-5xx gate and the availability SLO must agree: any 5xx is
+    # a failure, and so is an availability alert without one (or vice
+    # versa a silent SLO while 5xx happened in alertable volume)
+    if availability_alerts:
+        ok = False
+        print(
+            f"FAIL: availability SLO fired {availability_alerts} alert(s)",
+            file=sys.stderr,
+        )
     if stats.errors:
         ok = False
         for err in stats.errors[:10]:
@@ -194,6 +257,15 @@ def main(argv: list[str] | None = None) -> int:
     if stats.total == 0:
         ok = False
         print("FAIL: no requests completed", file=sys.stderr)
+    if not ok and args.flight_dir:
+        try:
+            plane.flush()  # queued request records reach the rings first
+            json_path, html_path = plane.flight.dump(
+                "service-load-failure", args.flight_dir
+            )
+            print(f"flight bundle: {json_path} / {html_path}", file=sys.stderr)
+        except OSError as exc:
+            print(f"flight dump failed: {exc}", file=sys.stderr)
     print("service-smoke:", "OK" if ok else "FAILED")
     return 0 if ok else 1
 

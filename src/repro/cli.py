@@ -30,6 +30,18 @@ Commands
     sparse/batch, clean/noop faults, Borůvka/oracle, sorted/naive
     FFA).  Any
     divergence prints a first-diverging-round report and exits 1.
+    ``run --ops`` replays the corpus under a live ops plane — the bytes
+    must still match the committed goldens.
+``serve``
+    Run the discovery service over a live churning world; the ops plane
+    (latency SLOs, request tracing, flight recorder) is on by default
+    and never changes a response byte (``--no-ops`` to disable).
+``trace <id>``
+    Fetch one request trace from a running service (``GET /trace/{id}``)
+    and render the wall-clock span tree.
+``flight dump``
+    Capture a flight-recorder post-mortem bundle (JSON + HTML) from a
+    running service on demand.
 ``list``
     List the available experiment ids.
 """
@@ -259,6 +271,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--for-seconds", type=float, default=None,
         help="exit after this many wall seconds (for tests and CI)",
     )
+    serve.add_argument(
+        "--no-ops", action="store_true",
+        help="disable the ops plane (no tracing, SLOs or flight recorder; "
+        "response bytes are identical either way)",
+    )
+    serve.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="write flight-recorder bundles here on alert/5xx/invariant "
+        "(default: record in memory only, dump via GET /ops/flight)",
+    )
+    serve.add_argument(
+        "--request-log-max", type=int, default=4096, metavar="N",
+        help="bound on the replayable request log embedded in flight "
+        "bundles (0 disables request logging)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="fetch one request trace from a running service and render "
+        "the span tree",
+    )
+    trace.add_argument("trace_id", help="trace id, e.g. t00000007")
+    trace.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="service base URL (default: http://127.0.0.1:8642)",
+    )
+
+    flight = sub.add_parser(
+        "flight",
+        help="flight-recorder operations against a running service",
+    )
+    flight_sub = flight.add_subparsers(dest="flight_command", required=True)
+    flight_dump = flight_sub.add_parser(
+        "dump", help="capture a post-mortem bundle (JSON + HTML) on demand"
+    )
+    flight_dump.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="service base URL (default: http://127.0.0.1:8642)",
+    )
+    flight_dump.add_argument(
+        "--output", "-o", default="results/flight", metavar="DIR",
+        help="directory for the bundle pair (default: results/flight)",
+    )
 
     conf = sub.add_parser(
         "conformance",
@@ -283,6 +338,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay goldens only; skip the metamorphic relation registry",
     )
+    conf_run.add_argument(
+        "--ops",
+        action="store_true",
+        help="replay under a process-default ops plane (tracing, SLOs, "
+        "flight recorder live) — the committed bytes must still match, "
+        "proving the ops plane never leaks into canonical output",
+    )
 
     conf_rec = conf_sub.add_parser(
         "record", help="(re)record the golden corpus and bill fixture"
@@ -296,7 +358,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     conf_diff.add_argument(
         "pair",
-        help="backends | batch | faults | boruvka | ffa | shard | service | all",
+        help="backends | batch | faults | boruvka | ffa | shard | service "
+        "| service-ops | all",
     )
     conf_diff.add_argument("--devices", "-n", type=int, default=32)
     conf_diff.add_argument("--seed", type=int, default=1)
@@ -697,7 +760,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"rates={wcfg.arrival_rate:g}/{wcfg.departure_rate:g} per epoch"
     )
     world = SteadyStateWorld(wcfg)
-    app = DiscoveryApp(world)
+    if args.no_ops:
+        app = DiscoveryApp(world)
+        print("ops plane: disabled")
+    else:
+        from repro.obs import FlightRecorder
+        from repro.obs.ops import OpsPlane
+        from repro.service import RequestLog
+
+        flight = FlightRecorder(out_dir=args.flight_dir)
+        request_log = (
+            RequestLog(max_entries=args.request_log_max)
+            if args.request_log_max > 0
+            else None
+        )
+        app = DiscoveryApp(
+            world, ops=OpsPlane(flight=flight), request_log=request_log
+        )
+        sink = args.flight_dir or "memory (GET /ops/flight)"
+        print(f"ops plane: SLOs + tracing live, flight bundles -> {sink}")
     server = ServiceServer(app, args.host, args.port)
 
     async def _main() -> None:
@@ -742,19 +823,36 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         return 0
 
     if args.conformance_command == "run":
-        checks = [
-            (name, div)
-            for name, div in verify_corpus(args.goldens, backend=args.backend)
-        ]
-        if not args.skip_relations:
-            checks += [
-                (f"relation:{name}", div)
-                for name, div in run_relations(
-                    PaperConfig(n_devices=16, seed=1)
+        from contextlib import nullcontext
+
+        if args.ops:
+            from repro.obs import FlightRecorder
+            from repro.obs.ops import OpsPlane, default_ops
+
+            scope = default_ops(OpsPlane(flight=FlightRecorder()))
+        else:
+            scope = nullcontext()
+        with scope:
+            checks = [
+                (name, div)
+                for name, div in verify_corpus(
+                    args.goldens, backend=args.backend
                 )
             ]
+            if not args.skip_relations:
+                checks += [
+                    (f"relation:{name}", div)
+                    for name, div in run_relations(
+                        PaperConfig(n_devices=16, seed=1)
+                    )
+                ]
         backend = args.backend or "as recorded"
-        print(render_summary(checks, title=f"conformance run [{backend}]"))
+        suffix = " +ops" if args.ops else ""
+        print(
+            render_summary(
+                checks, title=f"conformance run [{backend}{suffix}]"
+            )
+        )
         return 1 if any(div is not None for _, div in checks) else 0
 
     if args.conformance_command == "diff":
@@ -774,6 +872,69 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     raise AssertionError(
         f"unhandled conformance command {args.conformance_command!r}"
     )
+
+
+def _fetch_json(url: str) -> tuple[int, dict]:
+    """GET ``url`` and parse the JSON body (also on error statuses)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.ops import OpsSpan, render_trace
+
+    url = f"{args.url.rstrip('/')}/trace/{args.trace_id}"
+    try:
+        status, doc = _fetch_json(url)
+    except OSError as exc:
+        print(f"cannot reach service at {args.url}: {exc}", file=sys.stderr)
+        return 2
+    if status != 200:
+        print(f"{url}: {status} {doc.get('error', '')}", file=sys.stderr)
+        return 1
+    spans = [OpsSpan.from_dict(d) for d in doc["spans"]]
+    print(f"trace {doc['trace_id']} ({len(spans)} spans)")
+    print(render_trace(spans))
+    return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.obs.flight import render_flight_html
+
+    url = f"{args.url.rstrip('/')}/ops/flight"
+    try:
+        status, doc = _fetch_json(url)
+    except OSError as exc:
+        print(f"cannot reach service at {args.url}: {exc}", file=sys.stderr)
+        return 2
+    if status != 200:
+        print(f"{url}: {status} {doc.get('error', '')}", file=sys.stderr)
+        return 1
+    directory = pathlib.Path(args.output)
+    directory.mkdir(parents=True, exist_ok=True)
+    json_path = directory / "flight_manual.json"
+    html_path = directory / "flight_manual.html"
+    json_path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    html_path.write_text(render_flight_html(doc), encoding="utf-8")
+    print(
+        f"flight bundle: {len(doc.get('requests', []))} requests, "
+        f"{len(doc.get('alerts', []))} alerts, "
+        f"{len(doc.get('violations', []))} violations"
+    )
+    print(f"wrote {json_path} and {html_path}")
+    return 0
 
 
 def _cmd_run_report(args: argparse.Namespace) -> int:
@@ -908,6 +1069,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "flight":
+        return _cmd_flight(args)
     if args.command == "conformance":
         return _cmd_conformance(args)
     if args.command == "list":

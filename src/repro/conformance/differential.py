@@ -411,6 +411,13 @@ def _run_service(config: PaperConfig) -> DiffOutcome:
     return diff_service(config)
 
 
+def _run_service_ops(config: PaperConfig) -> DiffOutcome:
+    # lazy: repro.service.conformance imports back into this package
+    from repro.service.conformance import diff_service_ops
+
+    return diff_service_ops(config)
+
+
 #: Named pairs for the CLI (``repro conformance diff <pair>``).
 DIFF_PAIRS: dict[str, Callable[[PaperConfig], DiffOutcome]] = {
     "backends": _run_backends,
@@ -420,6 +427,7 @@ DIFF_PAIRS: dict[str, Callable[[PaperConfig], DiffOutcome]] = {
     "ffa": _run_ffa,
     "shard": _run_shard,
     "service": _run_service,
+    "service-ops": _run_service_ops,
 }
 
 

@@ -50,11 +50,24 @@ from repro.obs.exporters import (
     write_jsonl_trace,
     write_metrics_json,
 )
+from repro.obs.flight import FlightRecorder, load_bundle, render_flight_html
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.ops import (
+    OpsPlane,
+    OpsSpan,
+    SLOBurnRate,
+    SLOObjective,
+    TraceContext,
+    default_ops,
+    default_plane,
+    default_slos,
+    install_default,
+    render_trace,
 )
 from repro.obs.probes import ProbeSample, ProbeSet
 from repro.obs.sse import SSEBridge, format_sse
@@ -73,30 +86,43 @@ from repro.sim.trace import TraceRecorder
 __all__ = [
     "Counter",
     "EveryK",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "KeepAll",
     "MetricsRegistry",
     "Observability",
+    "OpsPlane",
+    "OpsSpan",
     "ProbeSample",
     "ProbeSet",
     "ReservoirSample",
+    "SLOBurnRate",
+    "SLOObjective",
     "SSEBridge",
     "SamplingPolicy",
     "Span",
     "SpanRecorder",
     "TelemetryBus",
     "TelemetryEvent",
+    "TraceContext",
     "activate",
     "canonical_snapshot",
+    "default_ops",
+    "default_plane",
+    "default_slos",
     "empty_snapshot",
     "format_sse",
     "get_active",
+    "install_default",
+    "load_bundle",
     "merge_snapshots",
     "metrics_document",
     "read_jsonl_trace",
     "read_snapshot",
+    "render_flight_html",
     "render_prometheus",
+    "render_trace",
     "stitched_spans",
     "to_registry",
     "trace_to_jsonl",
@@ -129,6 +155,13 @@ class Observability:
         ``bus is not None``, so a bundle without a bus pays nothing.
     stream_capacity:
         Ring capacity of the attached bus (ignored without ``stream``).
+
+    The bundle also carries ``self.ops`` — the non-canonical
+    :class:`~repro.obs.ops.OpsPlane`, ``None`` unless one was installed
+    process-wide (:func:`~repro.obs.ops.install_default`) or attached
+    explicitly by the service wiring.  Everything above stays on the
+    deterministic plane; the ops plane keeps its own sibling registry
+    and bus, and is excluded from every canonical export.
     """
 
     def __init__(
@@ -141,6 +174,7 @@ class Observability:
         stream_capacity: int | None = None,
     ) -> None:
         self.enabled = enabled
+        self.ops: OpsPlane | None = default_plane()
         self.metrics = MetricsRegistry()
         self.spans = SpanRecorder(enabled=enabled)
         self.trace: TraceRecorder | None = (

@@ -1,0 +1,764 @@
+"""The ops plane: wall-clock observability that never touches canon.
+
+Everything in :mod:`repro.obs` so far lives on the *deterministic
+plane*: metrics, spans and telemetry that are pure functions of the
+seed, byte-identical across replays, and therefore admissible in golden
+traces and service responses.  That contract is exactly why request
+latency has no home there — wall clock poisons byte-determinism.
+
+:class:`OpsPlane` is the second, explicitly **non-canonical** plane an
+operator of ``repro serve`` needs:
+
+* **request-scoped tracing** — :class:`TraceContext` (trace id + parent
+  span id) generated per service request and per world step, propagated
+  through ``DiscoveryApp`` → ``SteadyStateWorld.step`` →
+  ``Engine.advance`` and across ``shard/runner.py`` pool workers;
+  finished spans are queryable via ``GET /trace/{id}`` and ``repro
+  trace``;
+* **latency SLOs** — per-endpoint wall-clock histograms with
+  :class:`SLOObjective` targets (e.g. p99 ≤ 10 ms for ``/near``), a
+  :class:`SLOBurnRate` analyzer on the plane's own PR 5 telemetry bus
+  emitting structured :class:`~repro.obs.analyzers.Alert` records, and
+  exemplar trace ids attached to slow histogram buckets;
+* a sibling :class:`~repro.obs.metrics.MetricsRegistry` and
+  :class:`~repro.obs.stream.TelemetryBus` that are **excluded** from
+  ``GET /metrics``, ``metrics_document`` and every conformance artifact.
+
+The separation is load-bearing, not cosmetic: SLO alerts depend on the
+machine's clock, so they must not land in the world's ``alerts_total``
+counter or its SSE stream — the ops plane gets its own bus instead, and
+``tests/test_service_ops.py`` proves service responses and goldens stay
+byte-identical with the plane on and off.
+
+The hot path is built for a ≤ 5% overhead budget on a ~100 µs request
+(``bench_service.py`` enforces ``ops_overhead_ratio``): requests are
+queued as tuples and drained in batches (``flush_interval``) into the
+histogram, the SLO windows and the flight recorder, span objects are
+only built for sampled requests (``trace_sample``, 1 = trace all), and
+a 5xx flushes immediately so post-mortem dumps stay timely.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.obs.analyzers import Analyzer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import TelemetryBus, TelemetryEvent
+
+#: Latency histogram bucket bounds in milliseconds (service request
+#: scale: sub-ms cache hits through a 1 s pathological tail).
+LATENCY_BUCKETS_MS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0)
+
+#: Prometheus ``le`` label per bucket, precomputed once — ``repr`` per
+#: request was a measurable slice of the overhead budget.
+_LE_LABELS = tuple(repr(b) for b in LATENCY_BUCKETS_MS)
+
+#: Retained finished traces (whole traces are evicted FIFO, counted).
+DEFAULT_TRACE_CAPACITY = 256
+
+#: Ring capacity of the plane's private telemetry bus.
+DEFAULT_OPS_BUS_CAPACITY = 2048
+
+#: Trace 1-in-N requests by default (1 = every request).  Span objects
+#: cost a few µs each; sampling keeps the ops plane inside its ≤ 5%
+#: overhead budget while exemplars still reach every latency bucket.
+DEFAULT_TRACE_SAMPLE = 16
+
+#: Queued request records drained per batch; bounds both the amortised
+#: per-request cost and how stale SLO windows may run between reads
+#: (readers always flush first, so staleness never reaches a scrape).
+#: Larger batches amortise the drain's cache warm-up over more records.
+DEFAULT_FLUSH_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in a trace: trace id + own span id + parent span id.
+
+    Frozen and picklable on purpose — shard pool workers receive the
+    driver's context in their job tuple and mint child spans under it.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def child(self, span_id: str) -> "TraceContext":
+        """A context for a child span (this span becomes the parent)."""
+        return TraceContext(self.trace_id, span_id, self.span_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+
+@dataclass(frozen=True)
+class OpsSpan:
+    """One finished wall-clock span inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start_s: float
+    duration_ms: float
+    status: str = "ok"  # "ok" | "error"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "OpsSpan":
+        return cls(
+            trace_id=str(doc["trace_id"]),
+            span_id=str(doc["span_id"]),
+            parent_id=doc.get("parent_id"),
+            name=str(doc["name"]),
+            start_s=float(doc["start_s"]),
+            duration_ms=float(doc["duration_ms"]),
+            status=str(doc.get("status", "ok")),
+            attrs=dict(doc.get("attrs", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+# SLOs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SLOObjective:
+    """One service-level objective over the request stream.
+
+    ``kind="latency"`` counts a request as *bad* when its wall time
+    exceeds ``threshold_ms``; ``kind="availability"`` when its status is
+    a 5xx.  ``objective`` is the required good fraction, so the error
+    budget is ``1 - objective`` and the burn rate is the observed bad
+    fraction divided by that budget (burn 1.0 = exactly on budget).
+    """
+
+    name: str
+    endpoint: str  # endpoint template, or "*" for every endpoint
+    kind: str = "latency"  # "latency" | "availability"
+    threshold_ms: float = 10.0
+    objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+
+    def is_bad(self, *, elapsed_ms: float, status: int) -> bool:
+        if self.kind == "availability":
+            return status >= 500
+        return elapsed_ms > self.threshold_ms
+
+
+def default_slos() -> tuple[SLOObjective, ...]:
+    """The stock objectives ``repro serve`` runs under."""
+    return (
+        SLOObjective(
+            name="near-p99",
+            endpoint="/near/{ue}",
+            kind="latency",
+            threshold_ms=10.0,
+            objective=0.99,
+        ),
+        SLOObjective(
+            name="all-p99",
+            endpoint="*",
+            kind="latency",
+            threshold_ms=50.0,
+            objective=0.99,
+        ),
+        SLOObjective(
+            name="availability",
+            endpoint="*",
+            kind="availability",
+            objective=0.999,
+        ),
+    )
+
+
+class SLOBurnRate(Analyzer):
+    """Burn-rate analyzer over the ops plane's request stream.
+
+    Maintains a sliding window of the last ``window`` matching requests
+    and fires one structured alert per episode when the burn rate —
+    observed bad fraction over the SLO's error budget — reaches
+    ``burn_limit`` with at least ``min_events`` in the window.  The
+    detector re-arms once the burn drops back under the limit, so a
+    sustained violation yields one alert, not one per request.
+    Availability violations are ``critical``; latency ones ``warning``.
+
+    Fed in batches through :meth:`ingest` by :meth:`OpsPlane.flush` (the
+    window count is maintained incrementally — no per-request window
+    scan); the :class:`~repro.obs.analyzers.Analyzer` ``observe`` hook
+    remains as a single-event adapter so the class still works as an
+    ordinary bus subscriber.
+    """
+
+    name = "slo_burn_rate"
+    topics = ("request",)
+
+    def __init__(
+        self,
+        slo: SLOObjective,
+        *,
+        window: int = 200,
+        min_events: int = 20,
+        burn_limit: float = 2.0,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        super().__init__()
+        self.slo = slo
+        self.window = int(window)
+        self.min_events = int(min_events)
+        self.burn_limit = float(burn_limit)
+        #: sequence numbers (per matching request) of *bad* requests —
+        #: a sparse window: the healthy path never touches a ring at
+        #: all, which is what keeps three analyzers inside the ops
+        #: overhead budget
+        self._bad_seq: deque[int] = deque()
+        self.seen = 0
+        self.burn = 0.0
+        self._armed = True
+
+    def ingest(
+        self, records: list[tuple], summary: tuple | None = None
+    ) -> None:
+        """Account a batch of request records (see ``_REQUEST_RECORD``).
+
+        ``summary`` is the plane's per-batch digest ``(counts, maxes,
+        five_xx_endpoint)`` — when the window holds no bad requests and
+        the digest proves the whole batch is clean for this SLO, the
+        batch reduces to a counter bump (O(endpoints), not O(records)).
+        """
+        slo = self.slo
+        endpoint_filter = slo.endpoint
+        match_all = endpoint_filter == "*"
+        availability = slo.kind == "availability"
+        threshold_ms = slo.threshold_ms
+        threshold_s = threshold_ms / 1000.0  # records carry raw seconds
+        if summary is not None and not self._bad_seq:
+            counts, maxes, five_xx_endpoint = summary
+            if availability:
+                # the digest only carries the *first* 5xx endpoint, so
+                # any 5xx sends the whole batch down the slow path
+                clean = five_xx_endpoint is None
+            elif match_all:
+                clean = (
+                    max(maxes.values()) <= threshold_ms if maxes else True
+                )
+            else:
+                clean = maxes.get(endpoint_filter, 0.0) <= threshold_ms
+            if clean:
+                if match_all:
+                    matching = sum(counts.values())
+                else:
+                    matching = sum(
+                        n
+                        for key, n in counts.items()
+                        if key[0] == endpoint_filter
+                    )
+                if matching:
+                    self.seen += matching
+                    self.burn = 0.0
+                    if min(self.seen, self.window) >= self.min_events:
+                        self._armed = True
+                return
+        budget = 1.0 - slo.objective
+        bad_seq = self._bad_seq
+        window = self.window
+        min_events = self.min_events
+        burn_limit = self.burn_limit
+        seen = self.seen
+        for rec in records:
+            if not match_all and rec[0] != endpoint_filter:
+                continue
+            seen += 1
+            if rec[2] >= 500 if availability else rec[3] > threshold_s:
+                bad_seq.append(seen)
+            elif not bad_seq:
+                continue  # all-good window: burn already 0, stay cheap
+            floor = seen - window
+            while bad_seq and bad_seq[0] <= floor:
+                bad_seq.popleft()
+            n = window if seen > window else seen
+            if not bad_seq:
+                self.burn = 0.0
+                if n >= min_events:
+                    self._armed = True
+                continue
+            burn = self.burn = (len(bad_seq) / n) / budget
+            if n >= min_events:
+                if burn >= burn_limit:
+                    if self._armed:
+                        self._armed = False
+                        severity = (
+                            "critical" if availability else "warning"
+                        )
+                        self.fire(
+                            rec[6] * 1000.0,
+                            severity,
+                            f"SLO {slo.name} burning at {burn:.1f}x budget "
+                            f"({len(bad_seq) / n:.1%} bad over last {n} "
+                            f"requests)",
+                            slo=slo.name,
+                            kind=slo.kind,
+                            endpoint=endpoint_filter,
+                            burn=burn,
+                            window=n,
+                        )
+                else:
+                    self._armed = True
+        self.seen = seen
+
+    def observe(self, event: TelemetryEvent) -> None:
+        """Bus-subscriber adapter: account one ``request`` event."""
+        self.ingest(
+            [
+                (
+                    event.labels.get("endpoint", ""),
+                    event.labels.get("method", ""),
+                    int(event.values.get("status", 0)),
+                    float(event.values.get("elapsed_ms", event.value))
+                    / 1000.0,
+                    event.labels.get("trace"),
+                    event.labels.get("endpoint", ""),
+                    event.time_ms / 1000.0,
+                )
+            ]
+        )
+
+    def status(self) -> dict[str, Any]:
+        """JSON-safe snapshot for ``GET /ops/slo`` (updates the gauge —
+        deliberately here and not per request, which was measurable)."""
+        if self.bus is not None and self.bus.metrics is not None:
+            self.bus.metrics.gauge(
+                "slo_burn_rate",
+                help="observed bad fraction over the SLO error budget",
+            ).set(self.burn, slo=self.slo.name)
+        return {
+            "slo": self.slo.name,
+            "endpoint": self.slo.endpoint,
+            "kind": self.slo.kind,
+            "threshold_ms": self.slo.threshold_ms,
+            "objective": self.slo.objective,
+            "seen": self.seen,
+            "window": min(self.seen, self.window),
+            "bad_in_window": len(self._bad_seq),
+            "burn_rate": self.burn,
+            "alerts": len(self.alerts),
+        }
+
+
+# ----------------------------------------------------------------------
+# the plane
+# ----------------------------------------------------------------------
+class OpsPlane:
+    """Sibling registry + trace store + SLO machinery for one service.
+
+    Holds its own :class:`MetricsRegistry` and :class:`TelemetryBus`
+    (never the world's), a bounded store of finished traces, and one
+    :class:`SLOBurnRate` analyzer per objective.  ``clock`` is
+    injectable so tests can drive deterministic latencies.
+
+    Request accounting is batched: :meth:`observe_request` appends one
+    tuple (the ``_REQUEST_RECORD`` layout) and :meth:`flush` drains the
+    queue — every ``flush_interval`` records, immediately on a 5xx, and
+    before any reader (``slo_status``, the flight bundle) looks.  Spans
+    are only materialised for 1-in-``trace_sample`` requests (1 = all).
+    """
+
+    def __init__(
+        self,
+        *,
+        slos: tuple[SLOObjective, ...] | None = None,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        bus_capacity: int = DEFAULT_OPS_BUS_CAPACITY,
+        flight: Any | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        burn_window: int = 200,
+        burn_min_events: int = 20,
+        burn_limit: float = 2.0,
+        trace_sample: int = DEFAULT_TRACE_SAMPLE,
+        flush_interval: int = DEFAULT_FLUSH_INTERVAL,
+    ) -> None:
+        if trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+        if trace_sample < 1:
+            raise ValueError("trace_sample must be >= 1")
+        if flush_interval < 1:
+            raise ValueError("flush_interval must be >= 1")
+        self.metrics = MetricsRegistry()
+        self.bus = TelemetryBus(capacity=bus_capacity, metrics=self.metrics)
+        self.trace_capacity = int(trace_capacity)
+        self.trace_sample = int(trace_sample)
+        self.flush_interval = int(flush_interval)
+        self.clock = clock
+        self._traces: OrderedDict[str, list[OpsSpan]] = OrderedDict()
+        self.traces_evicted = 0
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        #: monotone request counter driving trace sampling; public so
+        #: the app's inlined hot path can bump it without a method call
+        self.request_seq = 0
+        self._raw: list[tuple] = []
+        self.exemplars: dict[tuple[str, str], str] = {}
+        self.analyzers: list[SLOBurnRate] = [
+            SLOBurnRate(
+                slo,
+                window=burn_window,
+                min_events=burn_min_events,
+                burn_limit=burn_limit,
+            )
+            for slo in (slos if slos is not None else default_slos())
+        ]
+        for analyzer in self.analyzers:
+            self.bus.subscribe(analyzer)
+        self.flight = flight
+        if flight is not None:
+            self.bus.subscribe(flight)
+        # hot-path metric handles, resolved once (per-request registry
+        # lookups were a measurable slice of the overhead budget)
+        self._latency_hist = self.metrics.histogram(
+            "request_latency_ms",
+            buckets=LATENCY_BUCKETS_MS,
+            help="wall-clock request latency by endpoint (ops plane only)",
+            unit="ms",
+        )
+        self._bound_hists: dict[str, Any] = {}
+        self._requests_counter = self.metrics.counter(
+            "ops_requests_total",
+            help="requests accounted by the ops plane",
+            unit="requests",
+        )
+        self._spans_counter = self.metrics.counter(
+            "ops_spans_total",
+            help="wall-clock spans recorded by the ops plane",
+            unit="spans",
+        )
+        self._evicted_counter = self.metrics.counter(
+            "ops_traces_evicted_total",
+            help="finished traces evicted from the bounded store",
+            unit="traces",
+        )
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def new_trace_id(self) -> str:
+        return f"t{next(self._trace_ids):08x}"
+
+    def context(self, parent: TraceContext | None = None) -> TraceContext:
+        """Mint a context without opening a span.
+
+        For manual span recording across process boundaries: the shard
+        driver mints one context per ``run_city``, ships it to the pool
+        workers (who build span *documents* under it, ids prefixed by
+        shard so they cannot collide), then records the driver-side span
+        itself via :meth:`record_span`.
+        """
+        return self._new_context(parent)
+
+    def _new_context(self, parent: TraceContext | None) -> TraceContext:
+        span_id = f"s{next(self._span_ids):x}"
+        if parent is None:
+            return TraceContext(self.new_trace_id(), span_id, None)
+        return parent.child(span_id)
+
+    @contextmanager
+    def span(
+        self, name: str, *, parent: TraceContext | None = None, **attrs: Any
+    ) -> Iterator[TraceContext]:
+        """Open a wall-clock span; yields the context for child spans.
+
+        With ``parent=None`` a fresh trace id is minted — that is the
+        "per service request and per world step" generation point.
+        """
+        ctx = self._new_context(parent)
+        start = self.clock()
+        status = "ok"
+        try:
+            yield ctx
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            self.record_span(
+                OpsSpan(
+                    trace_id=ctx.trace_id,
+                    span_id=ctx.span_id,
+                    parent_id=ctx.parent_id,
+                    name=name,
+                    start_s=start,
+                    duration_ms=(self.clock() - start) * 1000.0,
+                    status=status,
+                    attrs=attrs,
+                )
+            )
+
+    def record_span(self, span: OpsSpan) -> None:
+        """Store one finished span, evicting whole old traces when full."""
+        spans = self._traces.get(span.trace_id)
+        if spans is None:
+            while len(self._traces) >= self.trace_capacity:
+                self._traces.popitem(last=False)
+                self.traces_evicted += 1
+                self._evicted_counter.inc(1)
+            spans = self._traces[span.trace_id] = []
+        spans.append(span)
+        self._spans_counter.inc(1, name=span.name)
+
+    def ingest(self, span_docs: list[dict[str, Any]]) -> int:
+        """Adopt spans recorded out-of-process (shard pool workers)."""
+        for doc in span_docs:
+            self.record_span(OpsSpan.from_dict(doc))
+        return len(span_docs)
+
+    def trace(self, trace_id: str) -> list[OpsSpan] | None:
+        """Finished spans of one trace (start order), or ``None``."""
+        self.flush()  # queued request spans materialise before any read
+        spans = self._traces.get(trace_id)
+        if spans is None:
+            return None
+        return sorted(spans, key=lambda s: (s.start_s, s.span_id))
+
+    def trace_ids(self) -> list[str]:
+        """Retained trace ids, oldest first."""
+        self.flush()
+        return list(self._traces)
+
+    # ------------------------------------------------------------------
+    # request accounting
+    # ------------------------------------------------------------------
+    def sample_request(self) -> bool:
+        """True when the next request should carry a full trace span."""
+        seq = self.request_seq = self.request_seq + 1
+        return self.trace_sample == 1 or seq % self.trace_sample == 1
+
+    def observe_request(
+        self,
+        endpoint: str,
+        method: str,
+        status: int,
+        elapsed_s: float,
+        trace: TraceContext | None = None,
+        path: str | None = None,
+    ) -> None:
+        """Queue one served request for batched accounting.
+
+        Record layout (``_REQUEST_RECORD``): ``(endpoint, method,
+        status, elapsed_s, ctx, path, start_s)`` where ``start_s`` is on
+        the plane's ``clock``, floats are stored raw (unit conversion
+        happens at flush/render time) and ``ctx`` is the request's
+        :class:`TraceContext` or ``None``.  For traced records
+        :meth:`flush` materialises the request span itself — callers
+        passing ``trace`` must not also wrap the request in
+        :meth:`span`, or the trace shows it twice.  A 5xx drains the
+        queue right away so the flight recorder can dump while the
+        evidence is fresh.
+        """
+        self._raw.append(
+            (
+                endpoint,
+                method,
+                status,
+                elapsed_s,
+                trace,
+                endpoint if path is None else path,
+                self.clock(),
+            )
+        )
+        if status >= 500 or len(self._raw) >= self.flush_interval:
+            self.flush()
+
+    def flush(self) -> int:
+        """Drain queued request records into histogram/SLO/flight state.
+
+        Also materialises queued request spans.  Called automatically
+        every ``flush_interval`` requests, on any 5xx, and by every
+        reader (:meth:`slo_status`, :meth:`trace`, the app's ops
+        endpoints) — so a scrape never sees a stale window.
+        """
+        raw = self._raw
+        if not raw:
+            return 0
+        self._raw = []
+        bound = self._bound_hists
+        hist = self._latency_hist
+        exemplars = self.exemplars
+        le_labels = _LE_LABELS
+        bucket_bounds = LATENCY_BUCKETS_MS
+        first_bound = bucket_bounds[0]
+        counts: dict[tuple[str, str, int], int] = {}
+        maxes: dict[str, float] = {}
+        five_xx_endpoint: str | None = None
+        for rec in raw:
+            endpoint = rec[0]
+            elapsed_ms = rec[3] * 1000.0
+            entry = bound.get(endpoint)
+            if entry is None:
+                h = hist.bound(endpoint=endpoint)
+                # unwrap the bound view once: this loop is the hottest
+                # code the plane owns and the method call was measurable
+                entry = bound[endpoint] = h._sample
+            if elapsed_ms <= first_bound:  # lowest bucket, the common case
+                entry.counts[0] += 1
+            else:
+                for i, b in enumerate(bucket_bounds):
+                    if elapsed_ms <= b:
+                        entry.counts[i] += 1
+                        break
+                else:
+                    entry.counts[-1] += 1
+            entry.sum += elapsed_ms
+            entry.count += 1
+            key = (endpoint, rec[1], rec[2])
+            counts[key] = counts.get(key, 0) + 1
+            if elapsed_ms > maxes.get(endpoint, 0.0):
+                maxes[endpoint] = elapsed_ms
+            if rec[2] >= 500 and five_xx_endpoint is None:
+                five_xx_endpoint = endpoint
+            ctx = rec[4]
+            if ctx is not None:
+                trace_id = ctx.trace_id
+                for i, b in enumerate(bucket_bounds):
+                    if elapsed_ms <= b:
+                        exemplars[(endpoint, le_labels[i])] = trace_id
+                        break
+                else:
+                    exemplars[(endpoint, "+inf")] = trace_id
+                # materialise the request span here, off the hot path:
+                # OpsSpan construction plus the labelled counter inc
+                # cost ~10x the record append they would otherwise ride
+                self.record_span(
+                    OpsSpan(
+                        trace_id=trace_id,
+                        span_id=ctx.span_id,
+                        parent_id=ctx.parent_id,
+                        # endpoint template, not raw path: span names
+                        # label ops_spans_total and must stay bounded
+                        name=f"{rec[1]} {endpoint}",
+                        start_s=rec[6],
+                        duration_ms=elapsed_ms,
+                        status="error" if rec[2] >= 500 else "ok",
+                        attrs={"path": rec[5]},
+                    )
+                )
+        inc = self._requests_counter.inc
+        for (endpoint, method, status), n in counts.items():
+            inc(n, endpoint=endpoint, method=method, status=str(status))
+        summary = (counts, maxes, five_xx_endpoint)
+        for analyzer in self.analyzers:
+            analyzer.ingest(raw, summary)
+        flight = self.flight
+        if flight is not None:
+            if five_xx_endpoint is not None:
+                flight.arm(f"5xx:{five_xx_endpoint}")
+            flight.ingest_requests(raw)
+            flight.maybe_dump()
+        return len(raw)
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    def slo_status(self) -> dict[str, Any]:
+        """The ``GET /ops/slo`` document: objectives, burn, exemplars."""
+        self.flush()
+        return {
+            "slos": [a.status() for a in self.analyzers],
+            "alerts": [a.to_dict() for a in self.bus.alerts],
+            "exemplars": [
+                {"endpoint": endpoint, "le": le, "trace_id": trace_id}
+                for (endpoint, le), trace_id in sorted(self.exemplars.items())
+            ],
+            "traces_retained": len(self._traces),
+            "traces_evicted": self.traces_evicted,
+        }
+
+
+# ----------------------------------------------------------------------
+# process-default plane
+# ----------------------------------------------------------------------
+# ``repro conformance run --ops`` needs every internally constructed
+# Observability bundle — golden captures build private ones — to carry
+# the ops plane, so that replaying the corpus under full ops
+# instrumentation still matches the committed bytes.  A module-level
+# default is the only seam that reaches them without threading a
+# parameter through every driver.
+_DEFAULT: OpsPlane | None = None
+
+
+def default_plane() -> OpsPlane | None:
+    """The process-default ops plane adopted by new bundles, if any."""
+    return _DEFAULT
+
+
+def install_default(plane: OpsPlane | None) -> OpsPlane | None:
+    """Install (or clear) the process-default plane; returns the old one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = plane
+    return previous
+
+
+@contextmanager
+def default_ops(plane: OpsPlane) -> Iterator[OpsPlane]:
+    """Scoped :func:`install_default` (restores the previous plane)."""
+    previous = install_default(plane)
+    try:
+        yield plane
+    finally:
+        install_default(previous)
+
+
+def render_trace(spans: list[OpsSpan]) -> str:
+    """ASCII tree of one trace's spans (the ``repro trace`` output)."""
+    if not spans:
+        return "(empty trace)"
+    by_parent: dict[str | None, list[OpsSpan]] = {}
+    ids = {s.span_id for s in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(span)
+    lines: list[str] = []
+
+    def walk(parent: str | None, depth: int) -> None:
+        for span in sorted(
+            by_parent.get(parent, []), key=lambda s: (s.start_s, s.span_id)
+        ):
+            mark = "" if span.status == "ok" else "  [FAILED]"
+            attrs = (
+                " " + " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+                if span.attrs
+                else ""
+            )
+            lines.append(
+                f"{'  ' * depth}{span.name:<24} {span.duration_ms:9.3f} ms"
+                f"{attrs}{mark}"
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)

@@ -21,7 +21,11 @@ Determinism contract: the world advances only through the seeded
 engine, every random choice is a counter-hash of (seed, event
 identity), and wall-clock never touches a response body — so a request
 log replayed against two instances with the same seed produces
-byte-identical responses.  See ``docs/service.md``.
+byte-identical responses.  Wall-clock operability (latency SLOs,
+request traces, the flight recorder) lives on the separate ops plane
+(:mod:`repro.obs.ops`), which observes without feeding back:
+``repro conformance diff service-ops`` proves the bytes stay identical
+with it on or off.  See ``docs/service.md``.
 """
 
 from repro.service.app import DiscoveryApp, Request, Response, canonical_json
@@ -29,6 +33,7 @@ from repro.service.client import RequestLog, ServiceClient
 from repro.service.conformance import (
     capture_service,
     diff_service,
+    diff_service_ops,
     scripted_session,
     service_corpus_outcomes,
 )
@@ -54,6 +59,7 @@ __all__ = [
     "canonical_json",
     "capture_service",
     "diff_service",
+    "diff_service_ops",
     "poisson_from_uniform",
     "scripted_session",
     "service_corpus_outcomes",

@@ -11,7 +11,11 @@ Response bodies are canonical JSON — sorted keys, fixed separators,
 trailing newline — so byte-identical comparison is meaningful.  Request
 latency is deliberately kept *out* of the Prometheus registry (it would
 poison ``GET /metrics`` byte-determinism); wall-clock aggregates live
-on :attr:`DiscoveryApp.latency` for the load harness to read directly.
+on :attr:`DiscoveryApp.latency` for the load harness to read directly,
+and the full story — per-endpoint histograms, SLO burn, traces — lives
+on the non-canonical ops plane (:mod:`repro.obs.ops`) when one is
+attached.  The ops plane observes and never feeds back: every response
+byte is identical with it on or off (``tests/test_service_ops.py``).
 """
 
 from __future__ import annotations
@@ -20,8 +24,11 @@ import json
 import time
 from dataclasses import dataclass, field
 from typing import Any
+from urllib.parse import urlencode
 
+from repro.faults.invariants import InvariantViolation
 from repro.obs import render_prometheus
+from repro.obs.ops import OpsPlane, TraceContext
 from repro.service.world import SteadyStateWorld, WorldPausedError
 
 #: Hard cap on one ``POST /world/step`` batch; a runaway client must not
@@ -87,21 +94,79 @@ class DiscoveryApp:
     - ``GET /events?since=c&limit=k`` — retained SSE frames from cursor
     - ``POST /world/step`` (body ``{"steps": k}``), ``/world/pause``,
       ``/world/resume``
+    - ``GET /trace/{id}``, ``GET /ops/slo``, ``GET /ops/flight`` — ops
+      plane only (503 without one); never part of the canonical surface
 
     Unknown or inactive UEs are 404 (no radio presence), stepping a
-    paused world is 409, malformed input is 400.
+    paused world is 409, malformed input is 400, an exception escaping a
+    handler is a 500 with the exception type name (and the app keeps
+    serving).
+
+    Parameters
+    ----------
+    ops:
+        Optional :class:`~repro.obs.ops.OpsPlane`.  Defaults to the
+        world bundle's plane (``world.obs.ops``); passing one installs
+        it there so world-step and engine spans land on the same plane.
+        ``None`` disables all wall-clock instrumentation beyond the
+        legacy :attr:`latency` dict.
+    request_log:
+        Optional :class:`~repro.service.client.RequestLog` every handled
+        request is recorded into (bound it!).  Shared with the ops
+        plane's flight recorder so post-mortem bundles embed a
+        replayable log.
     """
 
-    def __init__(self, world: SteadyStateWorld) -> None:
+    def __init__(
+        self,
+        world: SteadyStateWorld,
+        *,
+        ops: OpsPlane | None = None,
+        request_log: Any | None = None,
+    ) -> None:
         self.world = world
+        if ops is None:
+            ops = world.obs.ops
+        else:
+            world.obs.ops = ops
+        self.ops = ops
+        self.request_log = request_log
+        if ops is not None and ops.flight is not None:
+            if request_log is not None:
+                ops.flight.request_log = request_log
+            # pure observer on the deterministic bus: world telemetry
+            # fills the events ring and world alerts arm dumps, without
+            # feeding anything back into canonical state
+            if ops.flight not in world.obs.bus._subscribers:
+                world.obs.bus.subscribe(ops.flight)
         #: endpoint -> [request count, total wall seconds]; wall-clock
         #: stays out of the metrics registry on purpose (determinism)
         self.latency: dict[str, list[float]] = {}
+        self._current_trace: TraceContext | None = None
 
     # ------------------------------------------------------------------
     def handle(self, request: Request) -> Response:
         start = time.perf_counter()
-        endpoint, response = self._route(request)
+        ops = self.ops
+        ctx: TraceContext | None = None
+        if ops is None:
+            endpoint, response = self._route_guarded(request)
+        else:
+            # inlined ops.sample_request() — this path runs per request
+            # and is governed by the bench_service ops_overhead budget
+            seq = ops.request_seq = ops.request_seq + 1
+            sample = ops.trace_sample
+            if sample == 1 or seq % sample == 1:
+                # mint the context only; the span itself is queued after
+                # the route (below) and materialised at the next flush
+                ctx = ops._new_context(None)
+                self._current_trace = ctx
+                try:
+                    endpoint, response = self._route_guarded(request)
+                finally:
+                    self._current_trace = None
+            else:
+                endpoint, response = self._route_guarded(request)
         elapsed = time.perf_counter() - start
         bucket = self.latency.setdefault(endpoint, [0, 0.0])
         bucket[0] += 1
@@ -116,7 +181,48 @@ class DiscoveryApp:
             method=request.method,
             status=str(response.status),
         )
+        if self.request_log is not None:
+            url = request.path
+            if request.query:
+                url += "?" + urlencode(sorted(request.query.items()))
+            self.request_log.record(request.method, url, request.body)
+        if ops is not None:
+            # inlined ops.observe_request(): queue-and-batch — the
+            # plane drains this (and feeds the flight recorder) every
+            # flush_interval records or immediately on a 5xx
+            status = response.status
+            raw = ops._raw
+            # raw seconds, the readings already taken, and the context
+            # object itself — no float arithmetic, no attribute chasing;
+            # flush() converts units and materialises the request span
+            # for sampled records (ctx is not None)
+            raw.append(
+                (
+                    endpoint,
+                    request.method,
+                    status,
+                    elapsed,
+                    ctx,
+                    request.path,
+                    start,
+                )
+            )
+            if status >= 500 or len(raw) >= ops.flush_interval:
+                ops.flush()
         return response
+
+    def _route_guarded(self, request: Request) -> tuple[str, Response]:
+        """Route with a 500 backstop byte-identical to the wire layer's."""
+        try:
+            return self._route(request)
+        except Exception as exc:  # noqa: BLE001 — 500, keep serving
+            if isinstance(exc, InvariantViolation) and self.ops is not None:
+                flight = self.ops.flight
+                if flight is not None:
+                    flight.note_invariant(exc)
+            return request.path, _error(
+                500, f"internal: {type(exc).__name__}"
+            )
 
     # ------------------------------------------------------------------
     def _route(self, request: Request) -> tuple[str, Response]:
@@ -149,6 +255,16 @@ class DiscoveryApp:
                 "/fragment/{ue}",
                 self._require_get(method)
                 or self._fragment(parts[1], request.query),
+            )
+        if head == "trace" and len(parts) == 2:
+            return (
+                "/trace/{id}",
+                self._require_get(method) or self._trace(parts[1]),
+            )
+        if head == "ops" and len(parts) == 2 and parts[1] in ("slo", "flight"):
+            return (
+                f"/ops/{parts[1]}",
+                self._require_get(method) or self._ops(parts[1]),
             )
         if head == "world" and len(parts) == 2:
             action = parts[1]
@@ -204,8 +320,39 @@ class DiscoveryApp:
         return _json_response(200, self.world.sync_state())
 
     def _metrics(self) -> Response:
+        # exact Prometheus text exposition: exporter bytes, versioned
+        # content type with explicit charset.  The ops registry is a
+        # sibling and is deliberately NOT rendered here — wall-clock
+        # histograms would break byte-determinism of this endpoint.
         body = render_prometheus(self.world.obs.metrics).encode("utf-8")
-        return Response(200, body, content_type="text/plain; version=0.0.4")
+        return Response(
+            200, body, content_type="text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def _trace(self, trace_id: str) -> Response:
+        if self.ops is None:
+            return _error(503, "ops plane disabled")
+        spans = self.ops.trace(trace_id)
+        if spans is None:
+            return _error(404, f"unknown trace {trace_id}")
+        return _json_response(
+            200,
+            {
+                "trace_id": trace_id,
+                "spans": [span.to_dict() for span in spans],
+            },
+        )
+
+    def _ops(self, which: str) -> Response:
+        if self.ops is None:
+            return _error(503, "ops plane disabled")
+        if which == "slo":
+            return _json_response(200, self.ops.slo_status())
+        flight = self.ops.flight
+        if flight is None:
+            return _error(503, "no flight recorder attached")
+        self.ops.flush()  # queued requests must reach the rings first
+        return _json_response(200, flight.bundle("api"))
 
     def _events(self, query: dict[str, str]) -> Response:
         since = self._int_param(query, "since", 0)
@@ -298,7 +445,7 @@ class DiscoveryApp:
         events = []
         try:
             for _ in range(steps):
-                events.extend(w.step())
+                events.extend(w.step(trace=self._current_trace))
         except WorldPausedError as exc:
             return _error(409, str(exc))
         return _json_response(

@@ -53,12 +53,26 @@ class ServiceClient:
 
 @dataclass
 class RequestLog:
-    """A replayable sequence of (method, url, body) requests."""
+    """A replayable sequence of (method, url, body) requests.
+
+    ``max_entries`` bounds the log: once full, the *oldest* entry is
+    evicted per record and ``dropped`` counts the evictions — a
+    long-running ``repro serve`` logging every request must not grow
+    memory without limit, and bounded is never silent here.  Replay of a
+    truncated log is still byte-deterministic; it just starts later.
+    """
 
     entries: list[tuple[str, str, bytes]] = field(default_factory=list)
+    max_entries: int | None = None
+    dropped: int = 0
 
     def record(self, method: str, url: str, body: bytes = b"") -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self.entries.append((method.upper(), url, body))
+        while self.max_entries is not None and len(self.entries) > self.max_entries:
+            self.entries.pop(0)
+            self.dropped += 1
 
     def replay(self, client: ServiceClient) -> list[tuple[int, bytes]]:
         """Run every request in order; returns the (status, body) stream."""

@@ -152,6 +152,36 @@ def diff_service(config: PaperConfig) -> DiffOutcome:
         return DiffOutcome(pair="service-replay", divergence=div, detail=detail)
 
 
+def diff_service_ops(config: PaperConfig) -> DiffOutcome:
+    """Ops plane on vs off: the canonical surface must not move a byte.
+
+    The second capture runs with a process-default
+    :class:`~repro.obs.ops.OpsPlane` (flight recorder attached)
+    installed, so the fresh world's bundle adopts it and every request
+    flows through tracing, latency histograms, SLO analysis and the
+    flight rings.  Any byte the ops plane leaks into a response —
+    including the ``/metrics`` exposition at the end of the script — is
+    a conformance failure, which is exactly the separation the
+    determinism contract demands.
+    """
+    from repro.obs import FlightRecorder
+    from repro.obs.ops import OpsPlane, default_ops
+
+    obs = get_active() or Observability()
+    with obs.span("conformance_diff", pair="service-ops"):
+        plain = capture_service(config)
+        with default_ops(OpsPlane(flight=FlightRecorder())) as plane:
+            instrumented = capture_service(config)
+        div = first_response_divergence(plain, instrumented, "service-ops")
+        _note(obs, "service-ops", div)
+        spans = plane.metrics.counter("ops_spans_total").total()
+        detail = (
+            f"{len(plain['responses'])} responses byte-compared, "
+            f"{int(spans)} ops spans recorded on the instrumented side"
+        )
+        return DiffOutcome(pair="service-ops", divergence=div, detail=detail)
+
+
 def service_corpus_outcomes(
     *, sample: int | None = None
 ) -> Iterator[tuple[str, Divergence | None]]:

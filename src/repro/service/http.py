@@ -35,6 +35,7 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     409: "Conflict",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: requests larger than this are rejected outright
@@ -107,7 +108,7 @@ class ServiceServer:
                     and path == "/events"
                     and query.get("follow") == "1"
                 ):
-                    await self._stream_events(writer, query)
+                    await self._stream_events(writer, query, headers)
                     break
                 try:
                     response = self.app.handle(
@@ -173,9 +174,18 @@ class ServiceServer:
         await writer.drain()
 
     async def _stream_events(
-        self, writer: asyncio.StreamWriter, query: dict[str, str]
+        self,
+        writer: asyncio.StreamWriter,
+        query: dict[str, str],
+        headers: dict[str, str] | None = None,
     ) -> None:
-        """Long-lived SSE: flush frames as the bridge retains them."""
+        """Long-lived SSE: flush frames as the bridge retains them.
+
+        A reconnecting EventSource client sends ``Last-Event-ID`` — the
+        id of the last frame it saw — so the resume cursor is that id
+        plus one.  The header wins over ``since``: it is what the
+        browser machinery actually retransmits.
+        """
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: text/event-stream\r\n"
@@ -183,6 +193,9 @@ class ServiceServer:
             b"Connection: close\r\n\r\n"
         )
         cursor = int(query.get("since", "0") or "0")
+        last_id = (headers or {}).get("last-event-id", "").strip()
+        if last_id.isdigit():
+            cursor = int(last_id) + 1
         budget = query.get("max_frames")
         remaining = int(budget) if budget is not None else None
         sse = self.app.world.sse

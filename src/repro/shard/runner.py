@@ -69,6 +69,7 @@ def _shard_payload(
     collect_obs: bool,
     check_invariants: bool,
     measure_memory: bool,
+    trace=None,
 ) -> dict[str, Any]:
     from repro.core.fst import FSTSimulation
     from repro.core.network import D2DNetwork
@@ -79,6 +80,29 @@ def _shard_payload(
     if measure_memory:
         tracemalloc.start()
     t0 = time.perf_counter()
+    # ops-plane span documents built out-of-process: the worker has no
+    # plane, so it hand-writes OpsSpan dicts under the driver's context
+    # with shard-prefixed ids (collision-free across the pool) and the
+    # driver adopts them via OpsPlane.ingest.
+    ops_spans: list[dict[str, Any]] = []
+    _shard_span_root = f"sh{shard_id}.0"
+
+    def _note_span(name: str, start_s: float, **attrs: Any) -> None:
+        if trace is None:
+            return
+        ops_spans.append(
+            {
+                "trace_id": trace.trace_id,
+                "span_id": f"sh{shard_id}.{len(ops_spans) + 1}",
+                "parent_id": _shard_span_root,
+                "name": name,
+                "start_s": start_s,
+                "duration_ms": (time.perf_counter() - start_s) * 1000.0,
+                "status": "ok",
+                "attrs": attrs,
+            }
+        )
+
     obs = None
     if collect_obs:
         from repro.obs import Observability
@@ -88,6 +112,7 @@ def _shard_payload(
     runs: dict[str, Any] = {}
     sim_time_ms = 0.0
     for algorithm in algorithms:
+        alg_t0 = time.perf_counter()
         if capture:
             from repro.conformance.golden import capture_run
 
@@ -95,6 +120,7 @@ def _shard_payload(
             runs[algorithm] = doc
             res = doc["result"]
             sim_time_ms += float(res["time_ms"])
+            _note_span(f"capture.{algorithm}", alg_t0, shard=shard_id)
             continue
         if algorithm not in RUN_ALGORITHMS:
             raise ValueError(
@@ -126,6 +152,7 @@ def _shard_payload(
             "phase_rounds": phase_rounds,
             "phase_stream_hash": combine_hashes(phase_rounds),
         }
+        _note_span(f"run.{algorithm}", alg_t0, shard=shard_id)
 
     # border band in city coordinates, global ids
     ox, oy = city.tiling.origin(shard_id)
@@ -164,6 +191,20 @@ def _shard_payload(
         ).inc(wall_s)
         snapshot = worker_snapshot(obs, worker_id=shard_id)
 
+    if trace is not None:
+        ops_spans.append(
+            {
+                "trace_id": trace.trace_id,
+                "span_id": _shard_span_root,
+                "parent_id": trace.span_id,
+                "name": f"shard[{shard_id}]",
+                "start_s": t0,
+                "duration_ms": wall_s * 1000.0,
+                "status": "ok",
+                "attrs": {"shard": shard_id, "n": cfg.n_devices},
+            }
+        )
+
     return {
         "shard_id": shard_id,
         "n": cfg.n_devices,
@@ -175,13 +216,14 @@ def _shard_payload(
         "wall_s": wall_s,
         "peak_mb": peak_mb,
         "snapshot": snapshot,
+        "ops_spans": ops_spans,
     }
 
 
 def _shard_job(args) -> tuple[int, dict[str, Any]]:
-    (city, shard_id, algorithms, capture, collect_obs, inv, mem) = args
+    (city, shard_id, algorithms, capture, collect_obs, inv, mem, trace) = args
     return shard_id, _shard_payload(
-        city, shard_id, algorithms, capture, collect_obs, inv, mem
+        city, shard_id, algorithms, capture, collect_obs, inv, mem, trace
     )
 
 
@@ -312,6 +354,8 @@ def run_city(
     capture: bool = False,
     return_links: bool | None = None,
     obs_dir: str | pathlib.Path | None = None,
+    ops=None,
+    trace=None,
 ) -> CityResult:
     """Run every shard plus the halo exchange; merge deterministically.
 
@@ -344,17 +388,30 @@ def run_city(
         Write per-shard snapshots as ``worker_<shard>.json`` plus the
         merge as ``merged.json`` (the sweep runner's bundle layout;
         implies ``collect_obs``).
+    ops / trace:
+        Optional :class:`~repro.obs.ops.OpsPlane` (default: the
+        process-default plane) and parent
+        :class:`~repro.obs.ops.TraceContext`.  With a plane attached
+        the run records a ``shard.run_city`` span and each pool worker
+        ships per-shard span documents back for ingestion — the
+        canonical :class:`CityResult` document never includes any of it
+        (``shards_doc`` copies explicit keys only).
     """
     collect_obs = collect_obs or obs_dir is not None
     if return_links is None:
         return_links = city.base.n_devices <= RETURN_LINKS_MAX_DEVICES
+    if ops is None:
+        from repro.obs.ops import default_plane
+
+        ops = default_plane()
+    ctx = ops.context(trace) if ops is not None else None
     t0 = time.perf_counter()
     if measure_memory:
         tracemalloc.start()
 
     jobs = [
         (city, s, tuple(algorithms), capture, collect_obs, check_invariants,
-         measure_memory)
+         measure_memory, ctx)
         for s in range(city.count)
     ]
     payloads = _pool_map(_shard_job, jobs, workers)
@@ -442,6 +499,23 @@ def run_city(
         tracemalloc.stop()
         peaks = [p["peak_mb"] for p in payloads if p["peak_mb"] is not None]
         peak_mb = round(max([driver_peak / 2**20] + peaks), 2)
+
+    if ops is not None:
+        from repro.obs.ops import OpsSpan
+
+        for p in payloads:
+            ops.ingest(p.get("ops_spans") or [])
+        ops.record_span(
+            OpsSpan(
+                trace_id=ctx.trace_id,
+                span_id=ctx.span_id,
+                parent_id=ctx.parent_id,
+                name="shard.run_city",
+                start_s=t0,
+                duration_ms=(time.perf_counter() - t0) * 1000.0,
+                attrs={"tiles": city.count, "workers": workers},
+            )
+        )
 
     return CityResult(
         city=city,

@@ -240,7 +240,7 @@ class Engine:
         entry.callback()
         return True
 
-    def advance(self, duration_ms: float) -> int:
+    def advance(self, duration_ms: float, *, trace=None) -> int:
         """Incrementally advance the clock by exactly ``duration_ms``.
 
         The resumable stepping API for long-running hosts (the discovery
@@ -250,11 +250,25 @@ class Engine:
         when no event falls there, and returns the number of callbacks
         executed.  Repeated calls pick up where the previous one left
         off; pending events beyond the window stay queued.
+
+        ``trace`` is an optional ops-plane
+        :class:`~repro.obs.ops.TraceContext`: when the attached bundle
+        carries an ops plane, the window is recorded as an
+        ``engine.advance`` wall-clock span under it (ops plane only —
+        nothing on the deterministic plane changes either way).
         """
         if duration_ms < 0:
             raise ValueError(f"duration_ms must be >= 0, got {duration_ms}")
         before = self._events_processed
-        self.run(until=self._now + duration_ms)
+        ops = getattr(self._obs, "ops", None) if self._obs is not None else None
+        if ops is None:
+            self.run(until=self._now + duration_ms)
+        else:
+            with ops.span(
+                "engine.advance", parent=trace, duration_ms=duration_ms
+            ) as ctx:
+                ctx  # children would hang off the engine window
+                self.run(until=self._now + duration_ms)
         return self._events_processed - before
 
     def run(self, until: float | None = None) -> None:

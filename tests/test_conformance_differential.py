@@ -134,8 +134,9 @@ class TestFFAPair:
 class TestRegistry:
     def test_run_all_pairs(self):
         outcomes = run_pairs(PaperConfig(n_devices=16, seed=2))
-        # backends, batch, faults, boruvka, ffa, shard, service
-        assert len(outcomes) == 7
+        # backends, batch, faults, boruvka, ffa, shard, service,
+        # service-ops
+        assert len(outcomes) == 8
         assert all(o.ok for o in outcomes), [
             o.divergence.describe() for o in outcomes if not o.ok
         ]

@@ -1,0 +1,327 @@
+"""Ops-plane service tests: the non-canonical surface and its isolation.
+
+Two things are under test.  First the ops endpoints themselves —
+``GET /trace/{id}``, ``GET /ops/slo``, ``GET /ops/flight`` — and the
+request tracing that feeds them through ``DiscoveryApp`` →
+``SteadyStateWorld.step`` → ``Engine.advance``.  Second, and load
+bearing for the whole design: the conformance proof that attaching the
+full ops plane (tracing, SLO analyzers, flight recorder) changes **no
+response byte** on the canonical surface, including ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.config import PaperConfig
+from repro.faults.invariants import InvariantViolation
+from repro.obs import render_prometheus
+from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder, load_bundle
+from repro.obs.ops import OpsPlane
+from repro.obs.sse import SSEBridge
+from repro.service import (
+    DiscoveryApp,
+    RequestLog,
+    ServiceClient,
+    ServiceThread,
+    SteadyStateWorld,
+    WorldConfig,
+)
+
+SEED = 11
+N = 32
+
+
+def make_client(
+    seed: int = SEED,
+    n: int = N,
+    *,
+    ops: OpsPlane | None = None,
+    request_log: RequestLog | None = None,
+) -> ServiceClient:
+    world = SteadyStateWorld(
+        WorldConfig(base=PaperConfig(n_devices=n, seed=seed))
+    )
+    return ServiceClient(
+        DiscoveryApp(world, ops=ops, request_log=request_log)
+    )
+
+
+def ops_client(**plane_kwargs) -> tuple[ServiceClient, OpsPlane]:
+    plane_kwargs.setdefault("trace_sample", 1)
+    plane_kwargs.setdefault("flight", FlightRecorder())
+    plane = OpsPlane(**plane_kwargs)
+    return make_client(ops=plane), plane
+
+
+class TestOpsEndpoints:
+    def test_trace_roundtrip_over_the_api(self):
+        client, plane = ops_client()
+        assert client.get("/health").status == 200
+        trace_id = plane.trace_ids()[-1]
+        resp = client.get(f"/trace/{trace_id}")
+        assert resp.status == 200
+        doc = resp.json()
+        assert doc["trace_id"] == trace_id
+        spans = doc["spans"]
+        assert spans[0]["name"] == "GET /health"
+        assert spans[0]["attrs"] == {"path": "/health"}
+        assert spans[0]["status"] == "ok"
+
+    def test_unknown_trace_is_404(self):
+        client, _ = ops_client()
+        assert client.get("/trace/t00000000").status == 404
+
+    def test_ops_surface_is_503_without_a_plane(self):
+        client = make_client()
+        for path in ("/trace/t1", "/ops/slo", "/ops/flight"):
+            resp = client.get(path)
+            assert resp.status == 503
+            assert resp.json() == {"error": "ops plane disabled"}
+
+    def test_slo_status_document(self):
+        client, _ = ops_client()
+        for _ in range(5):
+            client.get("/near/0?limit=4")
+        doc = client.get("/ops/slo").json()
+        names = [s["slo"] for s in doc["slos"]]
+        assert names == ["near-p99", "all-p99", "availability"]
+        # the reader flushed, so the queued requests are accounted
+        assert all(s["seen"] >= 5 for s in doc["slos"] if s["endpoint"] == "*")
+        assert doc["alerts"] == []
+        assert doc["traces_retained"] >= 1
+
+    def test_flight_endpoint_flushes_then_bundles(self):
+        client, _ = ops_client()
+        client.get("/health")
+        doc = client.get("/ops/flight").json()
+        assert doc["schema"] == FLIGHT_SCHEMA
+        assert doc["reason"] == "api"
+        # flush-before-read: the /health just served is in the ring
+        assert any(r["path"] == "/health" for r in doc["requests"])
+
+    def test_flight_is_503_without_a_recorder(self):
+        client, _ = ops_client(flight=None)
+        resp = client.get("/ops/flight")
+        assert resp.status == 503
+        assert resp.json() == {"error": "no flight recorder attached"}
+
+
+class TestWorldStepTracing:
+    def test_step_request_traces_through_world_and_engine(self):
+        client, plane = ops_client()
+        assert client.post("/world/step", {"steps": 1}).status == 200
+        trace_id = plane.trace_ids()[-1]
+        spans = {s.name: s for s in plane.trace(trace_id)}
+        assert set(spans) == {
+            "POST /world/step", "world.step", "engine.advance",
+        }
+        request = spans["POST /world/step"]
+        assert request.parent_id is None
+        assert spans["world.step"].parent_id == request.span_id
+        assert (
+            spans["engine.advance"].parent_id == spans["world.step"].span_id
+        )
+
+    def test_unsampled_requests_mint_no_trace(self):
+        client, plane = ops_client(trace_sample=1000)
+        client.get("/health")  # seq 1: sampled (1 % 1000 == 1)
+        for _ in range(5):
+            client.get("/health")  # seq 2..6: unsampled
+        assert len(plane.trace_ids()) == 1
+
+
+class TestFlightOnFailure:
+    def test_500_dumps_a_bundle_immediately(self, tmp_path):
+        client, plane = ops_client(
+            flight=FlightRecorder(out_dir=tmp_path)
+        )
+        app = client.app
+        app.world.sync_state = lambda: 1 / 0  # type: ignore[assignment]
+        resp = client.get("/sync")
+        assert resp.status == 500
+        assert resp.json() == {"error": "internal: ZeroDivisionError"}
+        # the 5xx flushed the queue and the armed recorder dumped
+        doc = load_bundle(tmp_path / "flight_0001.json")
+        assert doc["reason"] == "5xx:/sync"
+        assert any(
+            r["path"] == "/sync" and r["status"] == 500
+            for r in doc["requests"]
+        )
+
+    def test_invariant_violation_wins_the_dump_reason(self, tmp_path):
+        client, plane = ops_client(
+            flight=FlightRecorder(out_dir=tmp_path)
+        )
+
+        def explode():
+            raise InvariantViolation("tree_acyclic", "cycle of length 3")
+
+        client.app.world.sync_state = explode  # type: ignore[assignment]
+        assert client.get("/sync").status == 500
+        doc = load_bundle(tmp_path / "flight_0001.json")
+        assert doc["reason"] == "invariant:InvariantViolation"
+        assert "tree_acyclic" in doc["violations"][0]["error"]
+
+    def test_bundle_embeds_the_bounded_request_log(self):
+        log = RequestLog(max_entries=2)
+        client, _ = ops_client()
+        client.app.request_log = log
+        client.app.ops.flight.request_log = log
+        for ue in range(4):
+            client.get(f"/near/{ue}?limit=2")
+        assert len(log.entries) == 2
+        assert log.dropped == 2
+        doc = client.get("/ops/flight").json()
+        jsonl = doc["request_log_jsonl"]
+        # only the retained tail is embedded, queries url-encoded
+        assert "/near/2?limit=2" in jsonl and "/near/0" not in jsonl
+
+
+class TestBoundedRequestLog:
+    def test_app_records_into_a_bounded_log(self):
+        log = RequestLog(max_entries=3)
+        client = make_client(request_log=log)
+        for _ in range(5):
+            client.get("/health")
+        assert len(log.entries) == 3
+        assert log.dropped == 2
+        assert log.entries[-1] == ("GET", "/health", b"")
+
+
+#: One scripted session exercising every canonical route and the error
+#: contract (404 unknown UE, 404 no route, 409 paused, 400 bad body).
+SCRIPT: tuple[tuple[str, str, bytes], ...] = (
+    ("GET", "/health", b""),
+    ("POST", "/world/step", b'{"steps": 2}'),
+    ("GET", "/near/3?limit=4", b""),
+    ("GET", "/near/9999", b""),
+    ("GET", "/fragment/3?limit=8", b""),
+    ("GET", "/sync", b""),
+    ("GET", "/world", b""),
+    ("GET", "/metrics", b""),
+    ("GET", "/events?since=0", b""),
+    ("GET", "/no/such/route", b""),
+    ("POST", "/world/step", b'{"steps": "lots"}'),
+    ("POST", "/world/pause", b""),
+    ("POST", "/world/step", b""),
+    ("POST", "/world/resume", b""),
+    ("POST", "/world/step", b'{"steps": 1}'),
+    ("GET", "/metrics", b""),
+)
+
+
+def run_script(client: ServiceClient) -> list[tuple[int, bytes]]:
+    return [
+        (r.status, r.body)
+        for r in (
+            client.request(method, url, body) for method, url, body in SCRIPT
+        )
+    ]
+
+
+class TestOpsPlaneIsNonCanonical:
+    """The acceptance criterion: bytes identical with the plane on/off."""
+
+    def test_scripted_session_is_byte_identical(self):
+        plain = run_script(make_client())
+        client, plane = ops_client(flush_interval=4)
+        instrumented = run_script(client)
+        assert plain == instrumented
+        # the plane really was live, not accidentally detached
+        assert plane.metrics.counter("ops_requests_total").total() > 0
+        assert plane.trace_ids()
+
+    def test_request_log_replay_is_byte_identical(self):
+        log = RequestLog()
+        for method, url, body in SCRIPT:
+            log.record(method, url, body)
+        assert log.replay(make_client()) == log.replay(ops_client()[0])
+
+    def test_metrics_stay_exporter_exact_with_ops_attached(self):
+        client, _ = ops_client()
+        client.get("/near/0?limit=4")
+        # exporter parity: the endpoint renders before its own request
+        # is counted, so snapshot the expected bytes first
+        expected = render_prometheus(client.app.world.obs.metrics)
+        resp = client.get("/metrics")
+        assert resp.status == 200
+        assert (
+            resp.content_type == "text/plain; version=0.0.4; charset=utf-8"
+        )
+        assert resp.body == expected.encode("utf-8")
+        # nothing from the sibling ops registry leaks into the canonical
+        # exposition — wall-clock histograms would break determinism
+        text = resp.text
+        assert "request_latency_ms" not in text
+        assert "ops_requests_total" not in text
+        assert "service_requests_total" in text
+
+
+# ----------------------------------------------------------------------
+# SSE slow-consumer semantics (bridge ring + wire-level reconnect)
+# ----------------------------------------------------------------------
+class TestSSESlowConsumer:
+    def test_overflow_sets_the_drop_ledger(self):
+        bridge = SSEBridge(capacity=2)
+        for seq in range(5):
+            bridge.on_alert(_StubAlert(seq))
+        assert bridge.dropped == 3
+        assert bridge.next_id == 5
+        assert bridge.oldest_id == 3
+
+    def test_stale_cursor_resumes_from_oldest_with_monotone_ids(self):
+        bridge = SSEBridge(capacity=2)
+        for seq in range(5):
+            bridge.on_alert(_StubAlert(seq))
+        frames, cursor = bridge.frames_since(0)  # far behind the window
+        assert cursor == 5
+        ids = [int(f.split("\n", 1)[0].removeprefix("id: ")) for f in frames]
+        assert ids == [3, 4]
+        # caught-up consumer: nothing, cursor parked at next_id
+        assert bridge.frames_since(cursor) == ([], 5)
+
+    def test_reconnect_with_last_event_id_is_gapless(self):
+        world = SteadyStateWorld(
+            WorldConfig(base=PaperConfig(n_devices=N, seed=7))
+        )
+        with ServiceThread(DiscoveryApp(world)) as svc:
+            step = urllib.request.Request(
+                svc.url + "/world/step", data=b'{"steps": 4}', method="POST"
+            )
+            urllib.request.urlopen(step, timeout=10).read()
+
+            first = self._frame_ids(svc, "/events?follow=1&max_frames=2")
+            assert first == sorted(first)
+            # EventSource reconnect: Last-Event-ID resumes at id + 1
+            resumed = self._frame_ids(
+                svc,
+                "/events?follow=1&max_frames=2",
+                last_event_id=first[-1],
+            )
+            assert resumed[0] == first[-1] + 1
+            assert resumed == sorted(resumed)
+
+    @staticmethod
+    def _frame_ids(svc, path: str, last_event_id: int | None = None):
+        req = urllib.request.Request(svc.url + path)
+        if last_event_id is not None:
+            req.add_header("Last-Event-ID", str(last_event_id))
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            data = resp.read().decode()
+        return [
+            int(frame.split("\n", 1)[0].removeprefix("id: "))
+            for frame in data.split("\n\n")
+            if frame
+        ]
+
+
+class _StubAlert:
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq}
